@@ -1,0 +1,35 @@
+"""Figures 8-10: FMeasure vs improvement threshold ω for targets Aaron,
+Barrett and Ryan, under EarlyDisjuncts vs LateDisjuncts.
+
+Paper's claims to reproduce: both policies show a plateau of good ω values
+(ω+); the plateau is wider for EarlyDisjuncts, i.e. LateDisjuncts is more
+sensitive to ω.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.evaluation.experiments import omega_sweep
+
+OMEGAS = [2, 5, 8, 12, 16, 20, 25, 30]
+SERIES = ["disjearly", "disjlate"]
+
+
+@pytest.mark.parametrize("target,figure", [
+    ("aaron", "fig08"), ("barrett", "fig09"), ("ryan", "fig10"),
+])
+def test_omega_sweep(benchmark, record_series, target, figure):
+    data = run_once(benchmark, omega_sweep, target, OMEGAS, repeats=2)
+    record_series(
+        figure, f"Figure {figure[3:]}: Setting ω for {target.capitalize()} "
+        f"(FMeasure)", "omega", data, SERIES)
+    # The early-disjunct policy should be good somewhere in the sweep.
+    assert max(row["disjearly"] for row in data.values()) > 60.0
+    # Plateau-width comparison: count ω values within 5 points of each
+    # policy's own optimum; Early's plateau should not be narrower.
+    width = {}
+    for series in SERIES:
+        best = max(row[series] for row in data.values())
+        width[series] = sum(
+            1 for row in data.values() if row[series] >= best - 5.0)
+    assert width["disjearly"] >= width["disjlate"]

@@ -1,0 +1,17 @@
+"""Figure 11: the strawman selection policy (MultiTable) vs QualTable.
+
+Paper's claim to reproduce: "MultiTable consistently performs significantly
+worse than QualTable" (with NaiveInfer generating candidate views).
+"""
+
+from conftest import run_once
+from repro.evaluation.experiments import strawman_comparison
+
+
+def test_strawman(benchmark, record_series):
+    data = run_once(benchmark, strawman_comparison, repeats=2)
+    record_series("fig11", "Figure 11: Strawman Performance (FMeasure)",
+                  "target", data, ["qualtable", "multitable"])
+    for target, row in data.items():
+        assert row["qualtable"] > row["multitable"], (
+            f"QualTable should beat MultiTable on {target}")

@@ -1,0 +1,39 @@
+"""Figures 14-15: varying the cardinality γ of ItemType.
+
+Paper's claims to reproduce: under LateDisjuncts, FMeasure degrades as γ
+grows, with TgtClassInfer ≳ SrcClassInfer ≫ NaiveInfer (Fig. 14, target
+Ryan Eyers); the runtime of EarlyDisjuncts relative to LateDisjuncts grows
+steeply with γ while LateDisjuncts only grows linearly (Fig. 15).
+"""
+
+from conftest import run_once
+from repro.evaluation.experiments import (cardinality_fmeasure,
+                                          cardinality_runtime)
+
+GAMMAS = [2, 4, 6, 8, 10]
+
+
+def test_fig14_fmeasure_vs_gamma(benchmark, record_series):
+    data = run_once(benchmark, cardinality_fmeasure, GAMMAS,
+                    target="ryan", repeats=2)
+    record_series("fig14",
+                  "Figure 14: FMeasure of LateDisjuncts (target Ryan)",
+                  "gamma", data, ["src", "tgt", "naive"])
+    # Clustered generators beat Naive on average across the sweep.
+    mean = lambda s: sum(r[s] for r in data.values()) / len(data)
+    assert mean("tgt") > mean("naive")
+    assert mean("src") > mean("naive")
+    # Degradation with cardinality: γ=10 is no better than γ=2.
+    assert data[10]["tgt"] <= data[2]["tgt"] + 5.0
+
+
+def test_fig15_early_runtime_relative_to_late(benchmark, record_series):
+    data = run_once(benchmark, cardinality_runtime, GAMMAS, repeats=1)
+    record_series("fig15",
+                  "Figure 15: Runtime of EarlyDisjuncts (% of LateDisjuncts)",
+                  "gamma", data, ["ryan", "aaron", "barrett"])
+    for target in ("ryan", "aaron", "barrett"):
+        # Early always costs more than Late...
+        assert data[10][target] > 100.0
+        # ...and relatively more at γ=10 than at γ=2.
+        assert data[10][target] > data[2][target]

@@ -1,0 +1,35 @@
+"""Figures 16-17: scaling the schemas by adding noise attributes.
+
+Every table gains n non-categorical attributes (populated from an
+unrelated real-estate table) and n/4 categorical ones.  Paper's claims to
+reproduce: FMeasure degrades as attributes are added, more steeply for
+larger γ (Fig. 16); TgtClassInfer's runtime grows much faster than
+SrcClassInfer's as the schema grows (Fig. 17).
+"""
+
+from conftest import run_once
+from repro.evaluation.experiments import (schema_size_fmeasure,
+                                          schema_size_runtime)
+
+SIZES = [0, 10, 20]
+
+
+def test_fig16_accuracy_vs_schema_size(benchmark, record_series):
+    data = run_once(benchmark, schema_size_fmeasure, SIZES,
+                    gammas=(2, 4, 6), repeats=2)
+    record_series("fig16", "Figure 16: Scaling accuracy (FMeasure, Ryan)",
+                  "n_added", data,
+                  ["gamma=2", "gamma=4", "gamma=6"])
+    # Padding the schema should not improve matching quality.
+    for gamma in ("gamma=2", "gamma=4", "gamma=6"):
+        assert data[20][gamma] <= data[0][gamma] + 10.0
+
+
+def test_fig17_runtime_vs_schema_size(benchmark, record_series):
+    data = run_once(benchmark, schema_size_runtime, SIZES, repeats=1)
+    record_series("fig17", "Figure 17: Scaling time (seconds, Ryan)",
+                  "n_added", data, ["src", "tgt", "naive"])
+    # Tgt pays for per-value target classification as schemas grow: slower
+    # than Src on the padded schema and growing from the unpadded one.
+    assert data[20]["tgt"] > data[20]["src"]
+    assert data[20]["tgt"] > data[0]["tgt"]

@@ -1,0 +1,24 @@
+"""Figure 18: FMeasure vs the size of the source Inventory table
+(TgtClassInfer, all three targets).
+
+Paper's claim to reproduce: with few tuples the correct candidate views are
+found less reliably; accuracy rises with sample size and then plateaus.
+"""
+
+from conftest import run_once
+from repro.evaluation.experiments import sample_size_sweep
+
+SIZES = [100, 200, 400, 800, 1600]
+
+
+def test_fig18_sample_size(benchmark, record_series):
+    data = run_once(benchmark, sample_size_sweep, SIZES, repeats=2)
+    record_series("fig18",
+                  "Figure 18: TgtClassInfer, varying inventory size "
+                  "(FMeasure)", "rows", data, ["ryan", "aaron", "barrett"])
+    for target in ("ryan", "aaron", "barrett"):
+        small = data[100][target]
+        large = max(data[800][target], data[1600][target])
+        assert large >= small, (
+            f"{target}: more sample data should not hurt accuracy")
+        assert large > 60.0

@@ -1,0 +1,44 @@
+"""Figures 20-22: sensitivity to the match-pruning threshold τ.
+
+Paper's claims to reproduce: Inventory accuracy is flat over a wide τ range
+because the base-table matches are strong (Fig. 20); Grades accuracy
+collapses once τ prunes the tenuous grade matches, earlier for higher σ
+(Fig. 21); runtime decreases mildly as τ grows (Fig. 22).
+"""
+
+from conftest import run_once
+from repro.evaluation.experiments import (tau_runtime_inventory,
+                                          tau_sweep_grades,
+                                          tau_sweep_inventory)
+
+TAUS = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9]
+
+
+def test_fig20_inventory_accuracy_vs_tau(benchmark, record_series):
+    data = run_once(benchmark, tau_sweep_inventory, TAUS, repeats=2)
+    record_series("fig20", "Figure 20: Inventory sensitivity to τ "
+                  "(% accuracy)", "tau", data,
+                  ["ryan", "aaron", "barrett"])
+    for target in ("ryan", "aaron", "barrett"):
+        # Flat over the moderate range: τ=0.6 within 15 points of τ=0.
+        assert abs(data[0.0][target] - data[0.6][target]) <= 15.0
+
+
+def test_fig21_grades_accuracy_vs_tau(benchmark, record_series):
+    data = run_once(benchmark, tau_sweep_grades, TAUS,
+                    sigmas=(10, 20, 30, 35), repeats=2)
+    record_series("fig21", "Figure 21: Grades sensitivity to τ "
+                  "(% accuracy)", "tau", data,
+                  ["sigma=10", "sigma=20", "sigma=30", "sigma=35"])
+    # High τ prunes the tenuous grade matches: collapse at the top end.
+    assert data[0.9]["sigma=10"] < data[0.5]["sigma=10"]
+    assert data[0.9]["sigma=35"] <= data[0.9]["sigma=10"] + 1e-9
+
+
+def test_fig22_inventory_runtime_vs_tau(benchmark, record_series):
+    data = run_once(benchmark, tau_runtime_inventory, TAUS, repeats=1)
+    record_series("fig22", "Figure 22: Inventory runtime vs τ (seconds)",
+                  "tau", data, ["ryan", "aaron", "barrett"])
+    for target in ("ryan", "aaron", "barrett"):
+        # More pruning should not make matching slower (mild effect).
+        assert data[0.9][target] <= data[0.0][target] * 1.5

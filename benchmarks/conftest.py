@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark runs the matching experiment driver for one figure of the
+paper exactly once under ``pytest-benchmark`` timing, prints the series the
+figure plots, and persists it under ``benchmarks/results/`` so the output
+survives non-verbose runs (EXPERIMENTS.md quotes these files).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.evaluation.reporting import format_series
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_series(results_dir):
+    """Print a figure's series and persist it to results/<name>.txt."""
+
+    def _record(name: str, title: str, xlabel: str,
+                data: Mapping[object, Mapping[str, float]],
+                series: Sequence[str]) -> str:
+        text = format_series(title, xlabel, data, series)
+        (results_dir / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+        print()
+        print(text)
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one execution of an experiment driver (sweeps are too heavy to
+    repeat for statistical timing; wall-clock of a single run is the
+    figure-level measurement)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

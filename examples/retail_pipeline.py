@@ -1,0 +1,51 @@
+"""Full retail pipeline: match -> map -> execute -> inspect.
+
+Demonstrates overcoming horizontal-partitioning heterogeneity (Example 1.1)
+end to end: the combined ``items`` table is matched contextually against
+the separated book/music target schema, the matches become select-only
+views, the extended Clio generator builds one mapping query per target
+table, and executing the mapping migrates the source instance into the
+target schema — Skolem terms filling target attributes the source lacks
+(e.g. the music table's ``label``).
+
+Run:  python examples/retail_pipeline.py
+"""
+
+from repro import ContextMatch, ContextMatchConfig
+from repro.datagen import make_retail_workload
+from repro.mapping import generate_mapping
+
+
+def main() -> None:
+    workload = make_retail_workload(target="ryan", gamma=4, n_source=600,
+                                    seed=21)
+    config = ContextMatchConfig(inference="src", early_disjuncts=True,
+                                seed=4)
+    result = ContextMatch(config).run(workload.source, workload.target)
+
+    print("Selected matches:")
+    for match in result.matches:
+        print(f"  {match}")
+
+    mapping = generate_mapping(result.matches, workload.source,
+                               workload.target.schema)
+    print("\nGenerated mapping:")
+    print(mapping.explain())
+
+    migrated = mapping.execute(workload.source)
+    for table in ("books", "cds"):
+        relation = migrated.relation(table)
+        print(f"\nMigrated {table}: {len(relation)} rows; sample:")
+        for row in list(relation.rows())[:3]:
+            print(f"  {row}")
+
+    # Sanity: a books row should hold an ISBN-like code, a cds row an ASIN.
+    books = migrated.relation("books")
+    if len(books):
+        first = books.row(0)
+        print(f"\nFirst migrated book code: {first['isbn']!r} "
+              f"(source rows restricted to ItemType ∈ Books)")
+
+
+if __name__ == "__main__":
+    main()

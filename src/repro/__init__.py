@@ -1,0 +1,64 @@
+"""repro — contextual schema matching.
+
+A from-scratch reproduction of Bohannon, Elnahrawy, Fan & Flaster,
+*Putting Context into Schema Matching* (VLDB 2006).
+
+The library provides:
+
+* a relational substrate (:mod:`repro.relational`) — schemas, in-memory
+  instances, selection conditions, select-only views, and (contextual)
+  key / foreign-key constraints;
+* a multi-matcher instance-based standard schema matcher
+  (:mod:`repro.matching`);
+* the contextual matching framework (:mod:`repro.context`) — the paper's
+  core contribution: ``ContextMatch`` with the ``NaiveInfer`` /
+  ``SrcClassInfer`` / ``TgtClassInfer`` candidate-view generators, early /
+  late disjunct handling and ``MultiTable`` / ``QualTable`` selection;
+* a relational Clio-style schema mapping generator extended with contextual
+  foreign keys, constraint-propagation rules and the join 1/2/3 association
+  rules (:mod:`repro.mapping`);
+* workload generators and the full experimental harness reproducing every
+  figure of the paper's evaluation (:mod:`repro.datagen`,
+  :mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro import ContextMatch, ContextMatchConfig
+    from repro.datagen import make_retail_workload
+
+    workload = make_retail_workload(target="ryan", seed=7)
+    result = ContextMatch(ContextMatchConfig()).run(
+        workload.source, workload.target)
+    for match in result.matches:
+        print(match)
+"""
+
+from .context import (ContextMatch, ContextMatchConfig, ContextualMatch,
+                      MatchResult)
+from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
+from .relational import (Attribute, Condition, Database, DataType, Eq, In,
+                         Relation, Schema, TableSchema, View, ViewFamily)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContextMatch",
+    "ContextMatchConfig",
+    "ContextualMatch",
+    "MatchResult",
+    "StandardMatch",
+    "StandardMatchConfig",
+    "MatchingSystem",
+    "Attribute",
+    "Condition",
+    "Database",
+    "DataType",
+    "Eq",
+    "In",
+    "Relation",
+    "Schema",
+    "TableSchema",
+    "View",
+    "ViewFamily",
+    "__version__",
+]

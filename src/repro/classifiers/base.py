@@ -1,0 +1,35 @@
+"""Classifier interface used by ``ClusteredViewGen`` (paper Figure 6).
+
+A classifier learns a mapping from data values ("documents") to labels —
+either categorical-attribute values (``SrcClassInfer``) or target-column
+tags (``TgtClassInfer``).  Training is incremental (``teach``), mirroring
+the paper's ``C.teach(t.a, "RT.a")`` phrasing in Figure 7.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Iterable
+
+__all__ = ["Classifier"]
+
+
+class Classifier(abc.ABC):
+    """Single-label classifier over data values."""
+
+    @abc.abstractmethod
+    def teach(self, value: Any, label: Hashable) -> None:
+        """Add one training example (*value* belongs to *label*)."""
+
+    @abc.abstractmethod
+    def classify(self, value: Any) -> Hashable | None:
+        """Predict the label of *value*; None when untrained."""
+
+    def teach_all(self, examples: Iterable[tuple[Any, Hashable]]) -> None:
+        for value, label in examples:
+            self.teach(value, label)
+
+    @property
+    @abc.abstractmethod
+    def labels(self) -> frozenset[Hashable]:
+        """The set of labels seen during training."""

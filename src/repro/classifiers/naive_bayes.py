@@ -1,0 +1,76 @@
+"""Multinomial Naive Bayes over character 3-grams.
+
+"If h is a text attribute, a standard Naive Bayesian classifier is used,
+with the values tokenized into 3-grams" (Section 3.2.3).  Laplace-smoothed,
+log-space, deterministic tie-breaking (more frequent label first, then
+stable lexicographic order) per Section 3.2.4's tie rules.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Any, Hashable
+
+from ..matching.tokens import qgrams, value_to_text
+from .base import Classifier
+
+__all__ = ["NaiveBayesClassifier"]
+
+
+class NaiveBayesClassifier(Classifier):
+    """Laplace-smoothed multinomial NB on q-gram tokens."""
+
+    def __init__(self, *, q: int = 3):
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._token_counts: dict[Hashable, Counter] = defaultdict(Counter)
+        self._token_totals: dict[Hashable, int] = defaultdict(int)
+        self._label_counts: Counter = Counter()
+        self._vocabulary: set[str] = set()
+        self._examples = 0
+
+    def _tokens(self, value: Any) -> list[str]:
+        return qgrams(value_to_text(value), self.q)
+
+    def teach(self, value: Any, label: Hashable) -> None:
+        tokens = self._tokens(value)
+        self._label_counts[label] += 1
+        self._examples += 1
+        counts = self._token_counts[label]
+        for token in tokens:
+            counts[token] += 1
+            self._vocabulary.add(token)
+        self._token_totals[label] += len(tokens)
+
+    @property
+    def labels(self) -> frozenset[Hashable]:
+        return frozenset(self._label_counts)
+
+    def log_posteriors(self, value: Any) -> dict[Hashable, float]:
+        """Unnormalized log posterior for every label."""
+        if not self._label_counts:
+            return {}
+        tokens = self._tokens(value)
+        vocab_size = len(self._vocabulary) or 1
+        posteriors: dict[Hashable, float] = {}
+        for label, label_count in self._label_counts.items():
+            log_p = math.log(label_count / self._examples)
+            counts = self._token_counts[label]
+            denom = self._token_totals[label] + vocab_size
+            for token in tokens:
+                log_p += math.log((counts[token] + 1) / denom)
+            posteriors[label] = log_p
+        return posteriors
+
+    def classify(self, value: Any) -> Hashable | None:
+        posteriors = self.log_posteriors(value)
+        if not posteriors:
+            return None
+        # Best posterior; ties break toward the more common label, then a
+        # stable deterministic order.
+        return max(
+            posteriors,
+            key=lambda lab: (posteriors[lab], self._label_counts[lab], repr(lab)),
+        )

@@ -1,0 +1,91 @@
+"""Gaussian classifier for numeric attributes.
+
+"If h is a numeric attribute, a statistical classifier is used instead"
+(Section 3.2.3).  Each label gets a univariate normal fitted to its training
+values; classification maximizes prior x likelihood.  A variance floor
+keeps degenerate (constant) classes usable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Any, Hashable
+
+from .base import Classifier
+
+__all__ = ["GaussianClassifier"]
+
+#: Variance floor relative to the global spread of the training data.
+_VARIANCE_FLOOR_FRACTION = 1e-4
+
+
+class GaussianClassifier(Classifier):
+    """Per-label univariate Gaussian, maximum a-posteriori prediction."""
+
+    def __init__(self):
+        self._values: dict[Hashable, list[float]] = defaultdict(list)
+        self._label_counts: Counter = Counter()
+        self._fitted: dict[Hashable, tuple[float, float]] | None = None
+
+    def teach(self, value: Any, label: Hashable) -> None:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return  # non-numeric garbage carries no signal for this model
+        self._values[label].append(number)
+        self._label_counts[label] += 1
+        self._fitted = None
+
+    @property
+    def labels(self) -> frozenset[Hashable]:
+        return frozenset(self._label_counts)
+
+    def _fit(self) -> dict[Hashable, tuple[float, float]]:
+        if self._fitted is not None:
+            return self._fitted
+        all_values = [v for vs in self._values.values() for v in vs]
+        if all_values:
+            lo, hi = min(all_values), max(all_values)
+            global_spread = (hi - lo) or max(abs(hi), 1.0)
+        else:
+            global_spread = 1.0
+        floor = max(global_spread * _VARIANCE_FLOOR_FRACTION, 1e-9)
+        fitted: dict[Hashable, tuple[float, float]] = {}
+        for label, values in self._values.items():
+            n = len(values)
+            mean = sum(values) / n
+            variance = sum((v - mean) ** 2 for v in values) / n
+            fitted[label] = (mean, max(variance, floor))
+        self._fitted = fitted
+        return fitted
+
+    def log_posteriors(self, value: Any) -> dict[Hashable, float]:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            return {}
+        fitted = self._fit()
+        if not fitted:
+            return {}
+        total = sum(self._label_counts.values())
+        posteriors: dict[Hashable, float] = {}
+        for label, (mean, variance) in fitted.items():
+            prior = self._label_counts[label] / total
+            log_likelihood = (-0.5 * math.log(2.0 * math.pi * variance)
+                              - (number - mean) ** 2 / (2.0 * variance))
+            posteriors[label] = math.log(prior) + log_likelihood
+        return posteriors
+
+    def classify(self, value: Any) -> Hashable | None:
+        posteriors = self.log_posteriors(value)
+        if not posteriors:
+            # Fall back to the prior for unparseable inputs, if trained.
+            if self._label_counts:
+                return max(self._label_counts,
+                           key=lambda lab: (self._label_counts[lab], repr(lab)))
+            return None
+        return max(
+            posteriors,
+            key=lambda lab: (posteriors[lab], self._label_counts[lab], repr(lab)),
+        )

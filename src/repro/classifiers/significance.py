@@ -1,0 +1,62 @@
+"""Score significance for well-clustered view families (Section 3.2.2).
+
+Null hypothesis: there is no correlation between the non-categorical
+attribute h and the categorical attribute l — labels are drawn randomly in
+proportion to their training frequencies.  Under the null, the number of
+correct classifications of the naive majority classifier ``CNaive`` is
+binomial with p = |v*| / n_train; its expected score is µ = n_test·p and
+standard deviation σ = sqrt(n_test·p·(1−p)).  The view family is accepted
+when Φ((c − µ)/σ) > T (default T = 0.95), i.e. when the candidate
+classifier's correct count c is significantly above the naive baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..mathutil import phi
+
+__all__ = ["SignificanceResult", "classifier_significance", "DEFAULT_THRESHOLD"]
+
+#: The paper's "typically 95%" acceptance threshold T.
+DEFAULT_THRESHOLD = 0.95
+
+
+@dataclasses.dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of the binomial significance test."""
+
+    correct: int        # c — candidate classifier's correct count on test
+    n_test: int
+    p_null: float       # |v*| / n_train
+    mu: float           # n_test * p
+    sigma: float        # sqrt(n_test * p * (1-p))
+    confidence: float   # Φ((c − µ)/σ) — the inverse null likelihood
+
+    def significant(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        return self.confidence > threshold
+
+
+def classifier_significance(correct: int, n_test: int,
+                            p_null: float) -> SignificanceResult:
+    """Run the test for a classifier scoring *correct* on *n_test* examples.
+
+    Degenerate cases:
+
+    * ``n_test == 0`` — no evidence; confidence 0.
+    * ``p_null >= 1`` — a single-valued label cannot define a partition and
+      cannot be beaten; confidence 0.
+    * ``p_null <= 0`` — an empty training majority is impossible in practice
+      but also yields no usable null; confidence 0.
+    """
+    if n_test <= 0 or p_null >= 1.0 or p_null <= 0.0:
+        return SignificanceResult(correct, n_test, p_null,
+                                  mu=0.0, sigma=0.0, confidence=0.0)
+    mu = n_test * p_null
+    sigma = math.sqrt(n_test * p_null * (1.0 - p_null))
+    if sigma == 0.0:
+        return SignificanceResult(correct, n_test, p_null, mu, sigma, 0.0)
+    return SignificanceResult(
+        correct, n_test, p_null, mu, sigma,
+        confidence=phi((correct - mu) / sigma))

@@ -1,0 +1,50 @@
+"""Contextual schema matching — the paper's core contribution (Section 3).
+
+Public entry point: :class:`ContextMatch` configured by
+:class:`ContextMatchConfig`; results arrive as :class:`MatchResult` holding
+:class:`ContextualMatch` triples ``(RS.s, RT.t, condition)``.
+"""
+
+from .candidates import (CandidateViewGenerator, InferenceContext, NaiveInfer,
+                         SrcClassInfer, TgtClassInfer, make_generator,
+                         set_partitions)
+from .categorical import (CategoricalPolicy, categorical_attributes,
+                          is_categorical, non_categorical_attributes)
+from .conjunctive import refine_conjunctive
+from .contextmatch import ContextMatch
+from .model import (CandidateScore, ContextMatchConfig, ContextualMatch,
+                    MatchResult)
+from .score import score_family_candidates, score_view_candidates
+from .serialize import (condition_from_dict, condition_to_dict,
+                        match_from_dict, match_to_dict, result_to_dict)
+from .select import multi_table, qual_table, select_matches
+
+__all__ = [
+    "ContextMatch",
+    "ContextMatchConfig",
+    "ContextualMatch",
+    "MatchResult",
+    "CandidateScore",
+    "CandidateViewGenerator",
+    "InferenceContext",
+    "NaiveInfer",
+    "SrcClassInfer",
+    "TgtClassInfer",
+    "make_generator",
+    "set_partitions",
+    "CategoricalPolicy",
+    "is_categorical",
+    "categorical_attributes",
+    "non_categorical_attributes",
+    "condition_to_dict",
+    "condition_from_dict",
+    "match_to_dict",
+    "match_from_dict",
+    "result_to_dict",
+    "score_view_candidates",
+    "score_family_candidates",
+    "multi_table",
+    "qual_table",
+    "select_matches",
+    "refine_conjunctive",
+]

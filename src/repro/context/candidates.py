@@ -1,0 +1,436 @@
+"""Candidate-view inference — ``InferCandidateViews`` (paper Section 3.2).
+
+Three generators are provided:
+
+* :class:`NaiveInfer` (Section 3.2.1) — every categorical attribute yields a
+  view family with one view per value; under ``EarlyDisjuncts`` families for
+  value partitionings are enumerated as well.
+* :class:`SrcClassInfer` (Section 3.2.3) — a classifier trained on *source*
+  values of each non-categorical attribute h predicts the categorical
+  attribute l; families whose classifier beats the naive majority baseline
+  significantly (Section 3.2.2) are returned.
+* :class:`TgtClassInfer` (Section 3.2.4, Figure 7) — source values are first
+  tagged with the most similar *target column* by per-type classifiers
+  trained on the target schema; the tag-to-label association is then scored
+  the same way.
+
+The early-disjunct extension (Section 3.3) merges the most frequently
+confused label pair, retrains, and keeps merged families that test as
+well-clustered — producing views over disjunctive conditions
+``l in {v1, ..., vk}``.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections import Counter
+from typing import Any, Callable, Hashable, Iterator, Sequence
+
+import numpy as np
+
+from ..classifiers.base import Classifier
+from ..classifiers.majority import MajorityClassifier
+from ..classifiers.metrics import (ConfusionMatrix, evaluate_classifier,
+                                   normalized_error_pairs)
+from ..classifiers.naive_bayes import NaiveBayesClassifier
+from ..classifiers.numeric import GaussianClassifier
+from ..classifiers.significance import classifier_significance
+from ..classifiers.target import TargetClassifierSet
+from ..matching.standard import AttributeMatch
+from ..relational.instance import Database, Relation
+from ..relational.types import DataType, is_missing
+from ..relational.views import ViewFamily
+from .categorical import (CategoricalPolicy, categorical_attributes,
+                          non_categorical_attributes)
+from .model import ContextMatchConfig
+
+__all__ = ["InferenceContext", "CandidateViewGenerator", "NaiveInfer",
+           "SrcClassInfer", "TgtClassInfer", "make_generator",
+           "set_partitions"]
+
+#: NaiveInfer enumerates every partition of the value set only up to this
+#: many values (Bell(6) = 203 partitions); beyond it, single-merge families
+#: keep the candidate count polynomial.
+MAX_EXACT_PARTITION_VALUES = 6
+
+
+@dataclasses.dataclass
+class InferenceContext:
+    """Shared state for one ``ContextMatch`` run.
+
+    Holds the RNG for train/test partitioning, the categorical policy, and
+    (for ``TgtClassInfer``) the per-type target classifiers, which are
+    trained once per run on the target schema.
+    """
+
+    config: ContextMatchConfig
+    rng: np.random.Generator
+    target: Database
+    policy: CategoricalPolicy = dataclasses.field(default_factory=CategoricalPolicy)
+    _target_classifiers: TargetClassifierSet | None = None
+    #: Shared memo of target-column tags keyed by (type family, value):
+    #: the disjunct-merge loop builds a fresh classifier per retraining, but
+    #: the expensive value -> target-column tagging never changes.
+    tag_cache: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def target_classifiers(self) -> TargetClassifierSet:
+        if self._target_classifiers is None:
+            self._target_classifiers = TargetClassifierSet.train(
+                self.target, sample_limit=self.config.standard.sample_limit)
+        return self._target_classifiers
+
+
+def _thin(pairs: list[tuple[Any, Any]], limit: int) -> list[tuple[Any, Any]]:
+    """Deterministic systematic thinning to at most *limit* pairs."""
+    if len(pairs) <= limit:
+        return pairs
+    step = len(pairs) / limit
+    return [pairs[int(i * step)] for i in range(limit)]
+
+
+def set_partitions(values: Sequence[Hashable]) -> Iterator[list[list[Hashable]]]:
+    """Enumerate all set partitions of *values* (Bell-number many).
+
+    Standard recursive construction: each new element either joins an
+    existing block or starts its own.  Deterministic order.
+    """
+    values = list(values)
+    if not values:
+        yield []
+        return
+
+    def recurse(index: int, blocks: list[list[Hashable]]) -> Iterator[list[list[Hashable]]]:
+        if index == len(values):
+            yield [list(b) for b in blocks]
+            return
+        value = values[index]
+        for block in blocks:
+            block.append(value)
+            yield from recurse(index + 1, blocks)
+            block.pop()
+        blocks.append([value])
+        yield from recurse(index + 1, blocks)
+        blocks.pop()
+
+    yield from recurse(0, [])
+
+
+class CandidateViewGenerator(abc.ABC):
+    """Interface of ``InferCandidateViews`` (Figure 5, line 5)."""
+
+    name: str = "generator"
+
+    def infer(self, relation: Relation, accepted: Sequence[AttributeMatch],
+              ctx: InferenceContext,
+              *, exclude_attributes: frozenset[str] = frozenset()) -> list[ViewFamily]:
+        """Candidate view families for *relation*.
+
+        Per Figure 5, no conditions are returned when the accepted match
+        list for the table is empty.  ``exclude_attributes`` removes
+        attributes already used in a parent condition (conjunctive search,
+        Section 3.5).
+        """
+        if not accepted:
+            return []
+        return self._infer(relation, ctx, exclude_attributes)
+
+    @abc.abstractmethod
+    def _infer(self, relation: Relation, ctx: InferenceContext,
+               exclude: frozenset[str]) -> list[ViewFamily]:
+        """Generator-specific inference; *relation* has a non-empty match list."""
+
+
+# ---------------------------------------------------------------------------
+# NaiveInfer (Section 3.2.1)
+# ---------------------------------------------------------------------------
+class NaiveInfer(CandidateViewGenerator):
+    """Views for every value of every categorical attribute, unfiltered."""
+
+    name = "naive"
+
+    def _infer(self, relation: Relation, ctx: InferenceContext,
+               exclude: frozenset[str]) -> list[ViewFamily]:
+        families: list[ViewFamily] = []
+        for label_attr in categorical_attributes(relation, ctx.policy):
+            if label_attr in exclude:
+                continue
+            values = relation.distinct(label_attr)
+            base = ViewFamily.simple(relation.name, label_attr, values)
+            families.append(base)
+            if ctx.config.early_disjuncts and len(values) > 1:
+                families.extend(self._disjunctive_families(relation.name,
+                                                           label_attr, values))
+        return families
+
+    @staticmethod
+    def _disjunctive_families(table: str, attribute: str,
+                              values: list[Any]) -> list[ViewFamily]:
+        """Partition families for EarlyDisjuncts.
+
+        For small value sets every partitioning is enumerated, exactly as
+        Section 3.2.1 describes; for larger sets (where the Bell number
+        explodes) only single-pair merges of the base family are produced.
+        """
+        families: list[ViewFamily] = []
+        if len(values) <= MAX_EXACT_PARTITION_VALUES:
+            for blocks in set_partitions(values):
+                if len(blocks) in (1, len(values)):
+                    continue  # no-information partition / base family
+                families.append(ViewFamily(table, attribute, blocks))
+        else:
+            for i in range(len(values)):
+                for j in range(i + 1, len(values)):
+                    merged = [[values[i], values[j]]] + [
+                        [v] for k, v in enumerate(values) if k not in (i, j)]
+                    families.append(ViewFamily(table, attribute, merged))
+        return families
+
+
+# ---------------------------------------------------------------------------
+# ClusteredViewGen machinery (Section 3.2.2, Figure 6)
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class AssessmentResult:
+    """Outcome of scoring one (h, l) candidate family."""
+
+    matrix: ConfusionMatrix
+    confidence: float  # Φ((c − µ)/σ) of the significance test
+
+    def significant(self, threshold: float) -> bool:
+        return self.confidence > threshold
+
+
+def assess_family(family: ViewFamily, classifier: Classifier,
+                  train_pairs: Sequence[tuple[Any, Any]],
+                  test_pairs: Sequence[tuple[Any, Any]]) -> AssessmentResult:
+    """``doTraining`` + ``doTesting`` + score significance for one family.
+
+    Labels are the family's groups (merged tokens after disjunct merging):
+    the classifier is trained on ``h-value -> group(l-value)`` and its
+    correct-classification count is compared against the binomial null of
+    the majority baseline ``CNaive``.
+    """
+    naive = MajorityClassifier()
+    for value, label in train_pairs:
+        group = family.group_label(label)
+        classifier.teach(value, group)
+        naive.teach(value, group)
+    matrix = evaluate_classifier(
+        classifier,
+        ((value, family.group_label(label)) for value, label in test_pairs))
+    significance = classifier_significance(
+        matrix.correct, matrix.total, naive.majority_fraction)
+    return AssessmentResult(matrix, significance.confidence)
+
+
+class ClusteredViewGenBase(CandidateViewGenerator):
+    """Shared Algorithm ClusteredViewGen (Figure 6) skeleton.
+
+    Subclasses provide :meth:`make_classifier` — a fresh classifier for a
+    given non-categorical attribute h (``SrcClassInfer`` trains it on source
+    values; ``TgtClassInfer`` routes through the target-column tagger).
+    """
+
+    def _infer(self, relation: Relation, ctx: InferenceContext,
+               exclude: frozenset[str]) -> list[ViewFamily]:
+        config = ctx.config
+        cats = [a for a in categorical_attributes(relation, ctx.policy)
+                if a not in exclude]
+        noncats = non_categorical_attributes(relation, ctx.policy)
+        if not cats or not noncats or len(relation) < 4:
+            return []
+        train, test = relation.split(config.train_fraction, ctx.rng)
+        best: dict[ViewFamily, float] = {}
+        for label_attr in cats:
+            values = relation.distinct(label_attr)
+            if len(values) < 2:
+                continue
+            base_family = ViewFamily.simple(relation.name, label_attr, values)
+            for h_attr in noncats:
+                dtype = relation.schema.dtype(h_attr)
+                train_pairs = _thin(self._pairs(train, h_attr, label_attr),
+                                    config.max_train)
+                test_pairs = _thin(self._pairs(test, h_attr, label_attr),
+                                   config.max_test)
+                if len(train_pairs) < 2 or len(test_pairs) < 1:
+                    continue
+                result = assess_family(
+                    base_family, self.make_classifier(dtype, ctx),
+                    train_pairs, test_pairs)
+                if result.significant(config.significance_threshold):
+                    quality = max(best.get(base_family, 0.0), result.confidence)
+                    best[base_family] = quality
+                if config.early_disjuncts:
+                    for family, conf in self._merged_families(
+                            base_family, result, dtype, ctx,
+                            train_pairs, test_pairs):
+                        best[family] = max(best.get(family, 0.0), conf)
+        return [
+            ViewFamily(f.table, f.attribute, f.groups, quality=q)
+            for f, q in best.items()
+        ]
+
+    @staticmethod
+    def _pairs(relation: Relation, h_attr: str,
+               label_attr: str) -> list[tuple[Any, Any]]:
+        h_col = relation.column(h_attr)
+        l_col = relation.column(label_attr)
+        return [
+            (h, l) for h, l in zip(h_col, l_col)
+            if not is_missing(h) and not is_missing(l)
+        ]
+
+    def _merged_families(self, family: ViewFamily, result: AssessmentResult,
+                         dtype: DataType, ctx: InferenceContext,
+                         train_pairs: Sequence[tuple[Any, Any]],
+                         test_pairs: Sequence[tuple[Any, Any]],
+                         ) -> Iterator[tuple[ViewFamily, float]]:
+        """Early-disjunct error-pair merging loop (Section 3.3).
+
+        Merge the most frequent (frequency-normalized) confusion pair,
+        retrain and retest; keep merged families that test well-clustered.
+        Repeats until the test is error-free or only one group remains.
+        """
+        config = ctx.config
+        current = family
+        current_result = result
+        while len(current.groups) > 1:
+            ranked = normalized_error_pairs(current_result.matrix)
+            if not ranked:
+                break
+            pair = next(iter(ranked))[0]
+            group_a, group_b = tuple(pair)
+            # Merge via representative raw values of the two groups.
+            rep_a = next(iter(group_a))
+            rep_b = next(iter(group_b))
+            merged = current.merge(rep_a, rep_b)
+            if len(merged.groups) == len(current.groups):
+                break  # already together — cannot make progress
+            merged_result = assess_family(
+                merged, self.make_classifier(dtype, ctx),
+                train_pairs, test_pairs)
+            if (len(merged.groups) > 1
+                    and merged_result.significant(config.significance_threshold)):
+                yield (ViewFamily(merged.table, merged.attribute, merged.groups,
+                                  quality=merged_result.confidence),
+                       merged_result.confidence)
+            current, current_result = merged, merged_result
+
+    @abc.abstractmethod
+    def make_classifier(self, dtype: DataType, ctx: InferenceContext) -> Classifier:
+        """A fresh classifier ``Ch`` for a non-categorical attribute of type
+        *dtype*."""
+
+
+# ---------------------------------------------------------------------------
+# SrcClassInfer (Section 3.2.3)
+# ---------------------------------------------------------------------------
+class SrcClassInfer(ClusteredViewGenBase):
+    """Classifier trained directly on source values: Naive Bayes on 3-grams
+    for text, a Gaussian statistical classifier for numeric attributes."""
+
+    name = "src"
+
+    def make_classifier(self, dtype: DataType, ctx: InferenceContext) -> Classifier:
+        if dtype.is_numeric:
+            return GaussianClassifier()
+        return NaiveBayesClassifier(q=3)
+
+
+# ---------------------------------------------------------------------------
+# TgtClassInfer (Section 3.2.4)
+# ---------------------------------------------------------------------------
+class _TgtTagClassifier(Classifier):
+    """bestCAT ∘ C_D^T: tag source values with target columns, then map tags
+    to categorical values by the acc·prec score of Section 3.2.4."""
+
+    def __init__(self, tagger: TargetClassifierSet, dtype: DataType,
+                 tag_cache: dict | None = None):
+        self._tagger = tagger
+        self._dtype = dtype
+        self._tbag: Counter = Counter()          # (tag g, label v) -> count
+        self._label_counts: Counter = Counter()  # v -> count
+        self._tag_counts: Counter = Counter()    # g -> count
+        self._best: dict[Any, Hashable] | None = None
+        self._tag_cache: dict = tag_cache if tag_cache is not None else {}
+
+    def _tag(self, value: Any) -> str | None:
+        key = (self._dtype.family,
+               value if isinstance(value, Hashable) else str(value))
+        if key not in self._tag_cache:
+            self._tag_cache[key] = self._tagger.classify(value, self._dtype)
+        return self._tag_cache[key]
+
+    def teach(self, value: Any, label: Hashable) -> None:
+        tag = self._tag(value)
+        self._label_counts[label] += 1
+        if tag is not None:
+            self._tbag[(tag, label)] += 1
+            self._tag_counts[tag] += 1
+        self._best = None
+
+    @property
+    def labels(self) -> frozenset[Hashable]:
+        return frozenset(self._label_counts)
+
+    def _best_cat(self) -> dict[Any, Hashable]:
+        """bestCAT(g) = argmax_v acc(g,v)·prec(g,v); ties favour the more
+        common v, then a deterministic order."""
+        if self._best is not None:
+            return self._best
+        best: dict[Any, Hashable] = {}
+        by_tag: dict[str, list[Hashable]] = {}
+        for (tag, label) in self._tbag:
+            by_tag.setdefault(tag, []).append(label)
+        for tag, labels in by_tag.items():
+            def score(label: Hashable) -> float:
+                joint = self._tbag[(tag, label)]
+                acc = joint / self._label_counts[label]
+                prec = joint / self._tag_counts[tag]
+                return acc * prec
+            best[tag] = max(labels, key=lambda lab: (
+                score(lab), self._label_counts[lab], repr(lab)))
+        self._best = best
+        return best
+
+    def _arbitrary_label(self) -> Hashable | None:
+        if not self._label_counts:
+            return None
+        return max(self._label_counts,
+                   key=lambda lab: (self._label_counts[lab], repr(lab)))
+
+    def classify(self, value: Any) -> Hashable | None:
+        tag = self._tag(value)
+        best = self._best_cat()
+        if tag is None or tag not in best:
+            # "an arbitrary categorical value is selected" — deterministic:
+            # the most common label.
+            return self._arbitrary_label()
+        return best[tag]
+
+
+class TgtClassInfer(ClusteredViewGenBase):
+    """Classify source values by which target column they resemble, then
+    correlate the tags with the categorical attributes."""
+
+    name = "tgt"
+
+    def make_classifier(self, dtype: DataType, ctx: InferenceContext) -> Classifier:
+        return _TgtTagClassifier(ctx.target_classifiers, dtype,
+                                 tag_cache=ctx.tag_cache)
+
+
+def make_generator(kind: str) -> CandidateViewGenerator:
+    """Factory mapping config strings to generator instances."""
+    generators: dict[str, Callable[[], CandidateViewGenerator]] = {
+        "naive": NaiveInfer,
+        "src": SrcClassInfer,
+        "tgt": TgtClassInfer,
+    }
+    try:
+        return generators[kind]()
+    except KeyError:
+        raise ValueError(f"unknown inference kind {kind!r}; expected one of "
+                         f"{sorted(generators)}") from None

@@ -1,0 +1,79 @@
+"""Re-scoring prototype matches against candidate views — ``ScoreMatch``
+(Figure 5, lines 6-11).
+
+For each candidate view ``Vc`` the sample of the base table is restricted by
+``c`` and every accepted prototype match from that table is re-evaluated by
+the (black-box) standard matcher.  Confidences are re-normalized against the
+distribution of the restricted sample's scores across all target attributes,
+exactly as the strawman discussion prescribes ("estimated using the new
+score s'_i and the distribution of scores seen for RS.s across the sample").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..matching.standard import AttributeMatch, MatchingSystem, TargetIndex
+from ..relational.instance import Relation
+from ..relational.views import View, ViewFamily
+from .model import CandidateScore
+
+__all__ = ["score_view_candidates", "score_family_candidates"]
+
+
+def score_view_candidates(view: View, family: ViewFamily, base: Relation,
+                          accepted: Sequence[AttributeMatch],
+                          matcher: MatchingSystem, index: TargetIndex,
+                          *, min_view_rows: int = 2) -> list[CandidateScore]:
+    """Evaluate one candidate view against the accepted matches of its base.
+
+    Returns one :class:`CandidateScore` per (view, prototype match) pair —
+    the entries added to RL.  Views whose restricted sample is smaller than
+    ``min_view_rows`` are skipped: they cannot be scored meaningfully.
+    """
+    restricted = view.evaluate(base)
+    if len(restricted) < min_view_rows:
+        return []
+    by_attr: dict[str, list[AttributeMatch]] = {}
+    for match in accepted:
+        if match.source.table == base.name:
+            by_attr.setdefault(match.source.attribute, []).append(match)
+    results: list[CandidateScore] = []
+    for attr_name, matches in by_attr.items():
+        attribute = restricted.schema.attribute(attr_name)
+        scored = matcher.score_attribute(
+            view.name, restricted.column(attr_name), attribute, index)
+        by_target = {(m.target.table, m.target.attribute): m for m in scored}
+        for match in matches:
+            rescored = by_target.get(
+                (match.target.table, match.target.attribute))
+            if rescored is None:
+                continue
+            results.append(CandidateScore(
+                view=view, family=family, base_match=match,
+                rescored=rescored, view_rows=len(restricted)))
+    return results
+
+
+def score_family_candidates(family: ViewFamily, base: Relation,
+                            accepted: Sequence[AttributeMatch],
+                            matcher: MatchingSystem, index: TargetIndex,
+                            *, min_view_rows: int = 2,
+                            seen_views: set[View] | None = None) -> list[CandidateScore]:
+    """Score every member view of a family (the loop body of Figure 5).
+
+    Distinct families frequently share member views (a merged family keeps
+    the singleton views it did not merge), so callers pass ``seen_views``
+    to score each distinct view exactly once — duplicates would otherwise
+    inflate the per-view confidence totals used by ``QualTable``.
+    """
+    results: list[CandidateScore] = []
+    for view in family.views():
+        if seen_views is not None:
+            if view in seen_views:
+                continue
+            seen_views.add(view)
+        results.extend(score_view_candidates(
+            view, family, base, accepted, matcher, index,
+            min_view_rows=min_view_rows))
+    return results

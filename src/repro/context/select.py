@@ -1,0 +1,179 @@
+"""Selecting the contextual matches to present — ``SelectContextualMatches``
+(paper Section 3.4).
+
+Two policies:
+
+* :func:`multi_table` — the strawman's selector: for every target attribute
+  keep the single highest-confidence match, whatever source (or view) it
+  comes from.  Allows one target table to be fed by many source tables.
+* :func:`qual_table` — per target table, first commit to the source table
+  with the greatest total match confidence, then accept candidate views of
+  that table whose *total* confidence improves on the base table's by at
+  least the improvement threshold ω (in percent).  Under ``EarlyDisjuncts``
+  only the single best improving view is kept (conditions may already be
+  disjunctive); under ``LateDisjuncts`` every improving view is kept —
+  selecting several views is "analogous to disjuncting over those views".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..matching.standard import AttributeMatch
+from ..relational.conditions import TRUE
+from ..relational.views import View
+from .model import CandidateScore, ContextualMatch
+
+__all__ = ["multi_table", "qual_table", "select_matches"]
+
+
+#: Floor for the per-match base score in the relative-improvement ratio;
+#: prevents near-zero junk matches from contributing explosive percentages.
+_SCORE_FLOOR = 0.05
+#: Per-match improvement contributions are clamped to ±this many percent.
+_DELTA_CAP = 100.0
+#: Improvements within this many points of the best are treated as ties
+#: under EarlyDisjuncts and resolved toward the view covering more rows.
+_TIE_TOLERANCE = 4.0
+
+
+def view_improvement(scores: Sequence[CandidateScore]) -> float:
+    """Total improvement of a view over its base table, in percent units.
+
+    The strawman discussion defines δ_c = f_c − f_i per match, *subject to
+    δ_c > 0*, and Section 3 prescribes summing the improvement over all of
+    a table's matches so that semantically valid conditions (which improve
+    several matches in a correlated way) separate from random ones.  Only
+    positive deltas count: a restriction that sharpens the real matches
+    inevitably destroys whatever accidental similarity the spurious
+    accepted matches had, and that destruction is not evidence against the
+    condition.  We measure each match's δ as the *relative raw-score*
+    change: the Φ-normalized confidences saturate near 1 for top-ranked
+    pairs and barely move when a restriction genuinely sharpens a match,
+    whereas raw matcher scores grow substantially (a title column mixing
+    books and CDs scores ≈0.5 against book titles, a correctly restricted
+    one ≈0.9).  Static evidence (name/type matchers) cancels in the delta.
+    """
+    total = 0.0
+    for candidate in scores:
+        base = max(candidate.base_match.score, _SCORE_FLOOR)
+        delta = 100.0 * (candidate.rescored.score - candidate.base_match.score) / base
+        if delta > 0.0:
+            total += min(_DELTA_CAP, delta)
+    return total
+
+
+def _standard_as_contextual(match: AttributeMatch) -> ContextualMatch:
+    return ContextualMatch(
+        source=match.source, target=match.target, condition=TRUE,
+        score=match.score, confidence=match.confidence, view=None)
+
+
+def _candidate_as_contextual(candidate: CandidateScore) -> ContextualMatch:
+    base = candidate.base_match
+    return ContextualMatch(
+        source=base.source, target=base.target,
+        condition=candidate.view.condition,
+        score=candidate.rescored.score,
+        confidence=candidate.rescored.confidence,
+        view=candidate.view)
+
+
+def multi_table(standard: Sequence[AttributeMatch],
+                candidates: Sequence[CandidateScore]) -> list[ContextualMatch]:
+    """Best match per target attribute over the whole pool (MultiTable).
+
+    Ranking is by raw score first: a restricted sample that looks more
+    similar wins, whatever table or condition it comes from.  This is the
+    strawman's failure mode by design — "there will always be a random
+    subset that yields an above average score" (Section 3, Significance) —
+    and Figure 11 measures exactly how much damage that does.
+    """
+    pool: list[ContextualMatch] = [_standard_as_contextual(m) for m in standard]
+    pool.extend(_candidate_as_contextual(c) for c in candidates)
+    best: dict[tuple[str, str], ContextualMatch] = {}
+    for match in pool:
+        key = (match.target.table, match.target.attribute)
+        current = best.get(key)
+        if (current is None
+                or (match.score, match.confidence)
+                > (current.score, current.confidence)):
+            best[key] = match
+    return sorted(best.values(), key=lambda m: (m.target.table,
+                                                m.target.attribute))
+
+
+def qual_table(standard: Sequence[AttributeMatch],
+               candidates: Sequence[CandidateScore],
+               *, omega: float, early_disjuncts: bool) -> list[ContextualMatch]:
+    """Per-table selection with the ω improvement threshold (QualTable)."""
+    # Group standard matches by target table, then by source table.
+    by_target: dict[str, dict[str, list[AttributeMatch]]] = {}
+    for match in standard:
+        by_target.setdefault(match.target.table, {}) \
+                 .setdefault(match.source.table, []).append(match)
+
+    # Candidate scores indexed by (target table, source base table, view).
+    cand_index: dict[tuple[str, str], dict[View, list[CandidateScore]]] = {}
+    for cand in candidates:
+        key = (cand.base_match.target.table, cand.view.base)
+        cand_index.setdefault(key, {}).setdefault(cand.view, []).append(cand)
+
+    selected: list[ContextualMatch] = []
+    for target_table in sorted(by_target):
+        by_source = by_target[target_table]
+        # (a) the source table with the greatest total confidence wins.
+        best_source = max(
+            by_source,
+            key=lambda s: (sum(m.confidence for m in by_source[s]), s))
+        base_matches = by_source[best_source]
+        # (b) candidate views of that source, measured by the total
+        # improvement across the individual matches (Section 3, "count the
+        # total improvement across all of the individual matches").
+        views = cand_index.get((target_table, best_source), {})
+        improving: list[tuple[float, int, View]] = []
+        for view, scores in views.items():
+            improvement = view_improvement(scores)
+            if improvement >= omega:
+                rows = max(c.view_rows for c in scores)
+                improving.append((improvement, rows, view))
+        if not improving:
+            selected.extend(_standard_as_contextual(m) for m in base_matches)
+            continue
+        improving.sort(key=lambda item: (-item[0], -item[1], item[2].name))
+        if early_disjuncts:
+            # Disjunction already happened inside conditions: keep only the
+            # single best view.  Improvements within a small tolerance of
+            # the best are statistical ties (a pure Book1-only view matches
+            # book data as well as the full Books view); prefer the view
+            # that explains more of the data.
+            best_improvement = improving[0][0]
+            tied = [item for item in improving
+                    if item[0] >= best_improvement - _TIE_TOLERANCE]
+            tied.sort(key=lambda item: (-item[1], -item[0], item[2].name))
+            chosen = [tied[0][2]]
+        else:
+            chosen = [view for (_, _, view) in improving]
+        for view in chosen:
+            for candidate in views[view]:
+                # Strawman rule: a match is replaced by its conditioned
+                # version only when the condition improves it (δ > 0); pairs
+                # the chosen view does not improve are dropped — "the
+                # matches between the selected views and the target tables
+                # are returned" (Section 3.4).
+                if candidate.rescored.score > candidate.base_match.score:
+                    selected.append(_candidate_as_contextual(candidate))
+    return selected
+
+
+def select_matches(standard: Sequence[AttributeMatch],
+                   candidates: Sequence[CandidateScore],
+                   *, selection: str, omega: float,
+                   early_disjuncts: bool) -> list[ContextualMatch]:
+    """Dispatch on the configured selection policy."""
+    if selection == "multitable":
+        return multi_table(standard, candidates)
+    if selection == "qualtable":
+        return qual_table(standard, candidates, omega=omega,
+                          early_disjuncts=early_disjuncts)
+    raise ValueError(f"unknown selection policy {selection!r}")

@@ -1,0 +1,102 @@
+"""JSON-friendly serialization of match results.
+
+Downstream tools (mapping UIs, experiment notebooks, diff-based regression
+checks) consume matcher output as data; this module renders
+:class:`~repro.context.model.ContextualMatch` lists and
+:class:`~repro.context.model.MatchResult` objects as plain dicts and parses
+them back.  Conditions round-trip through a small structural encoding
+rather than SQL text, so no parser is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import ConditionError
+from ..relational.conditions import TRUE, And, Condition, Eq, In, Or
+from ..relational.schema import AttributeRef
+from ..relational.views import View
+from .model import ContextualMatch, MatchResult
+
+__all__ = ["condition_to_dict", "condition_from_dict", "match_to_dict",
+           "match_from_dict", "result_to_dict"]
+
+
+def condition_to_dict(condition: Condition) -> dict[str, Any]:
+    """Structural encoding of a condition (round-trippable)."""
+    if condition.is_true():
+        return {"op": "true"}
+    if isinstance(condition, Eq):
+        return {"op": "eq", "attribute": condition.attribute,
+                "value": condition.value}
+    if isinstance(condition, In):
+        return {"op": "in", "attribute": condition.attribute,
+                "values": sorted(condition.values, key=repr)}
+    if isinstance(condition, And):
+        return {"op": "and",
+                "children": [condition_to_dict(c) for c in condition.children]}
+    if isinstance(condition, Or):
+        return {"op": "or",
+                "children": [condition_to_dict(c) for c in condition.children]}
+    raise ConditionError(f"cannot serialize condition {condition!r}")
+
+
+def condition_from_dict(data: Mapping[str, Any]) -> Condition:
+    """Inverse of :func:`condition_to_dict`."""
+    op = data.get("op")
+    if op == "true":
+        return TRUE
+    if op == "eq":
+        return Eq(data["attribute"], data["value"])
+    if op == "in":
+        return In(data["attribute"], data["values"])
+    if op == "and":
+        return And.of(*(condition_from_dict(c) for c in data["children"]))
+    if op == "or":
+        return Or.of(*(condition_from_dict(c) for c in data["children"]))
+    raise ConditionError(f"unknown condition encoding {data!r}")
+
+
+def match_to_dict(match: ContextualMatch) -> dict[str, Any]:
+    """Render one match as a JSON-compatible dict."""
+    return {
+        "source": {"table": match.source.table,
+                   "attribute": match.source.attribute},
+        "target": {"table": match.target.table,
+                   "attribute": match.target.attribute},
+        "condition": condition_to_dict(match.condition),
+        "condition_on": match.condition_on,
+        "score": match.score,
+        "confidence": match.confidence,
+        "view_sql": match.view.to_sql() if match.view is not None else None,
+    }
+
+
+def match_from_dict(data: Mapping[str, Any]) -> ContextualMatch:
+    """Inverse of :func:`match_to_dict` (the view is reconstructed from the
+    condition over the source table; projections are not preserved)."""
+    condition = condition_from_dict(data["condition"])
+    source = AttributeRef(data["source"]["table"],
+                          data["source"]["attribute"])
+    target = AttributeRef(data["target"]["table"],
+                          data["target"]["attribute"])
+    condition_on = data.get("condition_on", "source")
+    view = None
+    if not condition.is_true():
+        base = (source.table if condition_on == "source" else target.table)
+        view = View(base, condition)
+    return ContextualMatch(
+        source=source, target=target, condition=condition,
+        score=float(data["score"]), confidence=float(data["confidence"]),
+        view=view, condition_on=condition_on)
+
+
+def result_to_dict(result: MatchResult) -> dict[str, Any]:
+    """Render a full MatchResult (matches + run diagnostics summary)."""
+    return {
+        "matches": [match_to_dict(m) for m in result.matches],
+        "n_standard_accepted": len(result.standard_matches),
+        "n_families": len(result.families),
+        "n_candidates": len(result.candidates),
+        "elapsed_seconds": result.elapsed_seconds,
+    }

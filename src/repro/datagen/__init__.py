@@ -1,0 +1,35 @@
+"""Workload generators for the paper's experimental study (Section 5).
+
+* :func:`make_retail_workload` — the Inventory data set (combined source
+  item table vs separated book/music targets), with γ expansion,
+  correlated-attribute injection and schema padding;
+* :func:`make_grades_workload` — the Grades attribute-normalization data
+  set (narrow exam rows vs wide per-exam columns);
+* :mod:`repro.datagen.realestate` — the unrelated noise table;
+* :class:`GroundTruth` — per-workload correct contextual matches.
+"""
+
+from .grades import GradesConfig, GradesWorkload, exam_mean, make_grades_workload
+from .ground_truth import CorrectContextualMatch, GroundTruth
+from .inventory import (RetailConfig, RetailWorkload, TARGET_LAYOUTS,
+                        add_correlated_attributes, gamma_labels,
+                        make_retail_workload, pad_workload)
+from .realestate import make_realestate_relation, realestate_column
+
+__all__ = [
+    "make_retail_workload",
+    "RetailConfig",
+    "RetailWorkload",
+    "TARGET_LAYOUTS",
+    "add_correlated_attributes",
+    "pad_workload",
+    "gamma_labels",
+    "make_grades_workload",
+    "GradesConfig",
+    "GradesWorkload",
+    "exam_mean",
+    "GroundTruth",
+    "CorrectContextualMatch",
+    "make_realestate_relation",
+    "realestate_column",
+]

@@ -1,0 +1,150 @@
+"""The Grades attribute-normalization workload (paper Section 5, "Grades
+data").
+
+Exactly the paper's construction: test scores of ``n_students`` students on
+``n_exams`` exams.  The source schema *grades_narrow* has columns
+``name, examNum, grade``; the target schema *grades_wide* has ``name``
+plus one ``gradei`` column per exam.  "The grade data is generated randomly
+for each schema, so that the mean and standard deviation σ of each exam i is
+the same in each schema, but the actual scores are not.  The mean of exam i
+is fixed at 40 + 10(i−1), while σ is varied."
+
+The correct mapping promotes ``examNum`` values to target attributes: a view
+on the source for every exam number, joined on ``name`` (rule *join 1*,
+Section 4.3) — the ``ClioQualTable`` experiment of Section 5.7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.instance import Database, Relation
+from .ground_truth import GroundTruth
+from .text import person_name
+
+__all__ = ["GradesConfig", "GradesWorkload", "make_grades_workload",
+           "exam_mean"]
+
+#: Spurious categorical noise attributes available for the source table;
+#: ``NaiveInfer`` proposes views on them, the clustered generators filter.
+_SECTIONS = ["A", "B", "C", "D"]
+_SEMESTERS = ["fall", "spring"]
+
+
+def exam_mean(exam: int) -> float:
+    """Mean score of exam *exam* (1-based): 40 + 10(i−1)."""
+    return 40.0 + 10.0 * (exam - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class GradesConfig:
+    """Parameters of the grades workload generator.
+
+    ``sigma`` is the per-exam standard deviation; larger values overlap the
+    exam distributions and make the matching task harder (Section 5,
+    "Clearly, as σ gets larger, the matching task gets more difficult").
+    ``spurious_categoricals`` adds that many categorical noise attributes
+    (section, semester) to the narrow table.
+    """
+
+    n_students: int = 200
+    n_exams: int = 5
+    sigma: float = 10.0
+    seed: int = 0
+    spurious_categoricals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_students < 2 or self.n_exams < 2:
+            raise ReproError("need at least 2 students and 2 exams")
+        if self.sigma <= 0:
+            raise ReproError(f"sigma must be positive, got {self.sigma}")
+        if not 0 <= self.spurious_categoricals <= 2:
+            raise ReproError("spurious_categoricals must be 0, 1 or 2")
+
+
+@dataclasses.dataclass
+class GradesWorkload:
+    """A generated narrow/wide grades pair plus ground truth."""
+
+    source: Database
+    target: Database
+    ground_truth: GroundTruth
+    config: GradesConfig
+
+
+def _scores(n: int, exam: int, sigma: float,
+            rng: np.random.Generator) -> list[float]:
+    raw = rng.normal(exam_mean(exam), sigma, size=n).clip(0.0, 100.0)
+    return [round(float(v), 1) for v in raw]
+
+
+def _student_names(n: int, rng: np.random.Generator) -> list[str]:
+    """Distinct student names (retrying collisions keeps them unique, which
+    rule *join 1* relies on: names are keys within each exam view)."""
+    names: list[str] = []
+    seen: set[str] = set()
+    while len(names) < n:
+        name = person_name(rng)
+        if name in seen:
+            name = f"{name} {len(names)}"
+        seen.add(name)
+        names.append(name)
+    return names
+
+
+def _make_narrow(config: GradesConfig, rng: np.random.Generator) -> Relation:
+    names = _student_names(config.n_students, rng)
+    columns: dict[str, list] = {"name": [], "examNum": [], "grade": []}
+    for exam in range(1, config.n_exams + 1):
+        scores = _scores(config.n_students, exam, config.sigma, rng)
+        columns["name"].extend(names)
+        columns["examNum"].extend([exam] * config.n_students)
+        columns["grade"].extend(scores)
+    n_rows = len(columns["name"])
+    if config.spurious_categoricals >= 1:
+        columns["section"] = [
+            _SECTIONS[int(rng.integers(len(_SECTIONS)))] for _ in range(n_rows)]
+    if config.spurious_categoricals >= 2:
+        columns["semester"] = [
+            _SEMESTERS[int(rng.integers(len(_SEMESTERS)))]
+            for _ in range(n_rows)]
+    return Relation.infer_schema("grades_narrow", columns)
+
+
+def _make_wide(config: GradesConfig, rng: np.random.Generator) -> Relation:
+    columns: dict[str, list] = {
+        "name": _student_names(config.n_students, rng)}
+    for exam in range(1, config.n_exams + 1):
+        columns[f"grade{exam}"] = _scores(config.n_students, exam,
+                                          config.sigma, rng)
+    return Relation.infer_schema("grades_wide", columns)
+
+
+def _ground_truth(config: GradesConfig) -> GroundTruth:
+    truth = GroundTruth()
+    for exam in range(1, config.n_exams + 1):
+        truth.add("grades_narrow", "grade", "grades_wide", f"grade{exam}",
+                  "examNum", [exam])
+        truth.add("grades_narrow", "name", "grades_wide", "name",
+                  "examNum", [exam])
+    return truth
+
+
+def make_grades_workload(sigma: float = 10.0, *, n_students: int = 200,
+                         n_exams: int = 5, seed: int = 0,
+                         spurious_categoricals: int = 1) -> GradesWorkload:
+    """Generate the grades workload at a given σ."""
+    config = GradesConfig(n_students=n_students, n_exams=n_exams,
+                          sigma=sigma, seed=seed,
+                          spurious_categoricals=spurious_categoricals)
+    master = np.random.default_rng(config.seed)
+    narrow_rng, wide_rng = master.spawn(2)
+    source = Database.from_relations(
+        "grades_src", [_make_narrow(config, narrow_rng)])
+    target = Database.from_relations(
+        "grades_tgt", [_make_wide(config, wide_rng)])
+    return GradesWorkload(source=source, target=target,
+                          ground_truth=_ground_truth(config), config=config)

@@ -1,0 +1,73 @@
+"""Ground-truth specifications for generated workloads.
+
+Every workload carries the set of *correct contextual matches* determined by
+construction (the paper determined them "by manual inspection", Section 5).
+A correct contextual match names the attribute pair, the condition attribute
+and the full set of condition values under which the pairing is semantically
+right — e.g. ``items.Name -> books.title`` under ``ItemType ∈ {Book1,
+Book2}``.
+
+Evaluation semantics (see :mod:`repro.evaluation.metrics`): a found edge is
+correct when its condition is a simple (possibly disjunctive) condition on
+the right attribute whose value set is contained in the correct set; a
+ground-truth match earns recall credit for the fraction of its value set
+covered by correct found edges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable
+
+from ..relational.schema import AttributeRef
+
+__all__ = ["CorrectContextualMatch", "GroundTruth"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrectContextualMatch:
+    """One semantically correct contextual match.
+
+    ``condition_attribute`` is the only attribute a correct condition may
+    mention; ``condition_values`` is the complete value set the condition
+    should cover for this target.
+    """
+
+    source: AttributeRef
+    target: AttributeRef
+    condition_attribute: str
+    condition_values: frozenset
+
+    def key(self) -> tuple[str, str, str, str]:
+        return (self.source.table, self.source.attribute,
+                self.target.table, self.target.attribute)
+
+    def __str__(self) -> str:
+        values = ", ".join(sorted(map(str, self.condition_values)))
+        return (f"{self.source} -> {self.target} "
+                f"[{self.condition_attribute} ∈ {{{values}}}]")
+
+
+@dataclasses.dataclass
+class GroundTruth:
+    """The correct contextual matches of a workload."""
+
+    matches: list[CorrectContextualMatch] = dataclasses.field(default_factory=list)
+
+    def add(self, source_table: str, source_attr: str, target_table: str,
+            target_attr: str, condition_attribute: str,
+            condition_values: Iterable[Any]) -> None:
+        self.matches.append(CorrectContextualMatch(
+            source=AttributeRef(source_table, source_attr),
+            target=AttributeRef(target_table, target_attr),
+            condition_attribute=condition_attribute,
+            condition_values=frozenset(condition_values)))
+
+    def by_key(self) -> dict[tuple[str, str, str, str], CorrectContextualMatch]:
+        return {m.key(): m for m in self.matches}
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(self.matches)

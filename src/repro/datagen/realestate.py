@@ -1,0 +1,77 @@
+"""Unrelated real-estate table used as schema-padding noise (Section 5.5).
+
+"The extra non-categorical attributes are populated with random data from an
+unrelated real estate table."  We synthesize that table: street addresses,
+cities, agent names, square footage, listing prices — a population disjoint
+from the retail domain so padded attributes provide realistic *noise*, not
+accidental signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..relational.instance import Relation
+from .text import person_name
+
+__all__ = ["make_realestate_relation", "realestate_column"]
+
+_STREETS = [
+    "maple", "oak", "cedar", "elm", "willow", "birch", "chestnut",
+    "sycamore", "juniper", "magnolia", "poplar", "hawthorn", "linden",
+]
+_STREET_KINDS = ["st", "ave", "blvd", "ln", "dr", "ct", "rd"]
+_CITIES = [
+    "springfield", "riverton", "fairview", "lakewood", "georgetown",
+    "clinton", "salem", "madison", "arlington", "ashland", "dover",
+    "milton", "newport", "oxford", "burlington",
+]
+_PROPERTY_TYPES = ["single family", "condo", "townhouse", "duplex", "loft"]
+
+
+def _address(rng: np.random.Generator) -> str:
+    number = int(rng.integers(1, 9900))
+    street = _STREETS[int(rng.integers(len(_STREETS)))]
+    kind = _STREET_KINDS[int(rng.integers(len(_STREET_KINDS)))]
+    return f"{number} {street} {kind}"
+
+
+def realestate_column(kind: str, n: int, rng: np.random.Generator) -> list:
+    """One column of real-estate noise data.
+
+    ``kind`` chooses the population: ``address``, ``city``, ``agent``,
+    ``sqft``, ``listing`` (price) or ``property`` (type).
+    """
+    if kind == "address":
+        return [_address(rng) for _ in range(n)]
+    if kind == "city":
+        return [_CITIES[int(rng.integers(len(_CITIES)))] for _ in range(n)]
+    if kind == "agent":
+        return [person_name(rng) for _ in range(n)]
+    if kind == "sqft":
+        return [int(v) for v in rng.normal(1850, 650, size=n).clip(350)]
+    if kind == "listing":
+        return [round(float(v), 2)
+                for v in rng.lognormal(12.5, 0.4, size=n)]
+    if kind == "property":
+        return [_PROPERTY_TYPES[int(rng.integers(len(_PROPERTY_TYPES)))]
+                for _ in range(n)]
+    raise ValueError(f"unknown real-estate column kind {kind!r}")
+
+
+#: Round-robin order used when padding schemas with noise attributes.
+PAD_KINDS = ["address", "city", "agent", "sqft", "listing"]
+
+
+def make_realestate_relation(n: int, rng: np.random.Generator,
+                             *, name: str = "listings") -> Relation:
+    """The full unrelated real-estate table (also used by tests/examples)."""
+    return Relation.infer_schema(name, {
+        "listing_id": list(range(1, n + 1)),
+        "address": realestate_column("address", n, rng),
+        "city": realestate_column("city", n, rng),
+        "property_type": realestate_column("property", n, rng),
+        "sqft": realestate_column("sqft", n, rng),
+        "listing_price": realestate_column("listing", n, rng),
+        "agent": realestate_column("agent", n, rng),
+    })

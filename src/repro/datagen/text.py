@@ -1,0 +1,195 @@
+"""Deterministic text corpus for workload generation.
+
+The paper populated its retail schemas with records scraped from commercial
+web sites plus name data from the Illinois Semantic Integration Archive.
+Offline, we synthesize the same *signals* those sources provided:
+
+* book titles and music album titles are drawn from distinct (but partially
+  overlapping) vocabularies, so instance matchers can tell the populations
+  apart without the task being trivial;
+* author and artist names share a common name pool (person names do not
+  distinguish books from CDs — a realistic confounder);
+* ISBNs are digit strings, ASINs are ``B0``-prefixed alphanumerics: code
+  columns are separable by alphabet, as in real Amazon-style data;
+* publishers and record labels are small, domain-specific vocabularies.
+
+All functions take a :class:`numpy.random.Generator`; identical seeds yield
+identical corpora.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "book_title", "album_title", "person_name", "band_name",
+    "publisher", "record_label", "isbn", "asin",
+    "book_format", "music_format",
+]
+
+# ---------------------------------------------------------------------------
+# Word pools.  Book and music pools overlap on a few words ("night",
+# "river") so the classification task is realistic rather than trivial.
+# ---------------------------------------------------------------------------
+_BOOK_NOUNS = [
+    "garden", "history", "war", "king", "daughter", "road", "island",
+    "letter", "shadow", "house", "river", "winter", "secret", "stone",
+    "journey", "empire", "forest", "night", "castle", "harbor", "mountain",
+    "physician", "archive", "testament", "chronicle", "voyage", "orchard",
+    "lighthouse", "meadow", "covenant", "heir", "scholar", "cartographer",
+]
+_BOOK_ADJECTIVES = [
+    "silent", "lost", "hidden", "ancient", "golden", "broken", "distant",
+    "forgotten", "last", "crimson", "quiet", "burning", "endless", "pale",
+    "sacred", "wild", "hollow", "gilded", "weathered", "solemn",
+]
+_BOOK_PLACES = [
+    "avalon", "normandy", "thessaly", "patagonia", "kyoto", "carthage",
+    "galway", "montana", "prague", "zanzibar", "bruges", "savannah",
+]
+
+_MUSIC_NOUNS = [
+    "groove", "beat", "rhythm", "echo", "soul", "funk", "riff", "anthem",
+    "boulevard", "mirror", "neon", "static", "velvet", "horizon", "pulse",
+    "night", "river", "wire", "signal", "parade", "carousel", "dynamo",
+    "satellite", "voltage", "tempo", "chorus", "reverb", "falsetto",
+]
+_MUSIC_ADJECTIVES = [
+    "electric", "midnight", "blue", "golden", "broken", "analog", "cosmic",
+    "restless", "lonesome", "supersonic", "stereo", "naked", "infinite",
+    "howling", "velvet", "radioactive", "lucid", "feverish",
+]
+_MUSIC_VENUES = [
+    "the fillmore", "red rocks", "the apollo", "royal albert hall",
+    "the troubadour", "budokan", "paradiso", "the roxy",
+]
+
+_FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "daniel",
+    "nancy", "matthew", "lisa", "anthony", "betty", "mark", "margaret",
+    "paul", "sandra", "steven", "ashley", "andrew", "kimberly", "kenneth",
+    "emily", "joshua", "donna", "kevin", "michelle", "brian", "carol",
+    "george", "amanda", "edward", "melissa", "ronald", "deborah",
+]
+_LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "ohara", "whitfield", "castellano", "bergstrom",
+]
+
+_PUBLISHERS = [
+    "harbor house press", "meridian books", "crown & quill", "atlas press",
+    "northfield publishing", "bluestone books", "pelican row", "vantage",
+    "old mill press", "copperfield & sons", "beacon street books",
+    "lanternworks", "foxglove press", "tidewater publishing",
+]
+_RECORD_LABELS = [
+    "capitol", "parlophone", "sub pop", "blue note", "motown", "stax",
+    "island", "asylum", "elektra", "geffen", "rough trade", "merge",
+    "matador", "domino", "4ad", "def jam", "verve", "chess",
+]
+
+_BOOK_FORMATS = ["hardcover", "paperback", "mass market", "library binding"]
+_MUSIC_FORMATS = ["audio cd", "vinyl", "cassette", "box set"]
+
+_ASIN_ALPHABET = "0123456789ABCDEFGHJKLMNPQRSTUVWXYZ"
+
+
+def _choice(rng: np.random.Generator, pool: list[str]) -> str:
+    return pool[int(rng.integers(len(pool)))]
+
+
+def book_title(rng: np.random.Generator) -> str:
+    """A synthetic book title (distinct stylistic population)."""
+    pattern = int(rng.integers(6))
+    noun = _choice(rng, _BOOK_NOUNS)
+    adjective = _choice(rng, _BOOK_ADJECTIVES)
+    place = _choice(rng, _BOOK_PLACES)
+    other = _choice(rng, _BOOK_NOUNS)
+    if pattern == 0:
+        return f"the {adjective} {noun}"
+    if pattern == 1:
+        return f"a {noun} of {other}s"
+    if pattern == 2:
+        return f"the {noun} of {place}"
+    if pattern == 3:
+        return f"{adjective} {noun}s of {place}"
+    if pattern == 4:
+        return f"the {noun}'s {other}"
+    return f"{adjective} {noun}"
+
+
+def album_title(rng: np.random.Generator) -> str:
+    """A synthetic music album title."""
+    pattern = int(rng.integers(6))
+    noun = _choice(rng, _MUSIC_NOUNS)
+    adjective = _choice(rng, _MUSIC_ADJECTIVES)
+    venue = _choice(rng, _MUSIC_VENUES)
+    other = _choice(rng, _MUSIC_NOUNS)
+    if pattern == 0:
+        return f"{adjective} {noun}"
+    if pattern == 1:
+        return f"{noun} & {other}"
+    if pattern == 2:
+        return f"live at {venue}"
+    if pattern == 3:
+        return f"{adjective} {noun} vol. {int(rng.integers(1, 4))}"
+    if pattern == 4:
+        return f"the {noun} sessions"
+    return f"{noun} {int(rng.integers(1, 100))}"
+
+
+def person_name(rng: np.random.Generator) -> str:
+    """An author/artist person name from the shared name pool."""
+    return f"{_choice(rng, _FIRST_NAMES)} {_choice(rng, _LAST_NAMES)}"
+
+
+def band_name(rng: np.random.Generator) -> str:
+    """A band name; artists are bands roughly half the time."""
+    pattern = int(rng.integers(3))
+    noun = _choice(rng, _MUSIC_NOUNS)
+    adjective = _choice(rng, _MUSIC_ADJECTIVES)
+    if pattern == 0:
+        return f"the {noun}s"
+    if pattern == 1:
+        return f"{adjective} {noun}"
+    return f"the {adjective} {noun}s"
+
+
+def publisher(rng: np.random.Generator) -> str:
+    return _choice(rng, _PUBLISHERS)
+
+
+def record_label(rng: np.random.Generator) -> str:
+    return _choice(rng, _RECORD_LABELS)
+
+
+def isbn(rng: np.random.Generator) -> str:
+    """A 10-character ISBN-like code: digits with a frequent leading 0 and
+    the occasional real-world ``X`` check digit."""
+    lead = "0" if rng.random() < 0.7 else str(int(rng.integers(1, 10)))
+    body = "".join(str(int(d)) for d in rng.integers(0, 10, size=8))
+    check = "X" if rng.random() < 0.08 else str(int(rng.integers(0, 10)))
+    return lead + body + check
+
+
+def asin(rng: np.random.Generator) -> str:
+    """A ``B0``-prefixed Amazon-style identifier."""
+    body = "".join(_ASIN_ALPHABET[int(i)]
+                   for i in rng.integers(0, len(_ASIN_ALPHABET), size=8))
+    return "B0" + body
+
+
+def book_format(rng: np.random.Generator) -> str:
+    return _choice(rng, _BOOK_FORMATS)
+
+
+def music_format(rng: np.random.Generator) -> str:
+    return _choice(rng, _MUSIC_FORMATS)

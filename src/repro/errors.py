@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish schema problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute/table reference cannot resolve."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name does not exist in the referenced table."""
+
+    def __init__(self, table: str, attribute: str):
+        super().__init__(f"table {table!r} has no attribute {attribute!r}")
+        self.table = table
+        self.attribute = attribute
+
+
+class UnknownTableError(SchemaError):
+    """A table name does not exist in the referenced schema."""
+
+    def __init__(self, schema: str, table: str):
+        super().__init__(f"schema {schema!r} has no table {table!r}")
+        self.schema = schema
+        self.table = table
+
+
+class InstanceError(ReproError):
+    """Instance data is inconsistent with its schema (arity, column length)."""
+
+
+class ConditionError(ReproError):
+    """A selection condition is malformed or references missing attributes."""
+
+
+class ConstraintError(ReproError):
+    """A key / foreign-key constraint is malformed."""
+
+
+class MappingError(ReproError):
+    """Schema-mapping construction failed (no join path, bad correspondence)."""
+
+
+class MatchingError(ReproError):
+    """The matching pipeline was configured or invoked incorrectly."""

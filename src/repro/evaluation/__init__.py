@@ -1,0 +1,23 @@
+"""Experimental harness reproducing the paper's Section 5 study.
+
+:mod:`repro.evaluation.metrics` implements the accuracy / precision /
+FMeasure definitions; :mod:`repro.evaluation.experiments` has one driver per
+figure; :mod:`repro.evaluation.reporting` renders the series the figures
+plot.
+"""
+
+from .metrics import EvalMetrics, condition_values, evaluate_matches, evaluate_result
+from .reporting import format_series, format_table
+from .runner import Averaged, seed_pairs, summarize
+
+__all__ = [
+    "EvalMetrics",
+    "evaluate_matches",
+    "evaluate_result",
+    "condition_values",
+    "format_table",
+    "format_series",
+    "Averaged",
+    "summarize",
+    "seed_pairs",
+]

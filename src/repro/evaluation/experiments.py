@@ -1,0 +1,361 @@
+"""Experiment drivers — one per figure of the paper's Section 5.
+
+Every driver returns ``{x value: {series name: measurement}}`` suitable for
+:func:`repro.evaluation.reporting.format_series`, and every measurement is
+averaged over (workload seed, partition seed) pairs.  The benchmarks in
+``benchmarks/`` are thin wrappers that time and print these drivers.
+
+Defaults are sized for laptop runs; the paper's exact sweep ranges are kept
+as module constants so full-fidelity runs are one argument away.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..context.contextmatch import ContextMatch
+from ..context.model import ContextMatchConfig
+from ..datagen.grades import make_grades_workload
+from ..datagen.inventory import (add_correlated_attributes,
+                                 make_retail_workload, pad_workload)
+from .metrics import EvalMetrics, evaluate_result
+from .runner import Averaged, seed_pairs, summarize
+
+__all__ = [
+    "run_retail", "run_grades",
+    "omega_sweep", "strawman_comparison", "correlation_sweep",
+    "cardinality_fmeasure", "cardinality_runtime",
+    "schema_size_fmeasure", "schema_size_runtime",
+    "sample_size_sweep", "grades_sigma_sweep",
+    "tau_sweep_inventory", "tau_sweep_grades", "tau_runtime_inventory",
+]
+
+#: Sweep ranges as the paper plots them.
+PAPER_OMEGAS = list(range(2, 31, 2))
+PAPER_RHOS = [0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70]
+PAPER_GAMMAS = [2, 4, 6, 8, 10]
+PAPER_PAD_SIZES = [0, 5, 10, 15, 20, 25, 30]
+PAPER_SAMPLE_SIZES = [100, 200, 400, 800, 1200, 1600]
+PAPER_SIGMAS = [5, 10, 15, 20, 25, 30, 35]
+PAPER_TAUS = [0.0, 0.2, 0.4, 0.5, 0.6, 0.65, 0.8, 0.9]
+TARGETS = ["ryan", "aaron", "barrett"]
+
+
+def run_retail(target: str, config: ContextMatchConfig,
+               *, workload_seed: int = 11, gamma: int = 4,
+               n_source: int = 1000, correlated: int = 0, rho: float = 0.0,
+               pad: int = 0) -> tuple[EvalMetrics, float]:
+    """One retail run: returns (metrics, elapsed seconds)."""
+    workload = make_retail_workload(target=target, seed=workload_seed,
+                                    gamma=gamma, n_source=n_source)
+    if correlated:
+        workload = add_correlated_attributes(workload, correlated, rho,
+                                             seed=workload_seed + 1)
+    if pad:
+        workload = pad_workload(workload, pad, seed=workload_seed + 2)
+    result = ContextMatch(config).run(workload.source, workload.target)
+    metrics = evaluate_result(result, workload.ground_truth)
+    return metrics, result.elapsed_seconds
+
+
+def run_grades(sigma: float, config: ContextMatchConfig,
+               *, workload_seed: int = 11) -> tuple[EvalMetrics, float]:
+    """One grades run: returns (metrics, elapsed seconds)."""
+    workload = make_grades_workload(sigma=sigma, seed=workload_seed)
+    result = ContextMatch(config).run(workload.source, workload.target)
+    metrics = evaluate_result(result, workload.ground_truth)
+    return metrics, result.elapsed_seconds
+
+
+def _avg_retail(target: str,
+                config_for: Callable[[int], ContextMatchConfig],
+                *, repeats: int,
+                metric: str = "fmeasure", **workload_kwargs
+                ) -> tuple[Averaged, Averaged]:
+    """Average a retail measurement over seed pairs; returns
+    (metric, runtime)."""
+    values, times = [], []
+    for wseed, pseed in seed_pairs(repeats):
+        config = config_for(pseed)
+        metrics, elapsed = run_retail(target, config, workload_seed=wseed,
+                                      **workload_kwargs)
+        values.append(getattr(metrics, metric))
+        times.append(elapsed)
+    return summarize(values), summarize(times)
+
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-10: FMeasure vs ω under Early/Late disjuncts, per target
+# ---------------------------------------------------------------------------
+def omega_sweep(target: str, omegas: Sequence[float] | None = None,
+                *, inference: str = "tgt", repeats: int = 3
+                ) -> dict[float, dict[str, float]]:
+    """Figures 8-10: FMeasure vs ω, EarlyDisjuncts vs LateDisjuncts."""
+    omegas = list(omegas) if omegas is not None else PAPER_OMEGAS
+    out: dict[float, dict[str, float]] = {}
+    for omega in omegas:
+        row: dict[str, float] = {}
+        for early, series in ((True, "disjearly"), (False, "disjlate")):
+            avg, _ = _avg_retail(
+                target,
+                lambda seed, e=early, o=omega: ContextMatchConfig(
+                    inference=inference, early_disjuncts=e, omega=o,
+                    seed=seed),
+                repeats=repeats)
+            row[series] = avg.mean
+        out[omega] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: MultiTable (strawman selection) vs QualTable
+# ---------------------------------------------------------------------------
+def strawman_comparison(targets: Sequence[str] | None = None,
+                        *, inference: str = "naive", repeats: int = 3
+                        ) -> dict[str, dict[str, float]]:
+    """Figure 11: QualTable vs the strawman MultiTable selector."""
+    targets = list(targets) if targets is not None else TARGETS
+    out: dict[str, dict[str, float]] = {}
+    for target in targets:
+        row: dict[str, float] = {}
+        for selection in ("qualtable", "multitable"):
+            avg, _ = _avg_retail(
+                target,
+                lambda seed, s=selection: ContextMatchConfig(
+                    inference=inference, selection=s, seed=seed),
+                repeats=repeats)
+            row[selection] = avg.mean
+        out[target] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 12-13: correlated low-cardinality attributes
+# ---------------------------------------------------------------------------
+def correlation_sweep(rhos: Sequence[float] | None = None,
+                      *, early_disjuncts: bool, target: str = "ryan",
+                      repeats: int = 3) -> dict[float, dict[str, float]]:
+    """Figures 12-13: FMeasure with 3 injected ItemType-correlated attributes."""
+    rhos = list(rhos) if rhos is not None else PAPER_RHOS
+    out: dict[float, dict[str, float]] = {}
+    for rho in rhos:
+        row: dict[str, float] = {}
+        for inference in ("src", "tgt", "naive"):
+            avg, _ = _avg_retail(
+                target,
+                lambda seed, i=inference: ContextMatchConfig(
+                    inference=i, early_disjuncts=early_disjuncts, seed=seed),
+                repeats=repeats, correlated=3, rho=rho)
+            row[inference] = avg.mean
+        out[rho] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: FMeasure vs γ under LateDisjuncts
+# ---------------------------------------------------------------------------
+def cardinality_fmeasure(gammas: Sequence[int] | None = None,
+                         *, target: str = "ryan", repeats: int = 3,
+                         n_source: int = 1000
+                         ) -> dict[int, dict[str, float]]:
+    """Figure 14: FMeasure vs ItemType cardinality γ under LateDisjuncts."""
+    gammas = list(gammas) if gammas is not None else PAPER_GAMMAS
+    out: dict[int, dict[str, float]] = {}
+    for gamma in gammas:
+        row: dict[str, float] = {}
+        for inference in ("src", "tgt", "naive"):
+            avg, _ = _avg_retail(
+                target,
+                lambda seed, i=inference: ContextMatchConfig(
+                    inference=i, early_disjuncts=False, seed=seed),
+                repeats=repeats, gamma=gamma, n_source=n_source)
+            row[inference] = avg.mean
+        out[gamma] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: runtime of EarlyDisjuncts relative to LateDisjuncts vs γ
+# ---------------------------------------------------------------------------
+def cardinality_runtime(gammas: Sequence[int] | None = None,
+                        targets: Sequence[str] | None = None,
+                        *, inference: str = "tgt", repeats: int = 2
+                        ) -> dict[int, dict[str, float]]:
+    """Figure 15: EarlyDisjuncts runtime as a percentage of LateDisjuncts."""
+    gammas = list(gammas) if gammas is not None else PAPER_GAMMAS
+    targets = list(targets) if targets is not None else TARGETS
+    out: dict[int, dict[str, float]] = {}
+    for gamma in gammas:
+        row: dict[str, float] = {}
+        for target in targets:
+            _, early_time = _avg_retail(
+                target,
+                lambda seed: ContextMatchConfig(
+                    inference=inference, early_disjuncts=True, seed=seed),
+                repeats=repeats, gamma=gamma)
+            _, late_time = _avg_retail(
+                target,
+                lambda seed: ContextMatchConfig(
+                    inference=inference, early_disjuncts=False, seed=seed),
+                repeats=repeats, gamma=gamma)
+            row[target] = (100.0 * early_time.mean / late_time.mean
+                           if late_time.mean > 0 else 0.0)
+        out[gamma] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 16-17: schema-size scaling (accuracy and runtime)
+# ---------------------------------------------------------------------------
+def schema_size_fmeasure(sizes: Sequence[int] | None = None,
+                         gammas: Sequence[int] = (2, 4, 6),
+                         *, target: str = "ryan", inference: str = "tgt",
+                         repeats: int = 3) -> dict[int, dict[str, float]]:
+    """Figure 16: FMeasure as noise attributes are added, per γ."""
+    sizes = list(sizes) if sizes is not None else PAPER_PAD_SIZES
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        row: dict[str, float] = {}
+        for gamma in gammas:
+            avg, _ = _avg_retail(
+                target,
+                lambda seed: ContextMatchConfig(
+                    inference=inference, early_disjuncts=True, seed=seed),
+                repeats=repeats, gamma=gamma, pad=size)
+            row[f"gamma={gamma}"] = avg.mean
+        out[size] = row
+    return out
+
+
+def schema_size_runtime(sizes: Sequence[int] | None = None,
+                        *, target: str = "ryan", repeats: int = 2,
+                        gamma: int = 4) -> dict[int, dict[str, float]]:
+    """Figure 17: per-generator runtime as noise attributes are added."""
+    sizes = list(sizes) if sizes is not None else PAPER_PAD_SIZES
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        row: dict[str, float] = {}
+        for inference in ("src", "tgt", "naive"):
+            _, elapsed = _avg_retail(
+                target,
+                lambda seed, i=inference: ContextMatchConfig(
+                    inference=i, early_disjuncts=True, seed=seed),
+                repeats=repeats, gamma=gamma, pad=size)
+            row[inference] = elapsed.mean
+        out[size] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 18: sample-size scaling (TgtClassInfer)
+# ---------------------------------------------------------------------------
+def sample_size_sweep(sizes: Sequence[int] | None = None,
+                      targets: Sequence[str] | None = None,
+                      *, inference: str = "tgt", repeats: int = 3
+                      ) -> dict[int, dict[str, float]]:
+    """Figure 18: FMeasure vs source-table size (TgtClassInfer)."""
+    sizes = list(sizes) if sizes is not None else PAPER_SAMPLE_SIZES
+    targets = list(targets) if targets is not None else TARGETS
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        row: dict[str, float] = {}
+        for target in targets:
+            avg, _ = _avg_retail(
+                target,
+                lambda seed: ContextMatchConfig(
+                    inference=inference, early_disjuncts=True, seed=seed),
+                repeats=repeats, n_source=size)
+            row[target] = avg.mean
+        out[size] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 19: grades accuracy vs σ
+# ---------------------------------------------------------------------------
+def grades_sigma_sweep(sigmas: Sequence[float] | None = None,
+                       *, repeats: int = 3, metric: str = "accuracy"
+                       ) -> dict[float, dict[str, float]]:
+    """Figure 19: grades accuracy vs σ per candidate-view generator."""
+    sigmas = list(sigmas) if sigmas is not None else PAPER_SIGMAS
+    out: dict[float, dict[str, float]] = {}
+    for sigma in sigmas:
+        row: dict[str, float] = {}
+        for inference in ("src", "tgt", "naive"):
+            values = []
+            for wseed, pseed in seed_pairs(repeats):
+                config = ContextMatchConfig(
+                    inference=inference, early_disjuncts=False, seed=pseed)
+                metrics, _ = run_grades(sigma, config, workload_seed=wseed)
+                values.append(getattr(metrics, metric))
+            row[inference] = summarize(values).mean
+        out[sigma] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 20-22: sensitivity to τ
+# ---------------------------------------------------------------------------
+def tau_sweep_inventory(taus: Sequence[float] | None = None,
+                        targets: Sequence[str] | None = None,
+                        *, inference: str = "tgt", repeats: int = 3
+                        ) -> dict[float, dict[str, float]]:
+    """Figure 20: inventory accuracy vs the pruning threshold τ."""
+    taus = list(taus) if taus is not None else PAPER_TAUS
+    targets = list(targets) if targets is not None else TARGETS
+    out: dict[float, dict[str, float]] = {}
+    for tau in taus:
+        row: dict[str, float] = {}
+        for target in targets:
+            avg, _ = _avg_retail(
+                target,
+                lambda seed, t=tau: ContextMatchConfig(
+                    inference=inference, early_disjuncts=True, tau=t,
+                    seed=seed),
+                repeats=repeats, metric="accuracy")
+            row[target] = avg.mean
+        out[tau] = row
+    return out
+
+
+def tau_sweep_grades(taus: Sequence[float] | None = None,
+                     sigmas: Sequence[float] = (10, 20, 30, 35),
+                     *, repeats: int = 3) -> dict[float, dict[str, float]]:
+    """Figure 21: grades accuracy vs τ, one series per σ."""
+    taus = list(taus) if taus is not None else PAPER_TAUS
+    out: dict[float, dict[str, float]] = {}
+    for tau in taus:
+        row: dict[str, float] = {}
+        for sigma in sigmas:
+            values = []
+            for wseed, pseed in seed_pairs(repeats):
+                config = ContextMatchConfig(
+                    early_disjuncts=False, tau=tau, seed=pseed)
+                metrics, _ = run_grades(sigma, config, workload_seed=wseed)
+                values.append(metrics.accuracy)
+            row[f"sigma={sigma:g}"] = summarize(values).mean
+        out[tau] = row
+    return out
+
+
+def tau_runtime_inventory(taus: Sequence[float] | None = None,
+                          targets: Sequence[str] | None = None,
+                          *, inference: str = "tgt", repeats: int = 2
+                          ) -> dict[float, dict[str, float]]:
+    """Figure 22: inventory matching runtime vs τ."""
+    taus = list(taus) if taus is not None else PAPER_TAUS
+    targets = list(targets) if targets is not None else TARGETS
+    out: dict[float, dict[str, float]] = {}
+    for tau in taus:
+        row: dict[str, float] = {}
+        for target in targets:
+            _, elapsed = _avg_retail(
+                target,
+                lambda seed, t=tau: ContextMatchConfig(
+                    inference=inference, early_disjuncts=True, tau=t,
+                    seed=seed),
+                repeats=repeats)
+            row[target] = elapsed.mean
+        out[tau] = row
+    return out

@@ -1,0 +1,149 @@
+"""Match-quality metrics, exactly as the paper defines them (Section 5,
+"Evaluating Accuracy").
+
+"Accuracy is then computed as the percentage of the correct matches found,
+and precision as the percentage of matches found that are correct.
+FMeasure ... is equal to 2·acc·prec/(acc+prec)."  Only edges originating
+from views are considered — standard (condition-free) matches are ignored
+on both sides.
+
+Correctness of a found edge: its condition must be a simple (possibly
+disjunctive) condition on the ground-truth condition attribute, and its
+value set must be contained in the union of correct value sets for that
+attribute pair.  Recall is awarded fractionally: a ground-truth match whose
+value set is only half covered by correct found edges contributes half a
+match (this makes LateDisjuncts' partial-partition behaviour measurable,
+matching the γ-degradation the paper reports in Figure 14).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from ..context.model import ContextualMatch, MatchResult
+from ..datagen.ground_truth import CorrectContextualMatch, GroundTruth
+from ..relational.conditions import Condition, Eq, In, Or
+
+__all__ = ["EvalMetrics", "condition_values", "evaluate_matches",
+           "evaluate_result"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalMetrics:
+    """Accuracy (recall), precision and FMeasure, in percent."""
+
+    accuracy: float
+    precision: float
+    n_found: int
+    n_correct_found: int
+    n_truth: int
+
+    @property
+    def fmeasure(self) -> float:
+        if self.accuracy + self.precision == 0.0:
+            return 0.0
+        return (2.0 * self.accuracy * self.precision
+                / (self.accuracy + self.precision))
+
+    def __str__(self) -> str:
+        return (f"acc={self.accuracy:.1f}% prec={self.precision:.1f}% "
+                f"F={self.fmeasure:.1f}% "
+                f"({self.n_correct_found}/{self.n_found} found edges correct, "
+                f"{self.n_truth} truth matches)")
+
+
+def condition_values(condition: Condition) -> tuple[str, frozenset] | None:
+    """Decompose a *simple* (1-attribute equality/disjunction) condition
+    into ``(attribute, value set)``; None for anything more complex."""
+    if isinstance(condition, Eq):
+        return condition.attribute, frozenset({condition.value})
+    if isinstance(condition, In):
+        return condition.attribute, condition.values
+    if isinstance(condition, Or):
+        attr: str | None = None
+        values: set = set()
+        for child in condition.children:
+            decomposed = condition_values(child)
+            if decomposed is None:
+                return None
+            child_attr, child_values = decomposed
+            if attr is None:
+                attr = child_attr
+            elif attr != child_attr:
+                return None
+            values |= child_values
+        if attr is None:
+            return None
+        return attr, frozenset(values)
+    return None
+
+
+def _dedupe(matches: Iterable[ContextualMatch]) -> list[ContextualMatch]:
+    seen: set = set()
+    unique: list[ContextualMatch] = []
+    for match in matches:
+        key = (match.source.table, match.source.attribute,
+               match.target.table, match.target.attribute, match.condition)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(match)
+    return unique
+
+
+def evaluate_matches(found: Sequence[ContextualMatch],
+                     truth: GroundTruth) -> EvalMetrics:
+    """Score found matches against the workload's ground truth.
+
+    ``found`` may contain standard matches; they are filtered out here
+    ("only edges originating from views are considered").
+    """
+    edges = _dedupe(m for m in found if m.is_contextual)
+
+    # Ground truth grouped by attribute-pair key.
+    truth_by_key: dict[tuple, list[CorrectContextualMatch]] = {}
+    for entry in truth:
+        truth_by_key.setdefault(entry.key(), []).append(entry)
+
+    # Classify each found edge and record the values it correctly covers.
+    n_correct = 0
+    covered_by_key: dict[tuple, set] = {}
+    for edge in edges:
+        decomposed = condition_values(edge.condition)
+        key = (edge.source.table, edge.source.attribute,
+               edge.target.table, edge.target.attribute)
+        entries = truth_by_key.get(key)
+        if decomposed is None or not entries:
+            continue
+        attr, values = decomposed
+        allowed: set = set()
+        for entry in entries:
+            if entry.condition_attribute == attr:
+                allowed |= entry.condition_values
+        if not allowed or not values <= allowed:
+            continue
+        n_correct += 1
+        covered_by_key.setdefault(key, set()).update(values)
+
+    # Fractional recall per ground-truth entry.
+    if len(truth) == 0:
+        accuracy = 0.0
+    else:
+        credit = 0.0
+        for key, entries in truth_by_key.items():
+            covered = covered_by_key.get(key, set())
+            for entry in entries:
+                credit += (len(entry.condition_values & covered)
+                           / len(entry.condition_values))
+        accuracy = 100.0 * credit / len(truth)
+
+    precision = 100.0 * n_correct / len(edges) if edges else 0.0
+    return EvalMetrics(accuracy=accuracy, precision=precision,
+                       n_found=len(edges), n_correct_found=n_correct,
+                       n_truth=len(truth))
+
+
+def evaluate_result(result: MatchResult, truth: GroundTruth) -> EvalMetrics:
+    """Convenience wrapper over a :class:`MatchResult`."""
+    return evaluate_matches(result.matches, truth)

@@ -1,0 +1,44 @@
+"""Repetition and averaging helpers for experiment drivers.
+
+The paper averages every data point over 8-200 random partitions of the
+sample data; drivers here average over (workload seed, partition seed)
+pairs.  All aggregation is deterministic given the seed lists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Averaged", "summarize", "seed_pairs"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Averaged:
+    """Mean and spread of a repeated measurement."""
+
+    mean: float
+    std: float
+    n: int
+    values: tuple[float, ...]
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f}±{self.std:.1f} (n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> Averaged:
+    """Population mean/std of a measurement series."""
+    values = tuple(float(v) for v in values)
+    if not values:
+        return Averaged(0.0, 0.0, 0, ())
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return Averaged(mean, math.sqrt(variance), len(values), values)
+
+
+def seed_pairs(n: int, *, base: int = 0) -> list[tuple[int, int]]:
+    """Deterministic (workload seed, partition seed) pairs for averaging."""
+    return [(base + 11 + 13 * i, base + 5 + 7 * i) for i in range(n)]

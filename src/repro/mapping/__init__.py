@@ -1,0 +1,37 @@
+"""Schema mapping for views — relational Clio plus the paper's extensions
+(Section 4): contextual foreign keys, constraint propagation, join rules
+1/2/3, and executable mapping queries with Skolem functions.
+"""
+
+from .clio import SchemaMapping, generate_mapping
+from .clio_qualtable import ClioQualTableResult, clio_qual_table
+from .discovery import discover_constraints, discover_foreign_keys, discover_keys
+from .joinrules import (JoinEdge, build_join_edges, fk_edges, join1_edges,
+                        join2_edges, join3_edges)
+from .propagation import (ViewConstraints, propagate_view_constraints,
+                          simple_equality)
+from .query import LogicalTable, MappingQuery, SelectSource
+from .skolem import SkolemFunction
+
+__all__ = [
+    "generate_mapping",
+    "SchemaMapping",
+    "clio_qual_table",
+    "ClioQualTableResult",
+    "discover_keys",
+    "discover_foreign_keys",
+    "discover_constraints",
+    "propagate_view_constraints",
+    "ViewConstraints",
+    "simple_equality",
+    "JoinEdge",
+    "join1_edges",
+    "join2_edges",
+    "join3_edges",
+    "fk_edges",
+    "build_join_edges",
+    "LogicalTable",
+    "MappingQuery",
+    "SelectSource",
+    "SkolemFunction",
+]

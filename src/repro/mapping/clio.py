@@ -1,0 +1,269 @@
+"""Clio-style schema mapping generation, extended for contextual matches
+(paper Sections 4.1-4.3).
+
+Given the accepted (contextual) matches, the generator
+
+1. treats every match condition as a select-only view on its source table;
+2. mines keys / foreign keys on base tables from sample data and derives
+   view constraints with the Section 4.2 propagation rules (plus direct
+   mining on the materialized view samples, as the paper prescribes after
+   Theorem 4.1's undecidability result);
+3. builds association edges with Clio's FK rule and the new join 1/2/3
+   rules of Section 4.3;
+4. forms logical tables per target table from the relations that have
+   matches to it, connected through association edges;
+5. emits one executable :class:`~repro.mapping.query.MappingQuery` per
+   logical table, Skolemizing unmapped target attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Iterable, Mapping, Sequence
+
+from ..context.model import ContextualMatch
+from ..errors import MappingError
+from ..relational.constraints import ForeignKey, Key
+from ..relational.instance import Database, Relation
+from ..relational.schema import AttributeRef, Schema, TableSchema
+from ..relational.views import View
+from .discovery import discover_constraints, discover_keys
+from .joinrules import JoinEdge, build_join_edges
+from .propagation import ViewConstraints, propagate_view_constraints
+from .query import LogicalTable, MappingQuery, SelectSource
+from .skolem import SkolemFunction
+
+__all__ = ["SchemaMapping", "generate_mapping"]
+
+
+@dataclasses.dataclass
+class SchemaMapping:
+    """A generated mapping: executable queries plus their provenance."""
+
+    target_schema: Schema
+    queries: dict[str, list[MappingQuery]]
+    views: dict[str, View]
+    constraints: ViewConstraints
+    edges: list[JoinEdge]
+
+    def source_instances(self, source: Database) -> dict[str, Relation]:
+        """Base-table instances plus materialized view samples."""
+        instances: dict[str, Relation] = {r.name: r for r in source}
+        for view in self.views.values():
+            if view.base not in instances:
+                raise MappingError(
+                    f"view {view.name!r} needs base table {view.base!r}")
+            instances[view.name] = view.evaluate(instances[view.base])
+        return instances
+
+    def execute(self, source: Database) -> Database:
+        """Run every mapping query, unioning contributions per target table."""
+        instances = self.source_instances(source)
+        out: list[Relation] = []
+        for table in self.target_schema:
+            queries = self.queries.get(table.name, [])
+            result = Relation.empty(table)
+            seen_rows: dict[tuple, None] = {}
+            for query in queries:
+                contribution = query.execute(instances)
+                for row in contribution.rows():
+                    key = tuple(row[a] for a in table.attribute_names)
+                    seen_rows.setdefault(key, None)
+            result = Relation.from_rows(table, list(seen_rows))
+            out.append(result)
+        return Database.from_relations(f"{self.target_schema.name}_mapped", out)
+
+    def explain(self) -> str:
+        lines: list[str] = []
+        if self.views:
+            lines.append("views:")
+            lines += [f"  {view}" for view in self.views.values()]
+        if self.edges:
+            lines.append("association edges:")
+            lines += [f"  {edge}" for edge in self.edges]
+        for table, queries in sorted(self.queries.items()):
+            for query in queries:
+                lines.append(query.explain())
+        return "\n".join(lines)
+
+
+def _anchor_order(relations: Iterable[str],
+                  weight: Mapping[str, float]) -> list[str]:
+    return sorted(relations, key=lambda r: (-weight.get(r, 0.0), r))
+
+
+def _spanning_tree(component: Sequence[str], edges: Sequence[JoinEdge],
+                   weight: Mapping[str, float]) -> LogicalTable:
+    """BFS spanning tree over one connected component of the join graph."""
+    members = set(component)
+    adjacency: dict[str, list[JoinEdge]] = {name: [] for name in members}
+    for edge in edges:
+        if edge.left in members and edge.right in members:
+            adjacency[edge.left].append(edge)
+            adjacency[edge.right].append(edge.reversed())
+    anchor = _anchor_order(members, weight)[0]
+    order = [anchor]
+    joins: list[JoinEdge] = []
+    visited = {anchor}
+    queue = deque([anchor])
+    while queue:
+        current = queue.popleft()
+        for edge in sorted(adjacency[current], key=lambda e: (e.right, e.rule)):
+            if edge.right in visited:
+                continue
+            visited.add(edge.right)
+            order.append(edge.right)
+            joins.append(edge)
+            queue.append(edge.right)
+    # Unreached members (no edge) are dropped from this logical table; the
+    # caller creates separate logical tables for them.
+    return LogicalTable(tuple(order), tuple(joins))
+
+
+def _components(members: Sequence[str],
+                edges: Sequence[JoinEdge]) -> list[list[str]]:
+    member_set = set(members)
+    adjacency: dict[str, set[str]] = {m: set() for m in members}
+    for edge in edges:
+        if edge.left in member_set and edge.right in member_set:
+            adjacency[edge.left].add(edge.right)
+            adjacency[edge.right].add(edge.left)
+    seen: set[str] = set()
+    components: list[list[str]] = []
+    for member in sorted(member_set):
+        if member in seen:
+            continue
+        component = []
+        queue = deque([member])
+        seen.add(member)
+        while queue:
+            current = queue.popleft()
+            component.append(current)
+            for neighbour in sorted(adjacency[current]):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def generate_mapping(matches: Sequence[ContextualMatch], source: Database,
+                     target_schema: Schema,
+                     *, declared_keys: Sequence[Key] = (),
+                     declared_fks: Sequence[ForeignKey] = (),
+                     min_confidence: float = 0.0) -> SchemaMapping:
+    """Generate an executable schema mapping from (contextual) matches.
+
+    ``declared_keys`` / ``declared_fks`` supplement the constraints mined
+    from the source sample, mirroring Clio's "declared or discovered"
+    stance.  ``min_confidence`` models the user-verification step the paper
+    assumes before mapping ("once verified by the user, matches ...
+    constitute a key input"): low-confidence matcher output below the
+    threshold is not turned into value correspondences.
+    """
+    if min_confidence > 0.0:
+        matches = [m for m in matches if m.confidence >= min_confidence]
+    if not matches:
+        raise MappingError("cannot generate a mapping from zero matches")
+    target_side = [m for m in matches
+                   if m.is_contextual and m.condition_on == "target"]
+    if target_side:
+        raise MappingError(
+            "mapping generation expects source-side conditions; got "
+            f"{len(target_side)} target-side matches (from run_reversed). "
+            "Flip them back with ContextualMatch.flipped() and swap the "
+            "schemas, or re-run matching in the source->target direction.")
+
+    views: dict[str, View] = {}
+    for match in matches:
+        if match.view is not None:
+            views[match.view.name] = match.view
+
+    mined_keys, mined_fks = discover_constraints(source)
+    base_keys = list(declared_keys) + mined_keys
+    base_fks = list(declared_fks) + mined_fks
+    constraints = ViewConstraints(keys=list(base_keys),
+                                  foreign_keys=list(base_fks))
+
+    base_attributes = {
+        relation.name: relation.schema.attribute_names for relation in source}
+    for view in views.values():
+        base = source.relation(view.base)
+        domain = frozenset(base.distinct(
+            next(iter(view.condition.attributes()), "")))\
+            if view.condition.attributes() else frozenset()
+        propagated = propagate_view_constraints(
+            view, base.schema.attribute_names, base_keys, base_fks,
+            active_domain=domain or None)
+        # Direct mining on the materialized view sample (paper 4.2 (a)).
+        materialized = view.evaluate(base)
+        mined_view_keys = discover_keys(materialized, max_width=1)
+        propagated.keys = propagated.keys + [
+            k for k in mined_view_keys if k not in propagated.keys]
+        constraints = constraints.merge(propagated)
+
+    edges = build_join_edges(views.values(), constraints, base_attributes,
+                             base_fks)
+
+    # Group matches by target table and by originating relation (view name
+    # for contextual matches, base table otherwise).
+    per_target: dict[str, dict[str, list[ContextualMatch]]] = {}
+    confidence_weight: dict[str, float] = {}
+    for match in matches:
+        per_target.setdefault(match.target.table, {}) \
+                  .setdefault(match.source_name, []).append(match)
+        confidence_weight[match.source_name] = \
+            confidence_weight.get(match.source_name, 0.0) + match.confidence
+
+    queries: dict[str, list[MappingQuery]] = {}
+    for table in target_schema:
+        matched = per_target.get(table.name)
+        if not matched:
+            continue
+        members = sorted(matched)
+        table_queries: list[MappingQuery] = []
+        seen_signatures: set[frozenset] = set()
+        for component in _components(members, edges):
+            logical = _spanning_tree(component, edges, confidence_weight)
+            if logical.signature() in seen_signatures:
+                continue
+            seen_signatures.add(logical.signature())
+            select = _build_select(table, logical, matched)
+            table_queries.append(MappingQuery(table, logical, select))
+        queries[table.name] = table_queries
+
+    return SchemaMapping(target_schema=target_schema, queries=queries,
+                         views=views, constraints=constraints, edges=edges)
+
+
+def _build_select(table: TableSchema, logical: LogicalTable,
+                  matched: Mapping[str, list[ContextualMatch]]
+                  ) -> list[SelectSource]:
+    """Choose, per target attribute, the best match within the logical
+    table; Skolemize the rest over the mapped columns."""
+    members = set(logical.relations)
+    best: dict[str, ContextualMatch] = {}
+    for relation in logical.relations:
+        for match in matched.get(relation, ()):
+            current = best.get(match.target.attribute)
+            if current is None or match.confidence > current.confidence:
+                best[match.target.attribute] = match
+    mapped_columns: list[AttributeRef] = []
+    select: list[SelectSource] = []
+    for attribute in table.attribute_names:
+        match = best.get(attribute)
+        if match is not None and match.source_name in members:
+            column = AttributeRef(match.source_name, match.source.attribute)
+            mapped_columns.append(column)
+            select.append(SelectSource(attribute, column=column))
+        else:
+            select.append(SelectSource(attribute))  # placeholder, fixed below
+    args = tuple(mapped_columns)
+    return [
+        source if source.column is not None else SelectSource(
+            source.target_attribute,
+            skolem=SkolemFunction(f"{table.name}_{source.target_attribute}"),
+            skolem_args=args)
+        for source in select
+    ]

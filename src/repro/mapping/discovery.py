@@ -1,0 +1,105 @@
+"""Constraint mining from sample data (paper Sections 4.1-4.2).
+
+Clio's mapping generation depends on keys and foreign keys "either declared
+in the definition of the schema, or discovered using constraint mining
+tools"; the paper additionally mines constraints on views ("we employ
+constraint mining tools on sample data to discover keys and (contextual)
+foreign keys on views").  This module is that mining tool: it proposes
+single-attribute and pair keys that hold on the sample, and foreign keys
+supported by value inclusion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..relational.constraints import ForeignKey, Key
+from ..relational.instance import Database, Relation
+
+__all__ = ["discover_keys", "discover_foreign_keys", "discover_constraints"]
+
+
+def discover_keys(relation: Relation, *, max_width: int = 2,
+                  minimal_only: bool = True) -> list[Key]:
+    """Keys of *relation* supported by the sample.
+
+    Proposes single attributes first, then attribute pairs (wider keys are
+    rarely useful for join inference and explode combinatorially).  With
+    ``minimal_only`` a pair is only reported when neither component is
+    already a key by itself.
+    """
+    if max_width < 1:
+        raise ValueError(f"max_width must be >= 1, got {max_width}")
+    names = relation.schema.attribute_names
+    keys: list[Key] = []
+    single: set[str] = set()
+    for name in names:
+        candidate = Key(relation.name, (name,))
+        if candidate.holds_on(relation):
+            keys.append(candidate)
+            single.add(name)
+    if max_width >= 2:
+        for a, b in itertools.combinations(names, 2):
+            if minimal_only and (a in single or b in single):
+                continue
+            candidate = Key(relation.name, (a, b))
+            if candidate.holds_on(relation):
+                keys.append(candidate)
+    return keys
+
+
+def _inclusion_holds(child: Relation, child_attrs: Sequence[str],
+                     parent: Relation, parent_attrs: Sequence[str]) -> bool:
+    fk = ForeignKey(child.name, tuple(child_attrs),
+                    parent.name, tuple(parent_attrs))
+    return fk.holds_on(child, parent)
+
+
+def discover_foreign_keys(database: Database,
+                          keys: Iterable[Key] | None = None,
+                          *, min_child_rows: int = 1) -> list[ForeignKey]:
+    """Single-attribute foreign keys supported by sample inclusion.
+
+    For every discovered (or supplied) single-attribute key ``R1[x]`` and
+    every attribute ``y`` of every other table with a compatible type whose
+    non-missing values are all contained in ``v(R1.x)``, propose
+    ``R2[y] ⊆ R1[x]``.  Trivial self-references are skipped.
+    """
+    if keys is None:
+        keys = [k for relation in database
+                for k in discover_keys(relation, max_width=1)]
+    single_keys = [k for k in keys if len(k.attributes) == 1]
+    out: list[ForeignKey] = []
+    for key in single_keys:
+        if key.table not in database:
+            continue
+        parent = database.relation(key.table)
+        parent_attr = key.attributes[0]
+        parent_type = parent.schema.dtype(parent_attr)
+        for child in database:
+            for attribute in child.schema:
+                if (child.name == key.table
+                        and attribute.name == parent_attr):
+                    continue
+                if not attribute.dtype.compatible_with(parent_type):
+                    continue
+                values = child.non_missing(attribute.name)
+                if len(values) < min_child_rows:
+                    continue
+                if _inclusion_holds(child, [attribute.name],
+                                    parent, [parent_attr]):
+                    out.append(ForeignKey(child.name, (attribute.name,),
+                                          key.table, (parent_attr,)))
+    return out
+
+
+def discover_constraints(database: Database,
+                         *, max_key_width: int = 2
+                         ) -> tuple[list[Key], list[ForeignKey]]:
+    """Mine keys and foreign keys for every table of a database."""
+    keys: list[Key] = []
+    for relation in database:
+        keys.extend(discover_keys(relation, max_width=max_key_width))
+    fks = discover_foreign_keys(database, keys)
+    return keys, fks

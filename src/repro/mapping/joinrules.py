@@ -1,0 +1,185 @@
+"""Semantic association (join) rules — paper Section 4.3.
+
+Clio associates attributes (a) within one table and (b) across tables via
+foreign-key outer joins.  Contextual views need three further rules:
+
+* **join 1** — views over the *same attributes* of the same base table whose
+  simple conditions differ on the same attribute (``assignt = 1`` vs
+  ``assignt = 2``) join on their propagated key X, provided each view also
+  carries a (contextual) foreign key on X: the key equality associates
+  different properties of the same object (the attribute-normalization
+  join);
+* **join 2** — views over *different attributes* of the same base table
+  join on a shared key X only when their conditions are identical
+  (condition (c) of the rule: avoids associating properties of different
+  objects);
+* **join 3** — a contextual foreign key ``V1[Y, a = v] ⊆ R[X, b]`` yields an
+  outer join from V1 to R on Y = X (the contextual generalization of Clio's
+  FK rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from ..relational.constraints import ContextualForeignKey, ForeignKey, Key
+from ..relational.views import View
+from .propagation import ViewConstraints, simple_equality
+
+__all__ = ["JoinEdge", "join1_edges", "join2_edges", "join3_edges",
+           "fk_edges", "build_join_edges"]
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinEdge:
+    """An (outer) equi-join between two relations or views."""
+
+    left: str
+    right: str
+    left_attributes: tuple[str, ...]
+    right_attributes: tuple[str, ...]
+    rule: str
+
+    def reversed(self) -> "JoinEdge":
+        return JoinEdge(self.right, self.left, self.right_attributes,
+                        self.left_attributes, self.rule)
+
+    def __str__(self) -> str:
+        on = " AND ".join(
+            f"{self.left}.{l} = {self.right}.{r}"
+            for l, r in zip(self.left_attributes, self.right_attributes))
+        return f"{self.left} ⟗ {self.right} ON {on} [{self.rule}]"
+
+
+def _keys_of(name: str, constraints: ViewConstraints) -> list[Key]:
+    return [k for k in constraints.keys if k.table == name]
+
+
+def _context_fks_of(name: str,
+                    constraints: ViewConstraints) -> list[ContextualForeignKey]:
+    return [fk for fk in constraints.contextual_foreign_keys
+            if fk.view == name]
+
+
+def _projection_of(view: View, base_attributes: Sequence[str]) -> frozenset[str]:
+    return frozenset(view.projection if view.projection is not None
+                     else base_attributes)
+
+
+def join1_edges(views: Iterable[View], constraints: ViewConstraints,
+                base_attributes: dict[str, Sequence[str]]) -> list[JoinEdge]:
+    """Rule (join 1): same base, same attributes, conditions differing on
+    the same attribute; join on the common propagated key."""
+    views = list(views)
+    edges: list[JoinEdge] = []
+    for i, v1 in enumerate(views):
+        for v2 in views[i + 1:]:
+            if v1.base != v2.base:
+                continue
+            attrs = base_attributes.get(v1.base, ())
+            if _projection_of(v1, attrs) != _projection_of(v2, attrs):
+                continue
+            eq1 = simple_equality(v1.condition)
+            eq2 = simple_equality(v2.condition)
+            if eq1 is None or eq2 is None:
+                continue
+            if eq1[0] != eq2[0] or eq1[1] == eq2[1]:
+                continue
+            edge = _common_key_edge(v1, v2, constraints, rule="join1")
+            if edge is not None:
+                edges.append(edge)
+    return edges
+
+
+def join2_edges(views: Iterable[View], constraints: ViewConstraints,
+                base_attributes: dict[str, Sequence[str]]) -> list[JoinEdge]:
+    """Rule (join 2): same base, different attribute sets, *identical*
+    conditions; join on a key shared by both projections."""
+    views = list(views)
+    edges: list[JoinEdge] = []
+    for i, v1 in enumerate(views):
+        for v2 in views[i + 1:]:
+            if v1.base != v2.base:
+                continue
+            attrs = base_attributes.get(v1.base, ())
+            if _projection_of(v1, attrs) == _projection_of(v2, attrs):
+                continue
+            if v1.condition != v2.condition:
+                continue
+            if simple_equality(v1.condition) is None:
+                continue
+            edge = _common_key_edge(v1, v2, constraints, rule="join2")
+            if edge is not None:
+                edges.append(edge)
+    return edges
+
+
+def _common_key_edge(v1: View, v2: View, constraints: ViewConstraints,
+                     *, rule: str) -> JoinEdge | None:
+    """Find a key X common to both views, each side also carrying a
+    (contextual) foreign key on X — premises (a) and (b) of join 1/2."""
+    keys1 = {k.attributes for k in _keys_of(v1.name, constraints)}
+    keys2 = {k.attributes for k in _keys_of(v2.name, constraints)}
+    common = sorted(keys1 & keys2, key=lambda attrs: (len(attrs), attrs))
+    if not common:
+        return None
+    fks1 = {fk.view_attributes for fk in _context_fks_of(v1.name, constraints)}
+    fks1 |= {fk.child_attributes for fk in constraints.foreign_keys
+             if fk.child == v1.name}
+    fks2 = {fk.view_attributes for fk in _context_fks_of(v2.name, constraints)}
+    fks2 |= {fk.child_attributes for fk in constraints.foreign_keys
+             if fk.child == v2.name}
+    for x in common:
+        if x in fks1 and x in fks2:
+            return JoinEdge(v1.name, v2.name, x, x, rule)
+    return None
+
+
+def join3_edges(constraints: ViewConstraints,
+                *, exclude_bases: frozenset[str] = frozenset()) -> list[JoinEdge]:
+    """Rule (join 3): every contextual foreign key induces an outer join
+    from the view to the referenced relation.
+
+    ``exclude_bases`` suppresses joins back onto a view's own base table —
+    useful when the base is not itself part of the mapping.
+    """
+    edges: list[JoinEdge] = []
+    for fk in constraints.contextual_foreign_keys:
+        if fk.parent in exclude_bases:
+            continue
+        edges.append(JoinEdge(fk.view, fk.parent, fk.view_attributes,
+                              fk.parent_attributes, "join3"))
+    return edges
+
+
+def fk_edges(foreign_keys: Iterable[ForeignKey]) -> list[JoinEdge]:
+    """Clio's original association rule: outer join child to parent."""
+    return [JoinEdge(fk.child, fk.parent, fk.child_attributes,
+                     fk.parent_attributes, "fk")
+            for fk in foreign_keys]
+
+
+def build_join_edges(views: Iterable[View], constraints: ViewConstraints,
+                     base_attributes: dict[str, Sequence[str]],
+                     base_fks: Iterable[ForeignKey] = (),
+                     *, exclude_bases: frozenset[str] = frozenset()) -> list[JoinEdge]:
+    """All association edges available to the logical-table builder."""
+    views = list(views)
+    edges = join1_edges(views, constraints, base_attributes)
+    edges += join2_edges(views, constraints, base_attributes)
+    edges += join3_edges(constraints, exclude_bases=exclude_bases)
+    edges += fk_edges(list(base_fks) + list(constraints.foreign_keys))
+    # Deduplicate by undirected signature, keeping the first (strongest
+    # rule order: join1, join2, join3, fk).
+    seen: set = set()
+    unique: list[JoinEdge] = []
+    for edge in edges:
+        signature = frozenset([
+            (edge.left, edge.left_attributes),
+            (edge.right, edge.right_attributes)])
+        if signature in seen:
+            continue
+        seen.add(signature)
+        unique.append(edge)
+    return unique

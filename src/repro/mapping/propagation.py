@@ -1,0 +1,163 @@
+"""Constraint propagation from base tables to views (paper Section 4.2).
+
+The general propagation problem is undecidable for SP views (Theorem 4.1),
+so the paper ships a set of *sound but incomplete* inference rules; this
+module implements the ones the paper states:
+
+* **contextual propagation** — if ``R1[X, a] -> R1`` is a key and ``a = v``
+  is the view's selection condition, then ``V1[X] -> V1``;
+* **key restriction** (implicit in the paper's examples) — a key of the
+  base whose attributes survive projection remains a key of the view;
+* **contextual constraint** — under the same premise, ``V1[X, a = v] ⊆
+  R1[X, a]`` is a contextual foreign key of the view referencing its base;
+* **view referencing** — if the view's condition is a disjunction
+  ``a = v1 or ... or a = vn`` covering the whole active domain of ``a`` and
+  ``X ⊆ att(V1)`` is a key of R1, then ``R1[X] ⊆ V1[X]``;
+* **FK propagation** — a foreign key of the base whose child attributes
+  survive projection is inherited by the view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from ..relational.conditions import Condition, Eq, In, Or
+from ..relational.constraints import ContextualForeignKey, ForeignKey, Key
+from ..relational.views import View
+
+__all__ = ["ViewConstraints", "simple_equality", "propagate_view_constraints"]
+
+
+def simple_equality(condition: Condition) -> tuple[str, Any] | None:
+    """Decompose a condition of the exact form ``a = v``; None otherwise."""
+    if isinstance(condition, Eq):
+        return condition.attribute, condition.value
+    return None
+
+
+def _disjunction_values(condition: Condition) -> tuple[str, frozenset] | None:
+    """Decompose ``a = v1 or ... or a = vn`` / ``a in {...}`` conditions."""
+    if isinstance(condition, Eq):
+        return condition.attribute, frozenset({condition.value})
+    if isinstance(condition, In):
+        return condition.attribute, condition.values
+    if isinstance(condition, Or):
+        attr: str | None = None
+        values: set = set()
+        for child in condition.children:
+            decomposed = _disjunction_values(child)
+            if decomposed is None:
+                return None
+            child_attr, child_values = decomposed
+            if attr is None:
+                attr = child_attr
+            elif attr != child_attr:
+                return None
+            values |= child_values
+        return (attr, frozenset(values)) if attr is not None else None
+    return None
+
+
+@dataclasses.dataclass
+class ViewConstraints:
+    """Constraints derived for a collection of views."""
+
+    keys: list[Key] = dataclasses.field(default_factory=list)
+    foreign_keys: list[ForeignKey] = dataclasses.field(default_factory=list)
+    contextual_foreign_keys: list[ContextualForeignKey] = dataclasses.field(
+        default_factory=list)
+
+    def merge(self, other: "ViewConstraints") -> "ViewConstraints":
+        return ViewConstraints(
+            keys=_dedupe(self.keys + other.keys),
+            foreign_keys=_dedupe(self.foreign_keys + other.foreign_keys),
+            contextual_foreign_keys=_dedupe(
+                self.contextual_foreign_keys + other.contextual_foreign_keys))
+
+
+def _dedupe(items: list) -> list:
+    seen: set = set()
+    out = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _view_attributes(view: View, base_attributes: Sequence[str]) -> tuple[str, ...]:
+    return view.projection if view.projection is not None \
+        else tuple(base_attributes)
+
+
+def propagate_view_constraints(
+        view: View, base_attributes: Sequence[str], base_keys: Iterable[Key],
+        base_fks: Iterable[ForeignKey] = (),
+        active_domain: frozenset | None = None) -> ViewConstraints:
+    """Apply the Section 4.2 inference rules to one SP view.
+
+    Parameters
+    ----------
+    view:
+        The select(-project) view to reason about.
+    base_attributes:
+        Attribute names of the view's base table.
+    base_keys:
+        Keys declared/mined on the base table (only those whose ``table``
+        matches the view's base are used).
+    base_fks:
+        Foreign keys whose child is the base table.
+    active_domain:
+        The observed domain of the view's condition attribute; enables the
+        *view referencing* rule when the disjunction covers it entirely.
+    """
+    out = ViewConstraints()
+    attrs = set(_view_attributes(view, base_attributes))
+    equality = simple_equality(view.condition)
+    disjunction = _disjunction_values(view.condition)
+
+    for key in base_keys:
+        if key.table != view.base:
+            continue
+        key_attrs = set(key.attributes)
+        # Key restriction: base key fully visible in the view stays a key.
+        if key_attrs <= attrs:
+            out.keys.append(Key(view.name, key.attributes))
+        if equality is not None:
+            cond_attr, cond_value = equality
+            remaining = key_attrs - {cond_attr}
+            # Contextual propagation: R1[X, a] -> R1 and condition a = v
+            # imply V1[X] -> V1 (X need not include a).
+            if cond_attr in key_attrs and remaining and remaining <= attrs:
+                x = tuple(a for a in key.attributes if a != cond_attr)
+                out.keys.append(Key(view.name, x))
+                # Contextual constraint: V1[X, a = v] ⊆ R1[X, a].
+                out.contextual_foreign_keys.append(ContextualForeignKey(
+                    view=view.name, view_attributes=x,
+                    context_attribute=cond_attr, context_value=cond_value,
+                    parent=view.base, parent_attributes=x,
+                    parent_context_attribute=cond_attr))
+        if disjunction is not None and active_domain is not None:
+            cond_attr, values = disjunction
+            # View referencing: the disjunction covers the whole domain of
+            # a, and X (a key of R1 with a ∈ X) is fully projected: every
+            # base key tuple appears in the view, hence R1[X] ⊆ V1[X].
+            if (cond_attr in key_attrs and key_attrs <= attrs
+                    and active_domain <= values):
+                out.foreign_keys.append(ForeignKey(
+                    view.base, key.attributes, view.name, key.attributes))
+
+    # FK propagation: base-table foreign keys survive when their child
+    # attributes are still visible in the view.
+    for fk in base_fks:
+        if fk.child != view.base:
+            continue
+        if set(fk.child_attributes) <= attrs:
+            out.foreign_keys.append(ForeignKey(
+                view.name, fk.child_attributes, fk.parent,
+                fk.parent_attributes))
+    out.keys = _dedupe(out.keys)
+    out.foreign_keys = _dedupe(out.foreign_keys)
+    out.contextual_foreign_keys = _dedupe(out.contextual_foreign_keys)
+    return out

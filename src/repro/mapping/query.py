@@ -1,0 +1,172 @@
+"""Logical tables and executable mapping queries (paper Section 4.1).
+
+A :class:`LogicalTable` is a source relation plus further relations reached
+through association (join) edges; a :class:`MappingQuery` maps one logical
+table onto one target table, filling unmapped target attributes with Skolem
+terms.  ``map(RS, RT)`` is the union of the queries of all logical tables —
+executed here with in-memory hash joins so generated mappings can be *run*,
+not only inspected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from ..errors import MappingError
+from ..relational.instance import Relation
+from ..relational.schema import AttributeRef, TableSchema
+from .joinrules import JoinEdge
+from .skolem import SkolemFunction
+
+__all__ = ["LogicalTable", "SelectSource", "MappingQuery"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalTable:
+    """A join tree over source relations/views.
+
+    ``relations`` lists the member relation names in join order; ``joins``
+    holds one edge per non-anchor member, each connecting a new member
+    (its ``right``) to an earlier one (its ``left``).
+    """
+
+    relations: tuple[str, ...]
+    joins: tuple[JoinEdge, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise MappingError("logical table needs at least one relation")
+        if len(self.joins) != len(self.relations) - 1:
+            raise MappingError(
+                f"logical table over {self.relations} needs "
+                f"{len(self.relations) - 1} joins, got {len(self.joins)}")
+        known = {self.relations[0]}
+        for edge, name in zip(self.joins, self.relations[1:]):
+            if edge.left not in known or edge.right != name:
+                raise MappingError(
+                    f"join {edge} does not extend logical table over "
+                    f"{sorted(known)} with {name}")
+            known.add(name)
+
+    def signature(self) -> frozenset[str]:
+        return frozenset(self.relations)
+
+    def __str__(self) -> str:
+        if not self.joins:
+            return self.relations[0]
+        return " ".join([self.relations[0]] +
+                        [f"⟗ {e.right} ON {','.join(e.left_attributes)}"
+                         for e in self.joins])
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectSource:
+    """Where one target attribute's value comes from: a source column or a
+    Skolem term over the mapped columns."""
+
+    target_attribute: str
+    column: AttributeRef | None = None
+    skolem: SkolemFunction | None = None
+    skolem_args: tuple[AttributeRef, ...] = ()
+
+    @property
+    def is_skolem(self) -> bool:
+        return self.skolem is not None
+
+    def __str__(self) -> str:
+        if self.column is not None:
+            return f"{self.target_attribute} <- {self.column}"
+        if self.skolem is not None:
+            args = ", ".join(str(a) for a in self.skolem_args)
+            return f"{self.target_attribute} <- Sk_{self.skolem.name}({args})"
+        return f"{self.target_attribute} <- NULL"
+
+
+class MappingQuery:
+    """One ``map(logical table -> target table)`` query, executable over
+    in-memory instances."""
+
+    def __init__(self, target_schema: TableSchema, logical: LogicalTable,
+                 select: Sequence[SelectSource]):
+        self.target_schema = target_schema
+        self.logical = logical
+        by_attr = {s.target_attribute: s for s in select}
+        missing = [a for a in target_schema.attribute_names if a not in by_attr]
+        if missing:
+            raise MappingError(
+                f"mapping query for {target_schema.name!r} lacks select "
+                f"sources for {missing}")
+        self.select = tuple(by_attr[a] for a in target_schema.attribute_names)
+        member_set = set(logical.relations)
+        for source in self.select:
+            refs = ([source.column] if source.column else []) + \
+                list(source.skolem_args)
+            for ref in refs:
+                if ref.table not in member_set:
+                    raise MappingError(
+                        f"select source {source} references {ref.table!r} "
+                        f"outside logical table {logical.relations}")
+
+    # ------------------------------------------------------------------
+    def join_rows(self, instances: Mapping[str, Relation]) -> list[dict[str, Any]]:
+        """Evaluate the logical table: left-outer hash joins in tree order.
+
+        Rows are dicts keyed by qualified names ``relation.attribute``.
+        """
+        anchor = self.logical.relations[0]
+        rows = [
+            {f"{anchor}.{k}": v for k, v in row.items()}
+            for row in instances[anchor].rows()
+        ]
+        for edge in self.logical.joins:
+            right_relation = instances[edge.right]
+            index: dict[tuple, list[dict[str, Any]]] = {}
+            for row in right_relation.rows():
+                key = tuple(row[a] for a in edge.right_attributes)
+                qualified = {f"{edge.right}.{k}": v for k, v in row.items()}
+                index.setdefault(key, []).append(qualified)
+            joined: list[dict[str, Any]] = []
+            for row in rows:
+                key = tuple(row.get(f"{edge.left}.{a}")
+                            for a in edge.left_attributes)
+                partners = index.get(key)
+                if partners:
+                    for partner in partners:
+                        joined.append({**row, **partner})
+                else:
+                    joined.append(dict(row))  # outer join: keep left side
+            rows = joined
+        return rows
+
+    def execute(self, instances: Mapping[str, Relation]) -> Relation:
+        """Produce the target-table tuples this query contributes."""
+        missing = [r for r in self.logical.relations if r not in instances]
+        if missing:
+            raise MappingError(
+                f"instances missing for logical-table members {missing}")
+        out_rows: list[tuple] = []
+        for row in self.join_rows(instances):
+            values = []
+            for source in self.select:
+                if source.column is not None:
+                    values.append(row.get(str(source.column)))
+                elif source.skolem is not None:
+                    args = [row.get(str(ref)) for ref in source.skolem_args]
+                    values.append(source.skolem(args))
+                else:
+                    values.append(None)
+            out_rows.append(tuple(values))
+        # Union semantics: duplicate elimination.
+        unique = list(dict.fromkeys(out_rows))
+        return Relation.from_rows(self.target_schema, unique)
+
+    def explain(self) -> str:
+        lines = [f"map -> {self.target_schema.name}",
+                 f"  from {self.logical}"]
+        lines += [f"  {source}" for source in self.select]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<MappingQuery -> {self.target_schema.name} "
+                f"from {self.logical}>")

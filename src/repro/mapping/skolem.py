@@ -1,0 +1,42 @@
+"""Skolem functions for unmapped target attributes (paper Section 4.1).
+
+Clio fills target attributes that no source attribute maps to with Skolem
+terms — deterministic functions of the mapped values, so that equal source
+tuples produce equal surrogates and referential structure is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["SkolemFunction"]
+
+
+class SkolemFunction:
+    """A named Skolem function ``f(name; args) -> surrogate``.
+
+    Surrogates are stable within one function instance: the same argument
+    tuple always yields the same value, and distinct argument tuples yield
+    distinct values.  Rendered as ``Sk_name(arg1, arg2, ...)`` — readable in
+    generated instances and unambiguous in tests.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Skolem function needs a name")
+        self.name = name
+        self._memo: dict[tuple, str] = {}
+
+    def __call__(self, args: Sequence[Any]) -> str:
+        key = tuple(args)
+        if key not in self._memo:
+            rendered = ", ".join(repr(a) for a in key)
+            self._memo[key] = f"Sk_{self.name}({rendered})"
+        return self._memo[key]
+
+    @property
+    def arity_seen(self) -> set[int]:
+        return {len(k) for k in self._memo}
+
+    def __repr__(self) -> str:
+        return f"<SkolemFunction {self.name} ({len(self._memo)} terms)>"

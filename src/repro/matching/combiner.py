@@ -1,0 +1,46 @@
+"""Combining per-matcher evidence into a single match confidence.
+
+"For a particular pair of attributes a and b, the confidences of all
+matchers are combined to compute the confidence of the match" (Section 2.3).
+We use the weighted mean over the matchers that did not abstain, with the
+static per-matcher weights of the zoo ([8]-style weighting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+__all__ = ["MatcherEvidence", "combine_evidence", "CombinedScore"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatcherEvidence:
+    """One matcher's verdict on one attribute pair."""
+
+    matcher: str
+    weight: float
+    raw_score: float
+    confidence: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CombinedScore:
+    """Weighted combination over all non-abstaining matchers."""
+
+    score: float        # average matcher raw score (the paper's s_i)
+    confidence: float   # combined confidence (the paper's f_i)
+    evidence: tuple[MatcherEvidence, ...]
+
+
+def combine_evidence(evidence: Sequence[MatcherEvidence]) -> CombinedScore | None:
+    """Weighted mean of raw scores and confidences; None if all abstained."""
+    if not evidence:
+        return None
+    total_weight = sum(e.weight for e in evidence)
+    if total_weight <= 0.0:
+        return None
+    score = sum(e.weight * e.raw_score for e in evidence) / total_weight
+    confidence = sum(e.weight * e.confidence for e in evidence) / total_weight
+    return CombinedScore(score=score, confidence=confidence,
+                         evidence=tuple(evidence))

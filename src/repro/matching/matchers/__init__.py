@@ -1,0 +1,30 @@
+"""The matcher zoo used by :class:`repro.matching.standard.StandardMatch`."""
+
+from .base import AttributeSample, Matcher
+from .name import NameMatcher
+from .ngram import QGramMatcher
+from .numeric import NumericMatcher, NumericSummary
+from .overlap import ValueOverlapMatcher
+from .typematch import TypeMatcher
+
+__all__ = [
+    "AttributeSample",
+    "Matcher",
+    "NameMatcher",
+    "QGramMatcher",
+    "NumericMatcher",
+    "NumericSummary",
+    "ValueOverlapMatcher",
+    "TypeMatcher",
+]
+
+
+def default_matchers() -> list[Matcher]:
+    """The standard matcher ensemble: name + instance + metadata evidence."""
+    return [
+        NameMatcher(weight=1.0),
+        QGramMatcher(weight=1.5),
+        ValueOverlapMatcher(weight=1.0),
+        NumericMatcher(weight=1.25),
+        TypeMatcher(weight=0.5),
+    ]

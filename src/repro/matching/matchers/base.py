@@ -1,0 +1,90 @@
+"""Matcher interface (paper Section 2.3).
+
+The standard matching system "employs a variety of matching algorithms,
+referred to as *matchers*, to compute similarity scores between a pair of
+attributes".  A :class:`Matcher` sees an :class:`AttributeSample` — the
+attribute plus the bag of values from the current sample — for each side and
+returns a raw similarity in ``[0, 1]``.
+
+To keep re-scoring of view-restricted samples cheap (``ScoreMatch`` is
+called once per candidate view per match), matchers expose a two-phase API:
+:meth:`Matcher.profile` digests a sample into a reusable profile (target
+profiles are cached by :class:`~repro.matching.standard.StandardMatch`),
+and :meth:`Matcher.score_profiles` compares two profiles.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Sequence
+
+from ...relational.schema import Attribute
+from ...relational.types import is_missing
+
+__all__ = ["AttributeSample", "Matcher"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeSample:
+    """An attribute together with the bag of values ``v(R.a)`` from the
+    current sample (missing values already removed)."""
+
+    table: str
+    attribute: Attribute
+    values: tuple[Any, ...]
+
+    @classmethod
+    def from_column(cls, table: str, attribute: Attribute,
+                    values: Sequence[Any], *, limit: int | None = None) -> "AttributeSample":
+        clean = [v for v in values if not is_missing(v)]
+        if limit is not None and len(clean) > limit:
+            # Deterministic systematic sample: every k-th value.  Avoids both
+            # RNG plumbing and pathological prefix bias in sorted data.
+            step = len(clean) / limit
+            clean = [clean[int(i * step)] for i in range(limit)]
+        return cls(table, attribute, tuple(clean))
+
+    @property
+    def name(self) -> str:
+        return self.attribute.name
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Matcher(abc.ABC):
+    """A single similarity algorithm over attribute pairs.
+
+    Subclasses define :attr:`name`, :attr:`weight` (relative voice in the
+    combined confidence, Section 2.3), :meth:`applicable`,
+    :meth:`profile` and :meth:`score_profiles`.
+    """
+
+    #: Unique short identifier, used in explanations and weighting tables.
+    name: str = "matcher"
+    #: Relative weight when combining matcher confidences.
+    weight: float = 1.0
+
+    def applicable(self, source: AttributeSample, target: AttributeSample) -> bool:
+        """Whether this matcher produces a meaningful score for the pair.
+
+        Inapplicable matchers abstain: they contribute neither score nor
+        confidence for the pair.
+        """
+        return True
+
+    @abc.abstractmethod
+    def profile(self, sample: AttributeSample) -> Any:
+        """Digest a sample into a reusable comparison profile."""
+
+    @abc.abstractmethod
+    def score_profiles(self, source: Any, target: Any) -> float:
+        """Raw similarity in [0, 1] between two profiles."""
+
+    def score(self, source: AttributeSample, target: AttributeSample) -> float:
+        """One-shot convenience: profile both sides and compare."""
+        return self.score_profiles(self.profile(source), self.profile(target))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} w={self.weight}>"

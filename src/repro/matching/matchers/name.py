@@ -1,0 +1,66 @@
+"""Schema-level name matcher.
+
+Compares attribute names (and a light table-name context) using word-token
+overlap plus Jaro-Winkler on the normalized strings.  This is the classic
+"linguistic" matcher of systems like Cupid; in our zoo it supplies the
+schema-metadata evidence of Section 2.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..similarity import jaro_winkler
+from ..tokens import normalize_text, word_tokens
+from .base import AttributeSample, Matcher
+
+__all__ = ["NameMatcher"]
+
+#: Synonym groups folded to a canonical token before comparison.  These are
+#: the ubiquitous database naming variants; extend via NameMatcher(synonyms=).
+DEFAULT_SYNONYMS: dict[str, str] = {
+    "identifier": "id", "idnum": "id", "num": "id", "number": "id", "no": "id",
+    "name": "title", "caption": "title",
+    "cost": "price", "amount": "price", "amt": "price",
+    "category": "type", "kind": "type", "class": "type",
+    "description": "descr", "desc": "descr",
+    "quantity": "qty", "count": "qty",
+    "telephone": "phone", "tel": "phone",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class _NameProfile:
+    raw: str
+    tokens: frozenset[str]
+
+
+class NameMatcher(Matcher):
+    """Similarity of attribute names: token Jaccard blended with Jaro-Winkler."""
+
+    name = "name"
+
+    def __init__(self, *, weight: float = 1.0,
+                 synonyms: dict[str, str] | None = None,
+                 token_share: float = 0.6):
+        self.weight = weight
+        self._synonyms = DEFAULT_SYNONYMS if synonyms is None else synonyms
+        if not 0.0 <= token_share <= 1.0:
+            raise ValueError("token_share must be within [0, 1]")
+        self._token_share = token_share
+
+    def _canonical(self, token: str) -> str:
+        return self._synonyms.get(token, token)
+
+    def profile(self, sample: AttributeSample) -> _NameProfile:
+        tokens = frozenset(self._canonical(t) for t in word_tokens(sample.name))
+        return _NameProfile(normalize_text(sample.name).replace(" ", ""), tokens)
+
+    def score_profiles(self, source: _NameProfile, target: _NameProfile) -> float:
+        if source.tokens or target.tokens:
+            union = len(source.tokens | target.tokens)
+            token_sim = len(source.tokens & target.tokens) / union if union else 0.0
+        else:
+            token_sim = 0.0
+        string_sim = jaro_winkler(source.raw, target.raw)
+        return self._token_share * token_sim + (1 - self._token_share) * string_sim

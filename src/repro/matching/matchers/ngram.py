@@ -1,0 +1,45 @@
+"""Instance matcher over character q-grams.
+
+The workhorse instance-based matcher: the bag of values of each attribute is
+rendered to text, decomposed into 3-grams (the granularity the paper uses
+for its Naive Bayes classifier) and compared with TF cosine similarity,
+which is robust to differing sample sizes.  Applicable to textual attributes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..similarity import cosine_counts
+from ..tokens import qgrams, value_to_text
+from .base import AttributeSample, Matcher
+
+__all__ = ["QGramMatcher"]
+
+
+class QGramMatcher(Matcher):
+    """TF-cosine over character q-grams of instance values."""
+
+    name = "qgram"
+
+    def __init__(self, *, q: int = 3, weight: float = 1.0):
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.weight = weight
+
+    def applicable(self, source: AttributeSample, target: AttributeSample) -> bool:
+        return (source.attribute.dtype.is_textual
+                and target.attribute.dtype.is_textual
+                and len(source) > 0 and len(target) > 0)
+
+    def profile(self, sample: AttributeSample) -> Counter:
+        counts: Counter = Counter()
+        for value in sample.values:
+            counts.update(qgrams(value_to_text(value), self.q))
+        return counts
+
+    def score_profiles(self, source: Counter, target: Counter) -> float:
+        if not source or not target:
+            return 0.0
+        return cosine_counts(source, target)

@@ -1,0 +1,35 @@
+"""Exact value-overlap instance matcher.
+
+Measures Jaccard overlap between the *distinct value sets* of the two
+attributes.  Strong evidence for code-like columns (formats, labels,
+identifiers) where whole values recur across schemas; weak (correctly) for
+free text.  Applicable to every type.
+"""
+
+from __future__ import annotations
+
+from ..similarity import jaccard
+from ..tokens import value_to_text
+from .base import AttributeSample, Matcher
+
+__all__ = ["ValueOverlapMatcher"]
+
+
+class ValueOverlapMatcher(Matcher):
+    """Jaccard similarity of normalized distinct value sets."""
+
+    name = "overlap"
+
+    def __init__(self, *, weight: float = 1.0):
+        self.weight = weight
+
+    def applicable(self, source: AttributeSample, target: AttributeSample) -> bool:
+        return len(source) > 0 and len(target) > 0
+
+    def profile(self, sample: AttributeSample) -> frozenset[str]:
+        return frozenset(value_to_text(v).lower() for v in sample.values)
+
+    def score_profiles(self, source: frozenset, target: frozenset) -> float:
+        if not source or not target:
+            return 0.0
+        return jaccard(source, target)

@@ -1,0 +1,151 @@
+"""String and set similarity measures used by the matcher zoo.
+
+All functions return similarities in ``[0, 1]``; 1 means identical.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "levenshtein",
+    "levenshtein_similarity",
+    "jaro",
+    "jaro_winkler",
+    "jaccard",
+    "dice",
+    "cosine_counts",
+    "containment",
+]
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost  # substitution
+            ))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalized into a similarity."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len(a)
+    matched_b = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if matched_b[j] or b[j] != char_a:
+                continue
+            matched_a[i] = matched_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, flag in enumerate(matched_a):
+        if not flag:
+            continue
+        while not matched_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len(a) + m / len(b) + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler(a: str, b: str, *, prefix_scale: float = 0.1,
+                 max_prefix: int = 4) -> float:
+    """Jaro-Winkler: Jaro boosted by a shared prefix."""
+    base = jaro(a, b)
+    prefix = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Jaccard similarity of two sets."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def dice(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """Sørensen-Dice coefficient of two sets."""
+    set_a, set_b = set(a), set(b)
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def containment(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
+    """|A ∩ B| / |A| — how much of A is covered by B (asymmetric)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a:
+        return 1.0 if not set_b else 0.0
+    return len(set_a & set_b) / len(set_a)
+
+
+def cosine_counts(a: Mapping[Hashable, int] | Sequence[Hashable],
+                  b: Mapping[Hashable, int] | Sequence[Hashable]) -> float:
+    """Cosine similarity between two term-frequency vectors.
+
+    Accepts either Counters/mappings or raw token sequences.
+    """
+    counter_a = a if isinstance(a, Mapping) else Counter(a)
+    counter_b = b if isinstance(b, Mapping) else Counter(b)
+    if not counter_a or not counter_b:
+        return 1.0 if not counter_a and not counter_b else 0.0
+    # Iterate the smaller vector for the dot product.
+    if len(counter_a) > len(counter_b):
+        counter_a, counter_b = counter_b, counter_a
+    dot = sum(count * counter_b.get(term, 0) for term, count in counter_a.items())
+    norm_a = math.sqrt(sum(c * c for c in counter_a.values()))
+    norm_b = math.sqrt(sum(c * c for c in counter_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)

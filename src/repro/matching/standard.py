@@ -1,0 +1,283 @@
+"""The standard (non-contextual) schema matching system (Section 2.3).
+
+:class:`StandardMatch` runs the matcher zoo over every (source attribute,
+target attribute) pair, converts raw scores into confidences by normalizing
+each matcher's score distribution across *all* target attributes
+(:mod:`repro.matching.normalize`), and combines matcher confidences with
+static weights (:mod:`repro.matching.combiner`).
+
+The contextual layer treats this system as a black box through two entry
+points:
+
+* :meth:`StandardMatch.match` — accepted matches above a confidence
+  threshold τ (the ``StandardMatch(RS, RT, τ)`` call of Figure 5, line 4);
+* :meth:`StandardMatch.score_attribute` — re-score one source attribute
+  sample (possibly view-restricted) against a prepared
+  :class:`TargetIndex` (the ``ScoreMatch`` call of Figure 5, line 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol, Sequence
+
+from ..errors import MatchingError
+from ..relational.instance import Database, Relation
+from ..relational.schema import AttributeRef
+from .combiner import MatcherEvidence, combine_evidence
+from .matchers import AttributeSample, Matcher, default_matchers
+from .normalize import confidences_from_scores
+
+__all__ = ["AttributeMatch", "StandardMatchConfig", "TargetIndex",
+           "StandardMatch", "MatchingSystem"]
+
+#: Ceiling on the target-side (reverse) confidence boost: relative-best
+#: evidence alone never makes a match more confident than this.
+_TARGET_SIDE_CAP = 0.85
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeMatch:
+    """A scored pairing of a source attribute with a target attribute.
+
+    ``source.table`` names a base table for standard matches and a view for
+    contextual ones; ``score`` is the average matcher raw score (s_i in the
+    strawman discussion) and ``confidence`` the combined confidence (f_i).
+    """
+
+    source: AttributeRef
+    target: AttributeRef
+    score: float
+    confidence: float
+    evidence: tuple[MatcherEvidence, ...] = ()
+
+    def key(self) -> tuple[str, str, str, str]:
+        return (self.source.table, self.source.attribute,
+                self.target.table, self.target.attribute)
+
+    def __str__(self) -> str:
+        return (f"{self.source} -> {self.target} "
+                f"(score={self.score:.3f}, conf={self.confidence:.3f})")
+
+
+@dataclasses.dataclass(frozen=True)
+class StandardMatchConfig:
+    """Knobs of the standard matching system.
+
+    Parameters
+    ----------
+    sample_limit:
+        Cap on the number of values profiled per attribute; larger samples
+        are thinned deterministically.  Keeps repeated view re-scoring cheap.
+    use_name_evidence:
+        When False, only instance/type matchers run — used by experiments
+        that must not let attribute names give the answer away.
+    score_floor:
+        Minimum combined raw score for a pair to be *accepted* by
+        :meth:`StandardMatch.match`.  The Φ-normalized confidences grade on
+        a curve (half of all pairs sit above 0.5 per matcher by
+        construction), so acceptance requires absolute evidence too: a pair
+        must look genuinely similar, not merely less dissimilar than its
+        neighbours.
+    """
+
+    sample_limit: int = 400
+    use_name_evidence: bool = True
+    score_floor: float = 0.25
+
+    def build_matchers(self) -> list[Matcher]:
+        matchers = default_matchers()
+        if not self.use_name_evidence:
+            matchers = [m for m in matchers if m.name != "name"]
+        return matchers
+
+
+class TargetIndex:
+    """Pre-profiled target schema: one profile per (matcher, target attr).
+
+    Building the index once per ``ContextMatch`` run amortizes target-side
+    profiling across the hundreds of candidate-view re-scorings.
+    """
+
+    def __init__(self, database: Database, matchers: Sequence[Matcher],
+                 sample_limit: int):
+        self.database = database
+        self.matchers = list(matchers)
+        self.samples: list[AttributeSample] = []
+        for relation in database:
+            for attribute in relation.schema:
+                self.samples.append(AttributeSample.from_column(
+                    relation.name, attribute, relation.column(attribute.name),
+                    limit=sample_limit))
+        if not self.samples:
+            raise MatchingError("target schema has no attributes to match")
+        self.profiles: dict[str, list[object]] = {
+            m.name: [m.profile(s) for s in self.samples] for m in self.matchers
+        }
+
+    def refs(self) -> list[AttributeRef]:
+        return [AttributeRef(s.table, s.name) for s in self.samples]
+
+
+class MatchingSystem(Protocol):
+    """The black-box interface the contextual layer depends on."""
+
+    def match(self, source: Database, target: Database,
+              tau: float) -> list[AttributeMatch]:
+        """Accepted matches with confidence >= tau."""
+        ...
+
+    def accept(self, match: AttributeMatch, tau: float) -> bool:
+        """Whether a scored pair clears the acceptance thresholds."""
+        ...
+
+    def score_relation(self, relation: Relation,
+                       index: "TargetIndex") -> list[AttributeMatch]:
+        """Scores from every attribute of one source relation."""
+        ...
+
+    def build_target_index(self, target: Database) -> TargetIndex:
+        """Prepare the reusable target-side profiles."""
+        ...
+
+    def score_attribute(self, table: str, sample_values: Sequence,
+                        attribute, index: TargetIndex) -> list[AttributeMatch]:
+        """Score one (possibly view-restricted) source attribute sample
+        against every target attribute."""
+        ...
+
+
+class StandardMatch:
+    """Multi-matcher instance-based schema matcher."""
+
+    def __init__(self, config: StandardMatchConfig | None = None,
+                 matchers: Sequence[Matcher] | None = None):
+        self.config = config or StandardMatchConfig()
+        self.matchers = list(matchers) if matchers is not None \
+            else self.config.build_matchers()
+        if not self.matchers:
+            raise MatchingError("StandardMatch needs at least one matcher")
+
+    # ------------------------------------------------------------------
+    # Black-box interface
+    # ------------------------------------------------------------------
+    def build_target_index(self, target: Database) -> TargetIndex:
+        return TargetIndex(target, self.matchers, self.config.sample_limit)
+
+    def score_attribute(self, table: str, sample_values: Sequence,
+                        attribute, index: TargetIndex) -> list[AttributeMatch]:
+        """All-target scores for one source attribute sample.
+
+        ``table`` may name a base table or a candidate view; ``attribute``
+        is the :class:`~repro.relational.schema.Attribute` being scored and
+        ``sample_values`` the bag of values from the (restricted) sample.
+        """
+        sample = AttributeSample.from_column(
+            table, attribute, list(sample_values),
+            limit=self.config.sample_limit)
+        n_targets = len(index.samples)
+        # evidence[i] collects MatcherEvidence for target attribute i.
+        evidence: list[list[MatcherEvidence]] = [[] for _ in range(n_targets)]
+        for matcher in self.matchers:
+            source_profile = matcher.profile(sample)
+            raw: list[float | None] = []
+            for target_sample, target_profile in zip(
+                    index.samples, index.profiles[matcher.name]):
+                if matcher.applicable(sample, target_sample):
+                    raw.append(matcher.score_profiles(source_profile,
+                                                      target_profile))
+                else:
+                    raw.append(None)
+            for i, (raw_score, conf) in enumerate(
+                    zip(raw, confidences_from_scores(raw))):
+                if raw_score is None or conf is None:
+                    continue
+                evidence[i].append(MatcherEvidence(
+                    matcher=matcher.name, weight=matcher.weight,
+                    raw_score=raw_score, confidence=conf))
+        matches: list[AttributeMatch] = []
+        source_ref = AttributeRef(table, attribute.name)
+        for target_sample, pair_evidence in zip(index.samples, evidence):
+            combined = combine_evidence(pair_evidence)
+            if combined is None:
+                continue
+            matches.append(AttributeMatch(
+                source=source_ref,
+                target=AttributeRef(target_sample.table, target_sample.name),
+                score=combined.score,
+                confidence=combined.confidence,
+                evidence=combined.evidence))
+        return matches
+
+    # ------------------------------------------------------------------
+    # Whole-schema matching
+    # ------------------------------------------------------------------
+    def score_all(self, source: Database, target: Database,
+                  *, index: TargetIndex | None = None) -> list[AttributeMatch]:
+        """Scores for every (source attribute, target attribute) pair."""
+        index = index or self.build_target_index(target)
+        matches: list[AttributeMatch] = []
+        for relation in source:
+            matches.extend(self.score_relation(relation, index))
+        return matches
+
+    def score_relation(self, relation: Relation,
+                       index: TargetIndex) -> list[AttributeMatch]:
+        """Scores from every attribute of one source relation.
+
+        Confidences are *bidirectional*: the source-side percentile (how a
+        target attribute ranks among all targets for this source attribute)
+        is combined, by max, with the target-side percentile (how the
+        source attribute ranks among this relation's attributes for that
+        target).  A pair that is the clear best explanation of a target
+        column is a confident match even when sibling target columns crowd
+        it out on the source side — e.g. ``grade -> grade1`` whose mean is
+        the most extreme of five sibling grade columns (the false-negative
+        hazard of Section 3).
+
+        The target-side boost is capped below 1: being *relatively* the
+        best partner of a column is weaker evidence than being absolutely
+        similar, so rescued matches remain tenuous — they survive moderate
+        pruning thresholds but are the first to go as τ rises (the Figure
+        21 behaviour).
+        """
+        matches: list[AttributeMatch] = []
+        per_attr: list[list[AttributeMatch]] = []
+        for attribute in relation.schema:
+            per_attr.append(self.score_attribute(
+                relation.name, relation.column(attribute.name),
+                attribute, index))
+        # Target-side normalization across this relation's source attrs.
+        by_target: dict[tuple[str, str], list[tuple[int, int]]] = {}
+        for i, attr_matches in enumerate(per_attr):
+            for j, match in enumerate(attr_matches):
+                key = (match.target.table, match.target.attribute)
+                by_target.setdefault(key, []).append((i, j))
+        adjusted: dict[tuple[int, int], float] = {}
+        for key, locations in by_target.items():
+            raw = [per_attr[i][j].score for i, j in locations]
+            for (i, j), conf in zip(locations, confidences_from_scores(raw)):
+                adjusted[(i, j)] = conf if conf is not None else 0.0
+        for i, attr_matches in enumerate(per_attr):
+            for j, match in enumerate(attr_matches):
+                target_side = min(adjusted.get((i, j), 0.0),
+                                  _TARGET_SIDE_CAP)
+                if target_side > match.confidence:
+                    match = dataclasses.replace(match,
+                                                confidence=target_side)
+                matches.append(match)
+        return matches
+
+    def accept(self, match: AttributeMatch, tau: float) -> bool:
+        """Acceptance test: relative confidence >= tau AND absolute raw
+        score >= the configured floor."""
+        return (match.confidence >= tau
+                and match.score >= self.config.score_floor)
+
+    def match(self, source: Database, target: Database,
+              tau: float = 0.5) -> list[AttributeMatch]:
+        """Accepted matches: confidence >= tau and score >= score_floor."""
+        if not 0.0 <= tau <= 1.0:
+            raise MatchingError(f"tau must be in [0,1], got {tau}")
+        return [m for m in self.score_all(source, target)
+                if self.accept(m, tau)]

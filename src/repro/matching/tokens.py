@@ -1,0 +1,71 @@
+"""Tokenizers shared by matchers and classifiers.
+
+The paper's instance matchers and the ``SrcClassInfer`` Naive Bayes
+classifier both work on character q-grams (3-grams, Section 3.2.3); the
+name matcher works on word tokens split at case and punctuation boundaries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+__all__ = ["qgrams", "qgram_set", "word_tokens", "normalize_text", "value_to_text"]
+
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_ALNUM_RE = re.compile(r"[^a-z0-9]+")
+
+
+def value_to_text(value: Any) -> str:
+    """Canonical text rendering of a data value for token-level comparison."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase and collapse runs of non-alphanumerics to single spaces."""
+    return _NON_ALNUM_RE.sub(" ", text.lower()).strip()
+
+
+def word_tokens(text: str) -> list[str]:
+    """Split identifiers / phrases into lowercase word tokens.
+
+    Handles camelCase (``ItemType`` -> ``item``, ``type``), snake_case and
+    punctuation, so schema attribute names from different conventions
+    tokenize identically.
+    """
+    text = _CAMEL_RE.sub(" ", text)
+    return [t for t in normalize_text(text).split(" ") if t]
+
+
+def qgrams(text: str, q: int = 3, *, pad: bool = True) -> list[str]:
+    """Character q-grams of *text* (default 3-grams, as in the paper).
+
+    With ``pad`` the string is wrapped in ``q - 1`` boundary markers so that
+    prefixes and suffixes produce distinguishing grams; a string shorter than
+    ``q`` still yields at least one gram.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    text = normalize_text(text)
+    if not text:
+        return []
+    if pad and q > 1:
+        marker = "#" * (q - 1)
+        text = f"{marker}{text}{marker}"
+    if len(text) < q:
+        return [text]
+    return [text[i:i + q] for i in range(len(text) - q + 1)]
+
+
+def qgram_set(values: Iterable[Any], q: int = 3) -> frozenset[str]:
+    """Union of q-grams over the text renderings of *values*."""
+    grams: set[str] = set()
+    for value in values:
+        grams.update(qgrams(value_to_text(value), q))
+    return frozenset(grams)

@@ -1,0 +1,264 @@
+"""Selection-condition AST (paper Section 2.2, "Context Complexity").
+
+A *k-condition* on relation R mentions exactly k attributes of R.  The paper
+works with:
+
+* simple conditions ``a = v``  (1-conditions)            -> :class:`Eq`
+* simple disjunctive conditions ``a in {v1..vk}``        -> :class:`In`
+* conjunctive k-conditions                               -> :class:`And`
+* general conditions (disjunctions of conjunctions)      -> :class:`Or`
+* the constant ``true`` marking standard matches          -> :class:`TrueCondition`
+
+Conditions are immutable, hashable (so they can key candidate-view caches),
+and evaluable over dict rows.  :func:`condition_k` reports the context
+complexity; :meth:`Condition.to_sql` renders the WHERE clause the user would
+see in an inferred view definition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, FrozenSet, Mapping, Sequence
+
+from ..errors import ConditionError
+from .types import is_missing
+
+__all__ = [
+    "Condition",
+    "TrueCondition",
+    "Eq",
+    "In",
+    "And",
+    "Or",
+    "TRUE",
+    "condition_k",
+    "sql_literal",
+]
+
+
+def sql_literal(value: Any) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+class Condition:
+    """Abstract base for selection conditions."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The set of attributes mentioned (|result| = k for a k-condition)."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __call__(self, row: Mapping[str, Any]) -> bool:
+        return self.evaluate(row)
+
+    # -- algebra ---------------------------------------------------------
+    def and_(self, other: "Condition") -> "Condition":
+        if isinstance(other, TrueCondition):
+            return self
+        return And.of(self, other)
+
+    def or_(self, other: "Condition") -> "Condition":
+        return Or.of(self, other)
+
+    def is_true(self) -> bool:
+        return isinstance(self, TrueCondition)
+
+
+@dataclasses.dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The constant ``true`` — a standard (non-contextual) match."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+    def and_(self, other: Condition) -> Condition:
+        return other
+
+    def __str__(self) -> str:
+        return "true"
+
+
+#: Shared singleton for the constant true condition.
+TRUE = TrueCondition()
+
+
+@dataclasses.dataclass(frozen=True)
+class Eq(Condition):
+    """Simple 1-condition ``attribute = value``."""
+
+    attribute: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise ConditionError("Eq condition needs a non-empty attribute")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        actual = row.get(self.attribute)
+        if is_missing(actual):
+            return False
+        return actual == self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def to_sql(self) -> str:
+        return f"{self.attribute} = {sql_literal(self.value)}"
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+class In(Condition):
+    """Simple disjunctive condition ``attribute in {v1, ..., vk}``.
+
+    Canonicalizes the value set; an :class:`In` over a single value compares
+    equal to nothing else but ``normalize`` will simplify it to :class:`Eq`.
+    """
+
+    __slots__ = ("attribute", "values")
+
+    def __init__(self, attribute: str, values: Sequence[Any]):
+        if not attribute:
+            raise ConditionError("In condition needs a non-empty attribute")
+        value_set = frozenset(values)
+        if not value_set:
+            raise ConditionError("In condition needs at least one value")
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", value_set)
+
+    def __setattr__(self, *_: Any) -> None:  # immutability guard
+        raise AttributeError("In conditions are immutable")
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        actual = row.get(self.attribute)
+        if is_missing(actual):
+            return False
+        return actual in self.values
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.attribute})
+
+    def normalize(self) -> Condition:
+        if len(self.values) == 1:
+            return Eq(self.attribute, next(iter(self.values)))
+        return self
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(sorted(sql_literal(v) for v in self.values))
+        return f"{self.attribute} IN ({rendered})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, In):
+            return NotImplemented
+        return self.attribute == other.attribute and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("In", self.attribute, self.values))
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(repr(v) for v in self.values))
+        return f"{self.attribute} in {{{inner}}}"
+
+
+class _Compound(Condition):
+    """Shared machinery for And/Or: flattening, canonical child ordering."""
+
+    __slots__ = ("children",)
+    _sql_joiner = ""
+    _str_joiner = ""
+
+    def __init__(self, children: Sequence[Condition]):
+        flat: list[Condition] = []
+        for child in children:
+            if isinstance(child, TrueCondition):
+                continue
+            if type(child) is type(self):
+                flat.extend(child.children)  # type: ignore[attr-defined]
+            else:
+                flat.append(child)
+        if len(flat) < 1:
+            raise ConditionError(
+                f"{type(self).__name__} needs at least one non-trivial child"
+            )
+        # Canonical order so logically identical conditions hash equally.
+        flat = sorted(set(flat), key=lambda c: (str(type(c).__name__), str(c)))
+        object.__setattr__(self, "children", tuple(flat))
+
+    def __setattr__(self, *_: Any) -> None:
+        raise AttributeError("compound conditions are immutable")
+
+    @classmethod
+    def of(cls, *children: Condition) -> Condition:
+        inst = cls(list(children))
+        if len(inst.children) == 1:
+            return inst.children[0]
+        return inst
+
+    def attributes(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for child in self.children:
+            out |= child.attributes()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.children == other.children  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+    def to_sql(self) -> str:
+        return self._sql_joiner.join(f"({c.to_sql()})" for c in self.children)
+
+    def __str__(self) -> str:
+        return self._str_joiner.join(f"({c})" for c in self.children)
+
+
+class And(_Compound):
+    """Conjunction of conditions (Section 3.5 handles these iteratively)."""
+
+    _sql_joiner = " AND "
+    _str_joiner = " and "
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(child.evaluate(row) for child in self.children)
+
+
+class Or(_Compound):
+    """General disjunction of conditions."""
+
+    _sql_joiner = " OR "
+    _str_joiner = " or "
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return any(child.evaluate(row) for child in self.children)
+
+
+def condition_k(condition: Condition) -> int:
+    """Context complexity: the number of attributes a condition mentions.
+
+    ``a = v`` and ``a in {..}`` are 1-conditions; ``a = v and b = w`` is a
+    2-condition; the constant true is a 0-condition.
+    """
+    return len(condition.attributes())

@@ -1,0 +1,183 @@
+"""Keys, foreign keys and contextual foreign keys (paper Section 4.2).
+
+The paper extends the classical definitions so that both sides of a key or
+foreign key may be views, and introduces the *contextual foreign key*
+
+    ``V1[Y, a = v]  ⊆  R[X, b]``
+
+which holds when every ``Y``-tuple of the view, augmented with the constant
+``v`` for the selection attribute ``a``, references an ``[X, b]``-key tuple
+of ``R``.  These constraints drive the new join rules of Section 4.3.
+
+Every constraint knows how to check itself against a :class:`Database`
+holding sample instances; the mining module
+(:mod:`repro.mapping.discovery`) uses these checks to discover constraints
+from data the way Clio does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..errors import ConstraintError
+from .instance import Relation
+from .types import is_missing
+
+__all__ = ["Key", "ForeignKey", "ContextualForeignKey"]
+
+
+def _tuple_of(row: dict[str, Any], attrs: tuple[str, ...]) -> tuple[Any, ...] | None:
+    """Project a row onto *attrs*; None when any component is missing, since
+    NULLs neither violate keys nor participate in references (SQL semantics)."""
+    values = tuple(row[a] for a in attrs)
+    if any(is_missing(v) for v in values):
+        return None
+    return values
+
+
+@dataclasses.dataclass(frozen=True)
+class Key:
+    """``R[X] -> R``: the X attributes uniquely identify a tuple of R."""
+
+    table: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ConstraintError("key needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ConstraintError(f"duplicate attributes in key {self}")
+
+    def holds_on(self, instance: Relation) -> bool:
+        """Check the uniqueness requirement on a sample instance."""
+        seen: set[tuple[Any, ...]] = set()
+        for row in instance.rows():
+            value = _tuple_of(row, self.attributes)
+            if value is None:
+                continue
+            if value in seen:
+                return False
+            seen.add(value)
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.table}[{', '.join(self.attributes)}] -> {self.table}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ForeignKey:
+    """``R2[Y] ⊆ R1[X]`` where X is a key of R1.
+
+    ``child`` is R2 (the referencing side), ``parent`` is R1 (the referenced
+    side).  Either side may be a base table or a view.
+    """
+
+    child: str
+    child_attributes: tuple[str, ...]
+    parent: str
+    parent_attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_attributes) != len(self.parent_attributes):
+            raise ConstraintError(
+                f"foreign key arity mismatch: {self.child_attributes} vs "
+                f"{self.parent_attributes}"
+            )
+        if not self.child_attributes:
+            raise ConstraintError("foreign key needs at least one attribute")
+
+    def holds_on(self, child: Relation, parent: Relation) -> bool:
+        """Referential containment check over sample instances."""
+        parent_keys = {
+            t for t in (
+                _tuple_of(row, self.parent_attributes) for row in parent.rows()
+            ) if t is not None
+        }
+        for row in child.rows():
+            value = _tuple_of(row, self.child_attributes)
+            if value is None:
+                continue
+            if value not in parent_keys:
+                return False
+        return True
+
+    @property
+    def referenced_key(self) -> Key:
+        return Key(self.parent, self.parent_attributes)
+
+    def __str__(self) -> str:
+        return (f"{self.child}[{', '.join(self.child_attributes)}] ⊆ "
+                f"{self.parent}[{', '.join(self.parent_attributes)}]")
+
+
+@dataclasses.dataclass(frozen=True)
+class ContextualForeignKey:
+    """``V[Y, a = v] ⊆ R[X, b]`` — a contextual foreign key (Section 4.2).
+
+    Attributes
+    ----------
+    view:
+        Name of the view V1 (the referencing side).
+    view_attributes:
+        The list Y of attributes of the view.
+    context_attribute:
+        The attribute ``a`` of V1's base table; it appears in the view's
+        selection condition but need not be in the view's projection.
+    context_value:
+        The constant ``v`` of the selection condition ``a = v``.
+    parent / parent_attributes / parent_context_attribute:
+        R, X and b on the referenced side; ``[X, b]`` must be a key of R.
+    """
+
+    view: str
+    view_attributes: tuple[str, ...]
+    context_attribute: str
+    context_value: Any
+    parent: str
+    parent_attributes: tuple[str, ...]
+    parent_context_attribute: str
+
+    def __post_init__(self) -> None:
+        if len(self.view_attributes) != len(self.parent_attributes):
+            raise ConstraintError(
+                f"contextual foreign key arity mismatch: "
+                f"{self.view_attributes} vs {self.parent_attributes}"
+            )
+        if not self.view_attributes:
+            raise ConstraintError("contextual foreign key needs Y attributes")
+
+    def holds_on(self, view_instance: Relation, parent_instance: Relation) -> bool:
+        """For every tuple t1 of the view instance there must exist a tuple t
+        of the parent with t1[Y] = t[X] and t[b] = v."""
+        attrs = self.parent_attributes + (self.parent_context_attribute,)
+        parent_keys = {
+            t for t in (
+                _tuple_of(row, attrs) for row in parent_instance.rows()
+            ) if t is not None
+        }
+        for row in view_instance.rows():
+            value = _tuple_of(row, self.view_attributes)
+            if value is None:
+                continue
+            if value + (self.context_value,) not in parent_keys:
+                return False
+        return True
+
+    @property
+    def referenced_key(self) -> Key:
+        return Key(self.parent,
+                   self.parent_attributes + (self.parent_context_attribute,))
+
+    def to_foreign_key_like(self) -> ForeignKey:
+        """The plain foreign-key shadow (dropping the context component);
+        useful when feeding Clio's original rules."""
+        return ForeignKey(self.view, self.view_attributes,
+                          self.parent, self.parent_attributes)
+
+    def __str__(self) -> str:
+        ys = ", ".join(self.view_attributes)
+        xs = ", ".join(self.parent_attributes)
+        return (f"{self.view}[{ys}, {self.context_attribute} = "
+                f"{self.context_value!r}] ⊆ {self.parent}[{xs}, "
+                f"{self.parent_context_attribute}]")

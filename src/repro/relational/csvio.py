@@ -1,0 +1,115 @@
+"""CSV round-trip for relations and databases.
+
+Experiment drivers persist generated workloads so runs are inspectable and
+re-playable; this module provides the plain-text format.  Types are inferred
+on read via :func:`~repro.relational.types.infer_column_type` and values are
+coerced into their Python representations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Iterable
+
+from ..errors import InstanceError
+from .instance import Database, Relation
+from .schema import Attribute, TableSchema
+from .types import coerce_value, infer_column_type, is_missing
+
+__all__ = ["write_csv", "read_csv", "dump_database", "load_database",
+           "relation_to_csv_text", "relation_from_csv_text"]
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def write_csv(relation: Relation, path: str | pathlib.Path) -> None:
+    """Write a relation to *path* with a header row."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        names = relation.schema.attribute_names
+        writer.writerow(names)
+        for row in relation.rows():
+            writer.writerow([_render(row[a]) for a in names])
+
+
+def relation_to_csv_text(relation: Relation) -> str:
+    """Render a relation as CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    names = relation.schema.attribute_names
+    writer.writerow(names)
+    for row in relation.rows():
+        writer.writerow([_render(row[a]) for a in names])
+    return buffer.getvalue()
+
+
+def _parse_columns(name: str, header: list[str],
+                   records: list[list[str]]) -> Relation:
+    if not header:
+        raise InstanceError(f"CSV for {name!r} has no header row")
+    raw: dict[str, list[str]] = {a: [] for a in header}
+    for lineno, record in enumerate(records, start=2):
+        if len(record) != len(header):
+            raise InstanceError(
+                f"CSV for {name!r}: line {lineno} has {len(record)} fields, "
+                f"expected {len(header)}"
+            )
+        for attr, field in zip(header, record):
+            raw[attr].append(field)
+    attrs = []
+    columns: dict[str, list[object]] = {}
+    for attr in header:
+        dtype = infer_column_type(raw[attr])
+        attrs.append(Attribute(attr, dtype))
+        columns[attr] = [
+            None if is_missing(v) else coerce_value(v, dtype) for v in raw[attr]
+        ]
+    return Relation(TableSchema(name, attrs), columns)
+
+
+def read_csv(path: str | pathlib.Path, *, name: str | None = None) -> Relation:
+    """Read a relation from CSV, inferring the schema from the data."""
+    path = pathlib.Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise InstanceError(f"CSV file {path} is empty")
+    return _parse_columns(name or path.stem, rows[0], rows[1:])
+
+
+def relation_from_csv_text(text: str, name: str) -> Relation:
+    """Parse CSV text into a relation, inferring the schema."""
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows:
+        raise InstanceError(f"CSV text for {name!r} is empty")
+    return _parse_columns(name, rows[0], rows[1:])
+
+
+def dump_database(database: Database, directory: str | pathlib.Path) -> None:
+    """Write every relation of *database* to ``<directory>/<table>.csv``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in database:
+        write_csv(relation, directory / f"{relation.name}.csv")
+
+
+def load_database(directory: str | pathlib.Path, *, name: str | None = None,
+                  tables: Iterable[str] | None = None) -> Database:
+    """Load ``*.csv`` files from a directory into a database."""
+    directory = pathlib.Path(directory)
+    paths = sorted(directory.glob("*.csv"))
+    if tables is not None:
+        wanted = set(tables)
+        paths = [p for p in paths if p.stem in wanted]
+    relations = [read_csv(p) for p in paths]
+    return Database.from_relations(name or directory.name, relations)

@@ -1,0 +1,263 @@
+"""In-memory instances of tables and schemas.
+
+A :class:`Relation` pairs a :class:`~repro.relational.schema.TableSchema`
+with column-oriented data.  The matcher and classifier layers consume bags of
+column values (``v(R.a)`` in the paper); the mapping executor consumes rows.
+Column orientation makes the former cheap while rows are materialized on
+demand for the latter.
+
+A :class:`Database` maps table names to relations and is what experiment
+drivers pass around as "schema with associated sample data" (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import InstanceError, UnknownTableError
+from .schema import Attribute, Schema, TableSchema
+from .types import infer_column_type, is_missing
+
+__all__ = ["Relation", "Database", "Row"]
+
+#: A row is an immutable mapping from attribute name to value.
+Row = Mapping[str, Any]
+
+
+class Relation:
+    """A table instance: schema + column-oriented data.
+
+    Relations are immutable by convention; every transformation
+    (:meth:`select`, :meth:`project`, :meth:`sample`) returns a new relation
+    sharing column lists where safe.
+    """
+
+    def __init__(self, schema: TableSchema, columns: Mapping[str, Sequence[Any]]):
+        self.schema = schema
+        missing = [a for a in schema.attribute_names if a not in columns]
+        if missing:
+            raise InstanceError(
+                f"instance of {schema.name!r} missing columns {missing}"
+            )
+        lengths = {len(columns[a]) for a in schema.attribute_names}
+        if len(lengths) > 1:
+            raise InstanceError(
+                f"ragged columns for {schema.name!r}: lengths {sorted(lengths)}"
+            )
+        self._columns: dict[str, list[Any]] = {
+            a: list(columns[a]) for a in schema.attribute_names
+        }
+        self._nrows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, schema: TableSchema, rows: Iterable[Sequence[Any] | Row]) -> "Relation":
+        """Build a relation from row tuples (schema order) or dict rows."""
+        names = schema.attribute_names
+        columns: dict[str, list[Any]] = {a: [] for a in names}
+        for row in rows:
+            if isinstance(row, Mapping):
+                for a in names:
+                    columns[a].append(row.get(a))
+            else:
+                if len(row) != len(names):
+                    raise InstanceError(
+                        f"row arity {len(row)} != schema arity {len(names)} "
+                        f"for table {schema.name!r}"
+                    )
+                for a, value in zip(names, row):
+                    columns[a].append(value)
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Relation":
+        return cls(schema, {a: [] for a in schema.attribute_names})
+
+    @classmethod
+    def infer_schema(cls, name: str, columns: Mapping[str, Sequence[Any]],
+                     *, is_view: bool = False) -> "Relation":
+        """Build a relation inferring attribute types from the data."""
+        attrs = [Attribute(a, infer_column_type(vals)) for a, vals in columns.items()]
+        return cls(TableSchema(name, attrs, is_view=is_view), columns)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, attribute: str) -> list[Any]:
+        """The bag of values ``v(R.a)`` for an attribute (shared list —
+        callers must not mutate)."""
+        self.schema.attribute(attribute)  # validate reference
+        return self._columns[attribute]
+
+    def non_missing(self, attribute: str) -> list[Any]:
+        """Column values with NULLs removed."""
+        return [v for v in self.column(attribute) if not is_missing(v)]
+
+    def row(self, index: int) -> dict[str, Any]:
+        return {a: self._columns[a][index] for a in self.schema.attribute_names}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for i in range(self._nrows):
+            yield self.row(i)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.rows()
+
+    def distinct(self, attribute: str) -> list[Any]:
+        """Distinct non-missing values in first-seen order."""
+        seen: dict[Any, None] = {}
+        for v in self.column(attribute):
+            if not is_missing(v) and v not in seen:
+                seen[v] = None
+        return list(seen)
+
+    def value_counts(self, attribute: str) -> dict[Any, int]:
+        counts: dict[Any, int] = {}
+        for v in self.column(attribute):
+            if is_missing(v):
+                continue
+            counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[Row], bool], *,
+               name: str | None = None, is_view: bool = False) -> "Relation":
+        """Rows satisfying *predicate* (a Python callable over dict rows)."""
+        keep = [i for i in range(self._nrows) if predicate(self.row(i))]
+        return self.take(keep, name=name, is_view=is_view)
+
+    def take(self, indices: Sequence[int], *, name: str | None = None,
+             is_view: bool = False) -> "Relation":
+        """Rows at *indices*, in the order given."""
+        schema = self.schema
+        if name is not None or is_view != schema.is_view:
+            schema = TableSchema(name or schema.name, schema.attributes,
+                                 is_view=is_view or schema.is_view)
+        columns = {
+            a: [self._columns[a][i] for i in indices]
+            for a in self.schema.attribute_names
+        }
+        return Relation(schema, columns)
+
+    def project(self, attributes: Sequence[str], *, name: str | None = None,
+                is_view: bool | None = None) -> "Relation":
+        schema = self.schema.project(attributes, new_name=name, is_view=is_view)
+        return Relation(schema, {a: self._columns[a] for a in attributes})
+
+    def rename(self, new_name: str) -> "Relation":
+        return Relation(self.schema.rename(new_name), self._columns)
+
+    def extend(self, attribute: Attribute, values: Sequence[Any]) -> "Relation":
+        """A new relation with one extra column appended."""
+        if len(values) != self._nrows:
+            raise InstanceError(
+                f"new column {attribute.name!r} has {len(values)} values, "
+                f"table has {self._nrows} rows"
+            )
+        schema = TableSchema(
+            self.schema.name,
+            list(self.schema.attributes) + [attribute],
+            is_view=self.schema.is_view,
+        )
+        columns = dict(self._columns)
+        columns[attribute.name] = list(values)
+        return Relation(schema, columns)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union-all of two instances with identical attribute lists."""
+        if other.schema.attribute_names != self.schema.attribute_names:
+            raise InstanceError(
+                f"cannot concat {self.name!r} and {other.name!r}: "
+                "attribute lists differ"
+            )
+        columns = {
+            a: self._columns[a] + other._columns[a]
+            for a in self.schema.attribute_names
+        }
+        return Relation(self.schema, columns)
+
+    # ------------------------------------------------------------------
+    # Sampling (train/test partitioning for ClusteredViewGen)
+    # ------------------------------------------------------------------
+    def sample(self, n: int, rng: np.random.Generator) -> "Relation":
+        """Uniform sample without replacement of min(n, len) rows."""
+        n = min(n, self._nrows)
+        indices = rng.choice(self._nrows, size=n, replace=False)
+        return self.take([int(i) for i in indices])
+
+    def shuffle(self, rng: np.random.Generator) -> "Relation":
+        indices = rng.permutation(self._nrows)
+        return self.take([int(i) for i in indices])
+
+    def split(self, fraction: float, rng: np.random.Generator) -> tuple["Relation", "Relation"]:
+        """Random split into (first, second) with ``fraction`` of rows in the
+        first part — the mutually-exclusive training/testing tuple sets of
+        Algorithm ClusteredViewGen (Figure 6)."""
+        if not 0.0 < fraction < 1.0:
+            raise InstanceError(f"split fraction must be in (0,1), got {fraction}")
+        indices = [int(i) for i in rng.permutation(self._nrows)]
+        cut = int(round(self._nrows * fraction))
+        # Guarantee both sides non-empty whenever there are >= 2 rows.
+        cut = max(1, min(self._nrows - 1, cut)) if self._nrows >= 2 else cut
+        return self.take(indices[:cut]), self.take(indices[cut:])
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.name}: {self._nrows} rows x {len(self.schema)} cols>"
+
+
+class Database:
+    """A schema together with an instance for each table."""
+
+    def __init__(self, schema: Schema, relations: Iterable[Relation] = ()):
+        self.schema = schema
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    @classmethod
+    def from_relations(cls, name: str, relations: Iterable[Relation]) -> "Database":
+        relations = list(relations)
+        schema = Schema(name, [r.schema for r in relations])
+        return cls(schema, relations)
+
+    def add(self, relation: Relation) -> None:
+        if relation.name not in self.schema:
+            self.schema.add(relation.schema)
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownTableError(self.schema.name, name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{r.name}[{len(r)}]" for r in self._relations.values())
+        return f"<Database {self.name}: {parts}>"

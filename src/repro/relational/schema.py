@@ -1,0 +1,212 @@
+"""Schemas, tables and attributes (paper Section 2.1).
+
+A :class:`Schema` is a named collection of tables; a :class:`TableSchema`
+holds an ordered list of typed :class:`Attribute` objects.  Views (inferred
+by contextual matching) are registered alongside base tables so the mapping
+layer can treat them uniformly, but remain distinguishable via
+:attr:`TableSchema.is_view`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+from ..errors import SchemaError, UnknownAttributeError, UnknownTableError
+from .types import DataType
+
+__all__ = ["Attribute", "TableSchema", "Schema", "AttributeRef"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a table or view."""
+
+    name: str
+    dtype: DataType = DataType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.name}: {self.dtype.value}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributeRef:
+    """A fully-qualified reference ``table.attribute`` used by matches,
+    correspondences and constraints."""
+
+    table: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.attribute}"
+
+
+class TableSchema:
+    """Ordered collection of attributes with O(1) lookup by name.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within its :class:`Schema`.
+    attributes:
+        Iterable of :class:`Attribute` (or ``(name, dtype)`` pairs).
+    is_view:
+        True for select-only views inferred by contextual matching.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[Attribute | tuple[str, DataType]],
+        *,
+        is_view: bool = False,
+    ):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.is_view = is_view
+        self._attributes: list[Attribute] = []
+        self._index: dict[str, int] = {}
+        for item in attributes:
+            attr = item if isinstance(item, Attribute) else Attribute(*item)
+            if attr.name in self._index:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in table {name!r}"
+                )
+            self._index[attr.name] = len(self._attributes)
+            self._attributes.append(attr)
+        if not self._attributes:
+            raise SchemaError(f"table {name!r} must have at least one attribute")
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name, raising on a bad reference."""
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise UnknownAttributeError(self.name, name) from None
+
+    def index_of(self, name: str) -> int:
+        """Positional index of *name*; raises on a bad reference."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(self.name, name) from None
+
+    def dtype(self, name: str) -> DataType:
+        return self.attribute(name).dtype
+
+    def ref(self, name: str) -> AttributeRef:
+        """Qualified reference to an attribute of this table."""
+        self.attribute(name)  # validate
+        return AttributeRef(self.name, name)
+
+    def project(self, names: Iterable[str], *, new_name: str | None = None,
+                is_view: bool | None = None) -> "TableSchema":
+        """A new schema with only *names*, in the order given."""
+        attrs = [self.attribute(n) for n in names]
+        return TableSchema(
+            new_name or self.name,
+            attrs,
+            is_view=self.is_view if is_view is None else is_view,
+        )
+
+    def rename(self, new_name: str) -> "TableSchema":
+        return TableSchema(new_name, self._attributes, is_view=self.is_view)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TableSchema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._attributes == other._attributes
+            and self.is_view == other.is_view
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, tuple(self._attributes), self.is_view))
+
+    def __repr__(self) -> str:
+        kind = "view" if self.is_view else "table"
+        cols = ", ".join(str(a) for a in self._attributes)
+        return f"<{kind} {self.name}({cols})>"
+
+
+class Schema:
+    """A named collection of tables and views (``RS`` / ``RT`` in the paper)."""
+
+    def __init__(self, name: str, tables: Iterable[TableSchema] = ()):
+        self.name = name
+        self._tables: dict[str, TableSchema] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: TableSchema) -> None:
+        if table.name in self._tables:
+            raise SchemaError(
+                f"duplicate table {table.name!r} in schema {self.name!r}"
+            )
+        self._tables[table.name] = table
+
+    def remove(self, name: str) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(self.name, name)
+        del self._tables[name]
+
+    @property
+    def tables(self) -> tuple[TableSchema, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def base_tables(self) -> tuple[TableSchema, ...]:
+        return tuple(t for t in self._tables.values() if not t.is_view)
+
+    @property
+    def views(self) -> tuple[TableSchema, ...]:
+        return tuple(t for t in self._tables.values() if t.is_view)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(self.name, name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def resolve(self, ref: AttributeRef) -> Attribute:
+        """Resolve a qualified reference, validating both halves."""
+        return self.table(ref.table).attribute(ref.attribute)
+
+    def __repr__(self) -> str:
+        return f"<Schema {self.name}: {', '.join(self._tables)}>"

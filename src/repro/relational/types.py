@@ -1,0 +1,168 @@
+"""Attribute data types and type inference.
+
+The paper's data model (Section 2.1) gives every attribute a type drawn from
+``string``, ``int``, ``real`` etc.; the :class:`~repro.context` package and
+the per-type target classifiers of ``TgtClassInfer`` (Figure 7) both branch
+on these types.  We implement a small closed enumeration plus inference from
+sample values, mirroring what a constraint-mining tool would do on CSV data.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from typing import Any, Iterable
+
+__all__ = [
+    "DataType",
+    "infer_type",
+    "infer_column_type",
+    "coerce_value",
+    "is_missing",
+]
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_BOOL_TOKENS = {"true": True, "false": False, "y": True, "n": False,
+                "yes": True, "no": False, "t": True, "f": False}
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+#: Values treated as SQL NULL when reading data or evaluating conditions.
+MISSING_TOKENS = frozenset({"", "null", "none", "na", "n/a"})
+
+
+class DataType(enum.Enum):
+    """Closed set of attribute types used throughout the library.
+
+    ``STRING`` covers short, code-like values (ISBNs, format labels) while
+    ``TEXT`` covers free text (titles, descriptions).  The distinction only
+    matters to matchers and classifiers that tokenize; both belong to the
+    *textual* compatibility family.
+    """
+
+    STRING = "string"
+    TEXT = "text"
+    INTEGER = "int"
+    FLOAT = "real"
+    BOOLEAN = "bool"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @property
+    def is_textual(self) -> bool:
+        return self in (DataType.STRING, DataType.TEXT)
+
+    def compatible_with(self, other: "DataType") -> bool:
+        """Whether values of this type can be meaningfully compared with
+        values of ``other`` — the test used by ``createTargetClassifier``
+        (paper Figure 7, line 3) when grouping attributes by domain."""
+        if self is other:
+            return True
+        if self.is_numeric and other.is_numeric:
+            return True
+        if self.is_textual and other.is_textual:
+            return True
+        return False
+
+    @property
+    def family(self) -> str:
+        """Domain family name: one classifier per family in TgtClassInfer."""
+        if self.is_numeric:
+            return "numeric"
+        if self.is_textual:
+            return "textual"
+        return self.value
+
+
+def is_missing(value: Any) -> bool:
+    """Return True if *value* represents SQL NULL / absent data."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in MISSING_TOKENS:
+        return True
+    return False
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a single non-missing value."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    text = str(value).strip()
+    low = text.lower()
+    if low in _BOOL_TOKENS:
+        return DataType.BOOLEAN
+    if _INT_RE.match(text):
+        # A digit string with a leading zero ("0195128") is an identifier
+        # (ISBN, zip code), not a number — treat it as a code-like string.
+        digits = text.lstrip("+-")
+        if len(digits) > 1 and digits.startswith("0"):
+            return DataType.STRING
+        return DataType.INTEGER
+    if _FLOAT_RE.match(text):
+        return DataType.FLOAT
+    if _DATE_RE.match(text):
+        return DataType.DATE
+    # Free text vs code-like string: free text has internal whitespace.
+    if " " in text or len(text) > 32:
+        return DataType.TEXT
+    return DataType.STRING
+
+
+def infer_column_type(values: Iterable[Any]) -> DataType:
+    """Infer the type of a column from a sample of its values.
+
+    Missing values are skipped.  The result is the most general type that
+    covers every observed value (INTEGER widens to FLOAT, STRING widens to
+    TEXT, any textual/other mix collapses to TEXT).  An all-missing column
+    defaults to STRING.
+    """
+    seen: set[DataType] = set()
+    for value in values:
+        if is_missing(value):
+            continue
+        seen.add(infer_type(value))
+    if not seen:
+        return DataType.STRING
+    if len(seen) == 1:
+        return next(iter(seen))
+    if seen <= {DataType.INTEGER, DataType.FLOAT}:
+        return DataType.FLOAT
+    if seen <= {DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN}:
+        return DataType.FLOAT
+    if seen <= {DataType.STRING, DataType.TEXT}:
+        return DataType.TEXT
+    return DataType.TEXT
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce *value* to the Python representation of *dtype*.
+
+    Missing values coerce to ``None``.  Raises :class:`ValueError` when the
+    value cannot represent the target type (e.g. ``"abc"`` as INTEGER).
+    """
+    if is_missing(value):
+        return None
+    if dtype is DataType.INTEGER:
+        return int(float(value)) if not isinstance(value, bool) else int(value)
+    if dtype is DataType.FLOAT:
+        return float(value)
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return bool(value)
+        token = str(value).strip().lower()
+        if token in _BOOL_TOKENS:
+            return _BOOL_TOKENS[token]
+        raise ValueError(f"cannot coerce {value!r} to BOOLEAN")
+    return str(value)

@@ -1,0 +1,192 @@
+"""Select-only views and view families (paper Sections 3, 3.2.2).
+
+A :class:`View` is ``select <projection> from <base> where <condition>``.
+Views are evaluated lazily against the in-memory sample — they are *never*
+materialized in a DBMS during the candidate search (Section 3, "views are
+not created in the DBMS storing RS or RT").
+
+A :class:`ViewFamily` ``F = (R, l, {Vi})`` partitions a table by the values
+of one categorical attribute ``l`` — the unit of quality assessment in
+Algorithm ClusteredViewGen (Figure 6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..errors import ConditionError, SchemaError
+from .conditions import Condition, Eq, In, TRUE
+from .instance import Relation
+from .schema import TableSchema
+
+__all__ = ["View", "ViewFamily", "view_name"]
+
+
+def view_name(base: str, condition: Condition) -> str:
+    """A deterministic, human-readable name for an inferred view."""
+    if condition.is_true():
+        return base
+    text = str(condition)
+    for old, new in ((" ", ""), ("'", ""), ('"', ""), ("{", "("), ("}", ")")):
+        text = text.replace(old, new)
+    return f"{base}[{text}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class View:
+    """A select-only view over a base table.
+
+    Parameters
+    ----------
+    base:
+        Name of the base table (or of another view, for the conjunctive
+        iteration of Section 3.5).
+    condition:
+        Selection condition; ``TRUE`` makes the view the identity.
+    projection:
+        Optional tuple of attribute names to keep (``select *`` when None) —
+        SP views as used by the mapping layer in Section 4.
+    name:
+        Optional explicit name; defaults to :func:`view_name`.
+    """
+
+    base: str
+    condition: Condition = TRUE
+    projection: tuple[str, ...] | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.base:
+            raise SchemaError("view needs a base table name")
+        if not self.name:
+            object.__setattr__(self, "name", view_name(self.base, self.condition))
+
+    # ------------------------------------------------------------------
+    def schema(self, base_schema: TableSchema) -> TableSchema:
+        """The schema of this view given its base table's schema."""
+        names = self.projection or base_schema.attribute_names
+        return base_schema.project(names, new_name=self.name, is_view=True)
+
+    def evaluate(self, base: Relation) -> Relation:
+        """Materialize the view over an in-memory sample of its base."""
+        if base.name != self.base:
+            raise SchemaError(
+                f"view {self.name!r} is over {self.base!r}, got instance of "
+                f"{base.name!r}"
+            )
+        selected = base.select(self.condition.evaluate, name=self.name,
+                               is_view=True)
+        if self.projection is not None:
+            selected = selected.project(list(self.projection), name=self.name,
+                                        is_view=True)
+        return selected
+
+    def to_sql(self) -> str:
+        cols = ", ".join(self.projection) if self.projection else "*"
+        if self.condition.is_true():
+            return f"SELECT {cols} FROM {self.base}"
+        return f"SELECT {cols} FROM {self.base} WHERE {self.condition.to_sql()}"
+
+    def restrict(self, extra: Condition) -> "View":
+        """This view further restricted by *extra* (conjunctive search)."""
+        return View(self.base, self.condition.and_(extra),
+                    projection=self.projection)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.condition.is_true() and self.projection is None
+
+    def __str__(self) -> str:
+        return f"{self.name} = ({self.to_sql()})"
+
+
+class ViewFamily:
+    """A family ``F = (R, l, {Vi})`` of mutually exclusive select-only views
+    partitioning table ``R`` by values of a single attribute ``l``.
+
+    ``groups`` gives the value-sets of the partition: a plain family has one
+    singleton group per categorical value; early-disjunct merging (Section
+    3.3) produces multi-value groups.
+    """
+
+    def __init__(self, table: str, attribute: str,
+                 groups: Iterable[Sequence[Any]], *, quality: float = 0.0):
+        self.table = table
+        self.attribute = attribute
+        self.quality = quality
+        normalized: list[frozenset[Any]] = []
+        seen: set[Any] = set()
+        for group in groups:
+            fs = frozenset(group)
+            if not fs:
+                raise ConditionError("view family group must be non-empty")
+            if fs & seen:
+                raise ConditionError(
+                    f"view family groups on {table}.{attribute} overlap: {fs}"
+                )
+            seen |= fs
+            normalized.append(fs)
+        if not normalized:
+            raise ConditionError("view family needs at least one group")
+        self.groups: tuple[frozenset[Any], ...] = tuple(normalized)
+
+    @classmethod
+    def simple(cls, table: str, attribute: str, values: Iterable[Any],
+               *, quality: float = 0.0) -> "ViewFamily":
+        """One view per distinct value — the un-merged family."""
+        return cls(table, attribute, [[v] for v in values], quality=quality)
+
+    def condition_for(self, group: frozenset[Any]) -> Condition:
+        if len(group) == 1:
+            return Eq(self.attribute, next(iter(group)))
+        return In(self.attribute, sorted(group, key=repr))
+
+    def views(self) -> list[View]:
+        """The member views ``{Vi}``, one per group."""
+        return [View(self.table, self.condition_for(g)) for g in self.groups]
+
+    def __iter__(self) -> Iterator[View]:
+        return iter(self.views())
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def merge(self, value_a: Any, value_b: Any) -> "ViewFamily":
+        """A new family with the groups containing *value_a* and *value_b*
+        merged — one step of the early-disjunct algorithm (Section 3.3)."""
+        group_a = self._group_of(value_a)
+        group_b = self._group_of(value_b)
+        if group_a == group_b:
+            return self
+        merged = group_a | group_b
+        rest = [g for g in self.groups if g not in (group_a, group_b)]
+        return ViewFamily(self.table, self.attribute, [merged, *rest],
+                          quality=self.quality)
+
+    def _group_of(self, value: Any) -> frozenset[Any]:
+        for group in self.groups:
+            if value in group:
+                return group
+        raise ConditionError(
+            f"value {value!r} not in any group of family on "
+            f"{self.table}.{self.attribute}"
+        )
+
+    def group_label(self, value: Any) -> frozenset[Any]:
+        """The merged token (group) a raw categorical value belongs to."""
+        return self._group_of(value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViewFamily):
+            return NotImplemented
+        return (self.table, self.attribute, frozenset(self.groups)) == (
+            other.table, other.attribute, frozenset(other.groups))
+
+    def __hash__(self) -> int:
+        return hash((self.table, self.attribute, frozenset(self.groups)))
+
+    def __repr__(self) -> str:
+        parts = ["{" + ",".join(sorted(map(repr, g))) + "}" for g in self.groups]
+        return (f"<ViewFamily {self.table}.{self.attribute} -> "
+                f"{' | '.join(parts)} (q={self.quality:.3f})>")

@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's Figure 1 running example plus seeded
+workloads (module-scoped where generation is expensive)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational import Database, Relation
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def inv_relation() -> Relation:
+    """RS.inv from Figure 1(a)."""
+    return Relation.infer_schema("inv", {
+        "id": [0, 1, 2, 3, 4],
+        "name": ["leaves of grass", "the white album", "heart of darkness",
+                 "wasteland", "hotel california"],
+        "type": [1, 2, 1, 1, 2],
+        "instock": ["Y", "Y", "N", "Y", "N"],
+        "code": ["0195128", "B002UAX", "0486611", "0393995", "B002GVO"],
+        "descr": ["hardcover", "audio cd", "paperback", "paperback",
+                  "elektra cd"],
+    })
+
+
+@pytest.fixture()
+def book_relation() -> Relation:
+    """RT.book from Figure 1(b)."""
+    return Relation.infer_schema("book", {
+        "id": [50, 51],
+        "title": ["the historian", "lance armstrong's war"],
+        "isbn": ["0316011770", "0486400611"],
+        "price": [15.57, 15.95],
+        "format": ["hardcover", "hardcover"],
+    })
+
+
+@pytest.fixture()
+def music_relation() -> Relation:
+    """RT.music from Figure 1(c)."""
+    return Relation.infer_schema("music", {
+        "id": [80, 81],
+        "title": ["x&y", "moonlight"],
+        "asin": ["B0006L16N8", "B0009PLM4Y"],
+        "price": [13.29, 13.49],
+        "sale": [12.50, 9.99],
+        "label": ["capitol", "sony"],
+    })
+
+
+@pytest.fixture()
+def price_relation() -> Relation:
+    """RS.price from Figure 4 (attribute normalization example)."""
+    return Relation.infer_schema("price", {
+        "id": [0, 1, 1, 2, 2, 3, 4, 4],
+        "prcode": ["reg", "reg", "sale", "reg", "sale", "reg", "sale", "reg"],
+        "price": [14.95, 27.99, 24.99, 8.95, 8.45, 11.40, 12.25, 14.95],
+    })
+
+
+@pytest.fixture()
+def figure1_source(inv_relation) -> Database:
+    return Database.from_relations("RS", [inv_relation])
+
+
+@pytest.fixture()
+def figure1_target(book_relation, music_relation) -> Database:
+    return Database.from_relations("RT", [book_relation, music_relation])
+
+
+@pytest.fixture(scope="session")
+def retail_workload():
+    """A medium retail workload shared by integration tests."""
+    from repro.datagen import make_retail_workload
+    return make_retail_workload(target="ryan", gamma=4, n_source=600,
+                                n_target=250, seed=11)
+
+
+@pytest.fixture(scope="session")
+def grades_workload():
+    from repro.datagen import make_grades_workload
+    return make_grades_workload(sigma=8, n_students=120, seed=11)

@@ -1,0 +1,82 @@
+"""Unit tests for categorical-attribute detection (Section 2.1's 10%/1%
+rule)."""
+
+import pytest
+
+from repro.context import (CategoricalPolicy, categorical_attributes,
+                           is_categorical, non_categorical_attributes)
+from repro.relational import Relation
+
+
+class TestIsCategorical:
+    def test_balanced_two_values(self):
+        assert is_categorical(["a"] * 50 + ["b"] * 50)
+
+    def test_all_unique_not_categorical(self):
+        assert not is_categorical([f"v{i}" for i in range(100)])
+
+    def test_single_value_not_categorical(self):
+        assert not is_categorical(["only"] * 100)
+
+    def test_small_sample_rule(self):
+        # Two values, each covering two tuples: categorical even at n=4.
+        assert is_categorical(["x", "x", "y", "y"])
+        # One heavy value only: not categorical.
+        assert not is_categorical(["x", "x", "y", "z"])
+
+    def test_missing_values_ignored(self):
+        assert is_categorical(["a", "a", None, "b", "b", ""])
+
+    def test_empty_not_categorical(self):
+        assert not is_categorical([])
+
+    def test_max_cardinality_guard(self):
+        values = [f"v{i % 60}" for i in range(600)]
+        assert not is_categorical(values)  # 60 distinct > default cap 50
+        relaxed = CategoricalPolicy(max_cardinality=None)
+        assert is_categorical(values, relaxed)
+
+    def test_heavy_fraction_threshold(self):
+        # 2 heavy values among 30 distinct: below the 10% value fraction.
+        values = ["a"] * 40 + ["b"] * 40 + [f"u{i}" for i in range(28)]
+        assert not is_categorical(values)
+        # 2 heavy among 10 distinct: 20% of values are heavy.
+        values = ["a"] * 40 + ["b"] * 40 + [f"u{i}" for i in range(8)]
+        assert is_categorical(values)
+
+    def test_policy_tuple_fraction(self):
+        # With a 20% tuple threshold a value needs 20 of 100 tuples.
+        strict = CategoricalPolicy(tuple_fraction=0.20)
+        values = ["a"] * 15 + ["b"] * 15 + ["c"] * 70
+        assert not is_categorical(values, strict)
+
+
+class TestRelationHelpers:
+    def test_inventory_attributes(self, inv_relation):
+        # A 5-row sample: type (1/2) and instock (Y/N) qualify; descr has
+        # only one repeated value ('paperback' twice).
+        cats = categorical_attributes(inv_relation)
+        assert "type" in cats
+        assert "instock" in cats
+        assert "name" not in cats
+        assert "code" not in cats
+
+    def test_complement(self, inv_relation):
+        cats = set(categorical_attributes(inv_relation))
+        noncats = set(non_categorical_attributes(inv_relation))
+        assert cats | noncats == set(inv_relation.schema.attribute_names)
+        assert cats & noncats == set()
+
+    def test_grades_exam_num(self, grades_workload):
+        narrow = grades_workload.source.relation("grades_narrow")
+        cats = categorical_attributes(narrow)
+        assert "examNum" in cats
+        assert "grade" not in cats
+        assert "name" not in cats
+
+    def test_retail_item_type(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        cats = categorical_attributes(items)
+        assert "ItemType" in cats
+        assert "StockStatus" in cats
+        assert "Name" not in cats

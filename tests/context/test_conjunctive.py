@@ -1,0 +1,94 @@
+"""Tests for conjunctive condition search (Section 3.5).
+
+Builds a workload whose correct context is the 2-condition
+``type = b AND fiction = 0`` (the paper's Non-fiction-Books motivating
+example): stage 1 can only find ``type = b``; stage 2 must refine it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ContextMatch, ContextMatchConfig
+from repro.relational import And, Database, Relation, condition_k
+
+
+@pytest.fixture(scope="module")
+def nonfiction_workload():
+    rng = np.random.default_rng(42)
+    fiction_words = ["dragon", "quest", "kingdom", "prophecy", "sword",
+                     "realm", "sorcerer", "legend"]
+    nonfiction_words = ["history", "biography", "science", "atlas",
+                        "economics", "treatise", "memoir", "analysis"]
+    music_words = ["groove", "rhythm", "soul", "echo", "riff", "anthem",
+                   "tempo", "chorus"]
+
+    def title(words, i):
+        picks = [words[int(rng.integers(len(words)))] for _ in range(3)]
+        return " ".join(picks) + f" {i}"
+
+    names, types, fictions, codes = [], [], [], []
+    for i in range(900):
+        roll = rng.random()
+        if roll < 1 / 3:
+            names.append(title(fiction_words, i))
+            types.append("b")
+            fictions.append(1)
+            codes.append("0" + "".join(
+                str(int(d)) for d in rng.integers(0, 10, 8)))
+        elif roll < 2 / 3:
+            names.append(title(nonfiction_words, i))
+            types.append("b")
+            fictions.append(0)
+            codes.append("0" + "".join(
+                str(int(d)) for d in rng.integers(0, 10, 8)))
+        else:
+            names.append(title(music_words, i))
+            types.append("m")
+            fictions.append(0)
+            codes.append("B0" + "".join(
+                "ABCDEFGH123"[int(d)] for d in rng.integers(0, 11, 6)))
+    source = Database.from_relations("S", [Relation.infer_schema("items", {
+        "name": names, "type": types, "fiction": fictions, "code": codes,
+    })])
+    nonfiction_titles = [title(nonfiction_words, 10_000 + i)
+                         for i in range(300)]
+    target = Database.from_relations("T", [Relation.infer_schema(
+        "nonfiction_books", {"title": nonfiction_titles})])
+    return source, target
+
+
+class TestConjunctiveStages:
+    def test_single_stage_finds_one_condition(self, nonfiction_workload):
+        source, target = nonfiction_workload
+        config = ContextMatchConfig(inference="src", conjunctive_stages=1,
+                                    seed=5, early_disjuncts=False)
+        result = ContextMatch(config).run(source, target)
+        for match in result.contextual_matches:
+            assert condition_k(match.condition) == 1
+
+    def test_two_stages_find_conjunction(self, nonfiction_workload):
+        source, target = nonfiction_workload
+        config = ContextMatchConfig(inference="src", conjunctive_stages=2,
+                                    seed=5, early_disjuncts=False)
+        result = ContextMatch(config).run(source, target)
+        conjunctive = [m for m in result.contextual_matches
+                       if condition_k(m.condition) == 2]
+        assert conjunctive, "stage 2 should refine the stage-1 view"
+        for match in conjunctive:
+            assert isinstance(match.condition, And)
+            assert match.condition.attributes() == {"type", "fiction"}
+            # The refined view must actually select non-fiction books.
+            items = source.relation("items")
+            rows = [r for r in items.rows() if match.condition(r)]
+            assert rows
+            assert all(r["type"] == "b" and r["fiction"] == 0 for r in rows)
+
+    def test_extra_stage_is_stable(self, nonfiction_workload):
+        """A third stage with nothing left to split must not degrade."""
+        source, target = nonfiction_workload
+        config = ContextMatchConfig(inference="src", conjunctive_stages=3,
+                                    seed=5, early_disjuncts=False)
+        result = ContextMatch(config).run(source, target)
+        assert result.matches
+        for match in result.contextual_matches:
+            assert condition_k(match.condition) <= 2

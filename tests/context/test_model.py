@@ -1,0 +1,93 @@
+"""Unit tests for the contextual-match result model."""
+
+import pytest
+
+from repro.context.model import (CandidateScore, ContextualMatch,
+                                 MatchResult)
+from repro.matching.standard import AttributeMatch
+from repro.relational import TRUE, Eq, View, ViewFamily
+from repro.relational.schema import AttributeRef
+
+
+def contextual(condition, view=None):
+    return ContextualMatch(
+        source=AttributeRef("items", "Name"),
+        target=AttributeRef("books", "title"),
+        condition=condition, score=0.8, confidence=0.9, view=view)
+
+
+class TestContextualMatch:
+    def test_standard_match_properties(self):
+        match = contextual(TRUE)
+        assert not match.is_contextual
+        assert match.source_name == "items"
+        assert "WHERE" not in str(match)
+
+    def test_contextual_match_properties(self):
+        view = View("items", Eq("ItemType", "Book"))
+        match = contextual(view.condition, view)
+        assert match.is_contextual
+        assert match.source_name == view.name
+        assert "WHERE" in str(match)
+
+    def test_source_names_base_table(self):
+        view = View("items", Eq("ItemType", "Book"))
+        match = contextual(view.condition, view)
+        assert match.source.table == "items"
+
+
+class TestCandidateScore:
+    def test_improvement(self):
+        base = AttributeMatch(source=AttributeRef("items", "Name"),
+                              target=AttributeRef("books", "title"),
+                              score=0.5, confidence=0.6)
+        rescored = AttributeMatch(source=AttributeRef("v", "Name"),
+                                  target=AttributeRef("books", "title"),
+                                  score=0.9, confidence=0.8)
+        view = View("items", Eq("ItemType", "Book"))
+        family = ViewFamily.simple("items", "ItemType", ["Book", "CD"])
+        candidate = CandidateScore(view=view, family=family,
+                                   base_match=base, rescored=rescored,
+                                   view_rows=10)
+        assert candidate.improvement == pytest.approx(0.2)
+
+
+class TestMatchResult:
+    def test_contextual_filter(self):
+        view = View("items", Eq("ItemType", "Book"))
+        result = MatchResult(matches=[
+            contextual(TRUE), contextual(view.condition, view)])
+        assert len(result.contextual_matches) == 1
+
+    def test_views_deduplicated(self):
+        view = View("items", Eq("ItemType", "Book"))
+        result = MatchResult(matches=[
+            contextual(view.condition, view),
+            contextual(view.condition, view)])
+        assert len(result.views()) == 1
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+        assert repro.__version__
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        from repro import errors
+        for name in ("SchemaError", "InstanceError", "ConditionError",
+                     "ConstraintError", "MappingError", "MatchingError",
+                     "UnknownAttributeError", "UnknownTableError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_unknown_attribute_payload(self):
+        from repro.errors import UnknownAttributeError
+        err = UnknownAttributeError("inv", "ghost")
+        assert err.table == "inv" and err.attribute == "ghost"
+        assert "ghost" in str(err)

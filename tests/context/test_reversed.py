@@ -1,0 +1,71 @@
+"""Tests for target-side contextual matching (Section 3's role reversal /
+Section 7 future work: "views on the target schema should be handled")."""
+
+import pytest
+
+from repro import ContextMatch, ContextMatchConfig
+from repro.relational import In
+
+
+class TestFlipped:
+    def test_double_flip_is_identity(self, retail_workload):
+        config = ContextMatchConfig(inference="src", seed=5)
+        result = ContextMatch(config).run(retail_workload.source,
+                                          retail_workload.target)
+        for match in result.matches[:5]:
+            assert match.flipped().flipped() == match
+
+    def test_flip_swaps_sides_and_marker(self, retail_workload):
+        config = ContextMatchConfig(inference="src", seed=5)
+        result = ContextMatch(config).run(retail_workload.source,
+                                          retail_workload.target)
+        match = result.contextual_matches[0]
+        flipped = match.flipped()
+        assert flipped.source == match.target
+        assert flipped.target == match.source
+        assert flipped.condition == match.condition
+        assert flipped.condition_on == "target"
+
+
+class TestRunReversed:
+    """Reversed retail: the *separated* tables are now the source and the
+    combined inventory the target; conditions land on the target."""
+
+    @pytest.fixture(scope="class")
+    def reversed_result(self, retail_workload):
+        config = ContextMatchConfig(inference="src", early_disjuncts=True,
+                                    seed=5)
+        # Source <-> target swapped relative to the usual workload.
+        return ContextMatch(config).run_reversed(
+            source=retail_workload.target, target=retail_workload.source)
+
+    def test_conditions_restrict_target_table(self, reversed_result):
+        contextual = reversed_result.contextual_matches
+        assert contextual
+        for match in contextual:
+            assert match.condition_on == "target"
+            assert match.condition.attributes() == {"ItemType"}
+            # The view is over the combined (target-side) items table.
+            assert match.view.base == "items"
+
+    def test_directions_point_into_target(self, reversed_result,
+                                          retail_workload):
+        source_tables = set(retail_workload.target.schema.table_names)
+        for match in reversed_result.matches:
+            assert match.source.table in source_tables
+            assert match.target.table == "items"
+
+    def test_books_map_under_book_conditions(self, reversed_result,
+                                             retail_workload):
+        for match in reversed_result.contextual_matches:
+            values = (match.condition.values
+                      if isinstance(match.condition, In)
+                      else {match.condition.value})
+            if match.source.table == "books":
+                assert values <= retail_workload.book_values
+            if match.source.table == "cds":
+                assert values <= retail_workload.music_values
+
+    def test_rendering_marks_target_side(self, reversed_result):
+        text = str(reversed_result.contextual_matches[0])
+        assert "[on target]" in text

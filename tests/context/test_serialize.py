@@ -1,0 +1,107 @@
+"""Tests for match/condition JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.context import (condition_from_dict, condition_to_dict,
+                           match_from_dict, match_to_dict, result_to_dict)
+from repro.context.model import ContextualMatch, MatchResult
+from repro.errors import ConditionError
+from repro.relational import TRUE, And, Eq, In, Or, View
+from repro.relational.schema import AttributeRef
+
+
+CONDITIONS = [
+    TRUE,
+    Eq("type", 1),
+    Eq("name", "o'hara"),
+    In("type", [1, 2, 3]),
+    And.of(Eq("a", 1), Eq("b", "x")),
+    Or.of(Eq("a", 1), In("b", ["p", "q"])),
+    And.of(Or.of(Eq("a", 1), Eq("a", 2)), Eq("c", True)),
+]
+
+
+class TestConditionRoundTrip:
+    @pytest.mark.parametrize("condition", CONDITIONS, ids=str)
+    def test_round_trip(self, condition):
+        encoded = condition_to_dict(condition)
+        json.dumps(encoded)  # must be JSON-compatible
+        assert condition_from_dict(encoded) == condition
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConditionError):
+            condition_from_dict({"op": "xor"})
+
+    @given(st.sets(st.integers(0, 9), min_size=1, max_size=5))
+    def test_in_round_trip_property(self, values):
+        condition = In("a", list(values))
+        assert condition_from_dict(condition_to_dict(condition)) == condition
+
+
+class TestMatchRoundTrip:
+    def make_match(self, condition, condition_on="source"):
+        view = None
+        if not condition.is_true():
+            base = "items" if condition_on == "source" else "books"
+            view = View(base, condition)
+        return ContextualMatch(
+            source=AttributeRef("items", "Name"),
+            target=AttributeRef("books", "title"),
+            condition=condition, score=0.81, confidence=0.93,
+            view=view, condition_on=condition_on)
+
+    def test_contextual_round_trip(self):
+        match = self.make_match(In("ItemType", ["B1", "B2"]))
+        restored = match_from_dict(match_to_dict(match))
+        assert restored == match
+
+    def test_standard_round_trip(self):
+        match = self.make_match(TRUE)
+        restored = match_from_dict(match_to_dict(match))
+        assert restored.view is None
+        assert restored == match
+
+    def test_target_side_round_trip(self):
+        match = self.make_match(Eq("format", "hardcover"),
+                                condition_on="target")
+        restored = match_from_dict(match_to_dict(match))
+        assert restored.condition_on == "target"
+        assert restored.view.base == "books"
+
+    def test_dict_is_json_compatible(self):
+        match = self.make_match(Eq("ItemType", "Book"))
+        text = json.dumps(match_to_dict(match))
+        assert "ItemType" in text
+
+
+class TestResultSerialization:
+    def test_result_to_dict(self):
+        match = ContextualMatch(
+            source=AttributeRef("items", "Name"),
+            target=AttributeRef("books", "title"),
+            condition=TRUE, score=0.5, confidence=0.6)
+        result = MatchResult(matches=[match], elapsed_seconds=1.5)
+        data = result_to_dict(result)
+        assert data["elapsed_seconds"] == 1.5
+        assert len(data["matches"]) == 1
+        json.dumps(data)
+
+
+class TestCliJson:
+    def test_match_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--seed", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matches"]
+        assert any(m["condition"]["op"] != "true"
+                   for m in payload["matches"])

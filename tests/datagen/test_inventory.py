@@ -1,0 +1,152 @@
+"""Tests for the Retail/Inventory workload generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.datagen import (TARGET_LAYOUTS, add_correlated_attributes,
+                           gamma_labels, make_retail_workload, pad_workload)
+
+
+class TestGammaLabels:
+    def test_gamma_2(self):
+        assert gamma_labels(2) == (["Book"], ["CD"])
+
+    def test_gamma_6(self):
+        books, music = gamma_labels(6)
+        assert books == ["Book1", "Book2", "Book3"]
+        assert music == ["CD1", "CD2", "CD3"]
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_retail_workload(target="aaron", gamma=4, n_source=300,
+                                    n_target=120, seed=3)
+
+    def test_source_shape(self, workload):
+        items = workload.source.relation("items")
+        assert len(items) == 300
+        assert set(items.schema.attribute_names) >= {
+            "ItemID", "Name", "Creator", "ItemType", "StockStatus", "Code",
+            "ListPrice", "Qty"}
+
+    def test_item_type_domain(self, workload):
+        items = workload.source.relation("items")
+        assert set(items.distinct("ItemType")) <= (
+            workload.book_values | workload.music_values)
+        assert len(workload.book_values | workload.music_values) == 4
+
+    def test_target_layout_respected(self, workload):
+        layout = TARGET_LAYOUTS["aaron"]
+        for kind in ("book", "music"):
+            table = workload.target.relation(layout[kind]["table"])
+            assert len(table) == 120
+            assert layout[kind]["title"] in table.schema
+
+    def test_codes_separate_by_kind(self, workload):
+        items = workload.source.relation("items")
+        for code, item_type in zip(items.column("Code"),
+                                   items.column("ItemType")):
+            if item_type in workload.book_values:
+                assert not code.startswith("B0")
+            else:
+                assert code.startswith("B0")
+
+    def test_ground_truth_complete(self, workload):
+        assert len(workload.ground_truth) == 10  # 5 roles x 2 tables
+        for entry in workload.ground_truth:
+            assert entry.condition_attribute == "ItemType"
+
+    def test_deterministic(self):
+        w1 = make_retail_workload(seed=9, n_source=50, n_target=20)
+        w2 = make_retail_workload(seed=9, n_source=50, n_target=20)
+        assert w1.source.relation("items").column("Name") == \
+            w2.source.relation("items").column("Name")
+
+    def test_seed_changes_data(self):
+        w1 = make_retail_workload(seed=1, n_source=50, n_target=20)
+        w2 = make_retail_workload(seed=2, n_source=50, n_target=20)
+        assert w1.source.relation("items").column("Name") != \
+            w2.source.relation("items").column("Name")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"target": "nobody"}, {"gamma": 3}, {"gamma": 0},
+        {"n_target": 0},
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ReproError):
+            make_retail_workload(**kwargs)
+
+
+class TestCorrelatedAttributes:
+    def test_columns_added(self):
+        workload = add_correlated_attributes(
+            make_retail_workload(n_source=200, n_target=50, seed=3), 3, 0.5)
+        items = workload.source.relation("items")
+        assert {"OldType1", "OldType2", "OldType3"} <= set(
+            items.schema.attribute_names)
+
+    def test_full_correlation_copies(self):
+        workload = add_correlated_attributes(
+            make_retail_workload(n_source=200, n_target=50, seed=3), 1, 1.0)
+        items = workload.source.relation("items")
+        assert items.column("OldType1") == items.column("ItemType")
+
+    def test_zero_correlation_differs(self):
+        workload = add_correlated_attributes(
+            make_retail_workload(n_source=400, n_target=50, seed=3), 1, 0.0)
+        items = workload.source.relation("items")
+        same = sum(1 for a, b in zip(items.column("OldType1"),
+                                     items.column("ItemType")) if a == b)
+        assert same < 200  # about 1/4 expected at gamma=4
+
+    def test_domain_shared(self):
+        workload = add_correlated_attributes(
+            make_retail_workload(n_source=200, n_target=50, seed=3), 1, 0.3)
+        items = workload.source.relation("items")
+        assert set(items.distinct("OldType1")) <= set(
+            items.distinct("ItemType"))
+
+    def test_bad_rho(self):
+        with pytest.raises(ReproError):
+            add_correlated_attributes(
+                make_retail_workload(n_source=50, n_target=20), 1, 1.5)
+
+    def test_ground_truth_unchanged(self):
+        base = make_retail_workload(n_source=100, n_target=40, seed=3)
+        noisy = add_correlated_attributes(base, 3, 0.9)
+        assert len(noisy.ground_truth) == len(base.ground_truth)
+
+
+class TestPadding:
+    def test_pad_counts(self):
+        base = make_retail_workload(n_source=100, n_target=40, seed=3)
+        padded = pad_workload(base, 8)
+        items = padded.source.relation("items")
+        base_items = base.source.relation("items")
+        # 8 non-categorical + 8//4 categorical attributes added.
+        assert len(items.schema) == len(base_items.schema) + 8 + 2
+
+    def test_targets_padded_too(self):
+        base = make_retail_workload(n_source=100, n_target=40, seed=3)
+        padded = pad_workload(base, 4)
+        for relation in padded.target:
+            base_relation = base.target.relation(relation.name)
+            assert len(relation.schema) == len(base_relation.schema) + 4 + 1
+
+    def test_zero_pad_is_identity_shape(self):
+        base = make_retail_workload(n_source=100, n_target=40, seed=3)
+        padded = pad_workload(base, 0)
+        assert len(padded.source.relation("items").schema) == \
+            len(base.source.relation("items").schema)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            pad_workload(make_retail_workload(n_source=50, n_target=20), -1)
+
+    def test_padded_categorical_shares_domain(self):
+        base = make_retail_workload(n_source=100, n_target=40, seed=3)
+        padded = pad_workload(base, 4)
+        items = padded.source.relation("items")
+        assert set(items.distinct("extracat1")) <= set(
+            items.distinct("ItemType"))

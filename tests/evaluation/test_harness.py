@@ -1,0 +1,77 @@
+"""Tests for runner/reporting helpers and smoke tests of the experiment
+drivers (tiny parameterizations — full sweeps live in benchmarks/)."""
+
+import pytest
+
+from repro.evaluation import format_series, format_table, seed_pairs, summarize
+from repro.evaluation.experiments import (grades_sigma_sweep, omega_sweep,
+                                          run_grades, run_retail,
+                                          strawman_comparison)
+from repro.context.model import ContextMatchConfig
+
+
+class TestSummarize:
+    def test_empty(self):
+        avg = summarize([])
+        assert avg.mean == 0.0 and avg.n == 0
+
+    def test_mean_std(self):
+        avg = summarize([1.0, 3.0])
+        assert avg.mean == 2.0 and avg.std == 1.0 and avg.n == 2
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestSeedPairs:
+    def test_deterministic(self):
+        assert seed_pairs(3) == seed_pairs(3)
+
+    def test_distinct(self):
+        pairs = seed_pairs(5)
+        assert len(set(pairs)) == 5
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["x", "y"], [[1, 2.5], ["long-value", 3.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-value" in text
+        assert "2.5" in text
+
+    def test_format_series(self):
+        data = {1: {"a": 10.0, "b": 20.0}, 2: {"a": 30.0}}
+        text = format_series("title", "x", data, ["a", "b"])
+        assert "title" in text
+        assert "nan" in text  # missing series point rendered explicitly
+
+
+class TestDrivers:
+    def test_run_retail(self):
+        config = ContextMatchConfig(inference="src", seed=3)
+        metrics, elapsed = run_retail("ryan", config, workload_seed=7,
+                                      n_source=200)
+        assert 0.0 <= metrics.fmeasure <= 100.0
+        assert elapsed > 0.0
+
+    def test_run_grades(self):
+        config = ContextMatchConfig(inference="src", early_disjuncts=False,
+                                    seed=3)
+        metrics, elapsed = run_grades(10.0, config, workload_seed=7)
+        assert 0.0 <= metrics.accuracy <= 100.0
+        assert elapsed > 0.0
+
+    def test_omega_sweep_shape(self):
+        data = omega_sweep("ryan", [5.0], inference="src", repeats=1)
+        assert set(data) == {5.0}
+        assert set(data[5.0]) == {"disjearly", "disjlate"}
+
+    def test_strawman_shape(self):
+        data = strawman_comparison(["ryan"], repeats=1)
+        assert set(data["ryan"]) == {"qualtable", "multitable"}
+
+    def test_grades_sweep_shape(self):
+        data = grades_sigma_sweep([10.0], repeats=1)
+        assert set(data[10.0]) == {"src", "tgt", "naive"}

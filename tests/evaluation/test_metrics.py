@@ -1,0 +1,127 @@
+"""Tests for the Section 5 evaluation metrics."""
+
+import pytest
+
+from repro.context.model import ContextualMatch
+from repro.datagen import GroundTruth
+from repro.evaluation import condition_values, evaluate_matches
+from repro.relational import TRUE, And, Eq, In, Or, View
+from repro.relational.schema import AttributeRef
+
+
+def found(src_attr, tgt_attr, condition, *, src_table="items",
+          tgt_table="books", conf=0.9):
+    view = None if condition.is_true() else View(src_table, condition)
+    return ContextualMatch(
+        source=AttributeRef(src_table, src_attr),
+        target=AttributeRef(tgt_table, tgt_attr),
+        condition=condition, score=0.8, confidence=conf, view=view)
+
+
+@pytest.fixture()
+def truth() -> GroundTruth:
+    gt = GroundTruth()
+    gt.add("items", "Name", "books", "title", "ItemType", ["B1", "B2"])
+    gt.add("items", "Code", "books", "isbn", "ItemType", ["B1", "B2"])
+    return gt
+
+
+class TestConditionValues:
+    def test_eq(self):
+        assert condition_values(Eq("a", 1)) == ("a", frozenset({1}))
+
+    def test_in(self):
+        assert condition_values(In("a", [1, 2])) == ("a", frozenset({1, 2}))
+
+    def test_or_of_eqs(self):
+        cond = Or.of(Eq("a", 1), Eq("a", 2))
+        assert condition_values(cond) == ("a", frozenset({1, 2}))
+
+    def test_or_across_attributes_rejected(self):
+        assert condition_values(Or.of(Eq("a", 1), Eq("b", 2))) is None
+
+    def test_conjunction_rejected(self):
+        assert condition_values(And.of(Eq("a", 1), Eq("b", 2))) is None
+
+    def test_true_rejected(self):
+        assert condition_values(TRUE) is None
+
+
+class TestEvaluateMatches:
+    def test_perfect(self, truth):
+        edges = [
+            found("Name", "title", In("ItemType", ["B1", "B2"])),
+            found("Code", "isbn", In("ItemType", ["B1", "B2"])),
+        ]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.accuracy == 100.0
+        assert metrics.precision == 100.0
+        assert metrics.fmeasure == 100.0
+
+    def test_standard_matches_ignored(self, truth):
+        edges = [found("Name", "title", TRUE)]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.n_found == 0
+        assert metrics.accuracy == 0.0
+
+    def test_partial_coverage_fractional_recall(self, truth):
+        edges = [found("Name", "title", Eq("ItemType", "B1"))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.accuracy == pytest.approx(25.0)  # half of one of two
+        assert metrics.precision == 100.0
+
+    def test_two_singleton_views_cover_fully(self, truth):
+        edges = [found("Name", "title", Eq("ItemType", "B1")),
+                 found("Name", "title", Eq("ItemType", "B2"))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.accuracy == pytest.approx(50.0)
+
+    def test_wrong_condition_attribute_is_error(self, truth):
+        edges = [found("Name", "title", Eq("StockStatus", "Low"))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.precision == 0.0
+
+    def test_value_outside_allowed_set_is_error(self, truth):
+        edges = [found("Name", "title", In("ItemType", ["B1", "CD1"]))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.precision == 0.0
+
+    def test_wrong_pair_is_error(self, truth):
+        edges = [found("Name", "isbn", Eq("ItemType", "B1"))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.precision == 0.0
+        assert metrics.accuracy == 0.0
+
+    def test_duplicates_counted_once(self, truth):
+        edge = found("Name", "title", Eq("ItemType", "B1"))
+        metrics = evaluate_matches([edge, edge], truth)
+        assert metrics.n_found == 1
+
+    def test_conjunctive_condition_is_error_for_simple_truth(self, truth):
+        edges = [found("Name", "title",
+                       And.of(Eq("ItemType", "B1"), Eq("Qty", 1)))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.precision == 0.0
+
+    def test_multi_entry_truth_union(self):
+        gt = GroundTruth()
+        for exam in (1, 2):
+            gt.add("narrow", "name", "wide", "name", "examNum", [exam])
+        edges = [found("name", "name", In("examNum", [1, 2]),
+                       src_table="narrow", tgt_table="wide")]
+        metrics = evaluate_matches(edges, gt)
+        assert metrics.precision == 100.0
+        assert metrics.accuracy == 100.0
+
+    def test_empty_truth(self):
+        metrics = evaluate_matches([], GroundTruth())
+        assert metrics.accuracy == 0.0
+        assert metrics.fmeasure == 0.0
+
+    def test_fmeasure_harmonic(self, truth):
+        edges = [found("Name", "title", In("ItemType", ["B1", "B2"])),
+                 found("Name", "title", Eq("StockStatus", "x"))]
+        metrics = evaluate_matches(edges, truth)
+        assert metrics.precision == pytest.approx(50.0)
+        assert metrics.accuracy == pytest.approx(50.0)
+        assert metrics.fmeasure == pytest.approx(50.0)

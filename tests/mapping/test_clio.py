@@ -1,0 +1,124 @@
+"""Integration tests for the extended Clio mapping generator."""
+
+import pytest
+
+from repro import ContextMatch, ContextMatchConfig
+from repro.errors import MappingError
+from repro.mapping import clio_qual_table, generate_mapping
+
+
+class TestGradesMapping:
+    @pytest.fixture(scope="class")
+    def pipeline(self, grades_workload):
+        config = ContextMatchConfig(inference="src", early_disjuncts=False,
+                                    seed=3)
+        return clio_qual_table(grades_workload.source,
+                               grades_workload.target, config)
+
+    def test_succeeds(self, pipeline):
+        assert pipeline.succeeded
+
+    def test_single_logical_table_joins_views(self, pipeline):
+        queries = pipeline.mapping.queries["grades_wide"]
+        largest = max(queries, key=lambda q: len(q.logical.relations))
+        assert len(largest.logical.relations) >= 4
+        assert all(e.rule in {"join1", "join2"} for e in largest.logical.joins)
+        assert all(e.left_attributes == ("name",)
+                   for e in largest.logical.joins)
+
+    def test_pivot_is_faithful(self, pipeline, grades_workload):
+        wide = pipeline.mapped.relation("grades_wide")
+        narrow = grades_workload.source.relation("grades_narrow")
+        expected = {}
+        for row in narrow.rows():
+            expected.setdefault(row["name"], {})[
+                f"grade{row['examNum']}"] = row["grade"]
+        checked = mismatched = 0
+        for row in wide.rows():
+            for exam in range(1, 6):
+                want = expected.get(row["name"], {}).get(f"grade{exam}")
+                if want is None:
+                    continue
+                checked += 1
+                if row[f"grade{exam}"] != want:
+                    mismatched += 1
+        assert checked > 100
+        assert mismatched / checked < 0.05
+
+    def test_contextual_fks_derived(self, pipeline):
+        cfks = pipeline.mapping.constraints.contextual_foreign_keys
+        assert any(fk.context_attribute == "examNum" for fk in cfks)
+
+    def test_explain_is_readable(self, pipeline):
+        text = pipeline.mapping.explain()
+        assert "views:" in text
+        assert "map -> grades_wide" in text
+
+
+class TestRetailMapping:
+    @pytest.fixture(scope="class")
+    def mapping_and_result(self, retail_workload):
+        config = ContextMatchConfig(inference="src", early_disjuncts=True,
+                                    seed=5)
+        result = ContextMatch(config).run(retail_workload.source,
+                                          retail_workload.target)
+        mapping = generate_mapping(result.matches, retail_workload.source,
+                                   retail_workload.target.schema,
+                                   min_confidence=0.6)
+        return result, mapping
+
+    def test_queries_for_both_targets(self, mapping_and_result):
+        _, mapping = mapping_and_result
+        assert "books" in mapping.queries
+        assert "cds" in mapping.queries
+
+    def test_execution_partitions_source(self, mapping_and_result,
+                                         retail_workload):
+        _, mapping = mapping_and_result
+        migrated = mapping.execute(retail_workload.source)
+        books = migrated.relation("books")
+        cds = migrated.relation("cds")
+        assert len(books) > 0 and len(cds) > 0
+        items = retail_workload.source.relation("items")
+        n_books = sum(1 for t in items.column("ItemType")
+                      if t in retail_workload.book_values)
+        assert len(books) == n_books
+        assert len(cds) == len(items) - n_books
+
+    def test_migrated_codes_are_separated(self, mapping_and_result,
+                                          retail_workload):
+        _, mapping = mapping_and_result
+        migrated = mapping.execute(retail_workload.source)
+        isbn_values = migrated.relation("books").column("isbn")
+        asin_values = migrated.relation("cds").column("asin")
+        assert all(not str(v).startswith("B0") for v in isbn_values if v)
+        assert all(str(v).startswith("B0") for v in asin_values if v)
+
+    def test_unmapped_attributes_skolemized(self, mapping_and_result):
+        # format/label have no source counterpart: their select sources
+        # must be Skolem terms.
+        _, mapping = mapping_and_result
+        for query in mapping.queries["books"]:
+            by_attr = {s.target_attribute: s for s in query.select}
+            assert by_attr["format"].is_skolem
+
+
+class TestErrors:
+    def test_zero_matches_rejected(self, retail_workload):
+        with pytest.raises(MappingError):
+            generate_mapping([], retail_workload.source,
+                             retail_workload.target.schema)
+
+
+class TestTargetSideGuard:
+    def test_reversed_matches_rejected_with_guidance(self, retail_workload):
+        """Target-side conditions (run_reversed output) cannot drive the
+        source->target mapping; the error says how to fix it."""
+        from repro import ContextMatch, ContextMatchConfig
+        result = ContextMatch(
+            ContextMatchConfig(inference="src", seed=2)).run_reversed(
+            retail_workload.target, retail_workload.source)
+        assert result.contextual_matches
+        with pytest.raises(MappingError, match="target-side"):
+            generate_mapping(result.matches, retail_workload.target,
+                             retail_workload.source.schema)

@@ -1,0 +1,46 @@
+"""Tests for the ClioQualTable pipeline wrapper."""
+
+import pytest
+
+from repro import ContextMatchConfig
+from repro.mapping import clio_qual_table
+from repro.relational import Database, Relation
+
+
+class TestPipeline:
+    def test_defaults_to_late_disjuncts(self, grades_workload):
+        result = clio_qual_table(grades_workload.source,
+                                 grades_workload.target)
+        assert result.succeeded
+        # multiple singleton views, not one merged view
+        views = result.mapping.views
+        assert len(views) >= 3
+
+    def test_no_execution_mode(self, grades_workload):
+        config = ContextMatchConfig(early_disjuncts=False, seed=3)
+        result = clio_qual_table(grades_workload.source,
+                                 grades_workload.target, config,
+                                 execute=False)
+        assert result.mapping is not None
+        assert result.mapped is None
+        assert not result.succeeded
+
+    def test_graceful_on_hopeless_input(self):
+        """Completely unrelated schemas: the pipeline must not crash."""
+        source = Database.from_relations("S", [Relation.infer_schema(
+            "s", {"a": [f"zzz{i}" for i in range(20)]})])
+        target = Database.from_relations("T", [Relation.infer_schema(
+            "t", {"b": [float(i) for i in range(20)]})])
+        config = ContextMatchConfig(early_disjuncts=False, seed=3)
+        result = clio_qual_table(source, target, config)
+        # Either no matches at all or a (vacuous) mapping — never a crash.
+        assert result.matches is not None
+
+    def test_min_confidence_gate(self, grades_workload):
+        config = ContextMatchConfig(early_disjuncts=False, seed=3)
+        strict = clio_qual_table(grades_workload.source,
+                                 grades_workload.target, config,
+                                 min_confidence=0.99)
+        # With an impossibly strict verification gate the mapping may be
+        # empty/absent, but matching output is still reported.
+        assert strict.matches.matches

@@ -1,0 +1,79 @@
+"""Tests for constraint mining from sample data."""
+
+import pytest
+
+from repro.mapping import (discover_constraints, discover_foreign_keys,
+                           discover_keys)
+from repro.relational import Database, ForeignKey, Key, Relation
+
+
+@pytest.fixture()
+def school() -> Database:
+    """Example 4.1's student/project schema with sample data."""
+    student = Relation.infer_schema("student", {
+        "name": ["ann", "bob", "cat"],
+        "email": ["a@x", "b@x", "c@x"],
+    })
+    project = Relation.infer_schema("project", {
+        "name": ["ann", "ann", "bob", "cat"],
+        "assignt": [0, 1, 0, 0],
+        "grade": ["A", "B", "B", "C"],
+    })
+    return Database.from_relations("school", [student, project])
+
+
+class TestDiscoverKeys:
+    def test_single_attribute_keys(self, school):
+        keys = discover_keys(school.relation("student"), max_width=1)
+        assert Key("student", ("name",)) in keys
+        assert Key("student", ("email",)) in keys
+
+    def test_composite_key_found(self, school):
+        keys = discover_keys(school.relation("project"))
+        assert Key("project", ("name", "assignt")) in keys
+
+    def test_minimal_only_skips_supersets(self, school):
+        keys = discover_keys(school.relation("student"), max_width=2)
+        assert Key("student", ("name", "email")) not in keys
+
+    def test_non_minimal_mode(self, school):
+        keys = discover_keys(school.relation("student"), max_width=2,
+                             minimal_only=False)
+        assert Key("student", ("name", "email")) in keys
+
+    def test_invalid_width(self, school):
+        with pytest.raises(ValueError):
+            discover_keys(school.relation("student"), max_width=0)
+
+    def test_non_key_not_reported(self, school):
+        keys = discover_keys(school.relation("project"), max_width=1)
+        assert Key("project", ("name",)) not in keys
+
+
+class TestDiscoverForeignKeys:
+    def test_inclusion_found(self, school):
+        fks = discover_foreign_keys(school)
+        assert ForeignKey("project", ("name",),
+                          "student", ("name",)) in fks
+
+    def test_no_reverse_inclusion(self, school):
+        # student.email values are not project values anywhere.
+        fks = discover_foreign_keys(school)
+        assert not any(fk.child == "student" and
+                       fk.child_attributes == ("email",) for fk in fks)
+
+    def test_type_compatibility_required(self, school):
+        fks = discover_foreign_keys(school)
+        for fk in fks:
+            child = school.relation(fk.child)
+            parent = school.relation(fk.parent)
+            ct = child.schema.dtype(fk.child_attributes[0])
+            pt = parent.schema.dtype(fk.parent_attributes[0])
+            assert ct.compatible_with(pt)
+
+
+class TestDiscoverConstraints:
+    def test_returns_both(self, school):
+        keys, fks = discover_constraints(school)
+        assert any(k.table == "student" for k in keys)
+        assert any(fk.child == "project" for fk in fks)

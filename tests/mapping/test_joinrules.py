@@ -1,0 +1,121 @@
+"""Tests for the join 1/2/3 association rules (Section 4.3, Examples
+4.3-4.5)."""
+
+import pytest
+
+from repro.mapping import (ViewConstraints, build_join_edges, fk_edges,
+                           join1_edges, join2_edges, join3_edges,
+                           propagate_view_constraints)
+from repro.relational import (ContextualForeignKey, Eq, ForeignKey, Key,
+                              View)
+
+PROJECT_ATTRS = ("name", "assignt", "grade", "instructor")
+PROJECT_KEY = Key("project", ("name", "assignt"))
+
+
+def grade_view(i):
+    """Vi = select name, grade from project where assignt = i."""
+    return View("project", Eq("assignt", i), projection=("name", "grade"),
+                name=f"V{i}")
+
+
+def instructor_view(i):
+    """Ui = select name, instructor from project where assignt = i
+    (Example 4.5)."""
+    return View("project", Eq("assignt", i),
+                projection=("name", "instructor"), name=f"U{i}")
+
+
+@pytest.fixture()
+def constraints():
+    merged = ViewConstraints(keys=[PROJECT_KEY])
+    for view in [grade_view(0), grade_view(1), instructor_view(0),
+                 instructor_view(1)]:
+        merged = merged.merge(propagate_view_constraints(
+            view, PROJECT_ATTRS, [PROJECT_KEY]))
+    return merged
+
+
+BASE_ATTRS = {"project": PROJECT_ATTRS}
+
+
+class TestJoin1:
+    def test_example_43_views_join_on_key(self, constraints):
+        edges = join1_edges([grade_view(0), grade_view(1)], constraints,
+                            BASE_ATTRS)
+        assert len(edges) == 1
+        edge = edges[0]
+        assert {edge.left, edge.right} == {"V0", "V1"}
+        assert edge.left_attributes == ("name",)
+        assert edge.rule == "join1"
+
+    def test_same_condition_does_not_join1(self, constraints):
+        edges = join1_edges([grade_view(0), grade_view(0)], constraints,
+                            BASE_ATTRS)
+        assert edges == []
+
+    def test_different_projections_do_not_join1(self, constraints):
+        edges = join1_edges([grade_view(0), instructor_view(1)],
+                            constraints, BASE_ATTRS)
+        assert edges == []
+
+    def test_requires_propagated_keys(self):
+        empty = ViewConstraints()
+        edges = join1_edges([grade_view(0), grade_view(1)], empty,
+                            BASE_ATTRS)
+        assert edges == []
+
+
+class TestJoin2:
+    def test_example_45_same_condition_joins(self, constraints):
+        """Vi ⋈ Ui on name is meaningful (same condition assignt=i)."""
+        edges = join2_edges([grade_view(0), instructor_view(0)],
+                            constraints, BASE_ATTRS)
+        assert len(edges) == 1
+        assert edges[0].left_attributes == ("name",)
+        assert edges[0].rule == "join2"
+
+    def test_example_45_different_conditions_do_not_join(self, constraints):
+        """It is not logical to join Vi and Uj for i != j."""
+        edges = join2_edges([grade_view(0), instructor_view(1)],
+                            constraints, BASE_ATTRS)
+        assert edges == []
+
+
+class TestJoin3:
+    def test_contextual_fk_yields_outer_join(self, constraints):
+        edges = join3_edges(constraints)
+        assert any(e.left == "V0" and e.right == "project" for e in edges)
+        assert all(e.rule == "join3" for e in edges)
+
+    def test_exclusion(self, constraints):
+        edges = join3_edges(constraints,
+                            exclude_bases=frozenset({"project"}))
+        assert edges == []
+
+
+class TestFkEdges:
+    def test_plain_fk_rule(self):
+        fk = ForeignKey("project", ("name",), "student", ("name",))
+        edges = fk_edges([fk])
+        assert edges[0].left == "project" and edges[0].right == "student"
+        assert edges[0].rule == "fk"
+
+
+class TestBuildJoinEdges:
+    def test_combines_and_dedupes(self, constraints):
+        views = [grade_view(0), grade_view(1), instructor_view(0)]
+        edges = build_join_edges(views, constraints, BASE_ATTRS)
+        signatures = {frozenset([(e.left, e.left_attributes),
+                                 (e.right, e.right_attributes)])
+                      for e in edges}
+        assert len(signatures) == len(edges)  # no duplicates
+        rules = {e.rule for e in edges}
+        assert "join1" in rules and "join2" in rules
+
+    def test_reversed_edge(self, constraints):
+        edges = join1_edges([grade_view(0), grade_view(1)], constraints,
+                            BASE_ATTRS)
+        rev = edges[0].reversed()
+        assert rev.left == edges[0].right
+        assert rev.right_attributes == edges[0].left_attributes

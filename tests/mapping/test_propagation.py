@@ -1,0 +1,120 @@
+"""Tests for constraint propagation from base tables to views — the
+Section 4.2 inference rules, exercised on the paper's Examples 4.1-4.2."""
+
+import pytest
+
+from repro.mapping import propagate_view_constraints
+from repro.relational import (ContextualForeignKey, Eq, ForeignKey, In, Key,
+                              Or, View)
+
+PROJECT_ATTRS = ("name", "assignt", "grade", "instructor")
+PROJECT_KEY = Key("project", ("name", "assignt"))
+STUDENT_FK = ForeignKey("project", ("name",), "student", ("name",))
+
+
+def project_view(i: int) -> View:
+    """Vi = select name, grade from project where assignt = i."""
+    return View("project", Eq("assignt", i), projection=("name", "grade"),
+                name=f"V{i}")
+
+
+class TestContextualPropagation:
+    def test_example_42_key_derived(self):
+        """Vi[name] -> Vi via the contextual propagation rule."""
+        derived = propagate_view_constraints(
+            project_view(0), PROJECT_ATTRS, [PROJECT_KEY])
+        assert Key("V0", ("name",)) in derived.keys
+
+    def test_no_key_without_condition_on_key_attr(self):
+        view = View("project", Eq("instructor", "kim"),
+                    projection=("name", "grade"), name="V")
+        derived = propagate_view_constraints(view, PROJECT_ATTRS,
+                                             [PROJECT_KEY])
+        assert Key("V", ("name",)) not in derived.keys
+
+    def test_key_restriction_rule(self):
+        """A fully-projected base key survives as a view key."""
+        view = View("project", Eq("grade", "A"),
+                    projection=("name", "assignt"), name="VA")
+        derived = propagate_view_constraints(view, PROJECT_ATTRS,
+                                             [PROJECT_KEY])
+        assert Key("VA", ("name", "assignt")) in derived.keys
+
+
+class TestContextualConstraint:
+    def test_example_41_contextual_fk_derived(self):
+        """Vi[name, assignt = i] ⊆ project[name, assignt]."""
+        derived = propagate_view_constraints(
+            project_view(3), PROJECT_ATTRS, [PROJECT_KEY])
+        expected = ContextualForeignKey(
+            view="V3", view_attributes=("name",),
+            context_attribute="assignt", context_value=3,
+            parent="project", parent_attributes=("name",),
+            parent_context_attribute="assignt")
+        assert expected in derived.contextual_foreign_keys
+
+    def test_disjunctive_condition_gets_no_contextual_fk(self):
+        view = View("project", In("assignt", [0, 1]),
+                    projection=("name", "grade"), name="V01")
+        derived = propagate_view_constraints(view, PROJECT_ATTRS,
+                                             [PROJECT_KEY])
+        assert derived.contextual_foreign_keys == []
+
+
+class TestViewReferencing:
+    def test_domain_covering_disjunction(self):
+        """If the condition covers a's whole active domain and the key
+        [X ∋ a] is projected, then R1[X] ⊆ V1[X]."""
+        view = View("project", Or.of(Eq("assignt", 0), Eq("assignt", 1)),
+                    projection=("name", "assignt"), name="Vall")
+        derived = propagate_view_constraints(
+            view, PROJECT_ATTRS, [PROJECT_KEY],
+            active_domain=frozenset({0, 1}))
+        assert ForeignKey("project", ("name", "assignt"),
+                          "Vall", ("name", "assignt")) in derived.foreign_keys
+
+    def test_partial_domain_no_rule(self):
+        view = View("project", Eq("assignt", 0),
+                    projection=("name", "assignt"), name="V0")
+        derived = propagate_view_constraints(
+            view, PROJECT_ATTRS, [PROJECT_KEY],
+            active_domain=frozenset({0, 1}))
+        assert not any(fk.parent == "V0" for fk in derived.foreign_keys)
+
+
+class TestFKPropagation:
+    def test_example_42_fk_inherited(self):
+        """Vi[name] ⊆ student[name] via FK-propagation."""
+        derived = propagate_view_constraints(
+            project_view(0), PROJECT_ATTRS, [PROJECT_KEY], [STUDENT_FK])
+        assert ForeignKey("V0", ("name",), "student",
+                          ("name",)) in derived.foreign_keys
+
+    def test_projected_out_child_attrs_block_inheritance(self):
+        view = View("project", Eq("assignt", 0), projection=("grade",),
+                    name="Vg")
+        derived = propagate_view_constraints(
+            view, PROJECT_ATTRS, [PROJECT_KEY], [STUDENT_FK])
+        assert not any(fk.child == "Vg" for fk in derived.foreign_keys)
+
+
+class TestHygiene:
+    def test_other_tables_keys_ignored(self):
+        foreign = Key("other", ("x",))
+        derived = propagate_view_constraints(
+            project_view(0), PROJECT_ATTRS, [foreign])
+        assert derived.keys == []
+
+    def test_no_duplicates(self):
+        derived = propagate_view_constraints(
+            project_view(0), PROJECT_ATTRS, [PROJECT_KEY, PROJECT_KEY])
+        assert len(derived.keys) == len(set(derived.keys))
+
+    def test_merge(self):
+        d1 = propagate_view_constraints(project_view(0), PROJECT_ATTRS,
+                                        [PROJECT_KEY])
+        d2 = propagate_view_constraints(project_view(1), PROJECT_ATTRS,
+                                        [PROJECT_KEY])
+        merged = d1.merge(d2)
+        assert Key("V0", ("name",)) in merged.keys
+        assert Key("V1", ("name",)) in merged.keys

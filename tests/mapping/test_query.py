@@ -1,0 +1,135 @@
+"""Tests for logical tables, mapping queries and Skolem functions."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping import (JoinEdge, LogicalTable, MappingQuery,
+                           SelectSource, SkolemFunction)
+from repro.relational import DataType, Relation, TableSchema
+from repro.relational.schema import AttributeRef
+
+
+class TestSkolem:
+    def test_deterministic(self):
+        f = SkolemFunction("f")
+        assert f(["a", 1]) == f(["a", 1])
+
+    def test_injective(self):
+        f = SkolemFunction("f")
+        assert f(["a"]) != f(["b"])
+
+    def test_rendered_form(self):
+        f = SkolemFunction("books_format")
+        assert f(["x"]).startswith("Sk_books_format(")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SkolemFunction("")
+
+
+@pytest.fixture()
+def left_relation():
+    return Relation.infer_schema("L", {
+        "k": [1, 2, 3], "a": ["x", "y", "z"]})
+
+
+@pytest.fixture()
+def right_relation():
+    return Relation.infer_schema("R", {
+        "k": [1, 2, 4], "b": ["p", "q", "r"]})
+
+
+def edge(rule="join1"):
+    return JoinEdge("L", "R", ("k",), ("k",), rule)
+
+
+class TestLogicalTable:
+    def test_single_relation(self):
+        table = LogicalTable(("L",), ())
+        assert table.signature() == frozenset({"L"})
+
+    def test_join_arity_checked(self):
+        with pytest.raises(MappingError):
+            LogicalTable(("L", "R"), ())
+
+    def test_join_must_extend(self):
+        bad = JoinEdge("X", "R", ("k",), ("k",), "join1")
+        with pytest.raises(MappingError):
+            LogicalTable(("L", "R"), (bad,))
+
+    def test_valid_two_table(self):
+        table = LogicalTable(("L", "R"), (edge(),))
+        assert table.relations == ("L", "R")
+
+
+class TestMappingQuery:
+    def make_query(self):
+        target = TableSchema("T", [("key", DataType.INTEGER),
+                                   ("left", DataType.STRING),
+                                   ("right", DataType.STRING)])
+        logical = LogicalTable(("L", "R"), (edge(),))
+        select = [
+            SelectSource("key", column=AttributeRef("L", "k")),
+            SelectSource("left", column=AttributeRef("L", "a")),
+            SelectSource("right", column=AttributeRef("R", "b")),
+        ]
+        return MappingQuery(target, logical, select)
+
+    def test_outer_join_execution(self, left_relation, right_relation):
+        query = self.make_query()
+        result = query.execute({"L": left_relation, "R": right_relation})
+        rows = {r["key"]: r for r in result.rows()}
+        assert rows[1]["right"] == "p"
+        assert rows[2]["right"] == "q"
+        assert rows[3]["right"] is None  # outer join kept the left row
+
+    def test_missing_select_source_rejected(self):
+        target = TableSchema("T", [("key", DataType.INTEGER),
+                                   ("left", DataType.STRING)])
+        logical = LogicalTable(("L",), ())
+        with pytest.raises(MappingError):
+            MappingQuery(target, logical,
+                         [SelectSource("key",
+                                       column=AttributeRef("L", "k"))])
+
+    def test_select_outside_logical_table_rejected(self):
+        target = TableSchema("T", [("x", DataType.STRING)])
+        logical = LogicalTable(("L",), ())
+        with pytest.raises(MappingError):
+            MappingQuery(target, logical,
+                         [SelectSource("x",
+                                       column=AttributeRef("Z", "a"))])
+
+    def test_missing_instance_rejected(self, left_relation):
+        query = self.make_query()
+        with pytest.raises(MappingError):
+            query.execute({"L": left_relation})
+
+    def test_skolem_fills_unmapped(self, left_relation):
+        target = TableSchema("T", [("key", DataType.INTEGER),
+                                   ("extra", DataType.STRING)])
+        logical = LogicalTable(("L",), ())
+        key_ref = AttributeRef("L", "k")
+        select = [
+            SelectSource("key", column=key_ref),
+            SelectSource("extra", skolem=SkolemFunction("T_extra"),
+                         skolem_args=(key_ref,)),
+        ]
+        query = MappingQuery(target, logical, select)
+        result = query.execute({"L": left_relation})
+        values = [r["extra"] for r in result.rows()]
+        assert len(set(values)) == 3  # one surrogate per key
+        assert all(v.startswith("Sk_T_extra(") for v in values)
+
+    def test_union_deduplicates(self):
+        target = TableSchema("T", [("a", DataType.STRING)])
+        duplicated = Relation.infer_schema("L", {"k": [1, 1], "a": ["x", "x"]})
+        logical = LogicalTable(("L",), ())
+        query = MappingQuery(target, logical,
+                             [SelectSource("a",
+                                           column=AttributeRef("L", "a"))])
+        assert len(query.execute({"L": duplicated})) == 1
+
+    def test_explain_mentions_sources(self):
+        text = self.make_query().explain()
+        assert "L.a" in text and "R.b" in text

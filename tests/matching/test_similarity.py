@@ -1,0 +1,129 @@
+"""Unit and property tests for similarity measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matching import (containment, cosine_counts, dice, jaccard, jaro,
+                            jaro_winkler, levenshtein,
+                            levenshtein_similarity)
+
+short_text = st.text(alphabet="abcde", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0), ("abc", "abc", 0), ("abc", "", 3), ("", "xy", 2),
+        ("kitten", "sitting", 3), ("flaw", "lawn", 2), ("abc", "abd", 1),
+    ])
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_similarity_range(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    @given(short_text, short_text)
+    def test_bounds_and_symmetry(self, a, b):
+        value = jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaro(b, a)
+
+    def test_winkler_boosts_prefix(self):
+        base = jaro("prefixes", "prefixed")
+        assert jaro_winkler("prefixes", "prefixed") >= base
+
+    @given(short_text, short_text)
+    def test_winkler_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestSetMeasures:
+    def test_jaccard_known(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty_both(self):
+        assert jaccard([], []) == 1.0
+
+    def test_dice_known(self):
+        assert dice({1, 2}, {2, 3}) == pytest.approx(0.5)
+
+    def test_containment_asymmetric(self):
+        assert containment({1}, {1, 2}) == 1.0
+        assert containment({1, 2}, {1}) == 0.5
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_jaccard_bounds_symmetry(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)
+
+    @given(st.sets(st.integers(0, 20), min_size=1))
+    def test_jaccard_identity(self, a):
+        assert jaccard(a, a) == 1.0
+
+    @given(st.sets(st.integers(0, 20)), st.sets(st.integers(0, 20)))
+    def test_dice_geq_jaccard(self, a, b):
+        # Dice >= Jaccard for all set pairs.
+        assert dice(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestCosine:
+    def test_identical_counts(self):
+        assert cosine_counts({"a": 2, "b": 1}, {"a": 2, "b": 1}) == \
+            pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_counts({"a": 1}, {"b": 1}) == 0.0
+
+    def test_accepts_sequences(self):
+        assert cosine_counts(["a", "a"], ["a"]) == pytest.approx(1.0)
+
+    def test_empty_both(self):
+        assert cosine_counts({}, {}) == 1.0
+
+    def test_empty_one(self):
+        assert cosine_counts({"a": 1}, {}) == 0.0
+
+    @given(st.dictionaries(st.sampled_from("abcdef"),
+                           st.integers(1, 9), max_size=5),
+           st.dictionaries(st.sampled_from("abcdef"),
+                           st.integers(1, 9), max_size=5))
+    def test_bounds_and_symmetry(self, a, b):
+        value = cosine_counts(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        assert value == pytest.approx(cosine_counts(b, a))
+
+    @given(st.dictionaries(st.sampled_from("abcdef"),
+                           st.integers(1, 9), min_size=1, max_size=5),
+           st.integers(2, 5))
+    def test_scale_invariance(self, counts, factor):
+        scaled = {k: v * factor for k, v in counts.items()}
+        assert cosine_counts(counts, scaled) == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for tokenizers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matching import normalize_text, qgrams, value_to_text, word_tokens
+from repro.matching.tokens import qgram_set
+
+
+class TestValueToText:
+    def test_none_empty(self):
+        assert value_to_text(None) == ""
+
+    def test_bool(self):
+        assert value_to_text(True) == "true"
+
+    def test_integral_float(self):
+        assert value_to_text(3.0) == "3"
+
+    def test_plain(self):
+        assert value_to_text("Abc") == "Abc"
+
+
+class TestNormalize:
+    def test_lowercases_and_collapses(self):
+        assert normalize_text("The  White--Album!") == "the white album"
+
+    def test_empty(self):
+        assert normalize_text("  ") == ""
+
+
+class TestWordTokens:
+    def test_camel_case(self):
+        assert word_tokens("ItemType") == ["item", "type"]
+
+    def test_snake_case(self):
+        assert word_tokens("list_price") == ["list", "price"]
+
+    def test_mixed(self):
+        assert word_tokens("bookISBN10") == ["book", "isbn10"]
+
+
+class TestQgrams:
+    def test_basic_trigrams(self):
+        grams = qgrams("abcd", 3, pad=False)
+        assert grams == ["abc", "bcd"]
+
+    def test_padding_marks_boundaries(self):
+        grams = qgrams("ab", 3)
+        assert grams[0].startswith("#")
+        assert grams[-1].endswith("#")
+
+    def test_short_string_yields_one_gram(self):
+        assert qgrams("a", 3, pad=False) == ["a"]
+
+    def test_empty_yields_nothing(self):
+        assert qgrams("", 3) == []
+
+    def test_q_must_be_positive(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_qgram_set_unions_values(self):
+        grams = qgram_set(["ab", "bc"], 2)
+        assert "ab" in grams and "bc" in grams
+
+
+@given(st.text(alphabet="abcdefgh ", max_size=30))
+def test_qgram_count_matches_length(text):
+    grams = qgrams(text, 3, pad=False)
+    normalized = normalize_text(text)
+    if len(normalized) >= 3:
+        assert len(grams) == len(normalized) - 2
+    elif normalized:
+        assert grams == [normalized]
+    else:
+        assert grams == []
+
+
+@given(st.text(max_size=30))
+def test_normalize_idempotent(text):
+    once = normalize_text(text)
+    assert normalize_text(once) == once

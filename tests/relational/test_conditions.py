@@ -1,0 +1,175 @@
+"""Unit tests for the selection-condition AST."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConditionError
+from repro.relational import TRUE, And, Eq, In, Or, condition_k
+from repro.relational.conditions import TrueCondition, sql_literal
+
+
+class TestTrue:
+    def test_always_true(self):
+        assert TRUE.evaluate({"a": 1})
+        assert TRUE({"anything": None})
+
+    def test_no_attributes(self):
+        assert TRUE.attributes() == frozenset()
+        assert condition_k(TRUE) == 0
+
+    def test_and_with_true_is_identity(self):
+        cond = Eq("a", 1)
+        assert TRUE.and_(cond) == cond
+        assert cond.and_(TRUE) == cond
+
+    def test_sql(self):
+        assert TRUE.to_sql() == "TRUE"
+
+    def test_is_true(self):
+        assert TRUE.is_true()
+        assert not Eq("a", 1).is_true()
+
+
+class TestEq:
+    def test_evaluate(self):
+        cond = Eq("type", 1)
+        assert cond({"type": 1})
+        assert not cond({"type": 2})
+
+    def test_missing_attribute_is_false(self):
+        assert not Eq("type", 1)({})
+
+    def test_missing_value_is_false(self):
+        assert not Eq("type", 1)({"type": None})
+
+    def test_k(self):
+        assert condition_k(Eq("a", 1)) == 1
+
+    def test_sql(self):
+        assert Eq("type", 1).to_sql() == "type = 1"
+        assert Eq("name", "o'hara").to_sql() == "name = 'o''hara'"
+
+    def test_empty_attribute_rejected(self):
+        with pytest.raises(ConditionError):
+            Eq("", 1)
+
+    def test_hashable_and_equal(self):
+        assert Eq("a", 1) == Eq("a", 1)
+        assert hash(Eq("a", 1)) == hash(Eq("a", 1))
+        assert Eq("a", 1) != Eq("a", 2)
+
+
+class TestIn:
+    def test_evaluate(self):
+        cond = In("type", [1, 2])
+        assert cond({"type": 2})
+        assert not cond({"type": 3})
+
+    def test_canonical_value_set(self):
+        assert In("a", [1, 2, 2]) == In("a", [2, 1])
+
+    def test_normalize_singleton_to_eq(self):
+        assert In("a", [5]).normalize() == Eq("a", 5)
+
+    def test_normalize_keeps_multi(self):
+        cond = In("a", [1, 2])
+        assert cond.normalize() is cond
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConditionError):
+            In("a", [])
+
+    def test_immutable(self):
+        cond = In("a", [1])
+        with pytest.raises(AttributeError):
+            cond.attribute = "b"
+
+    def test_sql_sorted(self):
+        assert In("t", ["b", "a"]).to_sql() == "t IN ('a', 'b')"
+
+    def test_k(self):
+        assert condition_k(In("a", [1, 2, 3])) == 1
+
+
+class TestCompound:
+    def test_and_evaluate(self):
+        cond = And.of(Eq("a", 1), Eq("b", 2))
+        assert cond({"a": 1, "b": 2})
+        assert not cond({"a": 1, "b": 3})
+
+    def test_or_evaluate(self):
+        cond = Or.of(Eq("a", 1), Eq("a", 2))
+        assert cond({"a": 2})
+        assert not cond({"a": 3})
+
+    def test_and_flattens(self):
+        nested = And.of(And.of(Eq("a", 1), Eq("b", 2)), Eq("c", 3))
+        assert condition_k(nested) == 3
+        assert len(nested.children) == 3
+
+    def test_singleton_compound_collapses(self):
+        assert And.of(Eq("a", 1)) == Eq("a", 1)
+
+    def test_true_children_dropped(self):
+        assert And.of(TRUE, Eq("a", 1)) == Eq("a", 1)
+
+    def test_canonical_ordering(self):
+        assert And.of(Eq("a", 1), Eq("b", 2)) == And.of(Eq("b", 2),
+                                                        Eq("a", 1))
+
+    def test_duplicate_children_removed(self):
+        assert And.of(Eq("a", 1), Eq("a", 1)) == Eq("a", 1)
+
+    def test_and_or_not_equal(self):
+        a = And.of(Eq("a", 1), Eq("b", 2))
+        o = Or.of(Eq("a", 1), Eq("b", 2))
+        assert a != o
+
+    def test_k_counts_attributes_not_terms(self):
+        cond = Or.of(Eq("a", 1), Eq("a", 2), Eq("a", 3))
+        assert condition_k(cond) == 1
+
+    def test_sql(self):
+        cond = And.of(Eq("a", 1), Eq("b", 2))
+        assert cond.to_sql() == "(a = 1) AND (b = 2)"
+
+    def test_all_true_children_rejected(self):
+        with pytest.raises(ConditionError):
+            And([TRUE])
+
+    def test_conjunction_via_and_helper(self):
+        combined = Eq("a", 1).and_(Eq("b", 2))
+        assert isinstance(combined, And)
+        assert condition_k(combined) == 2
+
+
+class TestSqlLiteral:
+    @pytest.mark.parametrize("value,expected", [
+        (None, "NULL"), (True, "TRUE"), (False, "FALSE"),
+        (3, "3"), (2.5, "2.5"), ("x", "'x'"), ("a'b", "'a''b'"),
+    ])
+    def test_literals(self, value, expected):
+        assert sql_literal(value) == expected
+
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                       st.integers(0, 3), min_size=1),
+       st.sampled_from(["a", "b", "c"]),
+       st.integers(0, 3))
+def test_eq_matches_python_semantics(row, attr, value):
+    assert Eq(attr, value)(row) == (row.get(attr) == value)
+
+
+@given(st.sets(st.integers(0, 5), min_size=1),
+       st.integers(0, 5))
+def test_in_matches_membership(values, probe):
+    assert In("a", list(values))({"a": probe}) == (probe in values)
+
+
+@given(st.sets(st.integers(0, 5), min_size=1, max_size=3),
+       st.sets(st.integers(0, 5), min_size=1, max_size=3),
+       st.integers(0, 5))
+def test_or_of_ins_is_union(left, right, probe):
+    cond = Or.of(In("a", list(left)), In("a", list(right)))
+    assert cond({"a": probe}) == (probe in (left | right))

@@ -1,0 +1,139 @@
+"""Unit tests for keys, foreign keys and contextual foreign keys."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.relational import (ContextualForeignKey, Eq, ForeignKey, Key,
+                              Relation, View)
+
+
+@pytest.fixture()
+def project_relation() -> Relation:
+    """The project table of paper Example 4.1."""
+    return Relation.infer_schema("project", {
+        "name": ["ann", "ann", "bob", "bob", "cat"],
+        "assignt": [0, 1, 0, 1, 0],
+        "grade": ["A", "B", "B", "A", "C"],
+        "instructor": ["kim", "kim", "lee", "kim", "lee"],
+    })
+
+
+@pytest.fixture()
+def student_relation() -> Relation:
+    return Relation.infer_schema("student", {
+        "name": ["ann", "bob", "cat"],
+        "email": ["a@x", "b@x", "c@x"],
+        "address": ["1 st", "2 st", "3 st"],
+    })
+
+
+class TestKey:
+    def test_composite_key_holds(self, project_relation):
+        assert Key("project", ("name", "assignt")).holds_on(project_relation)
+
+    def test_single_attribute_not_key(self, project_relation):
+        assert not Key("project", ("name",)).holds_on(project_relation)
+
+    def test_key_on_unique_column(self, student_relation):
+        assert Key("student", ("name",)).holds_on(student_relation)
+
+    def test_nulls_do_not_violate(self):
+        relation = Relation.infer_schema("t", {"a": [1, None, None]})
+        assert Key("t", ("a",)).holds_on(relation)
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ConstraintError):
+            Key("t", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ConstraintError):
+            Key("t", ("a", "a"))
+
+    def test_str(self):
+        assert str(Key("t", ("a", "b"))) == "t[a, b] -> t"
+
+
+class TestForeignKey:
+    def test_holds(self, project_relation, student_relation):
+        fk = ForeignKey("project", ("name",), "student", ("name",))
+        assert fk.holds_on(project_relation, student_relation)
+
+    def test_violation_detected(self, student_relation):
+        orphan = Relation.infer_schema("project", {"name": ["zoe"]})
+        fk = ForeignKey("project", ("name",), "student", ("name",))
+        assert not fk.holds_on(orphan, student_relation)
+
+    def test_null_child_values_ignored(self, student_relation):
+        child = Relation.infer_schema("project", {"name": ["ann", None]})
+        fk = ForeignKey("project", ("name",), "student", ("name",))
+        assert fk.holds_on(child, student_relation)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            ForeignKey("a", ("x",), "b", ("y", "z"))
+
+    def test_referenced_key(self):
+        fk = ForeignKey("a", ("x",), "b", ("y",))
+        assert fk.referenced_key == Key("b", ("y",))
+
+
+class TestContextualForeignKey:
+    def make_view_instance(self, project_relation, assignt):
+        view = View("project", Eq("assignt", assignt),
+                    projection=("name", "grade"))
+        return view.evaluate(project_relation)
+
+    def test_example_41_holds(self, project_relation):
+        """Vi[name, assignt = i] ⊆ project[name, assignt] (Example 4.1)."""
+        for assignt in (0, 1):
+            cfk = ContextualForeignKey(
+                view=f"project[assignt={assignt}]",
+                view_attributes=("name",),
+                context_attribute="assignt", context_value=assignt,
+                parent="project", parent_attributes=("name",),
+                parent_context_attribute="assignt")
+            instance = self.make_view_instance(project_relation, assignt)
+            renamed = instance.rename(cfk.view)
+            assert cfk.holds_on(renamed, project_relation)
+
+    def test_wrong_context_value_fails(self, project_relation):
+        cfk = ContextualForeignKey(
+            view="v", view_attributes=("name",),
+            context_attribute="assignt", context_value=9,
+            parent="project", parent_attributes=("name",),
+            parent_context_attribute="assignt")
+        instance = self.make_view_instance(project_relation, 0).rename("v")
+        assert not cfk.holds_on(instance, project_relation)
+
+    def test_referenced_key_includes_context(self):
+        cfk = ContextualForeignKey(
+            view="v", view_attributes=("name",),
+            context_attribute="a", context_value=1,
+            parent="r", parent_attributes=("name",),
+            parent_context_attribute="a")
+        assert cfk.referenced_key == Key("r", ("name", "a"))
+
+    def test_shadow_foreign_key(self):
+        cfk = ContextualForeignKey(
+            view="v", view_attributes=("name",),
+            context_attribute="a", context_value=1,
+            parent="r", parent_attributes=("name",),
+            parent_context_attribute="a")
+        assert cfk.to_foreign_key_like() == ForeignKey(
+            "v", ("name",), "r", ("name",))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            ContextualForeignKey(
+                view="v", view_attributes=("x", "y"),
+                context_attribute="a", context_value=1,
+                parent="r", parent_attributes=("x",),
+                parent_context_attribute="a")
+
+    def test_str_mentions_context(self):
+        cfk = ContextualForeignKey(
+            view="v", view_attributes=("name",),
+            context_attribute="assignt", context_value=3,
+            parent="project", parent_attributes=("name",),
+            parent_context_attribute="assignt")
+        assert "assignt = 3" in str(cfk)

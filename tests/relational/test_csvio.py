@@ -1,0 +1,76 @@
+"""Unit tests for CSV round-tripping."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational import (Database, DataType, Relation, dump_database,
+                              load_database, read_csv,
+                              relation_from_csv_text, relation_to_csv_text,
+                              write_csv)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, inv_relation, tmp_path):
+        path = tmp_path / "inv.csv"
+        write_csv(inv_relation, path)
+        loaded = read_csv(path)
+        assert loaded.name == "inv"
+        assert len(loaded) == len(inv_relation)
+        assert loaded.column("name") == inv_relation.column("name")
+
+    def test_types_survive(self, inv_relation, tmp_path):
+        path = tmp_path / "inv.csv"
+        write_csv(inv_relation, path)
+        loaded = read_csv(path)
+        assert loaded.schema.dtype("id") is DataType.INTEGER
+        # leading-zero ISBN mixed with ASINs stays textual
+        assert loaded.schema.dtype("code").is_textual
+
+    def test_text_round_trip(self, book_relation):
+        text = relation_to_csv_text(book_relation)
+        loaded = relation_from_csv_text(text, "book")
+        assert loaded.column("price") == book_relation.column("price")
+
+    def test_missing_values_round_trip(self):
+        relation = Relation.infer_schema("t", {"a": [1, None, 3]})
+        loaded = relation_from_csv_text(relation_to_csv_text(relation), "t")
+        assert loaded.column("a") == [1, None, 3]
+
+    def test_booleans_round_trip(self):
+        relation = Relation.infer_schema("t", {"flag": [True, False]})
+        loaded = relation_from_csv_text(relation_to_csv_text(relation), "t")
+        assert loaded.column("flag") == [True, False]
+
+    def test_name_override(self, inv_relation, tmp_path):
+        path = tmp_path / "whatever.csv"
+        write_csv(inv_relation, path)
+        assert read_csv(path, name="items").name == "items"
+
+
+class TestErrors:
+    def test_empty_text_rejected(self):
+        with pytest.raises(InstanceError):
+            relation_from_csv_text("", "t")
+
+    def test_ragged_line_rejected(self):
+        with pytest.raises(InstanceError):
+            relation_from_csv_text("a,b\n1\n", "t")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(InstanceError):
+            read_csv(path)
+
+
+class TestDatabaseIO:
+    def test_dump_and_load(self, figure1_target, tmp_path):
+        dump_database(figure1_target, tmp_path / "db")
+        loaded = load_database(tmp_path / "db", name="RT")
+        assert set(loaded.schema.table_names) == {"book", "music"}
+        assert len(loaded.relation("book")) == 2
+
+    def test_load_subset(self, figure1_target, tmp_path):
+        dump_database(figure1_target, tmp_path / "db")
+        loaded = load_database(tmp_path / "db", tables=["music"])
+        assert set(loaded.schema.table_names) == {"music"}

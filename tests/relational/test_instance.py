@@ -1,0 +1,192 @@
+"""Unit tests for Relation and Database."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InstanceError, UnknownTableError
+from repro.relational import (Attribute, Database, DataType, Relation,
+                              TableSchema)
+
+
+@pytest.fixture()
+def pets() -> Relation:
+    return Relation.infer_schema("pets", {
+        "id": [1, 2, 3, 4],
+        "name": ["rex", "milo", "arlo", "bart"],
+        "kind": ["dog", "cat", "dog", "dog"],
+        "weight": [30.5, 4.2, 28.0, 22.1],
+    })
+
+
+class TestConstruction:
+    def test_infer_schema_types(self, pets):
+        assert pets.schema.dtype("id") is DataType.INTEGER
+        assert pets.schema.dtype("weight") is DataType.FLOAT
+
+    def test_from_rows_tuples(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER),
+                                   ("b", DataType.STRING)])
+        relation = Relation.from_rows(schema, [(1, "x"), (2, "y")])
+        assert relation.column("b") == ["x", "y"]
+
+    def test_from_rows_dicts(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER),
+                                   ("b", DataType.STRING)])
+        relation = Relation.from_rows(schema, [{"a": 1, "b": "x"},
+                                               {"b": "y", "a": 2}])
+        assert relation.column("a") == [1, 2]
+
+    def test_from_rows_arity_mismatch(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER)])
+        with pytest.raises(InstanceError):
+            Relation.from_rows(schema, [(1, 2)])
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER),
+                                   ("b", DataType.INTEGER)])
+        with pytest.raises(InstanceError):
+            Relation(schema, {"a": [1]})
+
+    def test_ragged_columns_rejected(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER),
+                                   ("b", DataType.INTEGER)])
+        with pytest.raises(InstanceError):
+            Relation(schema, {"a": [1, 2], "b": [1]})
+
+    def test_empty(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER)])
+        assert len(Relation.empty(schema)) == 0
+
+
+class TestAccess:
+    def test_len(self, pets):
+        assert len(pets) == 4
+
+    def test_row(self, pets):
+        assert pets.row(1) == {"id": 2, "name": "milo", "kind": "cat",
+                               "weight": 4.2}
+
+    def test_rows_iterates_all(self, pets):
+        assert len(list(pets.rows())) == 4
+
+    def test_distinct_in_first_seen_order(self, pets):
+        assert pets.distinct("kind") == ["dog", "cat"]
+
+    def test_value_counts(self, pets):
+        assert pets.value_counts("kind") == {"dog": 3, "cat": 1}
+
+    def test_non_missing(self):
+        relation = Relation.infer_schema("t", {"a": [1, None, 3, ""]})
+        assert relation.non_missing("a") == [1, 3]
+
+
+class TestTransformations:
+    def test_select(self, pets):
+        dogs = pets.select(lambda r: r["kind"] == "dog")
+        assert len(dogs) == 3
+        assert all(r["kind"] == "dog" for r in dogs.rows())
+
+    def test_select_rename_to_view(self, pets):
+        view = pets.select(lambda r: True, name="v", is_view=True)
+        assert view.name == "v" and view.schema.is_view
+
+    def test_take_order(self, pets):
+        taken = pets.take([3, 0])
+        assert taken.column("id") == [4, 1]
+
+    def test_project(self, pets):
+        projected = pets.project(["name", "kind"])
+        assert projected.schema.attribute_names == ("name", "kind")
+
+    def test_rename(self, pets):
+        assert pets.rename("animals").name == "animals"
+
+    def test_extend(self, pets):
+        extended = pets.extend(Attribute("age", DataType.INTEGER),
+                               [3, 5, 2, 8])
+        assert extended.column("age") == [3, 5, 2, 8]
+        assert len(extended.schema) == 5
+        # original untouched
+        assert "age" not in pets.schema
+
+    def test_extend_wrong_length(self, pets):
+        with pytest.raises(InstanceError):
+            pets.extend(Attribute("age", DataType.INTEGER), [1])
+
+    def test_concat(self, pets):
+        doubled = pets.concat(pets)
+        assert len(doubled) == 8
+
+    def test_concat_mismatch(self, pets):
+        other = pets.project(["id", "name"])
+        with pytest.raises(InstanceError):
+            pets.concat(other)
+
+
+class TestSampling:
+    def test_sample_size(self, pets, rng):
+        assert len(pets.sample(2, rng)) == 2
+
+    def test_sample_caps_at_len(self, pets, rng):
+        assert len(pets.sample(100, rng)) == 4
+
+    def test_shuffle_preserves_multiset(self, pets, rng):
+        shuffled = pets.shuffle(rng)
+        assert sorted(shuffled.column("id")) == [1, 2, 3, 4]
+
+    def test_split_partition(self, pets, rng):
+        left, right = pets.split(0.5, rng)
+        assert len(left) + len(right) == 4
+        assert sorted(left.column("id") + right.column("id")) == [1, 2, 3, 4]
+
+    def test_split_both_sides_nonempty(self, pets, rng):
+        left, right = pets.split(0.01, rng)
+        assert len(left) >= 1 and len(right) >= 1
+
+    def test_split_bad_fraction(self, pets, rng):
+        with pytest.raises(InstanceError):
+            pets.split(1.5, rng)
+
+    def test_split_deterministic_given_seed(self, pets):
+        a1, _ = pets.split(0.5, np.random.default_rng(3))
+        a2, _ = pets.split(0.5, np.random.default_rng(3))
+        assert a1.column("id") == a2.column("id")
+
+
+class TestDatabase:
+    def test_from_relations(self, pets):
+        db = Database.from_relations("zoo", [pets])
+        assert db.relation("pets") is pets
+        assert "pets" in db
+        assert db.name == "zoo"
+
+    def test_unknown_relation(self, pets):
+        db = Database.from_relations("zoo", [pets])
+        with pytest.raises(UnknownTableError):
+            db.relation("ghosts")
+
+    def test_iteration(self, pets):
+        db = Database.from_relations("zoo", [pets])
+        assert [r.name for r in db] == ["pets"]
+
+    def test_add_registers_schema(self, pets):
+        db = Database.from_relations("zoo", [])
+        db.add(pets)
+        assert "pets" in db.schema
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+def test_take_identity_permutation(values):
+    relation = Relation.infer_schema("t", {"a": values})
+    assert relation.take(range(len(values))).column("a") == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=2,
+                max_size=50),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_split_is_partition(values, seed):
+    relation = Relation.infer_schema("t", {"a": values})
+    left, right = relation.split(0.5, np.random.default_rng(seed))
+    assert sorted(left.column("a") + right.column("a")) == sorted(values)

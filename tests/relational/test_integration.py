@@ -1,0 +1,102 @@
+"""Cross-module integration tests on the relational substrate: views,
+conditions and constraints working together over realistic instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (Database, Eq, In, Key, Or, Relation, View,
+                              ViewFamily, dump_database, load_database)
+
+
+class TestViewAlgebra:
+    def test_family_views_partition_any_relation(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        family = ViewFamily.simple("items", "ItemType",
+                                   items.distinct("ItemType"))
+        sizes = [len(v.evaluate(items)) for v in family]
+        assert sum(sizes) == len(items)
+        assert all(s > 0 for s in sizes)
+
+    def test_merged_family_still_partitions(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        values = items.distinct("ItemType")
+        family = ViewFamily.simple("items", "ItemType", values)
+        merged = family.merge(values[0], values[1])
+        sizes = [len(v.evaluate(items)) for v in merged]
+        assert sum(sizes) == len(items)
+
+    def test_restricted_view_composes(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        view = View("items", Eq("ItemType", "Book1"))
+        refined = view.restrict(Eq("StockStatus", "Low"))
+        rows = list(refined.evaluate(items).rows())
+        assert all(r["ItemType"] == "Book1" and r["StockStatus"] == "Low"
+                   for r in rows)
+        assert len(rows) <= len(view.evaluate(items))
+
+    def test_disjunction_is_union_of_views(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        v1 = View("items", Eq("ItemType", "Book1")).evaluate(items)
+        v2 = View("items", Eq("ItemType", "Book2")).evaluate(items)
+        both = View("items", In("ItemType", ["Book1", "Book2"])) \
+            .evaluate(items)
+        assert len(both) == len(v1) + len(v2)
+
+    def test_or_equivalent_to_in(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        via_in = View("items", In("ItemType", ["Book1", "CD1"])) \
+            .evaluate(items)
+        via_or = View("items", Or.of(Eq("ItemType", "Book1"),
+                                     Eq("ItemType", "CD1"))).evaluate(items)
+        assert via_in.column("ItemID") == via_or.column("ItemID")
+
+
+class TestConstraintsOnWorkloads:
+    def test_item_id_is_key(self, retail_workload):
+        items = retail_workload.source.relation("items")
+        assert Key("items", ("ItemID",)).holds_on(items)
+
+    def test_grades_composite_key(self, grades_workload):
+        narrow = grades_workload.source.relation("grades_narrow")
+        assert Key("grades_narrow", ("name", "examNum")).holds_on(narrow)
+        assert not Key("grades_narrow", ("name",)).holds_on(narrow)
+
+
+class TestWorkloadPersistence:
+    def test_retail_round_trip(self, retail_workload, tmp_path):
+        dump_database(retail_workload.source, tmp_path / "src")
+        loaded = load_database(tmp_path / "src")
+        original = retail_workload.source.relation("items")
+        reloaded = loaded.relation("items")
+        assert len(reloaded) == len(original)
+        assert reloaded.column("Name") == original.column("Name")
+        assert reloaded.column("ListPrice") == original.column("ListPrice")
+
+
+@settings(max_examples=25)
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1,
+                max_size=60))
+def test_property_family_partition(labels):
+    """Property: a simple view family always partitions its base table."""
+    relation = Relation.infer_schema("t", {
+        "x": list(range(len(labels))), "label": labels})
+    family = ViewFamily.simple("t", "label", sorted(set(labels)))
+    sizes = [len(v.evaluate(relation)) for v in family]
+    assert sum(sizes) == len(labels)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=2,
+                max_size=60))
+def test_property_merge_preserves_partition(labels):
+    values = sorted(set(labels))
+    if len(values) < 2:
+        return
+    relation = Relation.infer_schema("t", {
+        "x": list(range(len(labels))), "label": labels})
+    family = ViewFamily.simple("t", "label", values).merge(values[0],
+                                                           values[-1])
+    sizes = [len(v.evaluate(relation)) for v in family]
+    assert sum(sizes) == len(labels)

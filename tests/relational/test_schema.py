@@ -1,0 +1,138 @@
+"""Unit tests for Attribute / TableSchema / Schema."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownAttributeError, UnknownTableError
+from repro.relational import Attribute, AttributeRef, DataType, Schema, TableSchema
+
+
+@pytest.fixture()
+def book_schema() -> TableSchema:
+    return TableSchema("book", [
+        ("id", DataType.INTEGER), ("title", DataType.TEXT),
+        ("isbn", DataType.STRING), ("price", DataType.FLOAT),
+    ])
+
+
+class TestAttribute:
+    def test_defaults_to_string(self):
+        assert Attribute("x").dtype is DataType.STRING
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_str(self):
+        assert str(Attribute("price", DataType.FLOAT)) == "price: real"
+
+
+class TestTableSchema:
+    def test_len_and_iteration(self, book_schema):
+        assert len(book_schema) == 4
+        assert [a.name for a in book_schema] == ["id", "title", "isbn",
+                                                 "price"]
+
+    def test_contains(self, book_schema):
+        assert "title" in book_schema
+        assert "missing" not in book_schema
+
+    def test_attribute_lookup(self, book_schema):
+        assert book_schema.attribute("isbn").dtype is DataType.STRING
+
+    def test_unknown_attribute_raises(self, book_schema):
+        with pytest.raises(UnknownAttributeError):
+            book_schema.attribute("author")
+
+    def test_index_of(self, book_schema):
+        assert book_schema.index_of("price") == 3
+
+    def test_ref(self, book_schema):
+        assert book_schema.ref("title") == AttributeRef("book", "title")
+
+    def test_ref_validates(self, book_schema):
+        with pytest.raises(UnknownAttributeError):
+            book_schema.ref("nope")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [("a", DataType.INTEGER),
+                              ("a", DataType.FLOAT)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_project_keeps_order_given(self, book_schema):
+        projected = book_schema.project(["price", "id"])
+        assert projected.attribute_names == ("price", "id")
+
+    def test_project_with_rename_to_view(self, book_schema):
+        view = book_schema.project(["id"], new_name="v", is_view=True)
+        assert view.name == "v" and view.is_view
+
+    def test_rename(self, book_schema):
+        assert book_schema.rename("tome").name == "tome"
+
+    def test_equality_and_hash(self, book_schema):
+        twin = TableSchema("book", book_schema.attributes)
+        assert twin == book_schema
+        assert hash(twin) == hash(book_schema)
+
+    def test_views_differ_from_tables(self, book_schema):
+        view = TableSchema("book", book_schema.attributes, is_view=True)
+        assert view != book_schema
+
+    def test_accepts_tuples(self):
+        schema = TableSchema("t", [("a", DataType.INTEGER)])
+        assert schema.dtype("a") is DataType.INTEGER
+
+
+class TestSchema:
+    def test_add_and_lookup(self, book_schema):
+        schema = Schema("RT", [book_schema])
+        assert schema.table("book") is book_schema
+        assert "book" in schema
+        assert len(schema) == 1
+
+    def test_duplicate_table_rejected(self, book_schema):
+        schema = Schema("RT", [book_schema])
+        with pytest.raises(SchemaError):
+            schema.add(book_schema)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            Schema("RT").table("ghost")
+
+    def test_remove(self, book_schema):
+        schema = Schema("RT", [book_schema])
+        schema.remove("book")
+        assert "book" not in schema
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownTableError):
+            Schema("RT").remove("ghost")
+
+    def test_base_tables_vs_views(self, book_schema):
+        view = TableSchema("v1", book_schema.attributes, is_view=True)
+        schema = Schema("RT", [book_schema, view])
+        assert [t.name for t in schema.base_tables] == ["book"]
+        assert [t.name for t in schema.views] == ["v1"]
+
+    def test_resolve(self, book_schema):
+        schema = Schema("RT", [book_schema])
+        attr = schema.resolve(AttributeRef("book", "price"))
+        assert attr.dtype is DataType.FLOAT
+
+    def test_resolve_bad_attr(self, book_schema):
+        schema = Schema("RT", [book_schema])
+        with pytest.raises(UnknownAttributeError):
+            schema.resolve(AttributeRef("book", "zzz"))
+
+
+class TestAttributeRef:
+    def test_str(self):
+        assert str(AttributeRef("inv", "name")) == "inv.name"
+
+    def test_equality(self):
+        assert AttributeRef("a", "b") == AttributeRef("a", "b")
+        assert AttributeRef("a", "b") != AttributeRef("a", "c")

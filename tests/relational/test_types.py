@@ -1,0 +1,141 @@
+"""Unit tests for data types and type inference."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.types import (DataType, coerce_value, infer_column_type,
+                                    infer_type, is_missing)
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing(float("nan"))
+
+    @pytest.mark.parametrize("token", ["", "  ", "null", "NULL", "None",
+                                       "na", "N/A"])
+    def test_missing_tokens(self, token):
+        assert is_missing(token)
+
+    @pytest.mark.parametrize("value", [0, 0.0, False, "0", "x", "nil"])
+    def test_non_missing_values(self, value):
+        assert not is_missing(value)
+
+
+class TestInferType:
+    @pytest.mark.parametrize("value,expected", [
+        (True, DataType.BOOLEAN),
+        (7, DataType.INTEGER),
+        (7.5, DataType.FLOAT),
+        ("42", DataType.INTEGER),
+        ("-13", DataType.INTEGER),
+        ("3.14", DataType.FLOAT),
+        ("1e-3", DataType.FLOAT),
+        ("true", DataType.BOOLEAN),
+        ("N", DataType.BOOLEAN),
+        ("2006-09-12", DataType.DATE),
+        ("hardcover", DataType.STRING),
+        ("the white album", DataType.TEXT),
+    ])
+    def test_inference(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_leading_zero_digits_are_codes_not_integers(self):
+        # ISBNs and zip codes keep leading zeros: identifiers, not numbers.
+        assert infer_type("0195128") is DataType.STRING
+        assert infer_type("0") is DataType.INTEGER  # a lone zero is numeric
+
+    def test_long_string_is_text(self):
+        assert infer_type("x" * 40) is DataType.TEXT
+
+    def test_whitespace_makes_text(self):
+        assert infer_type("two words") is DataType.TEXT
+
+
+class TestInferColumnType:
+    def test_homogeneous_int(self):
+        assert infer_column_type([1, 2, 3]) is DataType.INTEGER
+
+    def test_int_widens_to_float(self):
+        assert infer_column_type([1, 2.5]) is DataType.FLOAT
+
+    def test_string_and_text_widen_to_text(self):
+        assert infer_column_type(["abc", "two words"]) is DataType.TEXT
+
+    def test_mixed_code_column_is_text(self):
+        # An ISBN/ASIN column mixes leading-zero codes and plain digits.
+        assert infer_column_type(
+            ["0195128", "B002UAX", "1316011770"]) is DataType.TEXT
+
+    def test_missing_values_are_skipped(self):
+        assert infer_column_type([None, "", 3]) is DataType.INTEGER
+
+    def test_all_missing_defaults_to_string(self):
+        assert infer_column_type([None, ""]) is DataType.STRING
+
+
+class TestCoerce:
+    def test_coerce_int(self):
+        assert coerce_value("42", DataType.INTEGER) == 42
+
+    def test_coerce_float(self):
+        assert coerce_value("1.5", DataType.FLOAT) == 1.5
+
+    def test_coerce_bool_tokens(self):
+        assert coerce_value("Y", DataType.BOOLEAN) is True
+        assert coerce_value("no", DataType.BOOLEAN) is False
+
+    def test_coerce_bool_numeric(self):
+        assert coerce_value(1, DataType.BOOLEAN) is True
+
+    def test_coerce_missing_is_none(self):
+        assert coerce_value("", DataType.INTEGER) is None
+
+    def test_coerce_bad_bool_raises(self):
+        with pytest.raises(ValueError):
+            coerce_value("maybe", DataType.BOOLEAN)
+
+    def test_coerce_string(self):
+        assert coerce_value(12, DataType.STRING) == "12"
+
+
+class TestCompatibility:
+    def test_numeric_family(self):
+        assert DataType.INTEGER.compatible_with(DataType.FLOAT)
+        assert DataType.FLOAT.compatible_with(DataType.INTEGER)
+
+    def test_textual_family(self):
+        assert DataType.STRING.compatible_with(DataType.TEXT)
+
+    def test_cross_family_incompatible(self):
+        assert not DataType.INTEGER.compatible_with(DataType.TEXT)
+        assert not DataType.BOOLEAN.compatible_with(DataType.FLOAT)
+
+    def test_identity(self):
+        for dtype in DataType:
+            assert dtype.compatible_with(dtype)
+
+    def test_family_names(self):
+        assert DataType.INTEGER.family == "numeric"
+        assert DataType.TEXT.family == "textual"
+        assert DataType.BOOLEAN.family == "bool"
+
+
+@given(st.integers(min_value=-10**9, max_value=10**9))
+def test_integers_always_infer_integer(value):
+    assert infer_type(value) is DataType.INTEGER
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_floats_always_infer_float(value):
+    assert infer_type(value) is DataType.FLOAT
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1))
+def test_column_of_ints_is_numeric(values):
+    assert infer_column_type(values) is DataType.INTEGER

@@ -1,0 +1,113 @@
+"""Unit tests for views and view families."""
+
+import pytest
+
+from repro.errors import ConditionError, SchemaError
+from repro.relational import TRUE, Eq, In, View, ViewFamily, view_name
+
+
+class TestView:
+    def test_evaluate_filters(self, inv_relation):
+        view = View("inv", Eq("type", 1))
+        result = view.evaluate(inv_relation)
+        assert len(result) == 3
+        assert all(r["type"] == 1 for r in result.rows())
+        assert result.schema.is_view
+
+    def test_evaluate_wrong_base_rejected(self, inv_relation):
+        with pytest.raises(SchemaError):
+            View("other", TRUE).evaluate(inv_relation)
+
+    def test_projection(self, inv_relation):
+        view = View("inv", Eq("type", 2), projection=("id", "name"))
+        result = view.evaluate(inv_relation)
+        assert result.schema.attribute_names == ("id", "name")
+        assert len(result) == 2
+
+    def test_default_name_is_deterministic(self):
+        v1 = View("inv", Eq("type", 1))
+        v2 = View("inv", Eq("type", 1))
+        assert v1.name == v2.name == view_name("inv", Eq("type", 1))
+
+    def test_to_sql(self):
+        view = View("inv", Eq("type", 1), projection=("id", "name"))
+        assert view.to_sql() == "SELECT id, name FROM inv WHERE type = 1"
+
+    def test_identity_view_sql(self):
+        assert View("inv", TRUE).to_sql() == "SELECT * FROM inv"
+        assert View("inv", TRUE).is_identity
+
+    def test_restrict_conjoins(self):
+        view = View("inv", Eq("type", 1)).restrict(Eq("instock", "Y"))
+        assert view.condition.attributes() == {"type", "instock"}
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(SchemaError):
+            View("", TRUE)
+
+    def test_schema_projection(self, inv_relation):
+        view = View("inv", Eq("type", 1), projection=("name",))
+        schema = view.schema(inv_relation.schema)
+        assert schema.attribute_names == ("name",)
+        assert schema.is_view
+
+    def test_views_hashable(self):
+        assert View("inv", Eq("a", 1)) == View("inv", Eq("a", 1))
+        assert len({View("inv", Eq("a", 1)), View("inv", Eq("a", 1))}) == 1
+
+
+class TestViewFamily:
+    def test_simple_family(self):
+        family = ViewFamily.simple("inv", "type", [1, 2])
+        views = family.views()
+        assert len(views) == 2
+        assert {str(v.condition) for v in views} == {"type = 1", "type = 2"}
+
+    def test_partitions_relation(self, inv_relation):
+        family = ViewFamily.simple("inv", "type", [1, 2])
+        total = sum(len(v.evaluate(inv_relation)) for v in family)
+        assert total == len(inv_relation)
+
+    def test_merge_creates_disjunctive_view(self):
+        family = ViewFamily.simple("inv", "type", [1, 2, 3])
+        merged = family.merge(1, 3)
+        assert len(merged) == 2
+        conditions = {v.condition for v in merged.views()}
+        assert In("type", [1, 3]) in conditions
+        assert Eq("type", 2) in conditions
+
+    def test_merge_same_group_is_noop(self):
+        family = ViewFamily.simple("inv", "type", [1, 2]).merge(1, 2)
+        assert family.merge(1, 2) is family
+
+    def test_merge_unknown_value_raises(self):
+        family = ViewFamily.simple("inv", "type", [1, 2])
+        with pytest.raises(ConditionError):
+            family.merge(1, 99)
+
+    def test_group_label(self):
+        family = ViewFamily.simple("inv", "type", [1, 2, 3]).merge(1, 2)
+        assert family.group_label(1) == frozenset({1, 2})
+        assert family.group_label(3) == frozenset({3})
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ConditionError):
+            ViewFamily("inv", "type", [[1, 2], [2, 3]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConditionError):
+            ViewFamily("inv", "type", [[]])
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ConditionError):
+            ViewFamily("inv", "type", [])
+
+    def test_equality_ignores_group_order(self):
+        f1 = ViewFamily("inv", "type", [[1], [2, 3]])
+        f2 = ViewFamily("inv", "type", [[3, 2], [1]])
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+
+    def test_quality_carried(self):
+        family = ViewFamily.simple("inv", "type", [1, 2], quality=0.97)
+        assert family.quality == 0.97

@@ -1,0 +1,70 @@
+"""End-to-end tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "retail", "/tmp/x"])
+        assert args.gamma == 4 and args.target == "ryan"
+
+    def test_match_flags(self):
+        args = build_parser().parse_args(
+            ["match", "a", "b", "--inference", "src", "--late-disjuncts",
+             "--tau", "0.4"])
+        assert args.inference == "src"
+        assert args.late_disjuncts
+        assert args.tau == 0.4
+
+
+class TestEndToEnd:
+    def test_generate_then_match(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        assert main(["generate", "retail", str(out), "--rows", "300",
+                     "--gamma", "2", "--seed", "7"]) == 0
+        assert (out / "src" / "items.csv").exists()
+        assert (out / "tgt" / "books.csv").exists()
+
+        rc = main(["match", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--seed", "3"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "contextual" in output
+        assert "WHERE" in output  # at least one contextual match printed
+
+    def test_generate_then_map(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "grades", str(out), "--sigma", "8", "--seed", "5"])
+        migrated = tmp_path / "migrated"
+        rc = main(["map", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--late-disjuncts", "--seed", "3",
+                   "--out", str(migrated)])
+        assert rc == 0
+        assert (migrated / "grades_wide.csv").exists()
+        output = capsys.readouterr().out
+        assert "map -> grades_wide" in output
+
+    def test_map_with_no_matches_fails_cleanly(self, tmp_path, capsys):
+        import csv
+        src = tmp_path / "src"
+        tgt = tmp_path / "tgt"
+        src.mkdir(), tgt.mkdir()
+        with (src / "a.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["x"])
+            for i in range(10):
+                writer.writerow([f"zzz{i}"])
+        with (tgt / "b.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["y"])
+            for i in range(10):
+                writer.writerow([i * 1.5])
+        rc = main(["map", str(src), str(tgt), "--inference", "src",
+                   "--tau", "0.99"])
+        assert rc == 1
