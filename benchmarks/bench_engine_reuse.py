@@ -1,0 +1,63 @@
+"""Engine API benchmark: prepared-target reuse vs per-run re-indexing.
+
+Not a paper figure — this quantifies the batch-matching win the engine API
+exists for: ``match_many`` over N sources against one ``PreparedTarget``
+profiles the target once, where N independent ``ContextMatch.run`` calls
+profile it N times.  Also reports where the pipeline spends its time, from
+the per-stage ``RunReport`` timings.
+"""
+
+from collections import defaultdict
+
+from conftest import run_once
+from repro import ContextMatch, ContextMatchConfig, MatchEngine
+from repro.datagen import make_retail_workload
+
+N_SOURCES = 4
+CONFIG = dict(inference="src", early_disjuncts=True, seed=5)
+
+
+def _workloads():
+    workloads = [make_retail_workload(target="ryan", gamma=2, n_source=400,
+                                      seed=21 + i) for i in range(N_SOURCES)]
+    return [w.source for w in workloads], workloads[0].target
+
+
+def _run_facade(sources, target):
+    return [ContextMatch(ContextMatchConfig(**CONFIG)).run(source, target)
+            for source in sources]
+
+
+def _run_engine(sources, target):
+    engine = MatchEngine(ContextMatchConfig(**CONFIG))
+    return engine.match_many(sources, engine.prepare(target))
+
+
+def test_engine_reuse(benchmark, record_series):
+    sources, target = _workloads()
+    facade_results = _run_facade(sources, target)
+    engine_results = run_once(benchmark, _run_engine, sources, target)
+
+    facade_time = sum(r.elapsed_seconds for r in facade_results)
+    engine_time = sum(r.elapsed_seconds for r in engine_results)
+    stage_totals: dict[str, float] = defaultdict(float)
+    for result in engine_results:
+        for name, seconds in result.report.stage_timings().items():
+            stage_totals[name] += seconds
+
+    data = {
+        "total": {"facade": facade_time, "engine": engine_time},
+        **{f"stage:{name}": {"facade": float("nan"), "engine": seconds}
+           for name, seconds in stage_totals.items()},
+    }
+    record_series("engine_reuse",
+                  f"Engine reuse: {N_SOURCES} sources, one prepared target "
+                  "(seconds)", "measurement", data, ["facade", "engine"])
+
+    assert engine_time < facade_time, (
+        f"prepared-target reuse should beat re-indexing "
+        f"({engine_time:.2f}s vs {facade_time:.2f}s)")
+    # Same matches either way, just faster.
+    for facade_result, engine_result in zip(facade_results, engine_results):
+        assert [str(m) for m in facade_result.matches] == \
+            [str(m) for m in engine_result.matches]

@@ -4,6 +4,12 @@ Each benchmark runs the matching experiment driver for one figure of the
 paper exactly once under ``pytest-benchmark`` timing, prints the series the
 figure plots, and persists it under ``benchmarks/results/`` so the output
 survives non-verbose runs (EXPERIMENTS.md quotes these files).
+
+The drivers run on :class:`~repro.MatchEngine` through the evaluation
+layer's :class:`~repro.evaluation.EngineRunner`: workloads are memoized and
+each distinct target is prepared once per sweep, so figure runtimes measure
+the matching pipeline itself (``bench_engine_reuse.py`` quantifies what the
+prepared-target reuse saves).
 """
 
 from __future__ import annotations

@@ -7,10 +7,16 @@ A standard matcher produces ambiguous matches (Figure 2); contextual
 matching annotates them with the selection conditions that make them
 correct (Figure 3).
 
+Uses the engine API: the target is prepared once with
+``MatchEngine.prepare`` and the pipeline runs against the prepared target,
+returning a per-stage ``RunReport`` alongside the matches.  (The original
+``ContextMatch`` class is kept as a thin facade over the engine —
+``ContextMatch(config).run(src, tgt)`` still works unchanged.)
+
 Run:  python examples/quickstart.py
 """
 
-from repro import ContextMatch, ContextMatchConfig, StandardMatch
+from repro import ContextMatchConfig, MatchEngine, StandardMatch
 from repro.datagen import make_retail_workload
 from repro.evaluation import evaluate_result
 
@@ -37,7 +43,9 @@ def main() -> None:
     # --- Contextual matching: Figure 3 ----------------------------------
     config = ContextMatchConfig(inference="tgt", early_disjuncts=True,
                                 omega=5.0, seed=1)
-    result = ContextMatch(config).run(source, target)
+    engine = MatchEngine(config)
+    prepared = engine.prepare(target)   # reusable across many sources
+    result = engine.match(source, prepared)
     print(f"\nContextual matches ({len(result.contextual_matches)} edges, "
           f"{result.elapsed_seconds:.2f}s):")
     for match in result.contextual_matches:
@@ -46,6 +54,10 @@ def main() -> None:
     print("\nInferred views:")
     for view in result.views():
         print(f"  {view}")
+
+    print("\nWhere the pipeline spent its time:")
+    for stage in result.report.stages:
+        print(f"  {stage}")
 
     metrics = evaluate_result(result, workload.ground_truth)
     print(f"\nAgainst ground truth: {metrics}")

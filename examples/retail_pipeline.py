@@ -11,7 +11,7 @@ target schema — Skolem terms filling target attributes the source lacks
 Run:  python examples/retail_pipeline.py
 """
 
-from repro import ContextMatch, ContextMatchConfig
+from repro import ContextMatchConfig, MatchEngine
 from repro.datagen import make_retail_workload
 from repro.mapping import generate_mapping
 
@@ -21,7 +21,7 @@ def main() -> None:
                                     seed=21)
     config = ContextMatchConfig(inference="src", early_disjuncts=True,
                                 seed=4)
-    result = ContextMatch(config).run(workload.source, workload.target)
+    result = MatchEngine(config).match(workload.source, workload.target)
 
     print("Selected matches:")
     for match in result.matches:

@@ -10,8 +10,9 @@ The library provides:
   key / foreign-key constraints;
 * a multi-matcher instance-based standard schema matcher
   (:mod:`repro.matching`);
-* the contextual matching framework (:mod:`repro.context`) — the paper's
-  core contribution: ``ContextMatch`` with the ``NaiveInfer`` /
+* the contextual matching framework (:mod:`repro.context` +
+  :mod:`repro.engine`) — the paper's core contribution: the five-stage
+  ContextMatch pipeline (Figure 5) with the ``NaiveInfer`` /
   ``SrcClassInfer`` / ``TgtClassInfer`` candidate-view generators, early /
   late disjunct handling and ``MultiTable`` / ``QualTable`` selection;
 * a relational Clio-style schema mapping generator extended with contextual
@@ -21,27 +22,49 @@ The library provides:
   figure of the paper's evaluation (:mod:`repro.datagen`,
   :mod:`repro.evaluation`).
 
-Quickstart::
+Quickstart — the engine API.  :meth:`MatchEngine.prepare` profiles a
+target schema once; ``match`` / ``match_many`` then run the pipeline for
+any number of sources without re-indexing, and every result carries a
+per-stage :class:`RunReport`::
 
-    from repro import ContextMatch, ContextMatchConfig
+    from repro import MatchEngine, ContextMatchConfig
     from repro.datagen import make_retail_workload
 
     workload = make_retail_workload(target="ryan", seed=7)
-    result = ContextMatch(ContextMatchConfig()).run(
-        workload.source, workload.target)
+    engine = MatchEngine(ContextMatchConfig())
+    prepared = engine.prepare(workload.target)
+
+    result = engine.match(workload.source, prepared)
     for match in result.matches:
         print(match)
+    print(result.report)            # per-stage timings + counts
+
+    # Batch mode: the target index is built exactly once.
+    results = engine.match_many([workload.source], prepared)
+
+The pre-engine entry point is kept as a thin backward-compatible facade:
+``ContextMatch(config).run(source, target)`` is exactly
+``MatchEngine(config).match(source, target)``.
 """
 
 from .context import (ContextMatch, ContextMatchConfig, ContextualMatch,
                       MatchResult)
+from .engine import (EngineObserver, MatchEngine, PreparedTarget, RunReport,
+                     Stage, StageReport, default_stages)
 from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
                          Relation, Schema, TableSchema, View, ViewFamily)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "MatchEngine",
+    "PreparedTarget",
+    "RunReport",
+    "StageReport",
+    "Stage",
+    "default_stages",
+    "EngineObserver",
     "ContextMatch",
     "ContextMatchConfig",
     "ContextualMatch",

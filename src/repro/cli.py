@@ -2,33 +2,84 @@
 
 Commands
 --------
-``generate``  write a seeded workload (retail or grades) to CSV directories
-``match``     run contextual matching between two CSV directories
-``map``       additionally generate + execute the extended-Clio mapping
+``generate``    write a seeded workload (retail or grades) to CSV directories
+``match``       run contextual matching between two CSV directories
+``match-many``  match several source directories against one shared target,
+                preparing the target exactly once
+``map``         additionally generate + execute the extended-Clio mapping
 
 CSV directories contain one ``<table>.csv`` per table (header row; types
 are inferred).  All knobs of :class:`~repro.ContextMatchConfig` that matter
-operationally are exposed as flags.
+operationally are exposed as flags; ``--config path.json`` loads a full
+serialized configuration (see
+:func:`~repro.context.serialize.config_to_dict`), with explicit flags
+overriding file values.  All matching commands run on
+:class:`~repro.MatchEngine`; ``--json`` output includes the per-stage
+:class:`~repro.RunReport`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Sequence
 
-from . import ContextMatch, ContextMatchConfig
+from . import ContextMatchConfig, MatchEngine, __version__
+from .context.serialize import config_from_dict, result_to_dict
 from .datagen import make_grades_workload, make_retail_workload
 from .mapping import generate_mapping
 from .relational import dump_database, load_database
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "config_from_args"]
+
+#: argparse dest -> ContextMatchConfig field for the shared matching flags.
+_CONFIG_FLAGS = {
+    "tau": "tau",
+    "omega": "omega",
+    "inference": "inference",
+    "selection": "selection",
+    "conjunctive_stages": "conjunctive_stages",
+    "seed": "seed",
+}
+
+
+def _add_matching_flags(cmd: argparse.ArgumentParser) -> None:
+    """Config-mapped flags use ``SUPPRESS`` defaults so ``--config`` file
+    values win unless a flag is given explicitly (defaults in help text)."""
+    cmd.add_argument("--config", default=None, metavar="PATH.json",
+                     help="load a serialized ContextMatchConfig; explicit "
+                          "flags override file values")
+    cmd.add_argument("--inference", default=argparse.SUPPRESS,
+                     choices=["naive", "src", "tgt"],
+                     help="candidate-view generator (default: tgt)")
+    cmd.add_argument("--selection", default=argparse.SUPPRESS,
+                     choices=["qualtable", "multitable"],
+                     help="match selection policy (default: qualtable)")
+    cmd.add_argument("--tau", type=float, default=argparse.SUPPRESS,
+                     help="standard-matcher confidence threshold "
+                          "(default: 0.5)")
+    cmd.add_argument("--omega", type=float, default=argparse.SUPPRESS,
+                     help="QualTable improvement threshold in percent "
+                          "(default: 5.0)")
+    cmd.add_argument("--late-disjuncts", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="use LateDisjuncts instead of EarlyDisjuncts")
+    cmd.add_argument("--conjunctive-stages", type=int,
+                     default=argparse.SUPPRESS,
+                     help="ContextMatch iterations for conjunctive "
+                          "conditions (default: 1)")
+    cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                     help="train/test partitioning seed (default: 0)")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Contextual schema matching (Bohannon et al., VLDB'06)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a seeded workload to CSV")
@@ -46,16 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("source", help="source CSV directory")
         cmd.add_argument("target", help="target CSV directory")
-        cmd.add_argument("--inference", default="tgt",
-                         choices=["naive", "src", "tgt"])
-        cmd.add_argument("--selection", default="qualtable",
-                         choices=["qualtable", "multitable"])
-        cmd.add_argument("--tau", type=float, default=0.5)
-        cmd.add_argument("--omega", type=float, default=5.0)
-        cmd.add_argument("--late-disjuncts", action="store_true",
-                         help="use LateDisjuncts instead of EarlyDisjuncts")
-        cmd.add_argument("--conjunctive-stages", type=int, default=1)
-        cmd.add_argument("--seed", type=int, default=0)
+        _add_matching_flags(cmd)
         if name == "match":
             cmd.add_argument("--json", action="store_true",
                              help="emit matches as JSON instead of text")
@@ -63,7 +105,37 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--out", default=None,
                              help="directory for the migrated instance")
             cmd.add_argument("--min-confidence", type=float, default=0.6)
+
+    many = sub.add_parser(
+        "match-many",
+        help="match several sources against one shared target")
+    many.add_argument("target", help="target CSV directory (prepared once)")
+    many.add_argument("sources", nargs="+",
+                      help="source CSV directories, matched in order")
+    _add_matching_flags(many)
+    many.add_argument("--json", action="store_true",
+                      help="emit one JSON document with all results")
     return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ContextMatchConfig:
+    """Build the run configuration: ``--config`` file (or defaults) as the
+    base, overridden by whichever flags were given explicitly."""
+    if getattr(args, "config", None):
+        try:
+            with open(args.config, encoding="utf-8") as handle:
+                base = config_from_dict(json.load(handle))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"repro: error: cannot load --config {args.config}: {exc}")
+    else:
+        base = ContextMatchConfig()
+    overrides = {field: getattr(args, dest)
+                 for dest, field in _CONFIG_FLAGS.items()
+                 if hasattr(args, dest)}
+    if hasattr(args, "late_disjuncts"):
+        overrides["early_disjuncts"] = not args.late_disjuncts
+    return dataclasses.replace(base, **overrides) if overrides else base
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -85,28 +157,46 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _run_matching(args: argparse.Namespace):
     source = load_database(args.source, name="source")
     target = load_database(args.target, name="target")
-    config = ContextMatchConfig(
-        tau=args.tau, omega=args.omega,
-        early_disjuncts=not args.late_disjuncts,
-        inference=args.inference, selection=args.selection,
-        conjunctive_stages=args.conjunctive_stages, seed=args.seed)
-    result = ContextMatch(config).run(source, target)
+    engine = MatchEngine(config_from_args(args))
+    result = engine.match(source, target)
     return source, target, result
 
 
-def _cmd_match(args: argparse.Namespace) -> int:
-    _, _, result = _run_matching(args)
-    if args.json:
-        import json
-
-        from .context.serialize import result_to_dict
-        print(json.dumps(result_to_dict(result), indent=2, default=str))
-        return 0
+def _print_result(result) -> None:
     print(f"# {len(result.matches)} matches "
           f"({len(result.contextual_matches)} contextual, "
           f"{result.elapsed_seconds:.2f}s)")
     for match in result.matches:
         print(match)
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    _, _, result = _run_matching(args)
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2, default=str))
+        return 0
+    _print_result(result)
+    return 0
+
+
+def _cmd_match_many(args: argparse.Namespace) -> int:
+    target = load_database(args.target, name="target")
+    engine = MatchEngine(config_from_args(args))
+    prepared = engine.prepare(target)
+    # Full MatchResults (with their view/candidate diagnostics) are dropped
+    # as soon as each source is rendered, so batch memory stays flat.
+    rendered = []
+    for source_dir in args.sources:
+        source = load_database(source_dir, name="source")
+        result = engine.match(source, prepared)
+        if args.json:
+            rendered.append({"source": source_dir, **result_to_dict(result)})
+        else:
+            print(f"== {source_dir}")
+            _print_result(result)
+    if args.json:
+        print(json.dumps({"target": args.target, "results": rendered},
+                         indent=2, default=str))
     return 0
 
 
@@ -130,7 +220,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _cmd_generate, "match": _cmd_match,
-                "map": _cmd_map}
+                "match-many": _cmd_match_many, "map": _cmd_map}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

@@ -1,8 +1,11 @@
 """Contextual schema matching — the paper's core contribution (Section 3).
 
-Public entry point: :class:`ContextMatch` configured by
-:class:`ContextMatchConfig`; results arrive as :class:`MatchResult` holding
-:class:`ContextualMatch` triples ``(RS.s, RT.t, condition)``.
+The pipeline itself is driven by :class:`~repro.engine.MatchEngine` (see
+:mod:`repro.engine`); :class:`ContextMatch`, configured by
+:class:`ContextMatchConfig`, remains as a backward-compatible facade.
+Results arrive as :class:`MatchResult` holding :class:`ContextualMatch`
+triples ``(RS.s, RT.t, condition)`` plus a per-stage
+:class:`~repro.engine.RunReport`.
 """
 
 from .candidates import (CandidateViewGenerator, InferenceContext, NaiveInfer,
@@ -15,8 +18,11 @@ from .contextmatch import ContextMatch
 from .model import (CandidateScore, ContextMatchConfig, ContextualMatch,
                     MatchResult)
 from .score import score_family_candidates, score_view_candidates
-from .serialize import (condition_from_dict, condition_to_dict,
-                        match_from_dict, match_to_dict, result_to_dict)
+from .serialize import (attribute_match_from_dict, attribute_match_to_dict,
+                        condition_from_dict, condition_to_dict,
+                        config_from_dict, config_to_dict, match_from_dict,
+                        match_to_dict, report_from_dict, report_to_dict,
+                        result_from_dict, result_to_dict)
 from .select import multi_table, qual_table, select_matches
 
 __all__ = [
@@ -38,9 +44,16 @@ __all__ = [
     "non_categorical_attributes",
     "condition_to_dict",
     "condition_from_dict",
+    "config_to_dict",
+    "config_from_dict",
     "match_to_dict",
     "match_from_dict",
+    "attribute_match_to_dict",
+    "attribute_match_from_dict",
+    "report_to_dict",
+    "report_from_dict",
     "result_to_dict",
+    "result_from_dict",
     "score_view_candidates",
     "score_family_candidates",
     "multi_table",

@@ -1,39 +1,30 @@
-"""Algorithm ContextMatch (paper Figure 5) — the library's core entry point.
+"""Algorithm ContextMatch (paper Figure 5) — backward-compatible facade.
 
-For each source table the driver
+The driver logic lives in :mod:`repro.engine`: the five steps of Figure 5
+(standard-match → infer-views → score-candidates → select →
+conjunctive-refine) are explicit :class:`~repro.engine.stages.Stage`
+objects run by :class:`~repro.engine.engine.MatchEngine`, which also
+supports preparing a target once and matching many sources against it.
 
-1. obtains accepted prototype matches from the black-box standard matcher
-   (``StandardMatch(RS, RT, τ)``);
-2. infers candidate view families (``InferCandidateViews`` — Naive / Src /
-   Tgt, controlled by ``ContextMatchConfig.inference``);
-3. re-scores every prototype match against every candidate view
-   (``ScoreMatch``), accumulating the candidate list RL;
-4. selects the matches to present (``SelectContextualMatches`` —
-   MultiTable or QualTable with improvement threshold ω);
-5. optionally iterates over the selected views to discover conjunctive
-   conditions (Section 3.5).
+:class:`ContextMatch` is kept as a thin facade over a private engine so
+existing code and the paper-oriented reading of the API keep working:
+``ContextMatch(config).run(source, target)`` is exactly
+``MatchEngine(config).match(source, target)``.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from ..matching.standard import MatchingSystem, StandardMatch
+from ..engine.engine import MatchEngine
+from ..matching.standard import MatchingSystem
 from ..relational.instance import Database
-from .candidates import InferenceContext, make_generator
 from .categorical import CategoricalPolicy
-from .conjunctive import refine_conjunctive
-from .model import CandidateScore, ContextMatchConfig, MatchResult
-from .score import score_family_candidates
-from .select import select_matches
+from .model import ContextMatchConfig, MatchResult
 
 __all__ = ["ContextMatch"]
 
 
 class ContextMatch:
-    """Contextual schema matcher.
+    """Contextual schema matcher (facade over :class:`MatchEngine`).
 
     Parameters
     ----------
@@ -59,52 +50,24 @@ class ContextMatch:
     def __init__(self, config: ContextMatchConfig | None = None,
                  matcher: MatchingSystem | None = None,
                  policy: CategoricalPolicy | None = None):
-        self.config = config or ContextMatchConfig()
-        self.matcher = matcher or StandardMatch(self.config.standard)
-        self.policy = policy or CategoricalPolicy()
+        self.engine = MatchEngine(config=config, matcher=matcher,
+                                  policy=policy)
+
+    @property
+    def config(self) -> ContextMatchConfig:
+        return self.engine.config
+
+    @property
+    def matcher(self) -> MatchingSystem:
+        return self.engine.matcher
+
+    @property
+    def policy(self) -> CategoricalPolicy:
+        return self.engine.policy
 
     def run(self, source: Database, target: Database) -> MatchResult:
         """Execute ContextMatch over sampled instances of both schemas."""
-        config = self.config
-        started = time.perf_counter()
-        rng = np.random.default_rng(config.seed)
-        index = self.matcher.build_target_index(target)
-        ctx = InferenceContext(config=config, rng=rng, target=target,
-                               policy=self.policy)
-        generator = make_generator(config.inference)
-
-        result = MatchResult()
-        all_candidates: list[CandidateScore] = []
-        for relation in source:
-            accepted = [
-                m for m in self.matcher.score_relation(relation, index)
-                if self.matcher.accept(m, config.tau)
-            ]
-            result.standard_matches.extend(accepted)
-            families = generator.infer(relation, accepted, ctx)
-            result.families.extend(families)
-            seen_views: set = set()
-            for family in families:
-                all_candidates.extend(score_family_candidates(
-                    family, relation, accepted, self.matcher, index,
-                    min_view_rows=config.min_view_rows,
-                    seen_views=seen_views))
-        result.candidates = all_candidates
-
-        matches = select_matches(
-            result.standard_matches, all_candidates,
-            selection=config.selection, omega=config.omega,
-            early_disjuncts=config.early_disjuncts)
-
-        for _stage in range(1, config.conjunctive_stages):
-            matches, families, candidates = refine_conjunctive(
-                matches, source, generator, self.matcher, index, ctx)
-            result.families.extend(families)
-            result.candidates.extend(candidates)
-
-        result.matches = matches
-        result.elapsed_seconds = time.perf_counter() - started
-        return result
+        return self.engine.match(source, target)
 
     def run_reversed(self, source: Database, target: Database) -> MatchResult:
         """Discover matches with conditions on the *target* tables.
@@ -112,9 +75,9 @@ class ContextMatch:
         Section 3: "it is generally straightforward to reverse the role of
         source and target tables to discover matches involving conditions
         on the target table."  The matcher runs with the roles swapped and
-        every resulting match is flipped back, carrying
-        ``condition_on="target"`` and a view over the target table.
+        the result is flipped back into this call's frame: matches carry
+        ``condition_on="target"`` with views over the target table, and the
+        ``standard_matches`` diagnostics are flipped to source -> target
+        orientation.
         """
-        mirrored = self.run(target, source)
-        mirrored.matches = [m.flipped() for m in mirrored.matches]
-        return mirrored
+        return self.engine.match_reversed(source, target)

@@ -8,12 +8,15 @@ mapping layer can treat matches as view-attribute correspondences.
 from __future__ import annotations
 
 import dataclasses
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from ..matching.standard import AttributeMatch, StandardMatchConfig
 from ..relational.conditions import Condition
 from ..relational.schema import AttributeRef
 from ..relational.views import View, ViewFamily
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a context <-> engine cycle
+    from ..engine.report import RunReport
 
 __all__ = ["ContextualMatch", "CandidateScore", "MatchResult",
            "ContextMatchConfig", "InferenceKind", "SelectionKind"]
@@ -110,6 +113,10 @@ class MatchResult:
         Every (view, match) rescoring performed, for explanation.
     elapsed_seconds:
         Wall-clock duration of the run.
+    report:
+        Per-stage timings and counts of the engine run that produced this
+        result (:class:`~repro.engine.report.RunReport`); None for results
+        assembled outside the engine.
     """
 
     matches: list[ContextualMatch] = dataclasses.field(default_factory=list)
@@ -117,6 +124,7 @@ class MatchResult:
     families: list[ViewFamily] = dataclasses.field(default_factory=list)
     candidates: list[CandidateScore] = dataclasses.field(default_factory=list)
     elapsed_seconds: float = 0.0
+    report: "RunReport | None" = None
 
     @property
     def contextual_matches(self) -> list[ContextualMatch]:

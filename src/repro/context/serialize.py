@@ -10,16 +10,22 @@ rather than SQL text, so no parser is needed.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+import dataclasses
+from typing import Any, Mapping
 
+from ..engine.report import RunReport, StageReport
 from ..errors import ConditionError
+from ..matching.standard import AttributeMatch, StandardMatchConfig
 from ..relational.conditions import TRUE, And, Condition, Eq, In, Or
 from ..relational.schema import AttributeRef
 from ..relational.views import View
-from .model import ContextualMatch, MatchResult
+from .model import ContextMatchConfig, ContextualMatch, MatchResult
 
 __all__ = ["condition_to_dict", "condition_from_dict", "match_to_dict",
-           "match_from_dict", "result_to_dict"]
+           "match_from_dict", "attribute_match_to_dict",
+           "attribute_match_from_dict", "report_to_dict", "report_from_dict",
+           "result_to_dict", "result_from_dict", "config_to_dict",
+           "config_from_dict"]
 
 
 def condition_to_dict(condition: Condition) -> dict[str, Any]:
@@ -91,12 +97,109 @@ def match_from_dict(data: Mapping[str, Any]) -> ContextualMatch:
         view=view, condition_on=condition_on)
 
 
+def attribute_match_to_dict(match: AttributeMatch) -> dict[str, Any]:
+    """Render one standard-matcher pairing (per-matcher evidence is an
+    in-memory explanation artifact and is not serialized)."""
+    return {
+        "source": {"table": match.source.table,
+                   "attribute": match.source.attribute},
+        "target": {"table": match.target.table,
+                   "attribute": match.target.attribute},
+        "score": match.score,
+        "confidence": match.confidence,
+    }
+
+
+def attribute_match_from_dict(data: Mapping[str, Any]) -> AttributeMatch:
+    """Inverse of :func:`attribute_match_to_dict` (evidence comes back
+    empty)."""
+    return AttributeMatch(
+        source=AttributeRef(data["source"]["table"],
+                            data["source"]["attribute"]),
+        target=AttributeRef(data["target"]["table"],
+                            data["target"]["attribute"]),
+        score=float(data["score"]), confidence=float(data["confidence"]))
+
+
+def report_to_dict(report: RunReport) -> dict[str, Any]:
+    """Render a :class:`~repro.engine.report.RunReport` (round-trippable)."""
+    return {
+        "elapsed_seconds": report.elapsed_seconds,
+        "target_prepared": report.target_prepared,
+        "role_reversed": report.role_reversed,
+        "stages": [
+            {"name": stage.name, "elapsed_seconds": stage.elapsed_seconds,
+             "counts": dict(stage.counts)}
+            for stage in report.stages
+        ],
+    }
+
+
+def report_from_dict(data: Mapping[str, Any]) -> RunReport:
+    """Inverse of :func:`report_to_dict`."""
+    return RunReport(
+        stages=[StageReport(name=s["name"],
+                            elapsed_seconds=float(s["elapsed_seconds"]),
+                            counts={k: int(v)
+                                    for k, v in s.get("counts", {}).items()})
+                for s in data.get("stages", [])],
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        target_prepared=bool(data.get("target_prepared", False)),
+        role_reversed=bool(data.get("role_reversed", False)))
+
+
 def result_to_dict(result: MatchResult) -> dict[str, Any]:
-    """Render a full MatchResult (matches + run diagnostics summary)."""
+    """Render a full MatchResult: matches, accepted prototype matches, the
+    engine run report, and summary counts of the in-memory-only diagnostics
+    (view families and candidate rescorings hold whole views over sample
+    data and intentionally do not serialize)."""
     return {
         "matches": [match_to_dict(m) for m in result.matches],
+        "standard_matches": [attribute_match_to_dict(m)
+                             for m in result.standard_matches],
         "n_standard_accepted": len(result.standard_matches),
         "n_families": len(result.families),
         "n_candidates": len(result.candidates),
         "elapsed_seconds": result.elapsed_seconds,
+        "report": (report_to_dict(result.report)
+                   if result.report is not None else None),
     }
+
+
+def result_from_dict(data: Mapping[str, Any]) -> MatchResult:
+    """Inverse of :func:`result_to_dict` for the serialized fields.
+
+    ``matches``, ``standard_matches``, ``elapsed_seconds`` and ``report``
+    round-trip; ``families`` and ``candidates`` come back empty (only their
+    counts are serialized — see :func:`result_to_dict`).
+    """
+    report = data.get("report")
+    return MatchResult(
+        matches=[match_from_dict(m) for m in data.get("matches", [])],
+        standard_matches=[attribute_match_from_dict(m)
+                          for m in data.get("standard_matches", [])],
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        report=report_from_dict(report) if report is not None else None)
+
+
+def config_to_dict(config: ContextMatchConfig) -> dict[str, Any]:
+    """Render a :class:`ContextMatchConfig` (round-trippable; the nested
+    standard-matcher configuration serializes under ``"standard"``)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> ContextMatchConfig:
+    """Inverse of :func:`config_to_dict`.
+
+    Missing keys take their defaults (so partial config files work);
+    unknown keys raise ``ValueError``.
+    """
+    data = dict(data)
+    standard = data.pop("standard", None)
+    try:
+        if standard is not None:
+            standard = StandardMatchConfig(**standard)
+            return ContextMatchConfig(standard=standard, **data)
+        return ContextMatchConfig(**data)
+    except TypeError as exc:  # unknown field name
+        raise ValueError(f"bad ContextMatchConfig encoding: {exc}") from exc

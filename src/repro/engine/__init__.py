@@ -1,0 +1,35 @@
+"""The match engine — the library's primary entry point.
+
+* :class:`MatchEngine` — ``prepare`` a target once, then ``match`` /
+  ``match_many`` / ``match_reversed`` any number of sources against it;
+* :class:`PreparedTarget` — the reusable target-side artifacts;
+* :class:`~repro.engine.stages.Stage` and the five concrete ContextMatch
+  stages — the pluggable pipeline;
+* :class:`EngineObserver` — per-stage hooks;
+* :class:`RunReport` / :class:`StageReport` — per-run diagnostics.
+"""
+
+from .engine import MatchEngine
+from .hooks import EngineObserver
+from .prepared import PreparedTarget
+from .report import STAGE_NAMES, RunReport, StageReport
+from .stages import (ConjunctiveRefineStage, InferViewsStage, PipelineState,
+                     ScoreCandidatesStage, SelectStage, Stage,
+                     StandardMatchStage, default_stages)
+
+__all__ = [
+    "MatchEngine",
+    "PreparedTarget",
+    "EngineObserver",
+    "RunReport",
+    "StageReport",
+    "STAGE_NAMES",
+    "Stage",
+    "PipelineState",
+    "StandardMatchStage",
+    "InferViewsStage",
+    "ScoreCandidatesStage",
+    "SelectStage",
+    "ConjunctiveRefineStage",
+    "default_stages",
+]

@@ -1,0 +1,229 @@
+"""The match engine — prepared targets, pluggable stages, batch matching.
+
+:class:`MatchEngine` is the library's primary entry point.  It splits a
+contextual match run into a reusable target-side preparation step
+(:meth:`MatchEngine.prepare`) and a per-source pipeline
+(:meth:`MatchEngine.match`), so a service matching many incoming schemas
+against a small set of stable hub schemas profiles each hub exactly once::
+
+    engine = MatchEngine(ContextMatchConfig(inference="src"))
+    prepared = engine.prepare(hub_schema)
+    results = engine.match_many(incoming_schemas, prepared)
+
+The pipeline itself is an ordered list of
+:class:`~repro.engine.stages.Stage` objects (Figure 5's five steps by
+default) observable through :class:`~repro.engine.hooks.EngineObserver`;
+every run returns a :class:`~repro.context.model.MatchResult` carrying a
+:class:`~repro.engine.report.RunReport` with per-stage timings and counts.
+
+:class:`~repro.context.contextmatch.ContextMatch` remains as a thin
+backward-compatible facade over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..context.candidates import InferenceContext, make_generator
+from ..context.categorical import CategoricalPolicy
+from ..context.model import ContextMatchConfig, MatchResult
+from ..errors import EngineError
+from ..matching.standard import MatchingSystem, StandardMatch
+from ..relational.instance import Database
+from .hooks import EngineObserver
+from .prepared import PreparedTarget
+from .report import RunReport, StageReport
+from .stages import PipelineState, Stage, default_stages
+
+__all__ = ["MatchEngine"]
+
+
+class MatchEngine:
+    """Contextual schema matcher with reusable target preparation.
+
+    Parameters
+    ----------
+    config:
+        All thresholds and policy switches; see
+        :class:`~repro.context.model.ContextMatchConfig`.
+    matcher:
+        The standard matching system to wrap.  Anything implementing
+        :class:`~repro.matching.standard.MatchingSystem` works; defaults
+        to the library's :class:`~repro.matching.standard.StandardMatch`.
+    policy:
+        Thresholds of the categorical-attribute test.
+    stages:
+        The pipeline to run, in order; defaults to the paper's five
+        ContextMatch stages (:func:`~repro.engine.stages.default_stages`).
+    observers:
+        :class:`~repro.engine.hooks.EngineObserver` instances notified
+        around every stage of every run.
+
+    Example
+    -------
+    >>> from repro.datagen import make_retail_workload
+    >>> workload = make_retail_workload(target="ryan", seed=7)
+    >>> engine = MatchEngine()
+    >>> prepared = engine.prepare(workload.target)
+    >>> result = engine.match(workload.source, prepared)
+    >>> any(m.is_contextual for m in result.matches)
+    True
+    """
+
+    def __init__(self, config: ContextMatchConfig | None = None,
+                 matcher: MatchingSystem | None = None,
+                 policy: CategoricalPolicy | None = None,
+                 *, stages: Sequence[Stage] | None = None,
+                 observers: Sequence[EngineObserver] = ()):
+        self.config = config or ContextMatchConfig()
+        self.matcher = matcher or StandardMatch(self.config.standard)
+        self.policy = policy or CategoricalPolicy()
+        self.stages: list[Stage] = (list(stages) if stages is not None
+                                    else default_stages())
+        self.observers: list[EngineObserver] = list(observers)
+
+    # ------------------------------------------------------------------
+    # Target preparation
+    # ------------------------------------------------------------------
+    def prepare(self, target: Database) -> PreparedTarget:
+        """Profile *target* once for reuse across any number of runs."""
+        # Stamp the configuration the index was actually profiled under: a
+        # custom StandardMatch may carry a different config than the
+        # engine-level ContextMatchConfig.standard.
+        standard_config = (self.matcher.config
+                           if isinstance(self.matcher, StandardMatch)
+                           else self.config.standard)
+        return PreparedTarget.build(
+            target, self.matcher.build_target_index(target),
+            standard_config=standard_config, policy=self.policy,
+            matcher=self.matcher)
+
+    def _resolve(self, target: Database | PreparedTarget
+                 ) -> tuple[PreparedTarget, bool]:
+        """(prepared, was_supplied): prepare plain databases on the fly."""
+        if isinstance(target, PreparedTarget):
+            self._check_compatible(target)
+            return target, True
+        return self.prepare(target), False
+
+    def _check_compatible(self, prepared: PreparedTarget) -> None:
+        if prepared.policy != self.policy:
+            raise EngineError(
+                "PreparedTarget was built under a different categorical "
+                f"policy ({prepared.policy} != {self.policy}); re-prepare "
+                "the target with this engine")
+        if prepared.matcher is self.matcher:
+            return
+        # Distinct matcher objects are interchangeable only when both are
+        # plain StandardMatch instances profiling identically — the index
+        # format and contents are then bit-equal.  Anything custom must be
+        # the same object, or its index may silently disagree with this
+        # engine's scorer.
+        ours, theirs = self.matcher, prepared.matcher
+        if (type(ours) is StandardMatch and type(theirs) is StandardMatch
+                and ours.config == theirs.config
+                and [m.name for m in ours.matchers]
+                == [m.name for m in theirs.matchers]):
+            return
+        raise EngineError(
+            "PreparedTarget was built by an incompatible matching system "
+            f"({theirs!r} vs {ours!r}); re-prepare the target with this "
+            "engine")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(self, source: Database,
+              target: Database | PreparedTarget) -> MatchResult:
+        """Run the stage pipeline for one source schema.
+
+        ``target`` may be a plain :class:`Database` (prepared on the fly,
+        exactly like ``ContextMatch.run``) or a :class:`PreparedTarget`
+        from :meth:`prepare`, in which case no target profiling happens.
+        """
+        started = time.perf_counter()
+        prepared, supplied = self._resolve(target)
+        config = self.config
+        ctx = InferenceContext(
+            config=config, rng=np.random.default_rng(config.seed),
+            target=prepared.target, policy=self.policy,
+            _target_classifiers=prepared.target_classifiers,
+            tag_cache=prepared.tag_cache)
+        state = PipelineState(
+            source=source, prepared=prepared, config=config,
+            matcher=self.matcher, generator=make_generator(config.inference),
+            ctx=ctx, result=MatchResult())
+        report = RunReport(target_prepared=supplied)
+
+        for observer in self.observers:
+            observer.on_run_start(source, prepared)
+        for stage in self.stages:
+            for observer in self.observers:
+                observer.on_stage_start(stage.name, state)
+            stage_started = time.perf_counter()
+            counts = stage.run(state) or {}
+            stage_report = StageReport(
+                name=stage.name,
+                elapsed_seconds=time.perf_counter() - stage_started,
+                counts=dict(counts))
+            report.stages.append(stage_report)
+            for observer in self.observers:
+                observer.on_stage_end(stage_report, state)
+
+        # Keep lazily-trained target classifiers for the next run against
+        # this prepared target (training is deterministic, so sharing only
+        # skips work, never changes results).
+        if prepared.target_classifiers is None:
+            prepared.target_classifiers = ctx._target_classifiers
+        prepared.runs += 1
+
+        result = state.result
+        result.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = result.elapsed_seconds
+        result.report = report
+        for observer in self.observers:
+            observer.on_run_end(report, result)
+        return result
+
+    def match_many(self, sources: Iterable[Database],
+                   target: Database | PreparedTarget) -> list[MatchResult]:
+        """Match every source schema against one shared target.
+
+        The target is prepared (at most) once, up front; each source then
+        runs the full pipeline against the shared
+        :class:`PreparedTarget`.  Results arrive in input order and are
+        identical to independent :meth:`match` calls per source.
+        """
+        prepared, _ = self._resolve(target)
+        return [self.match(source, prepared) for source in sources]
+
+    def match_reversed(self, source: Database | PreparedTarget,
+                       target: Database) -> MatchResult:
+        """Discover matches with conditions on the *target* tables.
+
+        Section 3: "it is generally straightforward to reverse the role of
+        source and target tables to discover matches involving conditions
+        on the target table."  The pipeline runs with the roles swapped —
+        so the reusable prepared side is the *source* here — and the
+        result is flipped back into the caller's frame: matches carry
+        ``condition_on="target"``, the ``standard_matches`` diagnostics
+        are flipped to source -> target orientation, and
+        ``elapsed_seconds`` covers this reversed run itself.
+        """
+        started = time.perf_counter()
+        prepared, supplied = self._resolve(source)
+        result = self.match(target, prepared)
+        result.matches = [m.flipped() for m in result.matches]
+        result.standard_matches = [m.flipped()
+                                   for m in result.standard_matches]
+        result.elapsed_seconds = time.perf_counter() - started
+        if result.report is not None:
+            result.report.elapsed_seconds = result.elapsed_seconds
+            result.report.role_reversed = True
+            # The inner match() saw a PreparedTarget either way; what the
+            # caller cares about is whether *this call* had to build it.
+            result.report.target_prepared = supplied
+        return result

@@ -1,0 +1,41 @@
+"""Observer protocol for engine runs.
+
+Observers receive callbacks around every pipeline stage — the hook surface
+for progress bars, structured logging, metrics exporters, and tests that
+need to see intermediate pipeline state.  Subclass :class:`EngineObserver`
+and override the callbacks you care about; the defaults are no-ops, so
+observers stay source-compatible as hooks are added.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .report import RunReport, StageReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..context.model import MatchResult
+    from ..relational.instance import Database
+    from .prepared import PreparedTarget
+    from .stages import PipelineState
+
+__all__ = ["EngineObserver"]
+
+
+class EngineObserver:
+    """Base class for engine run observers (all callbacks are no-ops)."""
+
+    def on_run_start(self, source: "Database",
+                     prepared: "PreparedTarget") -> None:
+        """Called once before the first stage of a run."""
+
+    def on_stage_start(self, stage: str, state: "PipelineState") -> None:
+        """Called before a stage executes; ``state`` holds everything the
+        pipeline has produced so far and may be inspected freely."""
+
+    def on_stage_end(self, report: StageReport,
+                     state: "PipelineState") -> None:
+        """Called after a stage executes with its timing and counts."""
+
+    def on_run_end(self, report: RunReport, result: "MatchResult") -> None:
+        """Called once after the last stage with the full run report."""

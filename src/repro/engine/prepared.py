@@ -1,0 +1,96 @@
+"""Reusable target-side artifacts — the expensive half of a match run.
+
+Enterprise deployments repeatedly match incoming source schemas against a
+small set of stable hub schemas; everything the pipeline derives from the
+*target* alone is deterministic given the target instance and the matcher
+configuration, so it can be computed once by
+:meth:`~repro.engine.engine.MatchEngine.prepare` and shared across any
+number of :meth:`~repro.engine.engine.MatchEngine.match` calls:
+
+* the standard matcher's :class:`~repro.matching.standard.TargetIndex`
+  (per-matcher profiles of every target attribute);
+* the categorical-policy analysis of the target tables;
+* the per-domain target classifiers of ``TgtClassInfer`` (Figure 7) and
+  their value -> target-column tag memo.
+
+All of it is read-only during matching except the two lazily-populated
+caches, whose entries are pure functions of the target — sharing them
+never changes results, only skips recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from ..context.categorical import CategoricalPolicy, categorical_attributes
+from ..matching.standard import (MatchingSystem, StandardMatchConfig,
+                                 TargetIndex)
+from ..relational.instance import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..classifiers.target import TargetClassifierSet
+
+__all__ = ["PreparedTarget"]
+
+
+@dataclasses.dataclass
+class PreparedTarget:
+    """Target-side state shared by every run against one target schema.
+
+    Built by :meth:`MatchEngine.prepare`; treat as opaque and immutable.
+    ``standard_config`` and ``policy`` record the configuration the
+    artifacts were derived under — the engine refuses to run against a
+    prepared target built under a different configuration, since the index
+    and classifiers would silently disagree with the run's matcher.
+
+    Attributes
+    ----------
+    target:
+        The target database the artifacts were derived from.
+    index:
+        The standard matcher's pre-profiled target index.
+    categorical:
+        Categorical attributes of every target table under ``policy`` —
+        the condition space available when this schema acts as the
+        conditioned side (role-reversed matching, diagnostics).
+    runs:
+        Number of engine runs served so far (diagnostic).
+    """
+
+    target: Database
+    index: TargetIndex
+    standard_config: StandardMatchConfig
+    policy: CategoricalPolicy
+    categorical: dict[str, tuple[str, ...]]
+    #: The matching system whose ``build_target_index`` produced ``index``;
+    #: the engine's compatibility check compares against it.
+    matcher: MatchingSystem | None = None
+    runs: int = 0
+    #: Lazily-trained per-domain classifiers of ``TgtClassInfer``; shared
+    #: across runs because training is deterministic given the target.
+    target_classifiers: "TargetClassifierSet | None" = None
+    #: Shared (type family, value) -> target-column tag memo.
+    tag_cache: dict = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def build(cls, target: Database, index: TargetIndex,
+              standard_config: StandardMatchConfig,
+              policy: CategoricalPolicy,
+              matcher: MatchingSystem | None = None) -> "PreparedTarget":
+        categorical = {
+            relation.name: tuple(categorical_attributes(relation, policy))
+            for relation in target
+        }
+        return cls(target=target, index=index,
+                   standard_config=standard_config, policy=policy,
+                   categorical=categorical, matcher=matcher)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(relation.name for relation in self.target)
+
+    def __str__(self) -> str:
+        return (f"PreparedTarget({self.target.name!r}, "
+                f"{len(self.table_names)} tables, "
+                f"{len(self.index.samples)} attributes, runs={self.runs})")

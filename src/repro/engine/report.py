@@ -1,0 +1,83 @@
+"""Run diagnostics: per-stage timings and counts of one engine run.
+
+Every :meth:`~repro.engine.engine.MatchEngine.match` invocation produces a
+:class:`RunReport` — one :class:`StageReport` per executed pipeline stage —
+attached to the returned :class:`~repro.context.model.MatchResult` as
+``result.report`` and serialized by
+:func:`~repro.context.serialize.report_to_dict`.  The report is pure data
+(no references into the pipeline), so it survives serialization and can be
+shipped across process boundaries by monitoring agents.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["StageReport", "RunReport", "STAGE_NAMES"]
+
+#: Canonical names of the default five-stage pipeline (paper Figure 5),
+#: in execution order.
+STAGE_NAMES = ("standard-match", "infer-views", "score-candidates",
+               "select", "conjunctive-refine")
+
+
+@dataclasses.dataclass(frozen=True)
+class StageReport:
+    """Timing and diagnostic counts of one executed stage.
+
+    ``counts`` is stage-specific: the standard-match stage reports accepted
+    prototype matches, the scoring stage candidate totals, and so on — the
+    keys are part of each stage's documented contract, not of this class.
+    """
+
+    name: str
+    elapsed_seconds: float
+    counts: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def __str__(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"{self.name}: {self.elapsed_seconds:.3f}s ({counts})"
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Diagnostics of one full engine run.
+
+    Attributes
+    ----------
+    stages:
+        One :class:`StageReport` per executed stage, in pipeline order.
+    elapsed_seconds:
+        Wall-clock duration of the whole run, including target preparation
+        when the engine prepared the target itself.
+    target_prepared:
+        True when the run reused a caller-supplied
+        :class:`~repro.engine.prepared.PreparedTarget` (no index build
+        happened inside this run).
+    role_reversed:
+        True for :meth:`~repro.engine.engine.MatchEngine.match_reversed`
+        runs, whose matches carry target-side conditions.
+    """
+
+    stages: list[StageReport] = dataclasses.field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    target_prepared: bool = False
+    role_reversed: bool = False
+
+    def stage(self, name: str) -> StageReport | None:
+        """The report of the named stage, or None if it did not run."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    def stage_timings(self) -> dict[str, float]:
+        """Per-stage wall-clock seconds keyed by stage name."""
+        return {s.name: s.elapsed_seconds for s in self.stages}
+
+    def __str__(self) -> str:
+        lines = [f"run: {self.elapsed_seconds:.3f}s"
+                 + (" [prepared target]" if self.target_prepared else "")
+                 + (" [reversed]" if self.role_reversed else "")]
+        lines.extend(f"  {stage}" for stage in self.stages)
+        return "\n".join(lines)

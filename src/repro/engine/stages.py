@@ -1,0 +1,183 @@
+"""Composable pipeline stages — Algorithm ContextMatch (Figure 5) unrolled.
+
+The monolithic driver loop is decomposed into five explicit stages so
+deployments can instrument, replace, or extend individual steps (modern
+matching systems are configurable multi-stage processes, not monoliths):
+
+1. :class:`StandardMatchStage` — accepted prototype matches per source
+   relation (``StandardMatch(RS, RT, τ)``, line 4);
+2. :class:`InferViewsStage` — candidate view families
+   (``InferCandidateViews``, line 5);
+3. :class:`ScoreCandidatesStage` — re-score every prototype against every
+   candidate view, accumulating RL (``ScoreMatch``, lines 6-11);
+4. :class:`SelectStage` — the matches to present
+   (``SelectContextualMatches``, line 12);
+5. :class:`ConjunctiveRefineStage` — iterate over selected views for
+   conjunctive conditions (Section 3.5).
+
+Stages communicate through a mutable :class:`PipelineState` and run in
+list order; each returns diagnostic counts for its
+:class:`~repro.engine.report.StageReport`.  The decomposition is
+result-preserving: the only randomized step is view inference, and the
+stage-major order issues its RNG draws in exactly the relation order the
+original fused loop did.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from ..context.candidates import CandidateViewGenerator, InferenceContext
+from ..context.conjunctive import refine_conjunctive
+from ..context.model import ContextMatchConfig, MatchResult
+from ..context.score import score_family_candidates
+from ..context.select import select_matches
+from ..matching.standard import AttributeMatch, MatchingSystem
+from ..relational.instance import Database
+from ..relational.views import ViewFamily
+from .prepared import PreparedTarget
+
+__all__ = ["PipelineState", "Stage", "StandardMatchStage",
+           "InferViewsStage", "ScoreCandidatesStage", "SelectStage",
+           "ConjunctiveRefineStage", "default_stages"]
+
+
+@dataclasses.dataclass
+class PipelineState:
+    """Everything one run reads and writes, shared by all stages.
+
+    ``result`` is the :class:`MatchResult` under construction; the keyed
+    intermediates (``accepted``, ``families``) let later stages look up
+    per-relation products of earlier ones without re-deriving them.
+    """
+
+    source: Database
+    prepared: PreparedTarget
+    config: ContextMatchConfig
+    matcher: MatchingSystem
+    generator: CandidateViewGenerator
+    ctx: InferenceContext
+    result: MatchResult
+    #: Accepted prototype matches keyed by source relation name.
+    accepted: dict[str, list[AttributeMatch]] = dataclasses.field(
+        default_factory=dict)
+    #: Inferred view families keyed by source relation name.
+    families: dict[str, list[ViewFamily]] = dataclasses.field(
+        default_factory=dict)
+
+
+class Stage(abc.ABC):
+    """One step of the matching pipeline.
+
+    Stages must be stateless across runs (one stage list may serve many
+    concurrent-in-time runs of the same engine); all per-run state lives
+    in the :class:`PipelineState`.
+    """
+
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, state: PipelineState) -> dict[str, int]:
+        """Execute the stage, mutating ``state``; returns the diagnostic
+        counts recorded in this stage's :class:`StageReport`."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StandardMatchStage(Stage):
+    """Accepted prototype matches from the black-box standard matcher."""
+
+    name = "standard-match"
+
+    def run(self, state: PipelineState) -> dict[str, int]:
+        for relation in state.source:
+            accepted = [
+                m for m in state.matcher.score_relation(
+                    relation, state.prepared.index)
+                if state.matcher.accept(m, state.config.tau)
+            ]
+            state.accepted[relation.name] = accepted
+            state.result.standard_matches.extend(accepted)
+        return {"relations": len(state.accepted),
+                "accepted": len(state.result.standard_matches)}
+
+
+class InferViewsStage(Stage):
+    """Candidate view families per source relation (``InferCandidateViews``)."""
+
+    name = "infer-views"
+
+    def run(self, state: PipelineState) -> dict[str, int]:
+        for relation in state.source:
+            families = state.generator.infer(
+                relation, state.accepted.get(relation.name, []), state.ctx)
+            state.families[relation.name] = families
+            state.result.families.extend(families)
+        n_views = sum(len(f.views()) for fs in state.families.values()
+                      for f in fs)
+        return {"families": len(state.result.families), "views": n_views}
+
+
+class ScoreCandidatesStage(Stage):
+    """Re-score every prototype match against every candidate view (RL)."""
+
+    name = "score-candidates"
+
+    def run(self, state: PipelineState) -> dict[str, int]:
+        for relation in state.source:
+            seen_views: set = set()
+            for family in state.families.get(relation.name, []):
+                state.result.candidates.extend(score_family_candidates(
+                    family, relation, state.accepted.get(relation.name, []),
+                    state.matcher, state.prepared.index,
+                    min_view_rows=state.config.min_view_rows,
+                    seen_views=seen_views))
+        return {"candidates": len(state.result.candidates)}
+
+
+class SelectStage(Stage):
+    """Choose the matches to present (``SelectContextualMatches``)."""
+
+    name = "select"
+
+    def run(self, state: PipelineState) -> dict[str, int]:
+        config = state.config
+        state.result.matches = select_matches(
+            state.result.standard_matches, state.result.candidates,
+            selection=config.selection, omega=config.omega,
+            early_disjuncts=config.early_disjuncts)
+        contextual = sum(1 for m in state.result.matches if m.is_contextual)
+        return {"selected": len(state.result.matches),
+                "contextual": contextual}
+
+
+class ConjunctiveRefineStage(Stage):
+    """Iterate ContextMatch over selected views for conjunctive conditions.
+
+    Runs ``conjunctive_stages - 1`` refinement iterations; with the default
+    configuration (``conjunctive_stages=1``) it is a timed no-op, so the
+    stage still appears in every :class:`RunReport`.
+    """
+
+    name = "conjunctive-refine"
+
+    def run(self, state: PipelineState) -> dict[str, int]:
+        iterations = 0
+        for _stage in range(1, state.config.conjunctive_stages):
+            matches, families, candidates = refine_conjunctive(
+                state.result.matches, state.source, state.generator,
+                state.matcher, state.prepared.index, state.ctx)
+            state.result.matches = matches
+            state.result.families.extend(families)
+            state.result.candidates.extend(candidates)
+            iterations += 1
+        return {"iterations": iterations,
+                "matches": len(state.result.matches)}
+
+
+def default_stages() -> list[Stage]:
+    """The paper's five-stage ContextMatch pipeline, in order."""
+    return [StandardMatchStage(), InferViewsStage(), ScoreCandidatesStage(),
+            SelectStage(), ConjunctiveRefineStage()]

@@ -52,3 +52,8 @@ class MappingError(ReproError):
 
 class MatchingError(ReproError):
     """The matching pipeline was configured or invoked incorrectly."""
+
+
+class EngineError(ReproError):
+    """The match engine was misused (e.g. a PreparedTarget built under an
+    incompatible configuration was passed to :meth:`MatchEngine.match`)."""

@@ -8,9 +8,10 @@ plot.
 
 from .metrics import EvalMetrics, condition_values, evaluate_matches, evaluate_result
 from .reporting import format_series, format_table
-from .runner import Averaged, seed_pairs, summarize
+from .runner import Averaged, EngineRunner, seed_pairs, summarize
 
 __all__ = [
+    "EngineRunner",
     "EvalMetrics",
     "evaluate_matches",
     "evaluate_result",

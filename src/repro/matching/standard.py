@@ -55,6 +55,13 @@ class AttributeMatch:
         return (self.source.table, self.source.attribute,
                 self.target.table, self.target.attribute)
 
+    def flipped(self) -> "AttributeMatch":
+        """The same scored pairing seen from the other schema's viewpoint
+        (role-reversed matching reports diagnostics in the caller's frame)."""
+        return AttributeMatch(source=self.target, target=self.source,
+                              score=self.score, confidence=self.confidence,
+                              evidence=self.evidence)
+
     def __str__(self) -> str:
         return (f"{self.source} -> {self.target} "
                 f"(score={self.score:.3f}, conf={self.confidence:.3f})")

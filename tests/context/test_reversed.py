@@ -69,3 +69,31 @@ class TestRunReversed:
     def test_rendering_marks_target_side(self, reversed_result):
         text = str(reversed_result.contextual_matches[0])
         assert "[on target]" in text
+
+
+class TestReversedDiagnostics:
+    """run_reversed reports its own run, not mirrored-role internals."""
+
+    @pytest.fixture(scope="class")
+    def reversed_result(self, retail_workload):
+        config = ContextMatchConfig(inference="src", seed=5)
+        return ContextMatch(config).run_reversed(
+            source=retail_workload.target, target=retail_workload.source)
+
+    def test_reports_own_elapsed(self, reversed_result):
+        assert reversed_result.elapsed_seconds > 0.0
+        assert reversed_result.report is not None
+        assert reversed_result.report.role_reversed
+        assert (reversed_result.report.elapsed_seconds
+                == reversed_result.elapsed_seconds)
+
+    def test_standard_matches_flipped_to_callers_frame(self, reversed_result,
+                                                       retail_workload):
+        """Diagnostics are oriented source -> target like the matches,
+        not left in the mirrored roles the internal run used."""
+        source_tables = set(retail_workload.target.schema.table_names)
+        target_tables = set(retail_workload.source.schema.table_names)
+        assert reversed_result.standard_matches
+        for match in reversed_result.standard_matches:
+            assert match.source.table in source_tables
+            assert match.target.table in target_tables

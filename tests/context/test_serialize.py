@@ -6,10 +6,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.context import (condition_from_dict, condition_to_dict,
-                           match_from_dict, match_to_dict, result_to_dict)
-from repro.context.model import ContextualMatch, MatchResult
+from repro.context import (attribute_match_from_dict, attribute_match_to_dict,
+                           condition_from_dict, condition_to_dict,
+                           config_from_dict, config_to_dict, match_from_dict,
+                           match_to_dict, report_from_dict, report_to_dict,
+                           result_from_dict, result_to_dict)
+from repro.context.model import ContextMatchConfig, ContextualMatch, MatchResult
+from repro.engine import RunReport, StageReport
 from repro.errors import ConditionError
+from repro.matching import StandardMatchConfig
+from repro.matching.standard import AttributeMatch
 from repro.relational import TRUE, And, Eq, In, Or, View
 from repro.relational.schema import AttributeRef
 
@@ -78,6 +84,13 @@ class TestMatchRoundTrip:
         assert "ItemType" in text
 
 
+def make_report() -> RunReport:
+    return RunReport(
+        stages=[StageReport("standard-match", 0.25, {"accepted": 7}),
+                StageReport("select", 0.01, {"selected": 3})],
+        elapsed_seconds=0.5, target_prepared=True)
+
+
 class TestResultSerialization:
     def test_result_to_dict(self):
         match = ContextualMatch(
@@ -88,7 +101,90 @@ class TestResultSerialization:
         data = result_to_dict(result)
         assert data["elapsed_seconds"] == 1.5
         assert len(data["matches"]) == 1
+        assert data["report"] is None
         json.dumps(data)
+
+    def test_result_round_trip(self):
+        match = ContextualMatch(
+            source=AttributeRef("items", "Name"),
+            target=AttributeRef("books", "title"),
+            condition=Eq("ItemType", "Book"), score=0.8, confidence=0.9,
+            view=View("items", Eq("ItemType", "Book")))
+        standard = AttributeMatch(
+            source=AttributeRef("items", "Name"),
+            target=AttributeRef("books", "title"),
+            score=0.7, confidence=0.8)
+        result = MatchResult(matches=[match], standard_matches=[standard],
+                             elapsed_seconds=1.5, report=make_report())
+        encoded = result_to_dict(result)
+        json.dumps(encoded)
+        restored = result_from_dict(encoded)
+        assert restored.matches == result.matches
+        assert restored.standard_matches == result.standard_matches
+        assert restored.elapsed_seconds == result.elapsed_seconds
+        assert restored.report == result.report
+        # Families/candidates are in-memory diagnostics; only their counts
+        # serialize, and re-encoding is stable for everything serialized.
+        assert result_to_dict(restored)["matches"] == encoded["matches"]
+        assert (result_to_dict(restored)["standard_matches"]
+                == encoded["standard_matches"])
+        assert result_to_dict(restored)["report"] == encoded["report"]
+
+    def test_result_from_dict_tolerates_old_payloads(self):
+        """Payloads written before standard_matches/report existed load."""
+        restored = result_from_dict({"matches": [], "elapsed_seconds": 2.0})
+        assert restored.matches == []
+        assert restored.standard_matches == []
+        assert restored.report is None
+
+
+class TestAttributeMatchRoundTrip:
+    def test_round_trip(self):
+        match = AttributeMatch(
+            source=AttributeRef("items", "Code"),
+            target=AttributeRef("books", "isbn"),
+            score=0.55, confidence=0.72)
+        encoded = attribute_match_to_dict(match)
+        json.dumps(encoded)
+        assert attribute_match_from_dict(encoded) == match
+
+
+class TestReportRoundTrip:
+    def test_round_trip(self):
+        report = make_report()
+        encoded = report_to_dict(report)
+        json.dumps(encoded)
+        assert report_from_dict(encoded) == report
+
+    def test_reversed_flag_round_trips(self):
+        report = RunReport(role_reversed=True)
+        assert report_from_dict(report_to_dict(report)).role_reversed
+
+
+class TestConfigRoundTrip:
+    def test_round_trip(self):
+        config = ContextMatchConfig(
+            tau=0.4, omega=8.0, inference="src", selection="multitable",
+            early_disjuncts=False, seed=9,
+            standard=StandardMatchConfig(sample_limit=100,
+                                         use_name_evidence=False))
+        encoded = config_to_dict(config)
+        json.dumps(encoded)
+        assert config_from_dict(encoded) == config
+
+    def test_partial_dict_takes_defaults(self):
+        config = config_from_dict({"tau": 0.7})
+        assert config.tau == 0.7
+        assert config.omega == 5.0
+        assert config.standard == StandardMatchConfig()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"bogus": 1})
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"tau": 3.0})
 
 
 class TestCliJson:

@@ -3,7 +3,10 @@ drivers (tiny parameterizations — full sweeps live in benchmarks/)."""
 
 import pytest
 
-from repro.evaluation import format_series, format_table, seed_pairs, summarize
+from repro import ContextMatch
+from repro.context.serialize import match_to_dict
+from repro.evaluation import (EngineRunner, format_series, format_table,
+                              seed_pairs, summarize)
 from repro.evaluation.experiments import (grades_sigma_sweep, omega_sweep,
                                           run_grades, run_retail,
                                           strawman_comparison)
@@ -75,3 +78,42 @@ class TestDrivers:
     def test_grades_sweep_shape(self):
         data = grades_sigma_sweep([10.0], repeats=1)
         assert set(data[10.0]) == {"src", "tgt", "naive"}
+
+
+class TestEngineRunner:
+    def test_prepares_each_target_once_across_configs(self, retail_workload):
+        runner = EngineRunner(max_prepared=4)
+        for omega in (5.0, 10.0):
+            config = ContextMatchConfig(inference="src", omega=omega, seed=3)
+            result = runner.run(retail_workload.source,
+                                retail_workload.target, config)
+            assert result.report.target_prepared
+        assert len(runner._prepared) == 1
+
+    def test_results_match_fresh_runs(self, retail_workload):
+        config = ContextMatchConfig(inference="src", seed=3)
+        runner_result = EngineRunner().run(
+            retail_workload.source, retail_workload.target, config)
+        fresh = ContextMatch(config).run(retail_workload.source,
+                                         retail_workload.target)
+        assert ([match_to_dict(m) for m in runner_result.matches]
+                == [match_to_dict(m) for m in fresh.matches])
+
+    def test_lru_eviction(self, retail_workload, grades_workload):
+        runner = EngineRunner(max_prepared=1)
+        config = ContextMatchConfig(inference="src", seed=3)
+        runner.run(retail_workload.source, retail_workload.target, config)
+        runner.run(grades_workload.source, grades_workload.target, config)
+        assert len(runner._prepared) == 1
+
+    def test_distinct_standard_configs_get_distinct_preparations(
+            self, retail_workload):
+        from repro.matching import StandardMatchConfig
+        runner = EngineRunner()
+        runner.run(retail_workload.source, retail_workload.target,
+                   ContextMatchConfig(inference="src", seed=3))
+        runner.run(retail_workload.source, retail_workload.target,
+                   ContextMatchConfig(
+                       inference="src", seed=3,
+                       standard=StandardMatchConfig(sample_limit=100)))
+        assert len(runner._prepared) == 2

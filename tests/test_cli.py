@@ -1,8 +1,11 @@
 """End-to-end tests for the ``python -m repro`` CLI."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro import __version__
+from repro.cli import build_parser, config_from_args, main
 
 
 class TestParser:
@@ -21,6 +24,69 @@ class TestParser:
         assert args.inference == "src"
         assert args.late_disjuncts
         assert args.tau == 0.4
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_match_many_parses(self):
+        args = build_parser().parse_args(
+            ["match-many", "tgt", "s1", "s2", "--json"])
+        assert args.target == "tgt"
+        assert args.sources == ["s1", "s2"]
+        assert args.json
+
+
+class TestConfigResolution:
+    def test_defaults_without_flags_or_file(self):
+        args = build_parser().parse_args(["match", "a", "b"])
+        config = config_from_args(args)
+        assert config.tau == 0.5
+        assert config.inference == "tgt"
+        assert config.early_disjuncts
+
+    def test_config_file_is_loaded(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"tau": 0.7, "inference": "src",
+                                    "early_disjuncts": False}))
+        args = build_parser().parse_args(["match", "a", "b",
+                                          "--config", str(path)])
+        config = config_from_args(args)
+        assert config.tau == 0.7
+        assert config.inference == "src"
+        assert not config.early_disjuncts
+
+    def test_flags_override_config_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"tau": 0.7, "omega": 12.0}))
+        args = build_parser().parse_args(
+            ["match", "a", "b", "--config", str(path), "--tau", "0.3"])
+        config = config_from_args(args)
+        assert config.tau == 0.3     # explicit flag wins
+        assert config.omega == 12.0  # untouched file value survives
+
+    def test_bad_config_file_exits_cleanly(self, tmp_path):
+        args = build_parser().parse_args(
+            ["match", "a", "b", "--config", str(tmp_path / "missing.json")])
+        with pytest.raises(SystemExit) as excinfo:
+            config_from_args(args)
+        assert "cannot load --config" in str(excinfo.value)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        args = build_parser().parse_args(["match", "a", "b",
+                                          "--config", str(bad)])
+        with pytest.raises(SystemExit):
+            config_from_args(args)
+
+    def test_nested_standard_config_round_trips(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(
+            {"standard": {"sample_limit": 123}}))
+        args = build_parser().parse_args(["match", "a", "b",
+                                          "--config", str(path)])
+        assert config_from_args(args).standard.sample_limit == 123
 
 
 class TestEndToEnd:
@@ -49,6 +115,56 @@ class TestEndToEnd:
         assert (migrated / "grades_wide.csv").exists()
         output = capsys.readouterr().out
         assert "map -> grades_wide" in output
+
+    def test_match_json_includes_run_report(self, tmp_path, capsys):
+        """Acceptance: RunReport with all five stage timings in --json."""
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--seed", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["report"]
+        assert [s["name"] for s in report["stages"]] == [
+            "standard-match", "infer-views", "score-candidates", "select",
+            "conjunctive-refine"]
+        assert all(s["elapsed_seconds"] >= 0.0 for s in report["stages"])
+        assert payload["standard_matches"]
+
+    def test_match_many(self, tmp_path, capsys):
+        out1 = tmp_path / "wl1"
+        out2 = tmp_path / "wl2"
+        main(["generate", "retail", str(out1), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        main(["generate", "retail", str(out2), "--rows", "200",
+              "--gamma", "2", "--seed", "8"])
+        capsys.readouterr()
+        rc = main(["match-many", str(out1 / "tgt"), str(out1 / "src"),
+                   str(out2 / "src"), "--inference", "src", "--seed", "2",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == str(out1 / "tgt")
+        assert len(payload["results"]) == 2
+        for entry in payload["results"]:
+            assert entry["matches"]
+            # Batch runs reuse the shared prepared target.
+            assert entry["report"]["target_prepared"]
+        assert payload["results"][0]["source"] == str(out1 / "src")
+
+    def test_match_many_text_output(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match-many", str(out / "tgt"), str(out / "src"),
+                   "--inference", "src", "--seed", "2"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert f"== {out / 'src'}" in output
+        assert "contextual" in output
 
     def test_map_with_no_matches_fails_cleanly(self, tmp_path, capsys):
         import csv
