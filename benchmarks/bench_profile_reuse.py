@@ -1,0 +1,132 @@
+"""Profiling-subsystem benchmark: partition-once vs per-view scoring.
+
+Times the ScoreCandidatesStage — the ScoreMatch loop of Figure 5, the
+pipeline's hot path — in three modes over one retail workload with dozens
+of candidate views:
+
+* ``legacy``: ``use_profiling=False`` — every candidate view is
+  materialized via ``View.evaluate`` and its columns re-profiled from raw
+  values (the pre-profiling code path, kept as equivalence reference);
+* ``cold``: the :mod:`repro.profiling` fast path with an empty
+  :class:`~repro.profiling.ProfileStore` — base relations are partitioned
+  once per family attribute and view columns come from partition cells;
+* ``warm``: a second run against the same
+  :class:`~repro.engine.PreparedSource` — every view profile is a cache
+  hit, so the stage pays for scoring only (the steady state of a service
+  re-matching a known source).
+
+All three modes must produce identical matches; the headline assertion is
+the warm (prepared-source) speedup, with the cold speedup reported
+alongside.  Results are persisted both as text and as machine-readable
+``results/BENCH_score_candidates.json`` (ops/sec, elapsed, config) so the
+perf trajectory is trackable across PRs.
+
+Set ``BENCH_TINY=1`` for a seconds-scale smoke run (CI): the JSON schema
+and equivalence checks still apply, the speedup floor does not.
+"""
+
+import os
+
+from conftest import run_once
+from repro import ContextMatchConfig, MatchEngine
+from repro.datagen import add_correlated_attributes, make_retail_workload
+
+TINY = bool(os.environ.get("BENCH_TINY"))
+N_SOURCE = 1200 if TINY else 20000
+N_TARGET = 200 if TINY else 500
+MIN_VIEWS = 20
+MIN_WARM_SPEEDUP = 2.0
+CONFIG = dict(inference="src", early_disjuncts=True, seed=5)
+WORKLOAD = dict(target="ryan", gamma=6, n_source=N_SOURCE,
+                n_target=N_TARGET, seed=11)
+
+
+def _workload():
+    workload = make_retail_workload(**WORKLOAD)
+    return add_correlated_attributes(workload, 2, 0.6, seed=42)
+
+
+def _engine(use_profiling: bool) -> MatchEngine:
+    return MatchEngine(ContextMatchConfig(use_profiling=use_profiling,
+                                          **CONFIG))
+
+
+def _stage_seconds(result, name="score-candidates") -> float:
+    return result.report.stage(name).elapsed_seconds
+
+
+def _keys(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+def test_profile_reuse(benchmark, record_series, record_json):
+    workload = _workload()
+
+    legacy_engine = _engine(use_profiling=False)
+    legacy = legacy_engine.match(workload.source,
+                                 legacy_engine.prepare(workload.target))
+
+    engine = _engine(use_profiling=True)
+    prepared = engine.prepare(workload.target)
+    prepared_src = engine.prepare_source(workload.source)
+    cold = run_once(benchmark, engine.match, prepared_src, prepared)
+    warm = engine.match(prepared_src, prepared)
+
+    n_views = cold.report.stage("infer-views").counts["views"]
+    n_candidates = cold.report.stage("score-candidates").counts["candidates"]
+    assert n_views >= MIN_VIEWS, f"workload too small: {n_views} views"
+    # Same matches in all three modes — the fast path is bit-identical.
+    assert _keys(legacy) == _keys(cold) == _keys(warm)
+
+    elapsed = {"legacy": _stage_seconds(legacy),
+               "cold": _stage_seconds(cold),
+               "warm": _stage_seconds(warm)}
+    speedup = {mode: elapsed["legacy"] / elapsed[mode]
+               for mode in ("cold", "warm")}
+    ops = {mode: n_candidates / seconds if seconds > 0 else 0.0
+           for mode, seconds in elapsed.items()}
+
+    data = {
+        "stage_seconds": {mode: elapsed[mode] for mode in elapsed},
+        "candidates_per_second": {mode: ops[mode] for mode in elapsed},
+        "speedup_vs_legacy": {"legacy": 1.0, **speedup},
+    }
+    record_series(
+        "profile_reuse",
+        f"ScoreCandidatesStage: partition-once profiling vs per-view "
+        f"scoring ({n_views} views, {n_candidates} rescorings)",
+        "measurement",
+        {k: v for k, v in data.items()}, ["legacy", "cold", "warm"])
+    record_json("BENCH_score_candidates", {
+        "benchmark": "bench_profile_reuse",
+        "stage": "score-candidates",
+        "config": {**CONFIG, "workload": WORKLOAD, "tiny": TINY,
+                   "correlated_attributes": 2, "rho": 0.6},
+        "n_views": n_views,
+        "n_candidates": n_candidates,
+        "modes": {
+            mode: {"elapsed_seconds": elapsed[mode],
+                   "ops_per_second": ops[mode]}
+            for mode in elapsed
+        },
+        "speedup": {"cold_vs_legacy": speedup["cold"],
+                    "warm_vs_legacy": speedup["warm"]},
+        "counters": {
+            "cold": dict(cold.report.stage("score-candidates").counts),
+            "warm": dict(warm.report.stage("score-candidates").counts),
+        },
+    })
+
+    # Warm runs reuse every profile/partition; the stage must clear the
+    # acceptance floor comfortably (tiny smoke runs only check plumbing).
+    if not TINY:
+        assert speedup["warm"] >= MIN_WARM_SPEEDUP, (
+            f"prepared-source scoring should be >= {MIN_WARM_SPEEDUP}x "
+            f"the per-view path, got {speedup['warm']:.2f}x")
+        assert speedup["cold"] > 1.0, (
+            f"partition-once scoring should beat per-view even cold, got "
+            f"{speedup['cold']:.2f}x")
+    warm_counts = warm.report.stage("score-candidates").counts
+    assert warm_counts["profile_misses"] == 0
+    assert warm_counts["partitions_built"] == 0

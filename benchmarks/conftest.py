@@ -5,17 +5,24 @@ paper exactly once under ``pytest-benchmark`` timing, prints the series the
 figure plots, and persists it under ``benchmarks/results/`` so the output
 survives non-verbose runs (EXPERIMENTS.md quotes these files).
 
+Performance benchmarks additionally persist machine-readable JSON via
+``record_json`` (ops/sec, elapsed seconds, workload config) so the perf
+trajectory is trackable across PRs — ``BENCH_*.json`` files under
+``results/`` are committed and CI validates their schema.
+
 The drivers run on :class:`~repro.MatchEngine` through the evaluation
 layer's :class:`~repro.evaluation.EngineRunner`: workloads are memoized and
 each distinct target is prepared once per sweep, so figure runtimes measure
 the matching pipeline itself (``bench_engine_reuse.py`` quantifies what the
-prepared-target reuse saves).
+prepared-target reuse saves and ``bench_profile_reuse.py`` what the
+columnar profiling subsystem saves on top).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import pytest
 
@@ -43,6 +50,26 @@ def record_series(results_dir):
         print()
         print(text)
         return text
+
+    return _record
+
+
+@pytest.fixture()
+def record_json(results_dir):
+    """Persist a machine-readable benchmark payload to results/<name>.json.
+
+    Payloads should carry at least ``benchmark`` (the emitting module),
+    ``config`` (workload/engine knobs) and per-mode ``elapsed_seconds`` /
+    ``ops_per_second`` measurements; CI's benchmark smoke job validates
+    the committed files against that schema.
+    """
+
+    def _record(name: str, payload: Mapping[str, Any]) -> pathlib.Path:
+        path = results_dir / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\n[recorded {path}]")
+        return path
 
     return _record
 

@@ -42,6 +42,10 @@ per-stage :class:`RunReport`::
     # Batch mode: the target index is built exactly once.
     results = engine.match_many([workload.source], prepared)
 
+    # Source-side reuse: profiles/partitions persist across runs.
+    prepared_src = engine.prepare_source(workload.source)
+    result = engine.match(prepared_src, prepared)
+
 The pre-engine entry point is kept as a thin backward-compatible facade:
 ``ContextMatch(config).run(source, target)`` is exactly
 ``MatchEngine(config).match(source, target)``.
@@ -49,9 +53,11 @@ The pre-engine entry point is kept as a thin backward-compatible facade:
 
 from .context import (ContextMatch, ContextMatchConfig, ContextualMatch,
                       MatchResult)
-from .engine import (EngineObserver, MatchEngine, PreparedTarget, RunReport,
-                     Stage, StageReport, default_stages)
+from .engine import (EngineObserver, MatchEngine, PreparedSource,
+                     PreparedTarget, RunReport, Stage, StageReport,
+                     default_stages)
 from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
+from .profiling import ColumnProfile, PartitionIndex, ProfileStore
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
                          Relation, Schema, TableSchema, View, ViewFamily)
 
@@ -60,6 +66,10 @@ __version__ = "1.1.0"
 __all__ = [
     "MatchEngine",
     "PreparedTarget",
+    "PreparedSource",
+    "ProfileStore",
+    "ColumnProfile",
+    "PartitionIndex",
     "RunReport",
     "StageReport",
     "Stage",

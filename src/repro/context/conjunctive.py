@@ -10,7 +10,7 @@ for avoiding the exponential enumeration of conjunctions.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..matching.standard import AttributeMatch, MatchingSystem, TargetIndex
 from ..relational.instance import Database
@@ -21,6 +21,9 @@ from .model import CandidateScore, ContextualMatch
 from .score import score_family_candidates
 from .select import qual_table
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling import ProfileStore
+
 __all__ = ["refine_conjunctive"]
 
 
@@ -28,12 +31,20 @@ def refine_conjunctive(matches: Sequence[ContextualMatch], source: Database,
                        generator: CandidateViewGenerator,
                        matcher: MatchingSystem, index: TargetIndex,
                        ctx: InferenceContext,
+                       store: "ProfileStore | None" = None,
                        ) -> tuple[list[ContextualMatch], list[ViewFamily],
                                   list[CandidateScore]]:
     """One extra ContextMatch stage over the currently selected views.
 
     Returns the refined match list plus the families and candidate scores
-    evaluated during this stage (for diagnostics).
+    evaluated during this stage (for diagnostics).  *store* routes the
+    per-stage rescoring through the partition-once profiling path; the
+    restricted stage relations carry unique view names, so cached profiles
+    stay per-view.  Callers should pass a stage-scoped store (see
+    :class:`~repro.engine.stages.ConjunctiveRefineStage`): the restricted
+    relations materialized here are per-selection artifacts, and caching
+    them in a long-lived :class:`~repro.engine.prepared.PreparedSource`
+    store would pin their row data for the store's lifetime.
     """
     config = ctx.config
     refined: list[ContextualMatch] = [m for m in matches if not m.is_contextual]
@@ -68,12 +79,12 @@ def refine_conjunctive(matches: Sequence[ContextualMatch], source: Database,
                                    exclude_attributes=exclude)
         families_out.extend(families)
         stage_candidates: list[CandidateScore] = []
-        seen_views: set = set()
+        seen_views: set[View] = set()
         for family in families:
             stage_candidates.extend(score_family_candidates(
                 family, restricted, prototypes, matcher, index,
                 min_view_rows=config.min_view_rows,
-                seen_views=seen_views))
+                seen_views=seen_views, store=store))
         candidates_out.extend(stage_candidates)
         selected = qual_table(prototypes, stage_candidates,
                               omega=config.omega,

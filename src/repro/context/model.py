@@ -177,6 +177,13 @@ class ContextMatchConfig:
         (Section 3.5); 1 disables conjunctive search.
     seed:
         Seed for the train/test partitioning RNG.
+    use_profiling:
+        Route candidate-view scoring through the columnar profiling
+        subsystem (:mod:`repro.profiling`): base relations are partitioned
+        once per family attribute and column profiles are cached per
+        (table, attribute, matcher) instead of being rebuilt per view.
+        Results are bit-identical either way — False forces the legacy
+        materialize-and-reprofile path (the equivalence reference).
     standard:
         Configuration of the underlying standard matching system.
     """
@@ -193,6 +200,7 @@ class ContextMatchConfig:
     min_view_rows: int = 2
     conjunctive_stages: int = 1
     seed: int = 0
+    use_profiling: bool = True
     standard: StandardMatchConfig = dataclasses.field(
         default_factory=StandardMatchConfig)
 

@@ -7,18 +7,63 @@ the (black-box) standard matcher.  Confidences are re-normalized against the
 distribution of the restricted sample's scores across all target attributes,
 exactly as the strawman discussion prescribes ("estimated using the new
 score s'_i and the distribution of scores seen for RS.s across the sample").
+
+Two equivalent execution paths exist:
+
+* the legacy per-view path materializes each view via ``View.evaluate``
+  and re-profiles its columns from raw values (``store=None``);
+* the partition-once fast path (``store`` given) buckets the base rows by
+  the family's categorical attribute exactly once
+  (:class:`~repro.profiling.PartitionIndex`), derives every member view's
+  column samples from partition cells, and reuses cached
+  :class:`~repro.profiling.ColumnProfile` objects — composing merged-group
+  profiles from cell profiles where the matchers are additive.
+
+The fast path is bit-identical to the legacy one: the same rows in the same
+order feed the same deterministic sampling and scoring.  The equivalence is
+pinned by tests and switchable via ``ContextMatchConfig.use_profiling``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..matching.standard import AttributeMatch, MatchingSystem, TargetIndex
 from ..relational.instance import Relation
 from ..relational.views import View, ViewFamily
 from .model import CandidateScore
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..profiling import ProfileStore
+
 __all__ = ["score_view_candidates", "score_family_candidates"]
+
+
+def _accepted_by_attribute(accepted: Sequence[AttributeMatch],
+                           base_name: str) -> dict[str, list[AttributeMatch]]:
+    """The base table's accepted prototype matches grouped by attribute."""
+    by_attr: dict[str, list[AttributeMatch]] = {}
+    for match in accepted:
+        if match.source.table == base_name:
+            by_attr.setdefault(match.source.attribute, []).append(match)
+    return by_attr
+
+
+def _pair_candidates(view: View, family: ViewFamily,
+                     matches: Sequence[AttributeMatch],
+                     scored: Sequence[AttributeMatch],
+                     view_rows: int) -> list[CandidateScore]:
+    """Join one attribute's rescorings back to its prototype matches."""
+    by_target = {(m.target.table, m.target.attribute): m for m in scored}
+    results: list[CandidateScore] = []
+    for match in matches:
+        rescored = by_target.get((match.target.table, match.target.attribute))
+        if rescored is None:
+            continue
+        results.append(CandidateScore(
+            view=view, family=family, base_match=match,
+            rescored=rescored, view_rows=view_rows))
+    return results
 
 
 def score_view_candidates(view: View, family: ViewFamily, base: Relation,
@@ -34,24 +79,34 @@ def score_view_candidates(view: View, family: ViewFamily, base: Relation,
     restricted = view.evaluate(base)
     if len(restricted) < min_view_rows:
         return []
-    by_attr: dict[str, list[AttributeMatch]] = {}
-    for match in accepted:
-        if match.source.table == base.name:
-            by_attr.setdefault(match.source.attribute, []).append(match)
+    by_attr = _accepted_by_attribute(accepted, base.name)
     results: list[CandidateScore] = []
     for attr_name, matches in by_attr.items():
         attribute = restricted.schema.attribute(attr_name)
         scored = matcher.score_attribute(
             view.name, restricted.column(attr_name), attribute, index)
-        by_target = {(m.target.table, m.target.attribute): m for m in scored}
-        for match in matches:
-            rescored = by_target.get(
-                (match.target.table, match.target.attribute))
-            if rescored is None:
-                continue
-            results.append(CandidateScore(
-                view=view, family=family, base_match=match,
-                rescored=rescored, view_rows=len(restricted)))
+        results.extend(_pair_candidates(view, family, matches, scored,
+                                        len(restricted)))
+    return results
+
+
+def _score_group_candidates(view: View, group: frozenset,
+                            family: ViewFamily, base: Relation,
+                            by_attr: dict[str, list[AttributeMatch]],
+                            matcher: MatchingSystem, index: TargetIndex,
+                            store: "ProfileStore", min_view_rows: int,
+                            ) -> list[CandidateScore]:
+    """Partition-once scoring of one member view (fast path)."""
+    partition = store.partition(base, family.attribute)
+    view_rows = partition.group_size(group)
+    if view_rows < min_view_rows:
+        return []
+    results: list[CandidateScore] = []
+    for attr_name, matches in by_attr.items():
+        profile = store.view_profile(base, family.attribute, group, attr_name)
+        scored = matcher.score_column_profile(profile, index)
+        results.extend(_pair_candidates(view, family, matches, scored,
+                                        view_rows))
     return results
 
 
@@ -59,21 +114,38 @@ def score_family_candidates(family: ViewFamily, base: Relation,
                             accepted: Sequence[AttributeMatch],
                             matcher: MatchingSystem, index: TargetIndex,
                             *, min_view_rows: int = 2,
-                            seen_views: set[View] | None = None) -> list[CandidateScore]:
+                            seen_views: set[View] | None = None,
+                            store: "ProfileStore | None" = None,
+                            ) -> list[CandidateScore]:
     """Score every member view of a family (the loop body of Figure 5).
 
     Distinct families frequently share member views (a merged family keeps
     the singleton views it did not merge), so callers pass ``seen_views``
     to score each distinct view exactly once — duplicates would otherwise
     inflate the per-view confidence totals used by ``QualTable``.
+
+    With a :class:`~repro.profiling.ProfileStore` (and a matching system
+    that opts in via ``supports_profile_store``) the member views are
+    scored from one shared partition of the base relation instead of being
+    individually materialized; results are bit-identical either way.
     """
+    use_store = (store is not None
+                 and getattr(matcher, "supports_profile_store", False)
+                 and family.table == base.name)
+    by_attr = (_accepted_by_attribute(accepted, base.name)
+               if use_store else None)
     results: list[CandidateScore] = []
-    for view in family.views():
+    for group, view in zip(family.groups, family.views()):
         if seen_views is not None:
             if view in seen_views:
                 continue
             seen_views.add(view)
-        results.extend(score_view_candidates(
-            view, family, base, accepted, matcher, index,
-            min_view_rows=min_view_rows))
+        if use_store:
+            results.extend(_score_group_candidates(
+                view, group, family, base, by_attr, matcher, index,
+                store, min_view_rows))
+        else:
+            results.extend(score_view_candidates(
+                view, family, base, accepted, matcher, index,
+                min_view_rows=min_view_rows))
     return results

@@ -126,6 +126,7 @@ def report_to_dict(report: RunReport) -> dict[str, Any]:
     return {
         "elapsed_seconds": report.elapsed_seconds,
         "target_prepared": report.target_prepared,
+        "source_prepared": report.source_prepared,
         "role_reversed": report.role_reversed,
         "stages": [
             {"name": stage.name, "elapsed_seconds": stage.elapsed_seconds,
@@ -145,6 +146,7 @@ def report_from_dict(data: Mapping[str, Any]) -> RunReport:
                 for s in data.get("stages", [])],
         elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
         target_prepared=bool(data.get("target_prepared", False)),
+        source_prepared=bool(data.get("source_prepared", False)),
         role_reversed=bool(data.get("role_reversed", False)))
 
 

@@ -3,15 +3,20 @@
 * :class:`MatchEngine` — ``prepare`` a target once, then ``match`` /
   ``match_many`` / ``match_reversed`` any number of sources against it;
 * :class:`PreparedTarget` — the reusable target-side artifacts;
+* :class:`PreparedSource` — the source-side counterpart: a
+  :class:`~repro.profiling.ProfileStore` of column profiles and view
+  partitions shared across runs of one source schema (built by
+  :meth:`MatchEngine.prepare_source`);
 * :class:`~repro.engine.stages.Stage` and the five concrete ContextMatch
   stages — the pluggable pipeline;
 * :class:`EngineObserver` — per-stage hooks;
-* :class:`RunReport` / :class:`StageReport` — per-run diagnostics.
+* :class:`RunReport` / :class:`StageReport` — per-run diagnostics,
+  including profile/partition cache counters in the stage counts.
 """
 
 from .engine import MatchEngine
 from .hooks import EngineObserver
-from .prepared import PreparedTarget
+from .prepared import PreparedSource, PreparedTarget
 from .report import STAGE_NAMES, RunReport, StageReport
 from .stages import (ConjunctiveRefineStage, InferViewsStage, PipelineState,
                      ScoreCandidatesStage, SelectStage, Stage,
@@ -20,6 +25,7 @@ from .stages import (ConjunctiveRefineStage, InferViewsStage, PipelineState,
 __all__ = [
     "MatchEngine",
     "PreparedTarget",
+    "PreparedSource",
     "EngineObserver",
     "RunReport",
     "StageReport",

@@ -10,6 +10,18 @@ against a small set of stable hub schemas profiles each hub exactly once::
     prepared = engine.prepare(hub_schema)
     results = engine.match_many(incoming_schemas, prepared)
 
+The source side is symmetric: :meth:`MatchEngine.prepare_source` wraps a
+source schema in a :class:`~repro.engine.prepared.PreparedSource` whose
+:class:`~repro.profiling.ProfileStore` persists column profiles and view
+partitions across runs, so re-matching the same source (sweeps, re-tuned
+thresholds) skips source-side profiling.  Even a plain-database run gets
+a per-run store: candidate views are scored from one partition of the
+base relation instead of being materialized each (the
+:mod:`repro.profiling` fast path, bit-identical to the legacy per-view
+path and switchable via ``ContextMatchConfig.use_profiling``).  Profile
+and partition cache counters appear in each stage's
+:class:`~repro.engine.report.StageReport`.
+
 The pipeline itself is an ordered list of
 :class:`~repro.engine.stages.Stage` objects (Figure 5's five steps by
 default) observable through :class:`~repro.engine.hooks.EngineObserver`;
@@ -32,9 +44,10 @@ from ..context.categorical import CategoricalPolicy
 from ..context.model import ContextMatchConfig, MatchResult
 from ..errors import EngineError
 from ..matching.standard import MatchingSystem, StandardMatch
+from ..profiling import ProfileStore
 from ..relational.instance import Database
 from .hooks import EngineObserver
-from .prepared import PreparedTarget
+from .prepared import PreparedSource, PreparedTarget
 from .report import RunReport, StageReport
 from .stages import PipelineState, Stage, default_stages
 
@@ -115,37 +128,103 @@ class MatchEngine:
                 "PreparedTarget was built under a different categorical "
                 f"policy ({prepared.policy} != {self.policy}); re-prepare "
                 "the target with this engine")
-        if prepared.matcher is self.matcher:
-            return
-        # Distinct matcher objects are interchangeable only when both are
-        # plain StandardMatch instances profiling identically — the index
-        # format and contents are then bit-equal.  Anything custom must be
-        # the same object, or its index may silently disagree with this
-        # engine's scorer.
-        ours, theirs = self.matcher, prepared.matcher
-        if (type(ours) is StandardMatch and type(theirs) is StandardMatch
+        if not self._matcher_interchangeable(prepared.matcher):
+            raise EngineError(
+                "PreparedTarget was built by an incompatible matching "
+                f"system ({prepared.matcher!r} vs {self.matcher!r}); "
+                "re-prepare the target with this engine")
+
+    def _matcher_interchangeable(self, theirs: MatchingSystem | None) -> bool:
+        """Whether artifacts built by *theirs* are valid for this engine.
+
+        Distinct matcher objects are interchangeable only when both are
+        plain StandardMatch instances profiling identically — the derived
+        artifacts are then bit-equal.  Anything custom must be the same
+        object, or its artifacts may silently disagree with this engine's
+        scorer.
+        """
+        ours = self.matcher
+        if theirs is ours:
+            return True
+        return (type(ours) is StandardMatch and type(theirs) is StandardMatch
                 and ours.config == theirs.config
                 and [m.name for m in ours.matchers]
-                == [m.name for m in theirs.matchers]):
+                == [m.name for m in theirs.matchers])
+
+    # ------------------------------------------------------------------
+    # Source preparation
+    # ------------------------------------------------------------------
+    def prepare_source(self, source: Database) -> PreparedSource:
+        """Build a reusable source-side profile store for *source*.
+
+        The returned :class:`PreparedSource` can stand in for the source
+        database in :meth:`match` / :meth:`match_many`: column profiles
+        and family partitions accumulate in its
+        :class:`~repro.profiling.ProfileStore` across runs, so repeated
+        matching of the same source skips source-side profiling.  Scores
+        are bit-identical to matching the plain database.
+        """
+        store = ProfileStore.for_matcher(self.matcher)
+        if store is None:
+            raise EngineError(
+                f"matching system {self.matcher!r} does not expose the "
+                "profiling interface (supports_profile_store); pass the "
+                "plain Database instead")
+        standard_config = (self.matcher.config
+                           if isinstance(self.matcher, StandardMatch)
+                           else self.config.standard)
+        return PreparedSource(source=source, store=store,
+                              standard_config=standard_config,
+                              matcher=self.matcher)
+
+    def _check_source_compatible(self, prepared: PreparedSource) -> None:
+        if (self._matcher_interchangeable(prepared.matcher)
+                and prepared.store.matcher_names
+                == tuple(m.name for m in getattr(self.matcher, "matchers",
+                                                 ()))):
             return
         raise EngineError(
-            "PreparedTarget was built by an incompatible matching system "
-            f"({theirs!r} vs {ours!r}); re-prepare the target with this "
-            "engine")
+            "PreparedSource was built by an incompatible matching system "
+            f"({prepared.matcher!r} vs {self.matcher!r}); re-prepare the "
+            "source with this engine")
+
+    def _resolve_source(self, source: Database | PreparedSource
+                        ) -> tuple[Database, ProfileStore | None, bool]:
+        """(database, profile store, was_prepared) for one run's source.
+
+        A plain database gets a fresh per-run store (intra-run reuse:
+        partition-once view scoring, profile sharing across stages) when
+        profiling is enabled and the matcher supports it; a
+        :class:`PreparedSource` contributes its long-lived store.  With
+        ``config.use_profiling`` False no store is used anywhere — the
+        legacy per-view path, kept as the equivalence reference.
+        """
+        if isinstance(source, PreparedSource):
+            self._check_source_compatible(source)
+            store = source.store if self.config.use_profiling else None
+            source.runs += 1
+            return source.source, store, True
+        if not self.config.use_profiling:
+            return source, None, False
+        return source, ProfileStore.for_matcher(self.matcher), False
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
-    def match(self, source: Database,
+    def match(self, source: Database | PreparedSource,
               target: Database | PreparedTarget) -> MatchResult:
         """Run the stage pipeline for one source schema.
 
         ``target`` may be a plain :class:`Database` (prepared on the fly,
         exactly like ``ContextMatch.run``) or a :class:`PreparedTarget`
         from :meth:`prepare`, in which case no target profiling happens.
+        ``source`` may likewise be a :class:`PreparedSource` from
+        :meth:`prepare_source`, in which case source-side column profiles
+        and partitions persist across runs.
         """
         started = time.perf_counter()
         prepared, supplied = self._resolve(target)
+        source_db, store, source_supplied = self._resolve_source(source)
         config = self.config
         ctx = InferenceContext(
             config=config, rng=np.random.default_rng(config.seed),
@@ -153,13 +232,14 @@ class MatchEngine:
             _target_classifiers=prepared.target_classifiers,
             tag_cache=prepared.tag_cache)
         state = PipelineState(
-            source=source, prepared=prepared, config=config,
+            source=source_db, prepared=prepared, config=config,
             matcher=self.matcher, generator=make_generator(config.inference),
-            ctx=ctx, result=MatchResult())
-        report = RunReport(target_prepared=supplied)
+            ctx=ctx, result=MatchResult(), store=store)
+        report = RunReport(target_prepared=supplied,
+                           source_prepared=source_supplied)
 
         for observer in self.observers:
-            observer.on_run_start(source, prepared)
+            observer.on_run_start(source_db, prepared)
         for stage in self.stages:
             for observer in self.observers:
                 observer.on_stage_start(stage.name, state)
@@ -188,14 +268,16 @@ class MatchEngine:
             observer.on_run_end(report, result)
         return result
 
-    def match_many(self, sources: Iterable[Database],
+    def match_many(self, sources: Iterable[Database | PreparedSource],
                    target: Database | PreparedTarget) -> list[MatchResult]:
         """Match every source schema against one shared target.
 
         The target is prepared (at most) once, up front; each source then
         runs the full pipeline against the shared
-        :class:`PreparedTarget`.  Results arrive in input order and are
-        identical to independent :meth:`match` calls per source.
+        :class:`PreparedTarget`.  Sources may individually be
+        :class:`PreparedSource` objects to amortize their own profiling
+        across batches.  Results arrive in input order and are identical
+        to independent :meth:`match` calls per source.
         """
         prepared, _ = self._resolve(target)
         return [self.match(source, prepared) for source in sources]

@@ -1,4 +1,4 @@
-"""Reusable target-side artifacts — the expensive half of a match run.
+"""Reusable per-side artifacts — the expensive halves of a match run.
 
 Enterprise deployments repeatedly match incoming source schemas against a
 small set of stable hub schemas; everything the pipeline derives from the
@@ -13,9 +13,16 @@ number of :meth:`~repro.engine.engine.MatchEngine.match` calls:
 * the per-domain target classifiers of ``TgtClassInfer`` (Figure 7) and
   their value -> target-column tag memo.
 
-All of it is read-only during matching except the two lazily-populated
-caches, whose entries are pure functions of the target — sharing them
-never changes results, only skips recomputation.
+:class:`PreparedSource` is the source-side counterpart, built by
+:meth:`~repro.engine.engine.MatchEngine.prepare_source`: a
+:class:`~repro.profiling.ProfileStore` holding the source's column
+profiles and family partitions, shared across runs so re-matching the same
+source (evaluation sweeps, re-tuned thresholds, incremental re-runs)
+skips source-side profiling entirely.
+
+All of it is read-only during matching except the lazily-populated caches,
+whose entries are pure functions of their side — sharing them never
+changes results, only skips recomputation.
 """
 
 from __future__ import annotations
@@ -26,12 +33,13 @@ from typing import TYPE_CHECKING
 from ..context.categorical import CategoricalPolicy, categorical_attributes
 from ..matching.standard import (MatchingSystem, StandardMatchConfig,
                                  TargetIndex)
+from ..profiling import ProfileStore
 from ..relational.instance import Database
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..classifiers.target import TargetClassifierSet
 
-__all__ = ["PreparedTarget"]
+__all__ = ["PreparedTarget", "PreparedSource"]
 
 
 @dataclasses.dataclass
@@ -94,3 +102,48 @@ class PreparedTarget:
         return (f"PreparedTarget({self.target.name!r}, "
                 f"{len(self.table_names)} tables, "
                 f"{len(self.index.samples)} attributes, runs={self.runs})")
+
+
+@dataclasses.dataclass
+class PreparedSource:
+    """Source-side state shared by every run of one source schema.
+
+    Built by :meth:`MatchEngine.prepare_source`; treat as opaque.  The
+    carried :class:`~repro.profiling.ProfileStore` accumulates column
+    profiles and family partitions lazily during runs — every cached entry
+    is a pure function of the source instance and ``standard_config``, so
+    reuse skips recomputation without changing results.  The engine
+    refuses to run a prepared source built under a different standard
+    configuration or matcher zoo, since its profiles would silently
+    disagree with the run's scorer.
+
+    Attributes
+    ----------
+    source:
+        The source database the profiles describe.
+    store:
+        Profile/partition cache keyed per (table, attribute, matcher),
+        with reuse counters surfaced in stage reports.
+    standard_config:
+        The standard-matcher configuration the profiles are valid under.
+    matcher:
+        The matching system the store was built for; the engine's
+        compatibility check compares against it.
+    runs:
+        Number of engine runs served so far (diagnostic).
+    """
+
+    source: Database
+    store: ProfileStore
+    standard_config: StandardMatchConfig
+    matcher: MatchingSystem | None = None
+    runs: int = 0
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(relation.name for relation in self.source)
+
+    def __str__(self) -> str:
+        return (f"PreparedSource({self.source.name!r}, "
+                f"{len(self.table_names)} tables, "
+                f"{len(self.store)} cached profiles, runs={self.runs})")

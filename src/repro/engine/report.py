@@ -28,6 +28,9 @@ class StageReport:
     ``counts`` is stage-specific: the standard-match stage reports accepted
     prototype matches, the scoring stage candidate totals, and so on — the
     keys are part of each stage's documented contract, not of this class.
+    Stages that consume a :class:`~repro.profiling.ProfileStore` add that
+    stage's cache deltas: ``profile_hits`` / ``profile_misses``,
+    ``partitions_built`` / ``partition_hits`` and ``profiles_merged``.
     """
 
     name: str
@@ -54,6 +57,11 @@ class RunReport:
         True when the run reused a caller-supplied
         :class:`~repro.engine.prepared.PreparedTarget` (no index build
         happened inside this run).
+    source_prepared:
+        True when the run reused a caller-supplied
+        :class:`~repro.engine.prepared.PreparedSource`, whose profile
+        store persists across runs (cache hits show up in the stage
+        counts).
     role_reversed:
         True for :meth:`~repro.engine.engine.MatchEngine.match_reversed`
         runs, whose matches carry target-side conditions.
@@ -62,6 +70,7 @@ class RunReport:
     stages: list[StageReport] = dataclasses.field(default_factory=list)
     elapsed_seconds: float = 0.0
     target_prepared: bool = False
+    source_prepared: bool = False
     role_reversed: bool = False
 
     def stage(self, name: str) -> StageReport | None:
@@ -78,6 +87,7 @@ class RunReport:
     def __str__(self) -> str:
         lines = [f"run: {self.elapsed_seconds:.3f}s"
                  + (" [prepared target]" if self.target_prepared else "")
+                 + (" [prepared source]" if self.source_prepared else "")
                  + (" [reversed]" if self.role_reversed else "")]
         lines.extend(f"  {stage}" for stage in self.stages)
         return "\n".join(lines)

@@ -34,8 +34,9 @@ from ..context.model import ContextMatchConfig, MatchResult
 from ..context.score import score_family_candidates
 from ..context.select import select_matches
 from ..matching.standard import AttributeMatch, MatchingSystem
+from ..profiling import ProfileStore
 from ..relational.instance import Database
-from ..relational.views import ViewFamily
+from ..relational.views import View, ViewFamily
 from .prepared import PreparedTarget
 
 __all__ = ["PipelineState", "Stage", "StandardMatchStage",
@@ -65,6 +66,22 @@ class PipelineState:
     #: Inferred view families keyed by source relation name.
     families: dict[str, list[ViewFamily]] = dataclasses.field(
         default_factory=dict)
+    #: Source-side profile/partition cache (:mod:`repro.profiling`); None
+    #: when profiling is disabled or the matcher does not support it.
+    #: Long-lived when the run was given a
+    #: :class:`~repro.engine.prepared.PreparedSource`, per-run otherwise.
+    store: ProfileStore | None = None
+
+    def store_counters(self) -> dict[str, int] | None:
+        """Snapshot of the store's reuse counters (None without a store)."""
+        return self.store.counters() if self.store is not None else None
+
+    def store_counters_since(self, before: dict[str, int] | None
+                             ) -> dict[str, int]:
+        """Counter deltas for one stage's work (empty without a store)."""
+        if self.store is None or before is None:
+            return {}
+        return self.store.counters_since(before)
 
 
 class Stage(abc.ABC):
@@ -87,21 +104,35 @@ class Stage(abc.ABC):
 
 
 class StandardMatchStage(Stage):
-    """Accepted prototype matches from the black-box standard matcher."""
+    """Accepted prototype matches from the black-box standard matcher.
+
+    With a profile store in play, source columns are scored from cached
+    :class:`~repro.profiling.ColumnProfile` objects — a run against a
+    :class:`~repro.engine.prepared.PreparedSource` reports all
+    ``profile_hits`` here from its second run on.
+    """
 
     name = "standard-match"
 
     def run(self, state: PipelineState) -> dict[str, int]:
+        before = state.store_counters()
+        use_store = (state.store is not None
+                     and getattr(state.matcher, "supports_profile_store",
+                                 False))
         for relation in state.source:
-            accepted = [
-                m for m in state.matcher.score_relation(
+            if use_store:
+                scored = state.matcher.score_relation(
+                    relation, state.prepared.index, store=state.store)
+            else:
+                scored = state.matcher.score_relation(
                     relation, state.prepared.index)
-                if state.matcher.accept(m, state.config.tau)
-            ]
+            accepted = [m for m in scored
+                        if state.matcher.accept(m, state.config.tau)]
             state.accepted[relation.name] = accepted
             state.result.standard_matches.extend(accepted)
         return {"relations": len(state.accepted),
-                "accepted": len(state.result.standard_matches)}
+                "accepted": len(state.result.standard_matches),
+                **state.store_counters_since(before)}
 
 
 class InferViewsStage(Stage):
@@ -121,20 +152,31 @@ class InferViewsStage(Stage):
 
 
 class ScoreCandidatesStage(Stage):
-    """Re-score every prototype match against every candidate view (RL)."""
+    """Re-score every prototype match against every candidate view (RL).
+
+    The ScoreMatch hot path: with a profile store each base relation is
+    partitioned once per family attribute and member views are scored from
+    partition cells (merged groups composing additive profiles from cell
+    profiles), instead of materializing and re-profiling every view.  The
+    stage's counts surface the cache economics: ``partitions_built`` /
+    ``partition_hits`` and ``profile_hits`` / ``profile_misses`` /
+    ``profiles_merged``.
+    """
 
     name = "score-candidates"
 
     def run(self, state: PipelineState) -> dict[str, int]:
+        before = state.store_counters()
         for relation in state.source:
-            seen_views: set = set()
+            seen_views: set[View] = set()
             for family in state.families.get(relation.name, []):
                 state.result.candidates.extend(score_family_candidates(
                     family, relation, state.accepted.get(relation.name, []),
                     state.matcher, state.prepared.index,
                     min_view_rows=state.config.min_view_rows,
-                    seen_views=seen_views))
-        return {"candidates": len(state.result.candidates)}
+                    seen_views=seen_views, store=state.store))
+        return {"candidates": len(state.result.candidates),
+                **state.store_counters_since(before)}
 
 
 class SelectStage(Stage):
@@ -159,22 +201,37 @@ class ConjunctiveRefineStage(Stage):
     Runs ``conjunctive_stages - 1`` refinement iterations; with the default
     configuration (``conjunctive_stages=1``) it is a timed no-op, so the
     stage still appears in every :class:`RunReport`.
+
+    Refinement profiles *restricted* stage relations (views selected this
+    run), which are per-selection artifacts — so the stage uses its own
+    stage-scoped :class:`~repro.profiling.ProfileStore` rather than the
+    run's (possibly :class:`~repro.engine.prepared.PreparedSource`-backed)
+    store, whose lifetime would pin every materialized stage relation.
+    The stage-local cache counters are reported in the stage counts.
     """
 
     name = "conjunctive-refine"
 
     def run(self, state: PipelineState) -> dict[str, int]:
         iterations = 0
+        store = None
+        if state.store is not None:
+            store = ProfileStore(state.store.matchers,
+                                 state.store.sample_limit)
         for _stage in range(1, state.config.conjunctive_stages):
             matches, families, candidates = refine_conjunctive(
                 state.result.matches, state.source, state.generator,
-                state.matcher, state.prepared.index, state.ctx)
+                state.matcher, state.prepared.index, state.ctx,
+                store=store)
             state.result.matches = matches
             state.result.families.extend(families)
             state.result.candidates.extend(candidates)
             iterations += 1
-        return {"iterations": iterations,
-                "matches": len(state.result.matches)}
+        counts = {"iterations": iterations,
+                  "matches": len(state.result.matches)}
+        if store is not None and iterations:
+            counts.update(store.counters())
+        return counts
 
 
 def default_stages() -> list[Stage]:

@@ -5,10 +5,12 @@ sample data; drivers here average over (workload seed, partition seed)
 pairs.  All aggregation is deterministic given the seed lists.
 
 :class:`EngineRunner` routes every experiment run through a
-:class:`~repro.engine.MatchEngine`, keeping a small LRU of
-:class:`~repro.engine.PreparedTarget` artifacts so a sweep that evaluates
-many configurations against the same workload profiles each target exactly
-once instead of once per configuration point.
+:class:`~repro.engine.MatchEngine`, keeping small LRUs of
+:class:`~repro.engine.PreparedTarget` and
+:class:`~repro.engine.PreparedSource` artifacts so a sweep that evaluates
+many configurations against the same workload profiles each target — and
+each source column/partition — exactly once instead of once per
+configuration point.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from typing import Iterable, TypeVar
 from ..context.categorical import CategoricalPolicy
 from ..context.model import ContextMatchConfig, MatchResult
 from ..engine.engine import MatchEngine
-from ..engine.prepared import PreparedTarget
+from ..engine.prepared import PreparedSource, PreparedTarget
 from ..relational.instance import Database
 
 T = TypeVar("T")
@@ -45,6 +47,8 @@ class EngineRunner:
     def __init__(self, *, max_prepared: int = 8):
         self.max_prepared = max_prepared
         self._prepared: OrderedDict[tuple, PreparedTarget] = OrderedDict()
+        self._prepared_sources: OrderedDict[tuple, PreparedSource] = \
+            OrderedDict()
 
     def prepared_for(self, engine: MatchEngine,
                      target: Database) -> PreparedTarget:
@@ -59,12 +63,35 @@ class EngineRunner:
             self._prepared.move_to_end(key)
         return prepared
 
+    def prepared_source_for(self, engine: MatchEngine,
+                            source: Database) -> PreparedSource | None:
+        """The shared source-side profile store for *source*, or None when
+        profiling is off.  Profiles depend only on the source instance and
+        the standard-matcher configuration, so one entry serves every
+        contextual configuration sharing those."""
+        if not engine.config.use_profiling:
+            return None
+        key = (id(source), engine.config.standard)
+        prepared = self._prepared_sources.get(key)
+        if prepared is None:
+            prepared = engine.prepare_source(source)
+            self._prepared_sources[key] = prepared
+            while len(self._prepared_sources) > self.max_prepared:
+                self._prepared_sources.popitem(last=False)
+        else:
+            self._prepared_sources.move_to_end(key)
+        return prepared
+
     def run(self, source: Database, target: Database,
             config: ContextMatchConfig,
             *, policy: CategoricalPolicy | None = None) -> MatchResult:
-        """One engine run; reuses the target preparation when possible."""
+        """One engine run; reuses target and source preparation when
+        possible."""
         engine = MatchEngine(config, policy=policy)
-        return engine.match(source, self.prepared_for(engine, target))
+        prepared_source = self.prepared_source_for(engine, source)
+        return engine.match(
+            prepared_source if prepared_source is not None else source,
+            self.prepared_for(engine, target))
 
 
 @dataclasses.dataclass(frozen=True)

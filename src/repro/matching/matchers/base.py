@@ -11,6 +11,14 @@ called once per candidate view per match), matchers expose a two-phase API:
 :meth:`Matcher.profile` digests a sample into a reusable profile (target
 profiles are cached by :class:`~repro.matching.standard.StandardMatch`),
 and :meth:`Matcher.score_profiles` compares two profiles.
+
+Matchers whose profiles are *additive* — token, n-gram or value counts,
+where the profile of a union of disjoint samples is a pure function of the
+member profiles — additionally set :attr:`Matcher.mergeable` and implement
+:meth:`Matcher.merge_profiles`.  The profiling subsystem
+(:mod:`repro.profiling`) uses the hook to compose the profile of a merged
+view (a union of partition cells) from cached cell profiles without
+touching raw rows.
 """
 
 from __future__ import annotations
@@ -65,6 +73,11 @@ class Matcher(abc.ABC):
     name: str = "matcher"
     #: Relative weight when combining matcher confidences.
     weight: float = 1.0
+    #: True when :meth:`merge_profiles` composes the profile of a union of
+    #: disjoint samples exactly (bit-identically) from the member profiles.
+    #: Requires profiles independent of value order and of the sample's
+    #: table name.
+    mergeable: bool = False
 
     def applicable(self, source: AttributeSample, target: AttributeSample) -> bool:
         """Whether this matcher produces a meaningful score for the pair.
@@ -81,6 +94,13 @@ class Matcher(abc.ABC):
     @abc.abstractmethod
     def score_profiles(self, source: Any, target: Any) -> float:
         """Raw similarity in [0, 1] between two profiles."""
+
+    def merge_profiles(self, profiles: Sequence[Any]) -> Any:
+        """The profile of the union of the disjoint samples behind
+        *profiles*.  Only meaningful when :attr:`mergeable` is True; the
+        result must equal :meth:`profile` of the concatenated samples."""
+        raise NotImplementedError(
+            f"{self.name!r} profiles are not additive and cannot be merged")
 
     def score(self, source: AttributeSample, target: AttributeSample) -> float:
         """One-shot convenience: profile both sides and compare."""

@@ -39,6 +39,9 @@ class NameMatcher(Matcher):
     """Similarity of attribute names: token Jaccard blended with Jaro-Winkler."""
 
     name = "name"
+    #: The profile depends only on the attribute name, which every cell of
+    #: a partitioned attribute shares — any member profile is the union's.
+    mergeable = True
 
     def __init__(self, *, weight: float = 1.0,
                  synonyms: dict[str, str] | None = None,
@@ -55,6 +58,9 @@ class NameMatcher(Matcher):
     def profile(self, sample: AttributeSample) -> _NameProfile:
         tokens = frozenset(self._canonical(t) for t in word_tokens(sample.name))
         return _NameProfile(normalize_text(sample.name).replace(" ", ""), tokens)
+
+    def merge_profiles(self, profiles) -> _NameProfile:
+        return next(iter(profiles))
 
     def score_profiles(self, source: _NameProfile, target: _NameProfile) -> float:
         if source.tokens or target.tokens:

@@ -21,6 +21,10 @@ class QGramMatcher(Matcher):
     """TF-cosine over character q-grams of instance values."""
 
     name = "qgram"
+    #: Gram counts are additive over disjoint value bags, and the cosine
+    #: score is exact integer arithmetic under the square roots — summing
+    #: cell Counters reproduces the union profile bit-identically.
+    mergeable = True
 
     def __init__(self, *, q: int = 3, weight: float = 1.0):
         if q < 1:
@@ -43,3 +47,9 @@ class QGramMatcher(Matcher):
         if not source or not target:
             return 0.0
         return cosine_counts(source, target)
+
+    def merge_profiles(self, profiles) -> Counter:
+        merged: Counter = Counter()
+        for counts in profiles:
+            merged.update(counts)
+        return merged

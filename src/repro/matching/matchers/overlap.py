@@ -19,6 +19,8 @@ class ValueOverlapMatcher(Matcher):
     """Jaccard similarity of normalized distinct value sets."""
 
     name = "overlap"
+    #: Distinct-value sets are additive over disjoint bags by union.
+    mergeable = True
 
     def __init__(self, *, weight: float = 1.0):
         self.weight = weight
@@ -33,3 +35,6 @@ class ValueOverlapMatcher(Matcher):
         if not source or not target:
             return 0.0
         return jaccard(source, target)
+
+    def merge_profiles(self, profiles) -> frozenset:
+        return frozenset().union(*profiles)

@@ -19,12 +19,18 @@ class TypeMatcher(Matcher):
     """Declared-type compatibility score."""
 
     name = "type"
+    #: The profile depends only on the declared type, which every cell of a
+    #: partitioned attribute shares — any member profile is the union's.
+    mergeable = True
 
     def __init__(self, *, weight: float = 0.5):
         self.weight = weight
 
     def profile(self, sample: AttributeSample) -> DataType:
         return sample.attribute.dtype
+
+    def merge_profiles(self, profiles) -> DataType:
+        return next(iter(profiles))
 
     def score_profiles(self, source: DataType, target: DataType) -> float:
         if source is target:

@@ -19,7 +19,7 @@ points:
 from __future__ import annotations
 
 import dataclasses
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from ..errors import MatchingError
 from ..relational.instance import Database, Relation
@@ -27,6 +27,9 @@ from ..relational.schema import AttributeRef
 from .combiner import MatcherEvidence, combine_evidence
 from .matchers import AttributeSample, Matcher, default_matchers
 from .normalize import confidences_from_scores
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (profiling sits above)
+    from ..profiling import ColumnProfile, ProfileStore
 
 __all__ = ["AttributeMatch", "StandardMatchConfig", "TargetIndex",
            "StandardMatch", "MatchingSystem"]
@@ -127,7 +130,14 @@ class TargetIndex:
 
 
 class MatchingSystem(Protocol):
-    """The black-box interface the contextual layer depends on."""
+    """The black-box interface the contextual layer depends on.
+
+    Implementations may additionally opt into the profiling fast path by
+    setting ``supports_profile_store = True`` and providing
+    ``score_column_profile(profile, index)`` plus ``matchers`` / ``config``
+    attributes (see :class:`StandardMatch`); the contextual layer falls
+    back to :meth:`score_attribute` per view otherwise.
+    """
 
     def match(self, source: Database, target: Database,
               tau: float) -> list[AttributeMatch]:
@@ -157,6 +167,11 @@ class MatchingSystem(Protocol):
 class StandardMatch:
     """Multi-matcher instance-based schema matcher."""
 
+    #: This scorer can consume :class:`~repro.profiling.ColumnProfile`
+    #: objects and exposes ``matchers``/``config`` for
+    #: :meth:`~repro.profiling.ProfileStore.for_matcher`.
+    supports_profile_store = True
+
     def __init__(self, config: StandardMatchConfig | None = None,
                  matchers: Sequence[Matcher] | None = None):
         self.config = config or StandardMatchConfig()
@@ -182,11 +197,32 @@ class StandardMatch:
         sample = AttributeSample.from_column(
             table, attribute, list(sample_values),
             limit=self.config.sample_limit)
+        profiles = {m.name: m.profile(sample) for m in self.matchers}
+        return self._score_profiled(table, attribute, sample, profiles, index)
+
+    def score_column_profile(self, profile: "ColumnProfile",
+                             index: TargetIndex) -> list[AttributeMatch]:
+        """Batch entry point: score a prepared column profile against every
+        target attribute.
+
+        The profile (from a :class:`~repro.profiling.ProfileStore`) must
+        have been built under this scorer's matchers and sample limit; the
+        scores are then bit-identical to :meth:`score_attribute` over the
+        same column values.
+        """
+        return self._score_profiled(profile.table, profile.attribute,
+                                    profile.sample_view(), profile.profiles,
+                                    index)
+
+    def _score_profiled(self, table: str, attribute, sample,
+                        profiles, index: TargetIndex) -> list[AttributeMatch]:
+        """Shared scoring half: matcher raws -> Φ confidences -> combined
+        evidence, for one source column whose profiles are already built."""
         n_targets = len(index.samples)
         # evidence[i] collects MatcherEvidence for target attribute i.
         evidence: list[list[MatcherEvidence]] = [[] for _ in range(n_targets)]
         for matcher in self.matchers:
-            source_profile = matcher.profile(sample)
+            source_profile = profiles[matcher.name]
             raw: list[float | None] = []
             for target_sample, target_profile in zip(
                     index.samples, index.profiles[matcher.name]):
@@ -228,9 +264,17 @@ class StandardMatch:
             matches.extend(self.score_relation(relation, index))
         return matches
 
-    def score_relation(self, relation: Relation,
-                       index: TargetIndex) -> list[AttributeMatch]:
+    def score_relation(self, relation: Relation, index: TargetIndex,
+                       *, store: "ProfileStore | None" = None,
+                       ) -> list[AttributeMatch]:
         """Scores from every attribute of one source relation.
+
+        When *store* is given (a :class:`~repro.profiling.ProfileStore`
+        built for this scorer), per-attribute profiles are fetched from it
+        instead of being rebuilt from raw column values — the
+        :class:`~repro.engine.prepared.PreparedSource` fast path, which
+        amortizes source-side profiling across engine runs with
+        bit-identical scores.
 
         Confidences are *bidirectional*: the source-side percentile (how a
         target attribute ranks among all targets for this source attribute)
@@ -251,9 +295,13 @@ class StandardMatch:
         matches: list[AttributeMatch] = []
         per_attr: list[list[AttributeMatch]] = []
         for attribute in relation.schema:
-            per_attr.append(self.score_attribute(
-                relation.name, relation.column(attribute.name),
-                attribute, index))
+            if store is not None:
+                per_attr.append(self.score_column_profile(
+                    store.base_profile(relation, attribute.name), index))
+            else:
+                per_attr.append(self.score_attribute(
+                    relation.name, relation.column(attribute.name),
+                    attribute, index))
         # Target-side normalization across this relation's source attrs.
         by_target: dict[tuple[str, str], list[tuple[int, int]]] = {}
         for i, attr_matches in enumerate(per_attr):

@@ -1,0 +1,74 @@
+"""Partition-once view materialization (the ScoreMatch hot path).
+
+Every member view of a :class:`~repro.relational.views.ViewFamily` is a
+disjoint partition of one base relation by one categorical attribute, so
+evaluating each view's selection predicate over every sample row — a dict
+build plus a condition call per (row, view) — repeats work the partition
+already contains.  A :class:`PartitionIndex` makes one pass over the base
+column and records, per categorical value, the (ascending) row indices of
+its cell; any member view's rows are then a cell, or a sorted merge of
+cells for merged groups, and its column samples come from plain list
+indexing in base-row order — exactly the rows and order
+``View.evaluate(base)`` would produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable
+
+from ..relational.instance import Relation
+
+__all__ = ["PartitionIndex"]
+
+
+class PartitionIndex:
+    """One base relation partitioned by one categorical attribute.
+
+    The index never copies row data: it stores row-index tuples per cell
+    plus a memo of merged-group index tuples, and slices base columns on
+    demand.  Row order within a cell (and within any merged group) is base
+    order, so restricted columns are bit-identical to the columns of the
+    materialized view.
+    """
+
+    def __init__(self, relation: Relation, attribute: str):
+        self.relation = relation
+        self.attribute = attribute
+        self.cells: dict[Any, tuple[int, ...]] = {
+            value: tuple(indices)
+            for value, indices in relation.partition_indices(attribute).items()
+        }
+        self._group_rows: dict[frozenset, tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def group_rows(self, group: Iterable[Any]) -> tuple[int, ...]:
+        """Base-order row indices of the view selecting *group*'s values."""
+        key = group if isinstance(group, frozenset) else frozenset(group)
+        rows = self._group_rows.get(key)
+        if rows is None:
+            parts = [self.cells[v] for v in key if v in self.cells]
+            if len(parts) == 1:
+                rows = parts[0]
+            else:
+                rows = tuple(heapq.merge(*parts))
+            self._group_rows[key] = rows
+        return rows
+
+    def group_size(self, group: Iterable[Any]) -> int:
+        """Number of sample rows in the group's view (``len(restricted)``)."""
+        return len(self.group_rows(group))
+
+    def restricted_column(self, attr_name: str, group: Iterable[Any]) -> list[Any]:
+        """The group view's column for *attr_name*, in base-row order —
+        bit-identical to ``view.evaluate(base).column(attr_name)``."""
+        column = self.relation.column(attr_name)
+        return [column[i] for i in self.group_rows(group)]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return (f"<PartitionIndex {self.relation.name}.{self.attribute}: "
+                f"{self.n_cells} cells>")

@@ -1,0 +1,156 @@
+"""Per-(table, attribute, matcher) column profiles.
+
+A :class:`ColumnProfile` bundles everything the scoring half of the
+standard matcher needs about one source column: the deterministic
+:class:`~repro.matching.matchers.AttributeSample` and the profile every
+matcher derived from it.  Profiles are computed once per column (or per
+view-restricted column) and reused across matchers' hundreds of
+re-scorings, replacing the ad-hoc rebuild
+``StandardMatch.score_attribute`` used to perform on every call.
+
+Merged-group views compose where possible:
+:func:`merge_column_profiles` builds the union profile of disjoint
+partition cells, delegating to :meth:`Matcher.merge_profiles` for
+additive matchers (q-gram counts, value sets, metadata profiles) so the
+merged profile never touches raw rows for them, and re-profiling the
+gathered union sample only for the rest.  Both paths are bit-identical to
+profiling the materialized view: composition is only attempted when no
+deterministic thinning is in play, and the in-tree additive profiles are
+order-independent integer/set structures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping, Sequence
+
+from ..matching.matchers import AttributeSample, Matcher
+from ..relational.schema import Attribute
+from ..relational.types import is_missing
+
+__all__ = ["SampleDigest", "ColumnProfile", "build_column_profile",
+           "merge_column_profiles"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SampleDigest:
+    """Shape summary of a sample whose values were never gathered.
+
+    Duck-types the slice of :class:`AttributeSample` the matchers'
+    ``applicable`` checks read — declared type and sample size — for
+    profiles composed purely via :meth:`Matcher.merge_profiles`.
+    """
+
+    table: str
+    attribute: Attribute
+    size: int
+
+    @property
+    def name(self) -> str:
+        return self.attribute.name
+
+    def __len__(self) -> int:
+        return self.size
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnProfile:
+    """One column's sample plus every matcher's profile of it.
+
+    Attributes
+    ----------
+    table:
+        Base-table or view name the column belongs to (the ``source.table``
+        of the matches scored from this profile).
+    attribute:
+        The attribute being profiled.
+    n_values:
+        Sample size after missing-value removal and deterministic thinning.
+    thinned:
+        True when the clean column exceeded the sample limit, so the sample
+        is a systematic thinning of it.  Thinned profiles never participate
+        in merge composition (the thinning of a union is not the union of
+        thinnings).
+    profiles:
+        Matcher name -> profile, for every matcher of the owning store.
+    sample:
+        The underlying sample; None when the profile was composed entirely
+        from cell profiles without gathering values.
+    """
+
+    table: str
+    attribute: Attribute
+    n_values: int
+    thinned: bool
+    profiles: Mapping[str, Any]
+    sample: AttributeSample | None = None
+
+    @property
+    def name(self) -> str:
+        return self.attribute.name
+
+    def sample_view(self) -> AttributeSample | SampleDigest:
+        """What the matchers' ``applicable`` checks should see."""
+        if self.sample is not None:
+            return self.sample
+        return SampleDigest(self.table, self.attribute, self.n_values)
+
+
+def build_column_profile(table: str, attribute: Attribute,
+                         values: Sequence[Any], matchers: Sequence[Matcher],
+                         limit: int | None) -> ColumnProfile:
+    """Profile one column under every matcher (sampling as
+    ``AttributeSample.from_column`` does)."""
+    clean = [v for v in values if not is_missing(v)]
+    thinned = limit is not None and len(clean) > limit
+    sample = AttributeSample.from_column(table, attribute, clean, limit=limit)
+    return ColumnProfile(
+        table=table, attribute=attribute, n_values=len(sample.values),
+        thinned=thinned,
+        profiles={m.name: m.profile(sample) for m in matchers},
+        sample=sample)
+
+
+def merge_column_profiles(table: str, attribute: Attribute,
+                          parts: Sequence[ColumnProfile],
+                          matchers: Sequence[Matcher], limit: int | None,
+                          gather_values: Callable[[], Sequence[Any]],
+                          ) -> tuple[ColumnProfile, int]:
+    """The profile of the union of the disjoint cells behind *parts*.
+
+    Returns ``(profile, n_composed)`` where ``n_composed`` counts the
+    matcher profiles composed via :meth:`Matcher.merge_profiles` instead of
+    being recomputed from values.  *gather_values* lazily materializes the
+    union column (in base-row order) and is only called when some matcher
+    profile — or the union sample itself, when thinning applies — cannot
+    be composed.
+    """
+    total = sum(p.n_values for p in parts)
+    composable = (not any(p.thinned for p in parts)
+                  and (limit is None or total <= limit))
+    if not composable:
+        # Thinning of the union differs from the union of (possibly
+        # thinned) cells: rebuild from the gathered rows for exactness.
+        return build_column_profile(table, attribute, gather_values(),
+                                    matchers, limit), 0
+    mergeable = [m for m in matchers if m.mergeable]
+    if len(mergeable) == len(matchers):
+        # Pure composition: no raw row is touched.
+        profiles = {m.name: m.merge_profiles([p.profiles[m.name]
+                                              for p in parts])
+                    for m in matchers}
+        return ColumnProfile(table=table, attribute=attribute,
+                             n_values=total, thinned=False,
+                             profiles=profiles, sample=None), len(matchers)
+    # Mixed: gather the union sample once for the non-additive matchers,
+    # compose the rest from cell profiles.
+    clean = [v for v in gather_values() if not is_missing(v)]
+    sample = AttributeSample.from_column(table, attribute, clean, limit=limit)
+    profiles = {
+        m.name: (m.merge_profiles([p.profiles[m.name] for p in parts])
+                 if m.mergeable else m.profile(sample))
+        for m in matchers
+    }
+    return ColumnProfile(table=table, attribute=attribute,
+                         n_values=len(sample.values), thinned=False,
+                         profiles=profiles, sample=sample), len(mergeable)

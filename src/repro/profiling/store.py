@@ -1,0 +1,186 @@
+"""Keyed, counted reuse of column profiles and partitions.
+
+A :class:`ProfileStore` is the memo behind the profiling fast path: it
+caches :class:`~repro.profiling.profiles.ColumnProfile` objects per
+(table, attribute) — and per (base, partition attribute, value group,
+attribute) for view-restricted columns — plus one
+:class:`~repro.profiling.partition.PartitionIndex` per (base, attribute).
+Everything cached is a pure function of the relation instances and the
+store's matcher configuration, so sharing a store across pipeline stages
+and across engine runs (via :class:`~repro.engine.prepared.PreparedSource`)
+only skips recomputation, never changes results.
+
+Hit/miss/merge counters are cheap monotonic tallies; pipeline stages
+snapshot them around their work and surface the deltas in each stage's
+:class:`~repro.engine.report.StageReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from ..matching.matchers import Matcher
+from ..relational.conditions import Eq, In
+from ..relational.instance import Relation
+from ..relational.views import view_name
+from .partition import PartitionIndex
+from .profiles import ColumnProfile, build_column_profile, merge_column_profiles
+
+__all__ = ["ProfileStore"]
+
+#: Counter keys a store reports (all monotonically non-decreasing).
+_COUNTERS = ("profile_hits", "profile_misses", "partitions_built",
+             "partition_hits", "profiles_merged")
+
+
+class ProfileStore:
+    """Profile and partition cache for one source database.
+
+    Parameters
+    ----------
+    matchers:
+        The matcher zoo profiles are computed under.  Must be the matchers
+        of the :class:`~repro.matching.standard.StandardMatch` that will
+        score the profiles — the engine enforces this for stores carried
+        by a :class:`~repro.engine.prepared.PreparedSource`.
+    sample_limit:
+        The standard matcher's per-attribute sample cap (deterministic
+        thinning above it), recorded so profiles are comparable only
+        within one configuration.
+    """
+
+    def __init__(self, matchers: Sequence[Matcher], sample_limit: int | None):
+        self.matchers = list(matchers)
+        self.sample_limit = sample_limit
+        self._profiles: dict[Hashable, ColumnProfile] = {}
+        self._partitions: dict[tuple[str, str], PartitionIndex] = {}
+        self.profile_hits = 0
+        self.profile_misses = 0
+        self.partitions_built = 0
+        self.partition_hits = 0
+        self.profiles_merged = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_matcher(cls, matcher: object) -> "ProfileStore | None":
+        """A store drawing matchers/limit from a StandardMatch-like scorer,
+        or None when the matching system does not expose them."""
+        if not getattr(matcher, "supports_profile_store", False):
+            return None
+        matchers = getattr(matcher, "matchers", None)
+        config = getattr(matcher, "config", None)
+        if not matchers or config is None:
+            return None
+        return cls(matchers, getattr(config, "sample_limit", None))
+
+    @property
+    def matcher_names(self) -> tuple[str, ...]:
+        return tuple(m.name for m in self.matchers)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, relation: Relation, attribute: str) -> PartitionIndex:
+        """The (cached) partition of *relation* by *attribute*."""
+        key = (relation.name, attribute)
+        index = self._partitions.get(key)
+        if index is None:
+            index = PartitionIndex(relation, attribute)
+            self._partitions[key] = index
+            self.partitions_built += 1
+        else:
+            self.partition_hits += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def base_profile(self, relation: Relation, attr_name: str) -> ColumnProfile:
+        """The profile of a base-table column (cached per table/attribute)."""
+        key = (relation.name, attr_name)
+        profile = self._profiles.get(key)
+        if profile is not None:
+            self.profile_hits += 1
+            return profile
+        self.profile_misses += 1
+        profile = build_column_profile(
+            relation.name, relation.schema.attribute(attr_name),
+            relation.column(attr_name), self.matchers, self.sample_limit)
+        self._profiles[key] = profile
+        return profile
+
+    def view_profile(self, base: Relation, partition_attr: str,
+                     group: frozenset, attr_name: str) -> ColumnProfile:
+        """The profile of one attribute of the view selecting *group*.
+
+        Singleton groups profile their partition cell directly; merged
+        groups compose from the cached singleton-cell profiles via
+        :meth:`Matcher.merge_profiles` wherever the profiles are additive
+        and no thinning interferes, falling back to re-profiling the
+        gathered union rows otherwise.
+        """
+        key = (base.name, partition_attr, group, attr_name)
+        profile = self._profiles.get(key)
+        if profile is not None:
+            self.profile_hits += 1
+            return profile
+        self.profile_misses += 1
+        index = self.partition(base, partition_attr)
+        attribute = base.schema.attribute(attr_name)
+        table = self._view_table(base.name, partition_attr, group)
+        # Merged groups compose from cell profiles only when the union can
+        # not be thinned (total rows within the sample limit guarantees
+        # every cell and the union are unthinned); otherwise — and for
+        # singletons — profile the partition-restricted column directly.
+        # Either way no view is materialized.
+        compose = (len(group) > 1
+                   and (self.sample_limit is None
+                        or index.group_size(group) <= self.sample_limit))
+        if compose:
+            cells = [self.view_profile(base, partition_attr, frozenset({v}),
+                                       attr_name)
+                     for v in sorted(group, key=repr) if v in index.cells]
+        if compose and cells:
+            profile, merged = merge_column_profiles(
+                table, attribute, cells, self.matchers, self.sample_limit,
+                lambda: index.restricted_column(attr_name, group))
+            self.profiles_merged += merged
+        else:
+            profile = build_column_profile(
+                table, attribute, index.restricted_column(attr_name, group),
+                self.matchers, self.sample_limit)
+        self._profiles[key] = profile
+        return profile
+
+    @staticmethod
+    def _view_table(base: str, partition_attr: str, group: frozenset) -> str:
+        """The deterministic name of the member view selecting *group* —
+        identical to ``ViewFamily.condition_for`` naming, so cached profiles
+        carry the same ``source.table`` the legacy path reports."""
+        if len(group) == 1:
+            condition = Eq(partition_attr, next(iter(group)))
+        else:
+            condition = In(partition_attr, sorted(group, key=repr))
+        return view_name(base, condition)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the monotonic reuse counters."""
+        return {name: getattr(self, name) for name in _COUNTERS}
+
+    def counters_since(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter deltas relative to an earlier :meth:`counters` snapshot."""
+        return {name: getattr(self, name) - before.get(name, 0)
+                for name in _COUNTERS}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __repr__(self) -> str:
+        return (f"<ProfileStore {len(self._profiles)} profiles, "
+                f"{len(self._partitions)} partitions, "
+                f"hits={self.profile_hits} misses={self.profile_misses}>")

@@ -122,6 +122,28 @@ class Relation:
                 seen[v] = None
         return list(seen)
 
+    def partition_indices(self, attribute: str) -> dict[Any, list[int]]:
+        """Row indices grouped by the values of one attribute, in row order.
+
+        One pass over the column yields the partition a
+        :class:`~repro.relational.views.ViewFamily` on *attribute* induces:
+        every non-missing, hashable value maps to the (ascending) indices of
+        the rows carrying it.  Missing values fall in no cell — mirroring
+        ``Eq``/``In`` conditions, which never select missing rows — and
+        unhashable values are skipped, since they cannot appear in a family
+        group.
+        """
+        self.schema.attribute(attribute)  # validate reference
+        cells: dict[Any, list[int]] = {}
+        for i, value in enumerate(self._columns[attribute]):
+            if is_missing(value):
+                continue
+            try:
+                cells.setdefault(value, []).append(i)
+            except TypeError:
+                continue
+        return cells
+
     def value_counts(self, attribute: str) -> dict[Any, int]:
         counts: dict[Any, int] = {}
         for v in self.column(attribute):

@@ -1,0 +1,136 @@
+"""Acceptance: the profiling fast path is bit-identical to the legacy
+per-view scoring path on the paper's workloads.
+
+``ContextMatchConfig(use_profiling=False)`` forces the legacy
+materialize-and-reprofile path; True routes scoring through
+:mod:`repro.profiling`.  Matches, scores, confidences — and the full
+candidate-rescoring diagnostics — must agree exactly.
+"""
+
+import pytest
+
+from repro import ContextMatchConfig, MatchEngine
+from repro.context.score import score_family_candidates
+from repro.matching import StandardMatch
+from repro.profiling import ProfileStore
+from repro.relational import View, ViewFamily
+
+
+def _match_key(m):
+    return (m.source, m.target, str(m.condition), m.condition_on,
+            m.score, m.confidence)
+
+
+def _standard_key(m):
+    return (m.source, m.target, m.score, m.confidence)
+
+
+def _candidate_key(c):
+    return (c.view.name, c.family.attribute, c.base_match.key(),
+            c.rescored.score, c.rescored.confidence, c.view_rows)
+
+
+def _run(workload, use_profiling, **cfg):
+    engine = MatchEngine(ContextMatchConfig(use_profiling=use_profiling,
+                                            **cfg))
+    return engine.match(workload.source, engine.prepare(workload.target))
+
+
+@pytest.mark.parametrize("inference", ["src", "tgt"])
+def test_retail_equivalence(retail_workload, inference):
+    fast = _run(retail_workload, True, inference=inference, seed=5)
+    legacy = _run(retail_workload, False, inference=inference, seed=5)
+    assert [_match_key(m) for m in fast.matches] \
+        == [_match_key(m) for m in legacy.matches]
+    assert [_standard_key(m) for m in fast.standard_matches] \
+        == [_standard_key(m) for m in legacy.standard_matches]
+    assert [_candidate_key(c) for c in fast.candidates] \
+        == [_candidate_key(c) for c in legacy.candidates]
+
+
+def test_grades_equivalence(grades_workload):
+    fast = _run(grades_workload, True, inference="tgt", seed=7)
+    legacy = _run(grades_workload, False, inference="tgt", seed=7)
+    assert fast.matches, "grades workload should produce matches"
+    assert [_match_key(m) for m in fast.matches] \
+        == [_match_key(m) for m in legacy.matches]
+    assert [_candidate_key(c) for c in fast.candidates] \
+        == [_candidate_key(c) for c in legacy.candidates]
+
+
+def test_conjunctive_refinement_equivalence(retail_workload):
+    fast = _run(retail_workload, True, inference="src", seed=5,
+                conjunctive_stages=2)
+    legacy = _run(retail_workload, False, inference="src", seed=5,
+                  conjunctive_stages=2)
+    assert [_match_key(m) for m in fast.matches] \
+        == [_match_key(m) for m in legacy.matches]
+    counts = fast.report.stage("conjunctive-refine").counts
+    assert counts["iterations"] == 1
+    # The refinement stage reports its own stage-scoped cache counters.
+    assert "profile_misses" in counts
+
+
+def test_profiling_run_reports_cache_counters(retail_workload):
+    result = _run(retail_workload, True, inference="src", seed=5)
+    counts = result.report.stage("score-candidates").counts
+    assert counts["profile_misses"] > 0
+    assert counts["partitions_built"] > 0
+    legacy = _run(retail_workload, False, inference="src", seed=5)
+    assert "profile_misses" not in \
+        legacy.report.stage("score-candidates").counts
+
+
+class TestDuplicateViewsAcrossMergedFamilies:
+    """Regression: member views shared between a family and its merged
+    variants are scored exactly once per relation (``seen_views``)."""
+
+    def _setup(self, figure1_target):
+        from repro.matching.standard import AttributeMatch
+        from repro.relational import Relation
+        from repro.relational.schema import AttributeRef
+
+        matcher = StandardMatch()
+        index = matcher.build_target_index(figure1_target)
+        relation = Relation.infer_schema("inv2", {
+            "name": [f"title {i}" for i in range(12)],
+            "cat": ["a", "a", "a", "a", "b", "b", "b", "b",
+                    "c", "c", "c", "c"],
+        })
+        accepted = [AttributeMatch(
+            source=AttributeRef("inv2", "name"),
+            target=AttributeRef("book", "title"),
+            score=0.8, confidence=0.9)]
+        return matcher, index, relation, accepted
+
+    @pytest.mark.parametrize("use_store", [False, True])
+    def test_shared_singletons_scored_once(self, figure1_target, use_store):
+        matcher, index, relation, accepted = self._setup(figure1_target)
+        base = ViewFamily.simple("inv2", "cat", ["a", "b", "c"])
+        merged = base.merge("a", "b")
+        store = (ProfileStore.for_matcher(matcher) if use_store else None)
+        seen: set[View] = set()
+        first = score_family_candidates(base, relation, accepted, matcher,
+                                        index, seen_views=seen, store=store)
+        second = score_family_candidates(merged, relation, accepted, matcher,
+                                         index, seen_views=seen, store=store)
+        # The merged family shares the untouched 'c' singleton with the
+        # base family: only its new merged view is scored.
+        first_views = {c.view.name for c in first}
+        second_views = {c.view.name for c in second}
+        assert first_views == {"inv2[cat=a]", "inv2[cat=b]", "inv2[cat=c]"}
+        assert second_views == {"inv2[catin(a,b)]"}
+        assert second_views.isdisjoint(first_views)
+        all_names = [c.view.name for c in first + second]
+        assert all(all_names.count(name) == 1 for name in set(all_names))
+
+    def test_duplicate_family_entirely_skipped(self, figure1_target):
+        matcher, index, relation, accepted = self._setup(figure1_target)
+        family = ViewFamily.simple("inv2", "cat", ["a", "b"])
+        seen: set[View] = set()
+        first = score_family_candidates(family, relation, accepted, matcher,
+                                        index, seen_views=seen)
+        again = score_family_candidates(family, relation, accepted, matcher,
+                                        index, seen_views=seen)
+        assert first
+        assert again == []

@@ -1,0 +1,52 @@
+"""AttributeSample.from_column: deterministic systematic thinning."""
+
+from repro.matching.matchers import AttributeSample
+from repro.relational.schema import Attribute
+from repro.relational.types import DataType
+
+ATTR = Attribute("x", DataType.INTEGER)
+
+
+class TestFromColumn:
+    def test_limit_none_passes_everything_through(self):
+        values = list(range(1000))
+        sample = AttributeSample.from_column("t", ATTR, values, limit=None)
+        assert sample.values == tuple(values)
+
+    def test_missing_values_removed_before_thinning(self):
+        values = [1, None, 2, float("nan"), 3, None]
+        sample = AttributeSample.from_column("t", ATTR, values, limit=None)
+        assert sample.values == (1, 2, 3)
+
+    def test_under_limit_keeps_all_values_in_order(self):
+        values = [5, 3, 9, 1]
+        sample = AttributeSample.from_column("t", ATTR, values, limit=10)
+        assert sample.values == (5, 3, 9, 1)
+
+    def test_same_input_same_sample(self):
+        values = [i * 7 % 101 for i in range(500)]
+        first = AttributeSample.from_column("t", ATTR, values, limit=40)
+        second = AttributeSample.from_column("t", ATTR, values, limit=40)
+        assert first == second
+
+    def test_systematic_thinning_avoids_sorted_prefix_bias(self):
+        """Every k-th value is kept, so a sorted column yields a sample
+        spanning the whole range — not its first ``limit`` values."""
+        values = list(range(1000))  # sorted ascending
+        sample = AttributeSample.from_column("t", ATTR, values, limit=10)
+        assert len(sample) == 10
+        assert sample.values == tuple(range(0, 1000, 100))
+        # The prefix-biased sample would be 0..9; ours covers the top decile.
+        assert max(sample.values) >= 900
+
+    def test_thinned_size_is_exactly_the_limit(self):
+        for n in (11, 100, 399, 401, 1234):
+            values = list(range(n))
+            sample = AttributeSample.from_column("t", ATTR, values, limit=10)
+            assert len(sample) == min(n, 10)
+
+    def test_thinning_applies_after_missing_removal(self):
+        values = [None if i % 2 else i for i in range(100)]
+        sample = AttributeSample.from_column("t", ATTR, values, limit=10)
+        assert len(sample) == 10
+        assert all(v is not None and v % 2 == 0 for v in sample.values)

@@ -1,0 +1,68 @@
+"""PartitionIndex: partition-once materialization of family member views."""
+
+import pytest
+
+from repro.profiling import PartitionIndex
+from repro.relational import Eq, In, Relation, View
+
+
+@pytest.fixture()
+def relation() -> Relation:
+    return Relation.infer_schema("t", {
+        "kind": ["a", "b", None, "a", "c", "b", "a"],
+        "payload": [10, 20, 30, 40, 50, 60, 70],
+    })
+
+
+class TestPartitionIndices:
+    def test_cells_in_row_order(self, relation):
+        cells = relation.partition_indices("kind")
+        assert cells == {"a": [0, 3, 6], "b": [1, 5], "c": [4]}
+
+    def test_missing_values_fall_in_no_cell(self, relation):
+        cells = relation.partition_indices("kind")
+        assert all(2 not in ix for ix in cells.values())
+
+    def test_unhashable_values_skipped(self):
+        rel = Relation.infer_schema("t", {"k": [["x"], "a", "a"],
+                                          "v": [1, 2, 3]})
+        assert rel.partition_indices("k") == {"a": [1, 2]}
+
+    def test_unknown_attribute_raises(self, relation):
+        from repro.errors import SchemaError
+        with pytest.raises(SchemaError):
+            relation.partition_indices("nope")
+
+
+class TestPartitionIndex:
+    def test_singleton_group_matches_view_evaluate(self, relation):
+        index = PartitionIndex(relation, "kind")
+        view = View("t", Eq("kind", "a"))
+        restricted = view.evaluate(relation)
+        group = frozenset({"a"})
+        assert index.group_size(group) == len(restricted)
+        assert (index.restricted_column("payload", group)
+                == restricted.column("payload"))
+
+    def test_merged_group_preserves_base_row_order(self, relation):
+        index = PartitionIndex(relation, "kind")
+        view = View("t", In("kind", ["a", "c"]))
+        restricted = view.evaluate(relation)
+        group = frozenset({"a", "c"})
+        assert index.group_rows(group) == (0, 3, 4, 6)
+        assert (index.restricted_column("payload", group)
+                == restricted.column("payload"))
+
+    def test_absent_group_values_are_empty(self, relation):
+        index = PartitionIndex(relation, "kind")
+        assert index.group_size(frozenset({"zzz"})) == 0
+        assert index.restricted_column("payload", frozenset({"zzz"})) == []
+
+    def test_group_rows_memoized(self, relation):
+        index = PartitionIndex(relation, "kind")
+        first = index.group_rows(frozenset({"a", "b"}))
+        assert index.group_rows({"a", "b"}) is first
+
+    def test_partition_also_restricts_the_partition_attribute(self, relation):
+        index = PartitionIndex(relation, "kind")
+        assert index.restricted_column("kind", frozenset({"b"})) == ["b", "b"]
