@@ -22,28 +22,27 @@ alongside.  Results are persisted both as text and as machine-readable
 perf trajectory is trackable across PRs.
 
 Set ``BENCH_TINY=1`` for a seconds-scale smoke run (CI): the JSON schema
-and equivalence checks still apply, the speedup floor does not.
+and equivalence checks still apply, the speedup floor does not.  Sizing
+runs through the scenario registry (``conftest.bench_scenario``), not
+ad-hoc row constants.
 """
 
-import os
-
-from conftest import run_once
+from conftest import BENCH_TINY, bench_scenario, run_once
 from repro import ContextMatchConfig, MatchEngine
-from repro.datagen import add_correlated_attributes, make_retail_workload
+from repro.datagen import ScenarioSpec, build_scenario
 
-TINY = bool(os.environ.get("BENCH_TINY"))
-N_SOURCE = 1200 if TINY else 20000
-N_TARGET = 200 if TINY else 500
 MIN_VIEWS = 20
 MIN_WARM_SPEEDUP = 2.0
 CONFIG = dict(inference="src", early_disjuncts=True, seed=5)
-WORKLOAD = dict(target="ryan", gamma=6, n_source=N_SOURCE,
-                n_target=N_TARGET, seed=11)
+#: A view-heavy retail scenario: γ=6 plus two ρ=0.6 correlated attributes.
+SPEC = bench_scenario(
+    ScenarioSpec(name="profile-reuse", family="retail", seed=11, gamma=6,
+                 knobs=(("correlated", 2), ("rho", 0.6))),
+    tiny_size=1200, full_size=20000, tiny_target=200, full_target=500)
 
 
 def _workload():
-    workload = make_retail_workload(**WORKLOAD)
-    return add_correlated_attributes(workload, 2, 0.6, seed=42)
+    return build_scenario(SPEC)
 
 
 def _engine(use_profiling: bool) -> MatchEngine:
@@ -101,8 +100,7 @@ def test_profile_reuse(benchmark, record_series, record_json):
     record_json("BENCH_score_candidates", {
         "benchmark": "bench_profile_reuse",
         "stage": "score-candidates",
-        "config": {**CONFIG, "workload": WORKLOAD, "tiny": TINY,
-                   "correlated_attributes": 2, "rho": 0.6},
+        "config": {**CONFIG, "scenario": SPEC.to_dict(), "tiny": BENCH_TINY},
         "n_views": n_views,
         "n_candidates": n_candidates,
         "modes": {
@@ -120,7 +118,7 @@ def test_profile_reuse(benchmark, record_series, record_json):
 
     # Warm runs reuse every profile/partition; the stage must clear the
     # acceptance floor comfortably (tiny smoke runs only check plumbing).
-    if not TINY:
+    if not BENCH_TINY:
         assert speedup["warm"] >= MIN_WARM_SPEEDUP, (
             f"prepared-source scoring should be >= {MIN_WARM_SPEEDUP}x "
             f"the per-view path, got {speedup['warm']:.2f}x")

@@ -1,0 +1,79 @@
+"""Scenario-suite benchmark: the full registered matrix end-to-end.
+
+Runs every registered scenario (five families x base + three perturbation
+variants) through :func:`repro.evaluation.run_scenario` at bench scale and
+records one machine-readable ``results/BENCH_scenarios.json`` payload:
+per-scenario pipeline seconds and quality metrics plus suite totals.  This
+is the throughput view of the golden tier — the golden *tests* pin quality
+per scenario at fixed tiny sizes, this benchmark tracks how fast (and how
+well) the engine chews through the whole corpus at larger sizes.
+
+``BENCH_TINY=1`` maps every spec onto golden-tier-sized workloads for the
+CI smoke run; the committed JSON is the full-scale run.
+"""
+
+from conftest import BENCH_TINY, bench_scenario, run_once
+from repro.datagen import get_scenario, registered_scenarios
+from repro.evaluation import run_scenario
+
+#: Bench-scale source sizes (grades interprets size as student count and
+#: stays smaller: its narrow table has size x gamma rows).
+FULL_SIZE = {"grades": 400}
+TINY_SIZE = {"grades": 90}
+FULL_DEFAULT = 1000
+TINY_DEFAULT = 150
+
+
+def _suite_specs():
+    specs = []
+    for spec in registered_scenarios():
+        specs.append(bench_scenario(
+            spec,
+            tiny_size=TINY_SIZE.get(spec.family, TINY_DEFAULT),
+            full_size=FULL_SIZE.get(spec.family, FULL_DEFAULT)))
+    return specs
+
+
+def _run_suite(specs):
+    return [run_scenario(spec) for spec in specs]
+
+
+def test_scenario_suite(benchmark, record_json):
+    specs = _suite_specs()
+    results = run_once(benchmark, _run_suite, specs)
+
+    per_scenario = {}
+    for result in results:
+        per_scenario[result.scenario] = {
+            "elapsed_seconds": result.elapsed_seconds,
+            "accuracy": result.metrics.accuracy,
+            "precision": result.metrics.precision,
+            "fmeasure": result.metrics.fmeasure,
+            "n_matches": result.n_matches,
+            "n_contextual": result.n_contextual,
+        }
+    total = sum(r.elapsed_seconds for r in results)
+
+    record_json("BENCH_scenarios", {
+        "benchmark": "bench_scenarios",
+        "config": {"tiny": BENCH_TINY,
+                   "sizes": {spec.name: spec.size for spec in specs}},
+        "n_scenarios": len(results),
+        "scenarios": per_scenario,
+        "totals": {
+            "elapsed_seconds": total,
+            "scenarios_per_second": (len(results) / total if total > 0
+                                     else 0.0),
+        },
+    })
+
+    assert len(results) == len(specs) >= 20
+    # Every family's base scenario must find contextual matches; perturbed
+    # variants may legitimately degrade further, so only plumbing is
+    # asserted for them.
+    for result in results:
+        spec = get_scenario(result.scenario)
+        if not spec.perturbations:
+            assert result.n_contextual > 0, result.scenario
+            assert result.metrics.fmeasure > 0.0, result.scenario
+        assert result.counters["profile_misses"] > 0, result.scenario

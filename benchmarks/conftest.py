@@ -16,19 +16,51 @@ each distinct target is prepared once per sweep, so figure runtimes measure
 the matching pipeline itself (``bench_engine_reuse.py`` quantifies what the
 prepared-target reuse saves and ``bench_profile_reuse.py`` what the
 columnar profiling subsystem saves on top).
+
+Workload sizing goes through the scenario registry: benchmarks declare a
+:class:`~repro.datagen.ScenarioSpec` and map it onto bench scale with
+:func:`bench_scenario`, which resolves the ``BENCH_TINY`` environment
+switch (CI smoke runs) onto a small spec instead of every script keeping
+ad-hoc size constants.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 import pathlib
 from typing import Any, Mapping, Sequence
 
 import pytest
 
+from repro.datagen import ScenarioSpec
 from repro.evaluation.reporting import format_series
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Seconds-scale smoke mode (CI): every benchmark swaps its full-scale
+#: spec for the tiny one; schema and equivalence checks still apply,
+#: speedup floors do not.
+BENCH_TINY = bool(os.environ.get("BENCH_TINY"))
+
+
+def bench_scenario(spec: ScenarioSpec, *, tiny_size: int, full_size: int,
+                   tiny_target: int | None = None,
+                   full_target: int | None = None) -> ScenarioSpec:
+    """Map a scenario spec onto bench scale.
+
+    ``BENCH_TINY`` selects ``tiny_size`` (and ``tiny_target`` rows per
+    target table, when given) instead of the full-scale sizes — one
+    switch, applied uniformly, instead of per-script size constants.
+    """
+    spec = spec.resized(tiny_size if BENCH_TINY else full_size)
+    target = tiny_target if BENCH_TINY else full_target
+    if target is not None:
+        knobs = dict(spec.knobs)
+        knobs["n_target"] = target
+        spec = dataclasses.replace(spec, knobs=tuple(knobs.items()))
+    return spec
 
 
 @pytest.fixture(scope="session")

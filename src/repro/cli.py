@@ -7,6 +7,8 @@ Commands
 ``match-many``  match several source directories against one shared target,
                 preparing the target exactly once
 ``map``         additionally generate + execute the extended-Clio mapping
+``scenarios``   the scenario registry: ``list`` registered specs, ``run``
+                one end-to-end (build, match, score against ground truth)
 
 CSV directories contain one ``<table>.csv`` per table (header row; types
 are inferred).  All knobs of :class:`~repro.ContextMatchConfig` that matter
@@ -28,7 +30,8 @@ from typing import Sequence
 
 from . import ContextMatchConfig, MatchEngine, __version__
 from .context.serialize import config_from_dict, result_to_dict
-from .datagen import make_grades_workload, make_retail_workload
+from .datagen import (get_scenario, make_grades_workload,
+                      make_retail_workload, registered_scenarios)
 from .mapping import generate_mapping
 from .relational import dump_database, load_database
 
@@ -115,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_matching_flags(many)
     many.add_argument("--json", action="store_true",
                       help="emit one JSON document with all results")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list or run registered workload scenarios")
+    scenario_sub = scenarios.add_subparsers(dest="scenario_command",
+                                            required=True)
+    listing = scenario_sub.add_parser(
+        "list", help="show every registered scenario spec")
+    listing.add_argument("--json", action="store_true",
+                         help="emit the specs as JSON")
+    run = scenario_sub.add_parser(
+        "run", help="build, match and score one scenario")
+    run.add_argument("name", help="a registered scenario name "
+                                  "(see `repro scenarios list`)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's seed")
+    run.add_argument("--size", type=int, default=None,
+                     help="override the spec's source-size budget")
+    run.add_argument("--json", action="store_true",
+                     help="emit the full ScenarioResult (metrics, "
+                          "counters, per-stage report) as JSON")
     return parser
 
 
@@ -217,10 +240,43 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    # Imported lazily: the scenario runner pulls in the full evaluation
+    # stack, which the matching-only commands don't need.
+    from .errors import ReproError
+    from .evaluation.scenarios import run_scenario, scenario_result_to_dict
+
+    if args.scenario_command == "list":
+        specs = registered_scenarios()
+        if args.json:
+            print(json.dumps([spec.to_dict() for spec in specs], indent=2))
+            return 0
+        for spec in specs:
+            print(spec)
+        return 0
+
+    try:
+        spec = get_scenario(args.name)
+    except ReproError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    if args.size is not None:
+        spec = spec.resized(args.size)
+    if args.seed is not None:
+        spec = dataclasses.replace(spec, seed=args.seed)
+    result = run_scenario(spec)
+    if args.json:
+        print(json.dumps(scenario_result_to_dict(result), indent=2,
+                         default=str))
+        return 0
+    print(result)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _cmd_generate, "match": _cmd_match,
-                "match-many": _cmd_match_many, "map": _cmd_map}
+                "match-many": _cmd_match_many, "map": _cmd_map,
+                "scenarios": _cmd_scenarios}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

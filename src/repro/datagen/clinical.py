@@ -1,0 +1,204 @@
+"""The Clinical workload: a combined encounters table vs separated
+admissions / clinic-visit tables.
+
+A hospital's operational system records every patient contact in one
+``encounters`` table with a low-cardinality ``VisitType`` attribute; the
+billing warehouse it must map to keeps *inpatient admissions* and
+*outpatient visits* in separate tables with their own naming conventions.
+The correct matches are contextual: ``encounters.Patient`` matches
+``admissions.patient_name`` only **where** ``VisitType`` is an inpatient
+label, and ``clinic_visits.person`` where it is an outpatient label —
+structurally the retail workload's shape, but with clinical populations:
+
+* charges: inpatient stays are an order of magnitude costlier than clinic
+  visits (log-normal populations with well-separated means);
+* encounter duration: days-long admissions vs hour-scale clinic visits,
+  kept *continuous* (hours, one decimal) so the duration column carries
+  per-context signal without becoming a categorical chameleon of
+  ``VisitType``;
+* record codes: ``ADM``-prefixed vs ``OPV``-prefixed identifiers, so code
+  columns separate by alphabet exactly like ISBN vs ASIN in retail;
+* patient and provider names come from the shared person-name pool — a
+  realistic confounder that does not distinguish the contexts.
+
+``gamma`` expands ``VisitType`` cardinality like retail's ``ItemType``:
+γ=2 gives ``Inpatient`` / ``Outpatient``; γ=4 splits each into ward /
+specialty sub-labels (``Inpatient1`` …), and so on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.instance import Database, Relation
+from . import text
+from .ground_truth import GroundTruth
+
+__all__ = ["ClinicalConfig", "ClinicalWorkload", "make_clinical_workload",
+           "visit_type_labels"]
+
+_SPECIALTIES = ["cardiology", "oncology", "orthopedics", "neurology",
+                "pediatrics", "internal medicine", "dermatology"]
+
+
+def visit_type_labels(gamma: int) -> tuple[list[str], list[str]]:
+    """The VisitType label sets (inpatient, outpatient) for a given γ."""
+    return text.gamma_label_pair(gamma, "Inpatient", "Outpatient")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClinicalConfig:
+    """Parameters of the clinical workload generator.
+
+    ``gamma`` is the (even, >= 2) cardinality of ``VisitType``; ``n_source``
+    the size of the combined encounters table; ``n_target`` the rows per
+    separated target table.
+    """
+
+    n_source: int = 1000
+    n_target: int = 400
+    gamma: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 2 or self.gamma % 2 != 0:
+            raise ReproError(f"gamma must be even and >= 2, got {self.gamma}")
+        if self.n_source < 0 or self.n_target <= 0:
+            raise ReproError("row counts must be positive")
+
+
+@dataclasses.dataclass
+class ClinicalWorkload:
+    """A generated encounters/billing pair plus its ground truth."""
+
+    source: Database
+    target: Database
+    ground_truth: GroundTruth
+    config: ClinicalConfig
+    inpatient_values: frozenset
+    outpatient_values: frozenset
+
+
+def _provider(rng: np.random.Generator) -> str:
+    return f"dr. {text.person_name(rng)}"
+
+
+def _inpatient_row(rng: np.random.Generator) -> dict:
+    return {
+        "patient": text.person_name(rng),
+        "provider": _provider(rng),
+        "charge": round(float(rng.lognormal(9.2, 0.5)), 2),
+        "code": text.coded_id(rng, "ADM"),
+        "duration": round(float(rng.uniform(24.0, 480.0)), 1),
+        "unit": _SPECIALTIES[int(rng.integers(len(_SPECIALTIES)))],
+    }
+
+
+def _outpatient_row(rng: np.random.Generator) -> dict:
+    return {
+        "patient": text.person_name(rng),
+        "provider": _provider(rng),
+        "charge": round(float(rng.lognormal(5.1, 0.4)), 2),
+        "code": text.coded_id(rng, "OPV"),
+        "duration": round(float(rng.uniform(0.5, 6.0)), 1),
+        "unit": _SPECIALTIES[int(rng.integers(len(_SPECIALTIES)))],
+    }
+
+
+def _make_source(config: ClinicalConfig,
+                 rng: np.random.Generator) -> Relation:
+    inpatient, outpatient = visit_type_labels(config.gamma)
+    columns: dict[str, list] = {
+        "EncounterID": list(range(1, config.n_source + 1)),
+        "Patient": [], "VisitType": [], "Provider": [], "ChargeAmount": [],
+        "RecordCode": [], "DurationHours": [], "Department": [],
+    }
+    for _ in range(config.n_source):
+        admitted = rng.random() < 0.5
+        row = _inpatient_row(rng) if admitted else _outpatient_row(rng)
+        labels = inpatient if admitted else outpatient
+        columns["Patient"].append(row["patient"])
+        columns["VisitType"].append(labels[int(rng.integers(len(labels)))])
+        columns["Provider"].append(row["provider"])
+        columns["ChargeAmount"].append(row["charge"])
+        columns["RecordCode"].append(row["code"])
+        columns["DurationHours"].append(row["duration"])
+        columns["Department"].append(row["unit"])
+    return Relation.infer_schema("encounters", columns)
+
+
+#: Attribute names of the two billing-warehouse tables, keyed by semantic
+#: role (the warehouse DBA used different conventions per table).
+TARGET_LAYOUT = {
+    "inpatient": {"table": "admissions", "id": "admission_id",
+                  "patient": "patient_name", "provider": "attending",
+                  "charge": "total_charge", "code": "chart_code",
+                  "duration": "stay_hours", "unit": "ward"},
+    "outpatient": {"table": "clinic_visits", "id": "visit_id",
+                   "patient": "person", "provider": "physician",
+                   "charge": "fee", "code": "record_no",
+                   "duration": "visit_hours", "unit": "clinic"},
+}
+
+
+def _make_target_table(kind: str, n: int,
+                       rng: np.random.Generator) -> Relation:
+    layout = TARGET_LAYOUT[kind]
+    make_row = _inpatient_row if kind == "inpatient" else _outpatient_row
+    columns: dict[str, list] = {layout["id"]: list(range(1, n + 1))}
+    for role in ("patient", "provider", "charge", "code", "duration",
+                 "unit"):
+        columns[layout[role]] = []
+    for _ in range(n):
+        row = make_row(rng)
+        for role in ("patient", "provider", "charge", "code",
+                     "duration", "unit"):
+            columns[layout[role]].append(row[role])
+    return Relation.infer_schema(layout["table"], columns)
+
+
+def _ground_truth(inpatient_values: frozenset,
+                  outpatient_values: frozenset) -> GroundTruth:
+    truth = GroundTruth()
+    for kind, values in (("inpatient", inpatient_values),
+                         ("outpatient", outpatient_values)):
+        layout = TARGET_LAYOUT[kind]
+        for source_attr, role in (
+                ("EncounterID", "id"), ("Patient", "patient"),
+                ("Provider", "provider"), ("ChargeAmount", "charge"),
+                ("RecordCode", "code"), ("DurationHours", "duration")):
+            truth.add("encounters", source_attr, layout["table"],
+                      layout[role], "VisitType", values)
+    return truth
+
+
+def make_clinical_workload(*, n_source: int = 1000, n_target: int = 400,
+                           gamma: int = 2,
+                           seed: int = 0) -> ClinicalWorkload:
+    """Generate the clinical workload.
+
+    As in retail, target instances are generated independently of the
+    source: the two systems record different patient contacts drawn from
+    the same populations.
+    """
+    config = ClinicalConfig(n_source=n_source, n_target=n_target,
+                            gamma=gamma, seed=seed)
+    master = np.random.default_rng(config.seed)
+    source_rng, admissions_rng, clinic_rng = master.spawn(3)
+    source = Database.from_relations(
+        "clinical_src", [_make_source(config, source_rng)])
+    target = Database.from_relations("clinical_tgt", [
+        _make_target_table("inpatient", config.n_target, admissions_rng),
+        _make_target_table("outpatient", config.n_target, clinic_rng),
+    ])
+    inpatient, outpatient = visit_type_labels(config.gamma)
+    inpatient_values = frozenset(inpatient)
+    outpatient_values = frozenset(outpatient)
+    return ClinicalWorkload(
+        source=source, target=target,
+        ground_truth=_ground_truth(inpatient_values, outpatient_values),
+        config=config, inpatient_values=inpatient_values,
+        outpatient_values=outpatient_values)

@@ -1,0 +1,190 @@
+"""The Events workload: a combined events listing vs separated concert /
+conference tables.
+
+A ticketing aggregator lists every event in one ``events`` table with a
+low-cardinality ``EventKind`` attribute; the venue-management system it
+syncs with keeps *concerts* and *conferences* apart, named by different
+teams.  The correct matches are contextual on ``EventKind``:
+
+* titles come from distinct stylistic populations (concert titles reuse
+  the music vocabulary, conference titles a technical/academic one);
+* headliners: concerts are fronted by bands or artists, conferences by
+  keynote speakers from the shared person-name pool (partial confounder);
+* prices: conference registration fees sit an order of magnitude above
+  concert ticket prices;
+* booking codes: ``TKT``-prefixed vs ``CNF``-prefixed identifiers.
+
+``gamma`` expands ``EventKind`` cardinality: γ=2 gives ``Concert`` /
+``Conference``; γ=4 gives per-circuit sub-labels (``Concert1`` …).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.instance import Database, Relation
+from . import text
+from .ground_truth import GroundTruth
+
+__all__ = ["EventsConfig", "EventsWorkload", "make_events_workload",
+           "event_kind_labels"]
+
+_TOPICS = ["data integration", "schema matching", "stream processing",
+           "knowledge graphs", "query optimization", "provenance",
+           "entity resolution", "federated learning"]
+_VENUES = ["civic auditorium", "grand pavilion", "harborside arena",
+           "the orpheum", "exposition hall", "riverfront amphitheater",
+           "convention center", "assembly rooms"]
+
+
+def event_kind_labels(gamma: int) -> tuple[list[str], list[str]]:
+    """The EventKind label sets (concerts, conferences) for a given γ."""
+    return text.gamma_label_pair(gamma, "Concert", "Conference")
+
+
+@dataclasses.dataclass(frozen=True)
+class EventsConfig:
+    """Parameters of the events workload generator (γ even, >= 2)."""
+
+    n_source: int = 1000
+    n_target: int = 400
+    gamma: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 2 or self.gamma % 2 != 0:
+            raise ReproError(f"gamma must be even and >= 2, got {self.gamma}")
+        if self.n_source < 0 or self.n_target <= 0:
+            raise ReproError("row counts must be positive")
+
+
+@dataclasses.dataclass
+class EventsWorkload:
+    """A generated events/venues pair plus its ground truth."""
+
+    source: Database
+    target: Database
+    ground_truth: GroundTruth
+    config: EventsConfig
+    concert_values: frozenset
+    conference_values: frozenset
+
+
+def _conference_title(rng: np.random.Generator) -> str:
+    topic = _TOPICS[int(rng.integers(len(_TOPICS)))]
+    pattern = int(rng.integers(3))
+    if pattern == 0:
+        return f"international symposium on {topic}"
+    if pattern == 1:
+        return f"{topic} summit {int(rng.integers(1, 30))}"
+    return f"workshop on {topic}"
+
+
+def _concert_row(rng: np.random.Generator) -> dict:
+    headliner = (text.band_name(rng) if rng.random() < 0.6
+                 else text.person_name(rng))
+    return {
+        "title": text.album_title(rng),
+        "venue": _VENUES[int(rng.integers(len(_VENUES)))],
+        "headliner": headliner,
+        "price": round(float(rng.lognormal(3.6, 0.4)), 2),
+        "code": text.coded_id(rng, "TKT"),
+    }
+
+
+def _conference_row(rng: np.random.Generator) -> dict:
+    return {
+        "title": _conference_title(rng),
+        "venue": _VENUES[int(rng.integers(len(_VENUES)))],
+        "headliner": text.person_name(rng),
+        "price": round(float(rng.lognormal(6.1, 0.3)), 2),
+        "code": text.coded_id(rng, "CNF"),
+    }
+
+
+def _make_source(config: EventsConfig, rng: np.random.Generator) -> Relation:
+    concerts, conferences = event_kind_labels(config.gamma)
+    columns: dict[str, list] = {
+        "EventID": list(range(1, config.n_source + 1)),
+        "Title": [], "EventKind": [], "Venue": [], "Headliner": [],
+        "TicketPrice": [], "BookingCode": [],
+    }
+    for _ in range(config.n_source):
+        is_concert = rng.random() < 0.5
+        row = _concert_row(rng) if is_concert else _conference_row(rng)
+        labels = concerts if is_concert else conferences
+        columns["Title"].append(row["title"])
+        columns["EventKind"].append(labels[int(rng.integers(len(labels)))])
+        columns["Venue"].append(row["venue"])
+        columns["Headliner"].append(row["headliner"])
+        columns["TicketPrice"].append(row["price"])
+        columns["BookingCode"].append(row["code"])
+    return Relation.infer_schema("events", columns)
+
+
+#: Attribute names of the two venue-system tables, keyed by semantic role.
+TARGET_LAYOUT = {
+    "concert": {"table": "concerts", "id": "concert_id",
+                "title": "show_title", "venue": "hall", "headliner": "artist",
+                "price": "ticket_cost", "code": "booking_ref"},
+    "conference": {"table": "conferences", "id": "conf_id",
+                   "title": "conference_name", "venue": "location",
+                   "headliner": "keynote_speaker", "price": "registration_fee",
+                   "code": "booking_no"},
+}
+
+
+def _make_target_table(kind: str, n: int,
+                       rng: np.random.Generator) -> Relation:
+    layout = TARGET_LAYOUT[kind]
+    make_row = _concert_row if kind == "concert" else _conference_row
+    columns: dict[str, list] = {layout["id"]: list(range(1, n + 1))}
+    for role in ("title", "venue", "headliner", "price", "code"):
+        columns[layout[role]] = []
+    for _ in range(n):
+        row = make_row(rng)
+        for role in ("title", "venue", "headliner", "price", "code"):
+            columns[layout[role]].append(row[role])
+    return Relation.infer_schema(layout["table"], columns)
+
+
+def _ground_truth(concert_values: frozenset,
+                  conference_values: frozenset) -> GroundTruth:
+    truth = GroundTruth()
+    for kind, values in (("concert", concert_values),
+                         ("conference", conference_values)):
+        layout = TARGET_LAYOUT[kind]
+        for source_attr, role in (
+                ("EventID", "id"), ("Title", "title"),
+                ("Headliner", "headliner"), ("TicketPrice", "price"),
+                ("BookingCode", "code")):
+            truth.add("events", source_attr, layout["table"], layout[role],
+                      "EventKind", values)
+    return truth
+
+
+def make_events_workload(*, n_source: int = 1000, n_target: int = 400,
+                         gamma: int = 2, seed: int = 0) -> EventsWorkload:
+    """Generate the events workload (independent target instances, shared
+    populations — as in retail)."""
+    config = EventsConfig(n_source=n_source, n_target=n_target,
+                          gamma=gamma, seed=seed)
+    master = np.random.default_rng(config.seed)
+    source_rng, concerts_rng, conferences_rng = master.spawn(3)
+    source = Database.from_relations(
+        "events_src", [_make_source(config, source_rng)])
+    target = Database.from_relations("events_tgt", [
+        _make_target_table("concert", config.n_target, concerts_rng),
+        _make_target_table("conference", config.n_target, conferences_rng),
+    ])
+    concerts, conferences = event_kind_labels(config.gamma)
+    concert_values = frozenset(concerts)
+    conference_values = frozenset(conferences)
+    return EventsWorkload(
+        source=source, target=target,
+        ground_truth=_ground_truth(concert_values, conference_values),
+        config=config, concert_values=concert_values,
+        conference_values=conference_values)

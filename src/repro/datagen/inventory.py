@@ -125,11 +125,7 @@ class RetailWorkload:
 
 def gamma_labels(gamma: int) -> tuple[list[str], list[str]]:
     """The ItemType label sets (books, music) for a given γ."""
-    half = gamma // 2
-    if gamma == 2:
-        return ["Book"], ["CD"]
-    return ([f"Book{i}" for i in range(1, half + 1)],
-            [f"CD{i}" for i in range(1, half + 1)])
+    return text.gamma_label_pair(gamma, "Book", "CD")
 
 
 def _book_row(rng: np.random.Generator) -> dict:

@@ -1,0 +1,419 @@
+"""Ground-truth-preserving workload perturbations.
+
+Real matching workloads are messier than clean generators: values go
+missing, formats drift between systems, attribute names get abbreviated by
+DBAs, vocabularies diverge, and physical row order carries no meaning.
+This module packages those effects as reusable, composable
+:class:`Perturbation` objects that transform a :class:`Workload` (the
+generic source/target/ground-truth triple every registered scenario is
+built into — see :mod:`repro.datagen.registry`) into a harder variant of
+itself **without invalidating its ground truth**:
+
+* :class:`InjectNulls` — a seeded fraction of values becomes ``None``.
+  Ground-truth *condition attributes* are never nulled (their value sets
+  define the correct contexts), everything else is fair game.  Row counts
+  are preserved.
+* :class:`FormatDrift` — per-column value-format drift: textual columns
+  get a case convention (upper / title / capitalize) chosen per column,
+  float columns get coarser rounding.  Condition attributes on the source
+  side keep their exact values.  Row counts are preserved.
+* :class:`RenameAttributes` — attribute renaming / abbreviation
+  (vowel-stripped, length-capped names, or a ``prefix`` style).  The
+  ground truth is rewritten to the new names, including
+  ``condition_attribute`` when the source side is renamed, so it stays
+  exactly as correct as before.  Row counts are preserved.
+* :class:`ShrinkVocabulary` — vocabulary-overlap shrinkage: a seeded
+  fraction of values in textual columns is replaced by out-of-domain
+  synthetic tokens, reducing the instance overlap matchers feed on.
+  Condition attributes are untouched.  Row counts are preserved.
+* :class:`ShuffleRows` — a seeded permutation of every relation's rows.
+  Row counts are preserved (contextual matching never relies on physical
+  order).
+
+Every perturbation is a frozen dataclass with JSON-friendly parameters,
+registered by kind in :data:`PERTURBATIONS` and constructible by name via
+:func:`make_perturbation` — which is how
+:class:`~repro.datagen.registry.ScenarioSpec` composes them.  ``apply``
+takes an explicit :class:`numpy.random.Generator`; identical seeds yield
+identical perturbed workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.instance import Database, Relation
+from ..relational.schema import Attribute, AttributeRef, TableSchema
+from ..relational.types import DataType, is_missing
+from .ground_truth import CorrectContextualMatch, GroundTruth
+
+__all__ = ["Workload", "Perturbation", "InjectNulls", "FormatDrift",
+           "RenameAttributes", "ShrinkVocabulary", "ShuffleRows",
+           "PERTURBATIONS", "make_perturbation"]
+
+
+@dataclasses.dataclass
+class Workload:
+    """The generic source/target/ground-truth triple perturbations act on.
+
+    Family-specific generators (retail, grades, …) return richer dataclasses;
+    :func:`repro.datagen.registry.build_scenario` normalizes them to this
+    container before applying perturbations, so the toolkit works uniformly
+    across every domain.
+    """
+
+    source: Database
+    target: Database
+    ground_truth: GroundTruth
+
+    def tables(self, side: str) -> list[Relation]:
+        if side == "source":
+            return list(self.source)
+        if side == "target":
+            return list(self.target)
+        raise ReproError(f"unknown workload side {side!r}")
+
+
+def _sides(side: str) -> tuple[str, ...]:
+    if side == "both":
+        return ("source", "target")
+    if side in ("source", "target"):
+        return (side,)
+    raise ReproError(f"perturbation side must be source/target/both, "
+                     f"got {side!r}")
+
+
+def _condition_attributes(truth: GroundTruth) -> dict[str, set[str]]:
+    """Per-source-table attributes whose *values* the ground truth pins."""
+    protected: dict[str, set[str]] = {}
+    for match in truth:
+        protected.setdefault(match.source.table, set()).add(
+            match.condition_attribute)
+    return protected
+
+
+def _rebuild(database: Database, relations: Iterable[Relation]) -> Database:
+    return Database.from_relations(database.name, relations)
+
+
+def _replace_side(workload: Workload, side: str,
+                  relations: list[Relation]) -> Workload:
+    database = _rebuild(getattr(workload, side), relations)
+    return dataclasses.replace(workload, **{side: database})
+
+
+@dataclasses.dataclass(frozen=True)
+class Perturbation:
+    """Base class: a named, parameterized, seeded workload transformation.
+
+    Subclasses implement :meth:`apply` and declare ``kind`` as a class
+    attribute; parameters are the dataclass fields, all JSON-representable.
+    """
+
+    kind = "identity"
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        raise NotImplementedError
+
+    def params(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(
+            self.params().items()))
+        return f"{self.kind}({params})"
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectNulls(Perturbation):
+    """Null out a seeded fraction of values (missing-data noise).
+
+    ``rate`` is the per-value null probability; ``side`` chooses which
+    database(s) degrade.  Ground-truth condition attributes never lose
+    values — the contexts the truth names must remain observable.
+    """
+
+    rate: float = 0.05
+    side: str = "both"
+
+    kind = "nulls"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(f"null rate must be in [0,1], got {self.rate}")
+        _sides(self.side)
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        protected = _condition_attributes(workload.ground_truth)
+        for side in _sides(self.side):
+            relations = []
+            for relation in workload.tables(side):
+                skip = protected.get(relation.name, set())
+                columns: dict[str, list] = {}
+                for attr in relation.schema.attribute_names:
+                    values = relation.column(attr)
+                    if attr in skip:
+                        columns[attr] = list(values)
+                        continue
+                    mask = rng.random(len(values)) < self.rate
+                    columns[attr] = [None if hit else v
+                                     for v, hit in zip(values, mask)]
+                relations.append(Relation(relation.schema, columns))
+            workload = _replace_side(workload, side, relations)
+        return workload
+
+
+#: Case conventions FormatDrift picks from, per drifting textual column.
+_CASE_STYLES = ("upper", "title", "capitalize")
+
+
+@dataclasses.dataclass(frozen=True)
+class FormatDrift(Perturbation):
+    """Whole-column value-format drift (one system shouts, another Titles).
+
+    Each eligible column drifts independently with probability ``rate``:
+    textual columns adopt a case convention drawn from ``upper`` / ``title``
+    / ``capitalize``; float columns round to ``decimals`` places.  Source
+    condition attributes keep their exact values so ground-truth value sets
+    still name what the data holds.
+    """
+
+    rate: float = 1.0
+    decimals: int = 1
+    side: str = "target"
+
+    kind = "format_drift"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(f"drift rate must be in [0,1], got {self.rate}")
+        if self.decimals < 0:
+            raise ReproError("decimals must be >= 0")
+        _sides(self.side)
+
+    @staticmethod
+    def _recase(value: Any, style: str) -> Any:
+        if is_missing(value) or not isinstance(value, str):
+            return value
+        return getattr(value, style)()
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        protected = _condition_attributes(workload.ground_truth)
+        for side in _sides(self.side):
+            relations = []
+            for relation in workload.tables(side):
+                skip = protected.get(relation.name, set())
+                columns: dict[str, list] = {}
+                for attr in relation.schema:
+                    values = relation.column(attr.name)
+                    drift = (attr.name not in skip
+                             and rng.random() < self.rate)
+                    if drift and attr.dtype.is_textual:
+                        style = _CASE_STYLES[
+                            int(rng.integers(len(_CASE_STYLES)))]
+                        columns[attr.name] = [self._recase(v, style)
+                                              for v in values]
+                    elif drift and attr.dtype is DataType.FLOAT:
+                        columns[attr.name] = [
+                            v if is_missing(v)
+                            else round(float(v), self.decimals)
+                            for v in values]
+                    else:
+                        columns[attr.name] = list(values)
+                relations.append(Relation(relation.schema, columns))
+            workload = _replace_side(workload, side, relations)
+        return workload
+
+
+def _abbreviate(name: str) -> str:
+    """DBA-style abbreviation: keep the first letter, strip further vowels
+    and underscores, cap at 8 characters (``ListPrice`` -> ``LstPrc``)."""
+    head, tail = name[0], name[1:]
+    stripped = "".join(c for c in tail if c.lower() not in "aeiou_")
+    return (head + stripped)[:8]
+
+
+@dataclasses.dataclass(frozen=True)
+class RenameAttributes(Perturbation):
+    """Rename attributes; the ground truth is rewritten to follow.
+
+    ``style="abbrev"`` applies vowel-stripped truncation; ``style="prefix"``
+    prepends ``c_`` (legacy-export column naming).  Name collisions after
+    abbreviation get a positional suffix, keeping schemas well-formed.  The
+    rewrite covers source refs, target refs and ``condition_attribute``, so
+    the perturbed truth is exactly as correct as the original.
+    """
+
+    style: str = "abbrev"
+    side: str = "target"
+
+    kind = "rename"
+
+    def __post_init__(self) -> None:
+        if self.style not in ("abbrev", "prefix"):
+            raise ReproError(f"unknown rename style {self.style!r}")
+        _sides(self.side)
+
+    def _new_name(self, name: str, taken: set[str], position: int) -> str:
+        if self.style == "prefix":
+            candidate = f"c_{name}"
+        else:
+            candidate = _abbreviate(name)
+        if candidate in taken or not candidate:
+            candidate = f"{candidate}{position}"
+        return candidate
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        renames: dict[tuple[str, str], str] = {}
+        for side in _sides(self.side):
+            relations = []
+            for relation in workload.tables(side):
+                taken: set[str] = set()
+                attrs = []
+                columns: dict[str, list] = {}
+                for i, attr in enumerate(relation.schema):
+                    new = self._new_name(attr.name, taken, i)
+                    taken.add(new)
+                    renames[(relation.name, attr.name)] = new
+                    attrs.append(Attribute(new, attr.dtype))
+                    columns[new] = relation.column(attr.name)
+                schema = TableSchema(relation.name, attrs,
+                                     is_view=relation.schema.is_view)
+                relations.append(Relation(schema, columns))
+            workload = _replace_side(workload, side, relations)
+        return dataclasses.replace(
+            workload, ground_truth=self._rewrite(workload.ground_truth,
+                                                 renames))
+
+    @staticmethod
+    def _rewrite(truth: GroundTruth,
+                 renames: Mapping[tuple[str, str], str]) -> GroundTruth:
+        def follow(ref: AttributeRef) -> AttributeRef:
+            new = renames.get((ref.table, ref.attribute))
+            return AttributeRef(ref.table, new) if new else ref
+
+        rewritten = GroundTruth()
+        for match in truth:
+            condition = renames.get(
+                (match.source.table, match.condition_attribute),
+                match.condition_attribute)
+            rewritten.matches.append(CorrectContextualMatch(
+                source=follow(match.source), target=follow(match.target),
+                condition_attribute=condition,
+                condition_values=match.condition_values))
+        return rewritten
+
+
+#: Out-of-domain word pool for vocabulary shrinkage — deliberately disjoint
+#: from every generator's vocabulary (no retail, grades, clinical, events or
+#: real-estate terms).
+_SYNTHETIC_WORDS = [
+    "zorven", "quathil", "brimsel", "dulkett", "fenwick", "grolsh",
+    "hyxal", "jorvik", "klimpt", "luthien", "morvax", "nimblet",
+    "oxbrand", "pulvett", "quorast", "rivlock", "sulfane", "trevvik",
+    "ulmarsh", "vextor", "wrenhal", "xilvane", "yostrel", "zukvard",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkVocabulary(Perturbation):
+    """Shrink source/target vocabulary overlap in textual columns.
+
+    With probability ``rate`` per value, a textual value is replaced by a
+    synthetic out-of-domain token (two-word phrases in free-text columns),
+    starving overlap/q-gram matchers of shared vocabulary without touching
+    condition attributes or ground truth.
+    """
+
+    rate: float = 0.3
+    side: str = "target"
+
+    kind = "shrink_vocab"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ReproError(f"shrink rate must be in [0,1], got {self.rate}")
+        _sides(self.side)
+
+    @staticmethod
+    def _token(rng: np.random.Generator, long: bool) -> str:
+        word = _SYNTHETIC_WORDS[int(rng.integers(len(_SYNTHETIC_WORDS)))]
+        if long:
+            second = _SYNTHETIC_WORDS[
+                int(rng.integers(len(_SYNTHETIC_WORDS)))]
+            return f"{word} {second}"
+        return word
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        protected = _condition_attributes(workload.ground_truth)
+        for side in _sides(self.side):
+            relations = []
+            for relation in workload.tables(side):
+                skip = protected.get(relation.name, set())
+                columns: dict[str, list] = {}
+                for attr in relation.schema:
+                    values = relation.column(attr.name)
+                    if attr.name in skip or not attr.dtype.is_textual:
+                        columns[attr.name] = list(values)
+                        continue
+                    long = attr.dtype is DataType.TEXT
+                    mask = rng.random(len(values)) < self.rate
+                    columns[attr.name] = [
+                        self._token(rng, long)
+                        if hit and not is_missing(v) else v
+                        for v, hit in zip(values, mask)]
+                relations.append(Relation(relation.schema, columns))
+            workload = _replace_side(workload, side, relations)
+        return workload
+
+
+@dataclasses.dataclass(frozen=True)
+class ShuffleRows(Perturbation):
+    """Apply a seeded permutation to every relation's rows."""
+
+    side: str = "both"
+
+    kind = "shuffle"
+
+    def __post_init__(self) -> None:
+        _sides(self.side)
+
+    def apply(self, workload: Workload,
+              rng: np.random.Generator) -> Workload:
+        for side in _sides(self.side):
+            relations = [relation.shuffle(rng)
+                         for relation in workload.tables(side)]
+            workload = _replace_side(workload, side, relations)
+        return workload
+
+
+#: Perturbation kinds constructible by name (ScenarioSpec serialization).
+PERTURBATIONS: dict[str, type[Perturbation]] = {
+    cls.kind: cls
+    for cls in (InjectNulls, FormatDrift, RenameAttributes,
+                ShrinkVocabulary, ShuffleRows)
+}
+
+
+def make_perturbation(kind: str, **params: Any) -> Perturbation:
+    """Instantiate a registered perturbation by kind name."""
+    try:
+        cls = PERTURBATIONS[kind]
+    except KeyError:
+        raise ReproError(
+            f"unknown perturbation {kind!r}; registered kinds: "
+            f"{sorted(PERTURBATIONS)}") from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ReproError(f"bad parameters for perturbation {kind!r}: "
+                         f"{exc}") from exc

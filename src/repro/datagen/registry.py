@@ -1,0 +1,380 @@
+"""The scenario registry: every workload as a named, parameterized spec.
+
+A :class:`ScenarioSpec` fully determines a workload: a *family* (which
+generator builds the base source/target/ground-truth triple), the shared
+knobs every family interprets (``seed``, ``size``, ``gamma``), a tuple of
+family-specific ``knobs``, engine-``config`` overrides, and an ordered
+tuple of :class:`PerturbationSpec` entries from the
+ground-truth-preserving toolkit in :mod:`repro.datagen.perturb`.  Specs
+are frozen, hashable and JSON-round-trippable, so a scenario can be named
+in a test, a golden baseline file, a benchmark and the CLI and mean the
+same thing everywhere.
+
+Two registries live here:
+
+* *families* — builder callables keyed by family name
+  (``retail``, ``grades``, ``clinical``, ``events``, ``realestate``);
+  :func:`register_family` adds new domains.
+* *scenarios* — named :class:`ScenarioSpec` instances
+  (:func:`register_scenario` / :func:`get_scenario` /
+  :func:`scenario_names`).  The default matrix registered at import time
+  pairs every family with its base form plus three perturbation variants
+  (``-nulls``, ``-drift``, ``-scrambled``), sized for the golden
+  regression tier (seconds, not minutes, per scenario).
+
+:func:`build_scenario` turns a spec (or registered name) into a
+:class:`~repro.datagen.perturb.Workload`; identical specs build identical
+workloads (:func:`workload_fingerprint` hashes instances + ground truth,
+and the seeded-determinism tests pin this for every registered scenario).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import zlib
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.instance import Database
+from .clinical import make_clinical_workload
+from .events import make_events_workload
+from .grades import make_grades_workload
+from .ground_truth import GroundTruth
+from .inventory import (add_correlated_attributes, make_retail_workload,
+                        pad_workload)
+from .perturb import Workload, make_perturbation
+from .realestate import make_realestate_workload
+
+__all__ = ["PerturbationSpec", "ScenarioSpec", "register_family",
+           "family_names", "register_scenario", "get_scenario",
+           "scenario_names", "registered_scenarios", "build_scenario",
+           "workload_fingerprint", "DEFAULT_PERTURBATION_VARIANTS"]
+
+
+def _items(params: Mapping[str, Any] | tuple[tuple[str, Any], ...] | None
+           ) -> tuple[tuple[str, Any], ...]:
+    if not params:
+        return ()
+    if isinstance(params, Mapping):
+        return tuple(params.items())
+    return tuple((str(k), v) for k, v in params)
+
+
+@dataclasses.dataclass(frozen=True)
+class PerturbationSpec:
+    """A perturbation by kind name plus frozen parameters."""
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, **params: Any) -> "PerturbationSpec":
+        return cls(kind=kind, params=_items(params))
+
+    def build(self):
+        """The concrete :class:`~repro.datagen.perturb.Perturbation`."""
+        return make_perturbation(self.kind, **dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PerturbationSpec":
+        return cls.of(data["kind"], **data.get("params", {}))
+
+    def __str__(self) -> str:
+        return str(self.build())
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, fully parameterized workload construction.
+
+    Parameters
+    ----------
+    name:
+        The scenario's registry / baseline-file name.
+    family:
+        Which registered family builds the base workload.
+    seed:
+        Master seed; the base generator and every perturbation derive
+        their streams from it.
+    size:
+        Source-side row budget (``n_source`` for split-table families,
+        ``n_students`` for grades).
+    gamma:
+        Context-cardinality knob: the categorical label count for
+        split-table families, the exam count for grades.
+    knobs:
+        Family-specific extras, e.g. ``("target", "aaron")`` or
+        ``("sigma", 15.0)``.
+    config:
+        :class:`~repro.context.model.ContextMatchConfig` field overrides
+        applied when the scenario is *run* (``repro.evaluation.scenarios``).
+    perturbations:
+        Ground-truth-preserving perturbations applied in order after the
+        base build.
+    """
+
+    name: str
+    family: str
+    seed: int = 0
+    size: int = 200
+    gamma: int = 2
+    knobs: tuple[tuple[str, Any], ...] = ()
+    config: tuple[tuple[str, Any], ...] = ()
+    perturbations: tuple[PerturbationSpec, ...] = ()
+
+    def knob(self, name: str, default: Any = None) -> Any:
+        return dict(self.knobs).get(name, default)
+
+    def config_overrides(self) -> dict[str, Any]:
+        return dict(self.config)
+
+    def resized(self, size: int) -> "ScenarioSpec":
+        """The same scenario at a different source-size budget — how
+        benchmarks map ``BENCH_TINY`` onto small specs."""
+        return dataclasses.replace(self, size=size)
+
+    def with_perturbations(self, *specs: PerturbationSpec) -> "ScenarioSpec":
+        return dataclasses.replace(
+            self, perturbations=self.perturbations + specs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "family": self.family, "seed": self.seed,
+            "size": self.size, "gamma": self.gamma,
+            "knobs": dict(self.knobs), "config": dict(self.config),
+            "perturbations": [p.to_dict() for p in self.perturbations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data["name"], family=data["family"],
+            seed=int(data.get("seed", 0)), size=int(data.get("size", 200)),
+            gamma=int(data.get("gamma", 2)),
+            knobs=_items(data.get("knobs")),
+            config=_items(data.get("config")),
+            perturbations=tuple(PerturbationSpec.from_dict(p)
+                                for p in data.get("perturbations", ())))
+
+    def __str__(self) -> str:
+        perturbed = ("+" + "+".join(p.kind for p in self.perturbations)
+                     if self.perturbations else "")
+        return (f"{self.name} [{self.family} size={self.size} "
+                f"gamma={self.gamma} seed={self.seed}{perturbed}]")
+
+
+# ---------------------------------------------------------------------------
+# Family registry
+# ---------------------------------------------------------------------------
+
+_FAMILIES: dict[str, Callable[[ScenarioSpec], Workload]] = {}
+
+
+def register_family(name: str):
+    """Decorator registering a family builder ``(ScenarioSpec) -> Workload``."""
+
+    def decorate(builder: Callable[[ScenarioSpec], Workload]):
+        if name in _FAMILIES:
+            raise ReproError(f"family {name!r} already registered")
+        _FAMILIES[name] = builder
+        return builder
+
+    return decorate
+
+
+def family_names() -> list[str]:
+    return sorted(_FAMILIES)
+
+
+def _as_workload(generated: Any) -> Workload:
+    """Normalize a family-specific workload dataclass to the generic
+    container perturbations and runners consume."""
+    return Workload(source=generated.source, target=generated.target,
+                    ground_truth=generated.ground_truth)
+
+
+def _target_rows(spec: ScenarioSpec) -> int:
+    return int(spec.knob("n_target", max(spec.size // 2, 20)))
+
+
+@register_family("retail")
+def _build_retail(spec: ScenarioSpec) -> Workload:
+    workload = make_retail_workload(
+        target=spec.knob("target", "ryan"), n_source=spec.size,
+        n_target=_target_rows(spec), gamma=spec.gamma, seed=spec.seed)
+    correlated = int(spec.knob("correlated", 0))
+    if correlated:
+        workload = add_correlated_attributes(
+            workload, correlated, float(spec.knob("rho", 0.5)),
+            seed=spec.seed + 1)
+    pad = int(spec.knob("pad", 0))
+    if pad:
+        workload = pad_workload(workload, pad, seed=spec.seed + 2)
+    return _as_workload(workload)
+
+
+@register_family("grades")
+def _build_grades(spec: ScenarioSpec) -> Workload:
+    return _as_workload(make_grades_workload(
+        sigma=float(spec.knob("sigma", 10.0)), n_students=spec.size,
+        n_exams=max(spec.gamma, 2), seed=spec.seed,
+        spurious_categoricals=int(spec.knob("spurious_categoricals", 1))))
+
+
+@register_family("clinical")
+def _build_clinical(spec: ScenarioSpec) -> Workload:
+    return _as_workload(make_clinical_workload(
+        n_source=spec.size, n_target=_target_rows(spec), gamma=spec.gamma,
+        seed=spec.seed))
+
+
+@register_family("events")
+def _build_events(spec: ScenarioSpec) -> Workload:
+    return _as_workload(make_events_workload(
+        n_source=spec.size, n_target=_target_rows(spec), gamma=spec.gamma,
+        seed=spec.seed))
+
+
+@register_family("realestate")
+def _build_realestate(spec: ScenarioSpec) -> Workload:
+    return _as_workload(make_realestate_workload(
+        n_source=spec.size, n_target=_target_rows(spec), gamma=spec.gamma,
+        seed=spec.seed))
+
+
+# ---------------------------------------------------------------------------
+# Scenario construction
+# ---------------------------------------------------------------------------
+
+def build_scenario(spec: ScenarioSpec | str) -> Workload:
+    """Build the workload a spec (or registered scenario name) describes.
+
+    The base family build uses ``spec.seed``; each perturbation gets an
+    independent deterministic stream derived from (seed, kind, position),
+    so inserting or reordering perturbations never silently reuses a
+    stream.
+    """
+    if isinstance(spec, str):
+        spec = get_scenario(spec)
+    try:
+        builder = _FAMILIES[spec.family]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario family {spec.family!r}; registered: "
+            f"{family_names()}") from None
+    workload = builder(spec)
+    for position, pspec in enumerate(spec.perturbations):
+        rng = np.random.default_rng(
+            [spec.seed, zlib.crc32(pspec.kind.encode("utf-8")), position])
+        workload = pspec.build().apply(workload, rng)
+    return workload
+
+
+def workload_fingerprint(workload: Workload) -> str:
+    """A stable content hash of instances + ground truth.
+
+    Two workloads built from the same spec hash identically; any change to
+    a value, schema, table or ground-truth entry changes the digest.  Used
+    by the seeded-determinism tests.
+    """
+    digest = hashlib.sha256()
+
+    def feed_database(database: Database) -> None:
+        digest.update(f"db:{database.name}\n".encode("utf-8"))
+        for relation in database:
+            attrs = ",".join(f"{a.name}:{a.dtype.value}"
+                             for a in relation.schema)
+            digest.update(
+                f"table:{relation.name}({attrs})x{len(relation)}\n"
+                .encode("utf-8"))
+            for attr in relation.schema.attribute_names:
+                digest.update(repr(relation.column(attr)).encode("utf-8"))
+
+    def feed_truth(truth: GroundTruth) -> None:
+        entries = sorted(
+            (str(m.source), str(m.target), m.condition_attribute,
+             sorted(map(repr, m.condition_values)))
+            for m in truth)
+        digest.update(repr(entries).encode("utf-8"))
+
+    feed_database(workload.source)
+    feed_database(workload.target)
+    feed_truth(workload.ground_truth)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Named-scenario registry
+# ---------------------------------------------------------------------------
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a named spec to the registry (name must be unused, family known)."""
+    if spec.name in _SCENARIOS:
+        raise ReproError(f"scenario {spec.name!r} already registered")
+    if spec.family not in _FAMILIES:
+        raise ReproError(
+            f"scenario {spec.name!r} names unknown family {spec.family!r}")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{scenario_names()}") from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_SCENARIOS)
+
+
+def registered_scenarios() -> list[ScenarioSpec]:
+    return [_SCENARIOS[name] for name in scenario_names()]
+
+
+#: The perturbation variants every family is registered with, beyond its
+#: base form.  Names become ``<family>-<variant>``.
+DEFAULT_PERTURBATION_VARIANTS: dict[str, tuple[PerturbationSpec, ...]] = {
+    "nulls": (PerturbationSpec.of("nulls", rate=0.08, side="both"),),
+    "drift": (PerturbationSpec.of("format_drift", rate=1.0, side="target"),
+              PerturbationSpec.of("rename", style="abbrev", side="target")),
+    "scrambled": (PerturbationSpec.of("shuffle", side="both"),
+                  PerturbationSpec.of("shrink_vocab", rate=0.25,
+                                      side="target")),
+}
+
+#: Golden-tier base sizes per family — small enough that one engine run is
+#: sub-second-to-seconds, large enough that contextual signal survives.
+_GOLDEN_BASES = (
+    ScenarioSpec(name="retail", family="retail", seed=11, size=260,
+                 gamma=2, config=(("inference", "src"),)),
+    ScenarioSpec(name="grades", family="grades", seed=11, size=90,
+                 gamma=3, knobs=(("sigma", 8.0),),
+                 config=(("inference", "src"),)),
+    ScenarioSpec(name="clinical", family="clinical", seed=11, size=260,
+                 gamma=2, config=(("inference", "src"),)),
+    ScenarioSpec(name="events", family="events", seed=11, size=260,
+                 gamma=2, config=(("inference", "src"),)),
+    ScenarioSpec(name="realestate", family="realestate", seed=11, size=260,
+                 gamma=2, config=(("inference", "src"),)),
+)
+
+for _base in _GOLDEN_BASES:
+    register_scenario(_base)
+    for _variant, _perturbations in DEFAULT_PERTURBATION_VARIANTS.items():
+        register_scenario(dataclasses.replace(
+            _base, name=f"{_base.name}-{_variant}",
+            perturbations=_perturbations))
+del _base, _variant, _perturbations

@@ -24,7 +24,7 @@ import numpy as np
 __all__ = [
     "book_title", "album_title", "person_name", "band_name",
     "publisher", "record_label", "isbn", "asin",
-    "book_format", "music_format",
+    "book_format", "music_format", "coded_id", "gamma_label_pair",
 ]
 
 # ---------------------------------------------------------------------------
@@ -193,3 +193,24 @@ def book_format(rng: np.random.Generator) -> str:
 
 def music_format(rng: np.random.Generator) -> str:
     return _choice(rng, _MUSIC_FORMATS)
+
+
+def coded_id(rng: np.random.Generator, prefix: str, *,
+             digits: int = 6) -> str:
+    """A prefixed numeric identifier (``ADM-381940``): record codes whose
+    populations separate by prefix alphabet, as ISBN vs ASIN do."""
+    body = "".join(str(int(d)) for d in rng.integers(0, 10, size=digits))
+    return f"{prefix}-{body}"
+
+
+def gamma_label_pair(gamma: int, left: str,
+                     right: str) -> tuple[list[str], list[str]]:
+    """The two label sets of a γ-cardinality categorical split over *left*
+    / *right* stems: γ=2 gives ``([left], [right])``, γ=4 numbers each
+    stem (``Book1``/``Book2``…) — the paper's ItemType expansion, shared
+    by every split-table workload family."""
+    half = gamma // 2
+    if gamma == 2:
+        return [left], [right]
+    return ([f"{left}{i}" for i in range(1, half + 1)],
+            [f"{right}{i}" for i in range(1, half + 1)])

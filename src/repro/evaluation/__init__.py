@@ -1,14 +1,21 @@
-"""Experimental harness reproducing the paper's Section 5 study.
+"""Experimental harness reproducing the paper's Section 5 study, plus the
+scenario-based golden-metrics tier.
 
 :mod:`repro.evaluation.metrics` implements the accuracy / precision /
 FMeasure definitions; :mod:`repro.evaluation.experiments` has one driver per
 figure; :mod:`repro.evaluation.reporting` renders the series the figures
-plot.
+plot; :mod:`repro.evaluation.scenarios` runs registered
+:class:`~repro.datagen.ScenarioSpec` workloads end-to-end
+(:func:`run_scenario`) and checks them against the committed
+``tests/golden/`` baselines (:func:`compare_to_golden`).
 """
 
 from .metrics import EvalMetrics, condition_values, evaluate_matches, evaluate_result
 from .reporting import format_series, format_table
 from .runner import Averaged, EngineRunner, seed_pairs, summarize
+from .scenarios import (ScenarioResult, compare_to_golden, golden_payload,
+                        run_scenario, scenario_result_from_dict,
+                        scenario_result_to_dict)
 
 __all__ = [
     "EngineRunner",
@@ -21,4 +28,10 @@ __all__ = [
     "Averaged",
     "summarize",
     "seed_pairs",
+    "ScenarioResult",
+    "run_scenario",
+    "scenario_result_to_dict",
+    "scenario_result_from_dict",
+    "golden_payload",
+    "compare_to_golden",
 ]

@@ -1,0 +1,142 @@
+"""Sanity tests for the new domain generators (clinical, events,
+real-estate workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (event_kind_labels, make_clinical_workload,
+                          make_events_workload, make_realestate_workload,
+                          property_kind_labels, visit_type_labels)
+from repro.errors import ReproError
+from repro.relational.types import DataType
+
+
+class TestClinical:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_clinical_workload(n_source=120, n_target=50, gamma=2,
+                                      seed=5)
+
+    def test_shapes(self, workload):
+        encounters = workload.source.relation("encounters")
+        assert len(encounters) == 120
+        assert len(workload.target.relation("admissions")) == 50
+        assert len(workload.target.relation("clinic_visits")) == 50
+
+    def test_visit_type_domain(self, workload):
+        values = set(workload.source.relation("encounters")
+                     .column("VisitType"))
+        assert values == {"Inpatient", "Outpatient"}
+
+    def test_gamma_expansion(self):
+        inpatient, outpatient = visit_type_labels(4)
+        assert inpatient == ["Inpatient1", "Inpatient2"]
+        assert outpatient == ["Outpatient1", "Outpatient2"]
+        workload = make_clinical_workload(n_source=80, n_target=30, gamma=4,
+                                          seed=5)
+        assert workload.inpatient_values == frozenset(inpatient)
+
+    def test_code_alphabets_separate(self, workload):
+        charts = workload.target.relation("admissions").column("chart_code")
+        records = workload.target.relation("clinic_visits").column(
+            "record_no")
+        assert all(c.startswith("ADM-") for c in charts)
+        assert all(c.startswith("OPV-") for c in records)
+
+    def test_duration_is_continuous_not_categorical(self, workload):
+        """The duration column must never be a low-cardinality chameleon of
+        VisitType (it would absorb every condition)."""
+        encounters = workload.source.relation("encounters")
+        assert encounters.schema.dtype("DurationHours") is DataType.FLOAT
+        assert len(set(encounters.column("DurationHours"))) > 50
+
+    def test_charge_populations_separate(self, workload):
+        admissions = workload.target.relation("admissions")
+        visits = workload.target.relation("clinic_visits")
+        mean = lambda xs: sum(xs) / len(xs)
+        assert (mean(admissions.column("total_charge"))
+                > 10 * mean(visits.column("fee")))
+
+    def test_ground_truth_covers_both_contexts(self, workload):
+        tables = {m.target.table for m in workload.ground_truth}
+        assert tables == {"admissions", "clinic_visits"}
+        assert all(m.condition_attribute == "VisitType"
+                   for m in workload.ground_truth)
+
+    def test_odd_gamma_rejected(self):
+        with pytest.raises(ReproError, match="gamma"):
+            make_clinical_workload(gamma=3)
+
+
+class TestEvents:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_events_workload(n_source=120, n_target=50, gamma=2,
+                                    seed=5)
+
+    def test_shapes(self, workload):
+        assert len(workload.source.relation("events")) == 120
+        assert {r.name for r in workload.target} == {"concerts",
+                                                     "conferences"}
+
+    def test_gamma_labels(self):
+        concerts, conferences = event_kind_labels(6)
+        assert concerts == ["Concert1", "Concert2", "Concert3"]
+        assert conferences == ["Conference1", "Conference2", "Conference3"]
+
+    def test_booking_codes_separate(self, workload):
+        refs = workload.target.relation("concerts").column("booking_ref")
+        nos = workload.target.relation("conferences").column("booking_no")
+        assert all(c.startswith("TKT-") for c in refs)
+        assert all(c.startswith("CNF-") for c in nos)
+
+    def test_fee_populations_separate(self, workload):
+        mean = lambda xs: sum(xs) / len(xs)
+        concerts = workload.target.relation("concerts")
+        conferences = workload.target.relation("conferences")
+        assert (mean(conferences.column("registration_fee"))
+                > 3 * mean(concerts.column("ticket_cost")))
+
+    def test_venue_is_shared_noise_not_truth(self, workload):
+        """Venues are drawn from one shared pool, so they deliberately stay
+        out of the ground truth (no contextual signal)."""
+        assert not any(m.source.attribute == "Venue"
+                       for m in workload.ground_truth)
+
+    def test_determinism(self):
+        first = make_events_workload(n_source=40, n_target=20, seed=9)
+        second = make_events_workload(n_source=40, n_target=20, seed=9)
+        assert (first.source.relation("events").column("Title")
+                == second.source.relation("events").column("Title"))
+
+
+class TestRealEstateWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return make_realestate_workload(n_source=120, n_target=50, gamma=2,
+                                        seed=5)
+
+    def test_shapes(self, workload):
+        assert len(workload.source.relation("listings")) == 120
+        assert {r.name for r in workload.target} == {"houses",
+                                                     "condo_units"}
+
+    def test_property_kind_labels(self):
+        houses, condos = property_kind_labels(4)
+        assert houses == ["House1", "House2"]
+        assert condos == ["Condo1", "Condo2"]
+
+    def test_populations_differ_by_kind(self, workload):
+        mean = lambda xs: sum(xs) / len(xs)
+        houses = workload.target.relation("houses")
+        condos = workload.target.relation("condo_units")
+        assert (mean(houses.column("floor_area"))
+                > 1.5 * mean(condos.column("interior_sqft")))
+        assert all(a.startswith("unit ")
+                   for a in condos.column("address_line"))
+
+    def test_ground_truth_conditions_on_property_kind(self, workload):
+        assert len(workload.ground_truth) == 10
+        assert all(m.condition_attribute == "PropertyKind"
+                   for m in workload.ground_truth)

@@ -1,0 +1,250 @@
+"""Property-style invariant tests for the perturbation toolkit.
+
+For every perturbation kind across a seeded parameter grid the core
+contract must hold: ground-truth references stay resolvable, condition
+value sets survive verbatim, schemas stay well-formed, and row counts are
+preserved (every shipped perturbation is row-count-preserving).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (FormatDrift, GroundTruth, InjectNulls,
+                           RenameAttributes, ShrinkVocabulary, ShuffleRows,
+                           Workload, make_events_workload, make_perturbation,
+                           make_retail_workload, PERTURBATIONS)
+from repro.datagen.perturb import _SYNTHETIC_WORDS, _abbreviate
+from repro.errors import ReproError
+from repro.relational.types import is_missing
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def retail():
+    generated = make_retail_workload(target="ryan", n_source=80,
+                                     n_target=40, gamma=2, seed=3)
+    return Workload(source=generated.source, target=generated.target,
+                    ground_truth=generated.ground_truth)
+
+
+@pytest.fixture(scope="module")
+def events():
+    generated = make_events_workload(n_source=60, n_target=30, gamma=4,
+                                     seed=7)
+    return Workload(source=generated.source, target=generated.target,
+                    ground_truth=generated.ground_truth)
+
+
+#: The seeded parameter grid: every kind in several configurations.
+GRID = [
+    ("nulls", {"rate": 0.0, "side": "both"}),
+    ("nulls", {"rate": 0.1, "side": "source"}),
+    ("nulls", {"rate": 0.5, "side": "both"}),
+    ("format_drift", {"rate": 0.5, "side": "source"}),
+    ("format_drift", {"rate": 1.0, "decimals": 0, "side": "both"}),
+    ("rename", {"style": "abbrev", "side": "target"}),
+    ("rename", {"style": "abbrev", "side": "both"}),
+    ("rename", {"style": "prefix", "side": "source"}),
+    ("shrink_vocab", {"rate": 0.2, "side": "target"}),
+    ("shrink_vocab", {"rate": 0.9, "side": "both"}),
+    ("shuffle", {"side": "source"}),
+    ("shuffle", {"side": "both"}),
+]
+
+
+def _assert_invariants(original: Workload, perturbed: Workload) -> None:
+    # Row counts preserved, schemas well-formed (same table set and arity).
+    for side in ("source", "target"):
+        before = {r.name: r for r in original.tables(side)}
+        after = {r.name: r for r in perturbed.tables(side)}
+        assert set(before) == set(after)
+        for name, relation in after.items():
+            assert len(relation) == len(before[name])
+            assert len(relation.schema) == len(before[name].schema)
+            names = relation.schema.attribute_names
+            assert len(set(names)) == len(names)
+    # Ground truth stays valid: same cardinality, resolvable refs, intact
+    # condition value sets.
+    assert len(perturbed.ground_truth) == len(original.ground_truth)
+    for match in perturbed.ground_truth:
+        source_schema = perturbed.source.relation(match.source.table).schema
+        source_schema.attribute(match.source.attribute)
+        source_schema.attribute(match.condition_attribute)
+        perturbed.target.relation(match.target.table).schema.attribute(
+            match.target.attribute)
+    assert ({m.condition_values for m in perturbed.ground_truth}
+            == {m.condition_values for m in original.ground_truth})
+
+
+@pytest.mark.parametrize("kind,params", GRID)
+@pytest.mark.parametrize("seed", [0, 17])
+@pytest.mark.parametrize("workload_fixture", ["retail", "events"])
+def test_invariants_hold(kind, params, seed, workload_fixture, request):
+    original = request.getfixturevalue(workload_fixture)
+    perturbation = make_perturbation(kind, **params)
+    perturbed = perturbation.apply(original,
+                                   np.random.default_rng(seed))
+    _assert_invariants(original, perturbed)
+
+
+@pytest.mark.parametrize("kind,params", GRID)
+def test_seeded_application_is_deterministic(kind, params, retail):
+    perturbation = make_perturbation(kind, **params)
+    first = perturbation.apply(retail, np.random.default_rng(5))
+    second = perturbation.apply(retail, np.random.default_rng(5))
+    from repro.datagen import workload_fingerprint
+    assert workload_fingerprint(first) == workload_fingerprint(second)
+
+
+class TestInjectNulls:
+    def test_condition_attribute_never_nulled(self, retail):
+        perturbed = InjectNulls(rate=0.9, side="both").apply(
+            retail, np.random.default_rng(1))
+        items = perturbed.source.relation("items")
+        assert not any(is_missing(v) for v in items.column("ItemType"))
+        # Unprotected columns degrade heavily at rate=0.9.
+        assert sum(is_missing(v) for v in items.column("Name")) > 40
+
+    def test_rate_zero_is_identity_on_values(self, retail):
+        perturbed = InjectNulls(rate=0.0).apply(retail,
+                                                np.random.default_rng(1))
+        items = perturbed.source.relation("items")
+        assert items.column("Name") == retail.source.relation(
+            "items").column("Name")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ReproError, match="rate"):
+            InjectNulls(rate=1.5)
+
+
+class TestFormatDrift:
+    def test_textual_drift_is_case_only(self, retail):
+        perturbed = FormatDrift(rate=1.0, side="target").apply(
+            retail, np.random.default_rng(2))
+        for relation in retail.tables("target"):
+            after = perturbed.target.relation(relation.name)
+            for attr in relation.schema:
+                if not attr.dtype.is_textual:
+                    continue
+                for old, new in zip(relation.column(attr.name),
+                                    after.column(attr.name)):
+                    assert str(old).casefold() == str(new).casefold()
+
+    def test_float_drift_rounds(self, retail):
+        perturbed = FormatDrift(rate=1.0, decimals=0, side="target").apply(
+            retail, np.random.default_rng(2))
+        prices = perturbed.target.relation("books").column("price")
+        assert all(float(v) == round(float(v), 0) for v in prices)
+
+    def test_source_condition_attribute_unchanged(self, retail):
+        perturbed = FormatDrift(rate=1.0, side="both").apply(
+            retail, np.random.default_rng(2))
+        assert (perturbed.source.relation("items").column("ItemType")
+                == retail.source.relation("items").column("ItemType"))
+
+
+class TestRenameAttributes:
+    def test_abbreviation_examples(self):
+        assert _abbreviate("ListPrice") == "LstPrc"
+        assert _abbreviate("price") == "prc"
+        assert _abbreviate("album_title") == "albmttl"
+
+    def test_ground_truth_follows_target_renames(self, retail):
+        perturbed = RenameAttributes(side="target").apply(
+            retail, np.random.default_rng(3))
+        # Every target ref resolves against the renamed schema, and at
+        # least one attribute actually changed name.
+        changed = False
+        for match in perturbed.ground_truth:
+            schema = perturbed.target.relation(match.target.table).schema
+            schema.attribute(match.target.attribute)
+            changed = changed or match.target.attribute not in (
+                retail.target.relation(match.target.table).schema
+                .attribute_names)
+        assert changed
+
+    def test_source_rename_rewrites_condition_attribute(self, retail):
+        perturbed = RenameAttributes(side="source", style="prefix").apply(
+            retail, np.random.default_rng(3))
+        for match in perturbed.ground_truth:
+            assert match.condition_attribute == "c_ItemType"
+            assert match.source.attribute.startswith("c_")
+
+    def test_collisions_resolved(self):
+        from repro.relational.instance import Database, Relation
+
+        relation = Relation.infer_schema("t", {
+            "price": [1.0], "prce": [2.0], "pierce": [3.0]})
+        workload = Workload(
+            source=Database.from_relations("s", [relation]),
+            target=Database.from_relations("t2", [relation.rename("u")]),
+            ground_truth=GroundTruth())
+        perturbed = RenameAttributes(side="both").apply(
+            workload, np.random.default_rng(0))
+        names = perturbed.source.relation("t").schema.attribute_names
+        assert len(set(names)) == 3
+
+
+class TestShrinkVocabulary:
+    def test_replaces_from_synthetic_pool(self, retail):
+        perturbed = ShrinkVocabulary(rate=1.0, side="target").apply(
+            retail, np.random.default_rng(4))
+        titles = perturbed.target.relation("books").column("title")
+        pool = set(_SYNTHETIC_WORDS)
+        assert all(set(str(v).split()) <= pool for v in titles
+                   if not is_missing(v))
+
+    def test_shrinks_overlap(self, retail):
+        def overlap(workload):
+            src = set(workload.source.relation("items").column("Name"))
+            tgt = set(workload.target.relation("books").column("title"))
+            return len(src & tgt)
+
+        perturbed = ShrinkVocabulary(rate=1.0, side="target").apply(
+            retail, np.random.default_rng(4))
+        assert overlap(perturbed) <= overlap(retail)
+
+    def test_numeric_columns_untouched(self, retail):
+        perturbed = ShrinkVocabulary(rate=1.0, side="target").apply(
+            retail, np.random.default_rng(4))
+        assert (perturbed.target.relation("books").column("price")
+                == retail.target.relation("books").column("price"))
+
+
+class TestShuffleRows:
+    def test_preserves_value_multisets(self, retail):
+        perturbed = ShuffleRows(side="both").apply(
+            retail, np.random.default_rng(6))
+        for side in ("source", "target"):
+            for relation in retail.tables(side):
+                after = (perturbed.source if side == "source"
+                         else perturbed.target).relation(relation.name)
+                for attr in relation.schema.attribute_names:
+                    assert (sorted(map(repr, relation.column(attr)))
+                            == sorted(map(repr, after.column(attr))))
+
+    def test_actually_permutes(self, retail):
+        perturbed = ShuffleRows(side="source").apply(
+            retail, np.random.default_rng(6))
+        assert (perturbed.source.relation("items").column("ItemID")
+                != retail.source.relation("items").column("ItemID"))
+
+
+class TestFactory:
+    def test_registry_covers_all_kinds(self):
+        assert set(PERTURBATIONS) == {"nulls", "format_drift", "rename",
+                                      "shrink_vocab", "shuffle"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown perturbation"):
+            make_perturbation("entropy-storm")
+
+    def test_bad_params(self):
+        with pytest.raises(ReproError, match="bad parameters"):
+            make_perturbation("nulls", saturation=2)
+
+    def test_bad_side_rejected(self):
+        with pytest.raises(ReproError, match="side"):
+            make_perturbation("shuffle", side="sideways")

@@ -1,0 +1,121 @@
+"""Scenario-registry tests: seeded determinism, spec round-trips and
+registry mechanics."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datagen import (PerturbationSpec, ScenarioSpec, build_scenario,
+                           family_names, get_scenario, register_scenario,
+                           registered_scenarios, scenario_names,
+                           workload_fingerprint)
+from repro.datagen.registry import _SCENARIOS
+from repro.errors import ReproError
+
+
+class TestSeededDeterminism:
+    """Satellite: every registered scenario builds identically twice with
+    the same seed, and differently with a different seed."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_seed_is_bit_identical(self, name):
+        first = workload_fingerprint(build_scenario(name))
+        second = workload_fingerprint(build_scenario(name))
+        assert first == second
+
+    @pytest.mark.parametrize(
+        "name", [n for n in scenario_names()
+                 if not get_scenario(n).perturbations])
+    def test_different_seed_differs(self, name):
+        spec = get_scenario(name)
+        reseeded = dataclasses.replace(spec, seed=spec.seed + 101)
+        assert (workload_fingerprint(build_scenario(spec))
+                != workload_fingerprint(build_scenario(reseeded)))
+
+    def test_perturbed_variant_differs_from_base(self):
+        base = workload_fingerprint(build_scenario("retail"))
+        for variant in ("retail-nulls", "retail-drift", "retail-scrambled"):
+            assert workload_fingerprint(build_scenario(variant)) != base
+
+    def test_fingerprint_sees_ground_truth(self):
+        workload = build_scenario("retail")
+        before = workload_fingerprint(workload)
+        workload.ground_truth.add("items", "Qty", "books", "title",
+                                  "ItemType", ["Book"])
+        assert workload_fingerprint(workload) != before
+
+
+class TestRegistry:
+    def test_matrix_shape(self):
+        assert set(family_names()) >= {"retail", "grades", "clinical",
+                                       "events", "realestate"}
+        families = {get_scenario(n).family for n in scenario_names()}
+        assert families == set(family_names())
+
+    def test_get_unknown_scenario(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_build_unknown_family(self):
+        spec = ScenarioSpec(name="x", family="no-such-family")
+        with pytest.raises(ReproError, match="unknown scenario family"):
+            build_scenario(spec)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_scenario(get_scenario("retail"))
+
+    def test_register_requires_known_family(self):
+        spec = ScenarioSpec(name="martian", family="martian")
+        with pytest.raises(ReproError, match="unknown family"):
+            register_scenario(spec)
+        assert "martian" not in _SCENARIOS
+
+    def test_registered_scenarios_sorted(self):
+        names = [s.name for s in registered_scenarios()]
+        assert names == sorted(names) == scenario_names()
+
+
+class TestScenarioSpec:
+    def test_round_trip(self):
+        spec = ScenarioSpec(
+            name="custom", family="retail", seed=3, size=50, gamma=4,
+            knobs=(("target", "aaron"), ("correlated", 2)),
+            config=(("inference", "src"), ("tau", 0.4)),
+            perturbations=(PerturbationSpec.of("nulls", rate=0.1),
+                           PerturbationSpec.of("shuffle")))
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_resized_keeps_everything_else(self):
+        spec = get_scenario("retail-nulls")
+        small = spec.resized(40)
+        assert small.size == 40
+        assert small.perturbations == spec.perturbations
+        assert small.family == spec.family
+
+    def test_knob_lookup(self):
+        spec = ScenarioSpec(name="x", family="grades",
+                            knobs=(("sigma", 15.0),))
+        assert spec.knob("sigma") == 15.0
+        assert spec.knob("absent", "fallback") == "fallback"
+
+    def test_with_perturbations_appends(self):
+        spec = get_scenario("grades")
+        extended = spec.with_perturbations(PerturbationSpec.of("shuffle"))
+        assert [p.kind for p in extended.perturbations] == ["shuffle"]
+        assert not spec.perturbations  # original untouched
+
+    def test_str_mentions_family_and_perturbations(self):
+        text = str(get_scenario("events-drift"))
+        assert "events" in text
+        assert "format_drift" in text
+
+    def test_custom_spec_builds_without_registration(self):
+        spec = ScenarioSpec(name="adhoc", family="events", seed=5, size=40,
+                            gamma=2)
+        workload = build_scenario(spec)
+        assert {r.name for r in workload.target} == {"concerts",
+                                                     "conferences"}
+        assert len(workload.source.relation("events")) == 40

@@ -1,0 +1,167 @@
+"""Tests for the scenario runner, ScenarioResult serialization round-trips
+and golden-baseline comparison."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.context.model import ContextMatchConfig
+from repro.context.serialize import result_from_dict, result_to_dict
+from repro.datagen import ScenarioSpec, get_scenario
+from repro.evaluation import (EngineRunner, compare_to_golden, golden_payload,
+                              run_scenario, scenario_result_from_dict,
+                              scenario_result_to_dict)
+from repro.evaluation.scenarios import scenario_config
+
+
+@pytest.fixture(scope="module")
+def events_result():
+    """One real scenario run shared by the module's tests."""
+    return run_scenario("events")
+
+
+class TestRunScenario:
+    def test_by_name_equals_by_spec(self, events_result):
+        by_spec = run_scenario(get_scenario("events"))
+        assert by_spec.metrics == events_result.metrics
+        assert by_spec.counters == events_result.counters
+
+    def test_report_and_counters_populated(self, events_result):
+        assert events_result.report is not None
+        stage_names = [s.name for s in events_result.report.stages]
+        assert "score-candidates" in stage_names
+        assert events_result.counters["profile_misses"] > 0
+
+    def test_contextual_edges_found(self, events_result):
+        assert events_result.n_contextual > 0
+        assert events_result.n_contextual <= events_result.n_matches
+        assert events_result.metrics.fmeasure > 0
+
+    def test_spec_config_overrides_applied(self):
+        spec = get_scenario("events")
+        config = scenario_config(spec)
+        assert config.inference == "src"
+        assert scenario_config(
+            dataclasses.replace(spec, config=())).inference == "tgt"
+
+    def test_explicit_config_wins(self):
+        result = run_scenario(
+            "events", config=ContextMatchConfig(inference="src", tau=0.95))
+        # tau=0.95 accepts almost nothing; the run still completes.
+        assert result.n_matches <= 4
+
+    def test_runner_reuse_is_equivalent(self):
+        runner = EngineRunner()
+        first = run_scenario("events", runner=runner)
+        second = run_scenario("events", runner=runner)
+        assert first.metrics == second.metrics
+        # The second run hits the runner's prepared-source profile store.
+        assert second.counters["profile_hits"] \
+            >= first.counters["profile_hits"]
+
+
+class TestScenarioResultRoundTrip:
+    """Satellite: ScenarioResult / RunReport serialization round-trips."""
+
+    def test_round_trip_preserves_everything(self, events_result):
+        data = scenario_result_to_dict(events_result)
+        back = scenario_result_from_dict(data)
+        assert back.scenario == events_result.scenario
+        assert back.spec == events_result.spec
+        assert back.metrics == events_result.metrics
+        assert back.metrics.fmeasure == events_result.metrics.fmeasure
+        assert back.n_matches == events_result.n_matches
+        assert back.n_contextual == events_result.n_contextual
+        assert back.counters == events_result.counters
+        assert back.elapsed_seconds == events_result.elapsed_seconds
+
+    def test_report_round_trips_with_profile_counters(self, events_result):
+        data = scenario_result_to_dict(events_result)
+        back = scenario_result_from_dict(data)
+        assert back.report is not None
+        original = {s.name: s.counts for s in events_result.report.stages}
+        restored = {s.name: s.counts for s in back.report.stages}
+        assert restored == original
+        score = back.report.stage("score-candidates")
+        assert "profile_misses" in score.counts
+
+    def test_json_compatible(self, events_result):
+        import json
+
+        encoded = json.dumps(scenario_result_to_dict(events_result))
+        back = scenario_result_from_dict(json.loads(encoded))
+        assert back.metrics == events_result.metrics
+
+    def test_missing_report_round_trips_as_none(self, events_result):
+        data = scenario_result_to_dict(events_result)
+        data["report"] = None
+        assert scenario_result_from_dict(data).report is None
+
+    def test_match_result_round_trip_keeps_scenario_counters(self):
+        """result_from_dict on an engine report that carries the profiling
+        counters the scenario tier aggregates."""
+        from repro.datagen import build_scenario
+        from repro.engine import MatchEngine
+
+        workload = build_scenario("events")
+        result = MatchEngine(scenario_config(get_scenario("events"))).match(
+            workload.source, workload.target)
+        back = result_from_dict(result_to_dict(result))
+        assert back.report is not None
+        original_counts = {s.name: s.counts for s in result.report.stages}
+        assert {s.name: s.counts for s in back.report.stages} \
+            == original_counts
+        assert back.report.stage("score-candidates").counts[
+            "profile_misses"] >= 0
+
+
+class TestGoldenComparison:
+    def test_fresh_run_matches_own_payload(self, events_result):
+        assert compare_to_golden(events_result,
+                                 golden_payload(events_result)) == []
+
+    def test_metric_drift_detected(self, events_result):
+        golden = golden_payload(events_result)
+        golden["metrics"]["fmeasure"] += 5.0
+        violations = compare_to_golden(events_result, golden)
+        assert any("fmeasure" in v for v in violations)
+
+    def test_drift_within_tolerance_accepted(self, events_result):
+        golden = golden_payload(events_result)
+        golden["metrics"]["accuracy"] += 0.5  # < default 1.0 tolerance
+        assert compare_to_golden(events_result, golden) == []
+
+    def test_baseline_can_widen_tolerance(self, events_result):
+        golden = golden_payload(events_result,
+                                tolerances={"metrics": 10.0, "counts": 2,
+                                            "counters": 5})
+        golden["metrics"]["fmeasure"] += 5.0
+        golden["counts"]["n_found"] += 2
+        golden["counters"]["profile_misses"] += 5
+        assert compare_to_golden(events_result, golden) == []
+
+    def test_count_drift_detected(self, events_result):
+        golden = golden_payload(events_result)
+        golden["counts"]["n_contextual"] += 1
+        violations = compare_to_golden(events_result, golden)
+        assert any("n_contextual" in v for v in violations)
+
+    def test_counter_drift_detected(self, events_result):
+        golden = golden_payload(events_result)
+        golden["counters"]["partitions_built"] += 3
+        violations = compare_to_golden(events_result, golden)
+        assert any("partitions_built" in v for v in violations)
+
+    def test_spec_drift_detected(self, events_result):
+        golden = golden_payload(events_result)
+        golden["spec"]["size"] += 10
+        violations = compare_to_golden(events_result, golden)
+        assert any("spec mismatch" in v for v in violations)
+
+    def test_scenario_name_mismatch_detected(self, events_result):
+        golden = golden_payload(events_result)
+        golden["scenario"] = "retail"
+        violations = compare_to_golden(events_result, golden)
+        assert any("name mismatch" in v for v in violations)

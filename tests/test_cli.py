@@ -166,6 +166,59 @@ class TestEndToEnd:
         assert f"== {out / 'src'}" in output
         assert "contextual" in output
 
+    def test_scenarios_list(self, capsys):
+        from repro.datagen import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+
+    def test_scenarios_list_json(self, capsys):
+        from repro.datagen import ScenarioSpec, scenario_names
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in payload] == scenario_names()
+        # Every listed spec round-trips to a buildable ScenarioSpec.
+        assert all(isinstance(ScenarioSpec.from_dict(s), ScenarioSpec)
+                   for s in payload)
+
+    def test_scenarios_run_text(self, capsys):
+        assert main(["scenarios", "run", "events", "--size", "80"]) == 0
+        output = capsys.readouterr().out
+        assert "events" in output
+        assert "acc=" in output and "prec=" in output
+
+    def test_scenarios_run_json_schema(self, capsys):
+        """Acceptance: `repro scenarios run <name> --json` emits a
+        schema-valid ScenarioResult report."""
+        from repro.evaluation import scenario_result_from_dict
+
+        rc = main(["scenarios", "run", "retail-nulls", "--size", "120",
+                   "--seed", "4", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "retail-nulls"
+        assert payload["spec"]["size"] == 120
+        assert payload["spec"]["seed"] == 4
+        for key in ("accuracy", "precision", "fmeasure", "n_found",
+                    "n_correct_found", "n_truth"):
+            assert key in payload["metrics"]
+        assert set(payload["counters"]) == {
+            "profile_hits", "profile_misses", "partitions_built",
+            "partition_hits", "profiles_merged"}
+        assert [s["name"] for s in payload["report"]["stages"]] == [
+            "standard-match", "infer-views", "score-candidates", "select",
+            "conjunctive-refine"]
+        restored = scenario_result_from_dict(payload)
+        assert restored.scenario == "retail-nulls"
+
+    def test_scenarios_run_unknown_name_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenarios", "run", "no-such-scenario"])
+        assert "unknown scenario" in str(excinfo.value)
+
     def test_map_with_no_matches_fails_cleanly(self, tmp_path, capsys):
         import csv
         src = tmp_path / "src"

@@ -1,0 +1,79 @@
+"""The golden-metrics regression tier (``pytest -m golden``).
+
+Every registered scenario is run end-to-end (build -> match -> score) and
+compared against its committed baseline in ``tests/golden/<name>.json``
+with the tolerances the baseline itself declares.  Scenario construction
+is seeded and the engine is deterministic, so these pin match *quality*
+(precision / recall / F-measure), found-edge counts and the profile-cache
+counters — the contract every future scaling PR must not regress.
+
+To regenerate baselines after an intentional behavior change::
+
+    GOLDEN_UPDATE=1 PYTHONPATH=src python -m pytest -m golden -q
+
+and commit the resulting ``tests/golden/`` diff for review.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.datagen import scenario_names
+from repro.evaluation import compare_to_golden, golden_payload, run_scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+UPDATE = bool(os.environ.get("GOLDEN_UPDATE"))
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_matches_golden(name):
+    result = run_scenario(name)
+    path = GOLDEN_DIR / f"{name}.json"
+    if UPDATE:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(golden_payload(result), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        pytest.skip(f"baseline regenerated: {path}")
+    assert path.exists(), (
+        f"no golden baseline for scenario {name!r}; generate one with "
+        f"GOLDEN_UPDATE=1 and commit tests/golden/{name}.json")
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    violations = compare_to_golden(result, golden)
+    assert not violations, (
+        f"scenario {name!r} regressed against tests/golden/{name}.json:\n"
+        + "\n".join(f"  - {v}" for v in violations))
+
+
+def test_no_orphan_golden_files():
+    """Every committed baseline must name a registered scenario — a rename
+    must move its baseline, not strand it."""
+    known = set(scenario_names())
+    orphans = [p.name for p in GOLDEN_DIR.glob("*.json")
+               if p.stem not in known]
+    assert not orphans, f"golden baselines without a scenario: {orphans}"
+
+
+def test_golden_matrix_covers_families():
+    """The acceptance floor: >= 4 families, each with a base scenario and
+    >= 3 perturbation variants, all under golden baselines."""
+    from repro.datagen import get_scenario
+
+    by_family: dict[str, list] = {}
+    for name in scenario_names():
+        spec = get_scenario(name)
+        by_family.setdefault(spec.family, []).append(spec)
+    assert len(by_family) >= 4, sorted(by_family)
+    for family, specs in by_family.items():
+        perturbed = [s for s in specs if s.perturbations]
+        assert len(perturbed) >= 3, (
+            f"family {family!r} has only {len(perturbed)} perturbation "
+            "variants")
+        assert any(not s.perturbations for s in specs), (
+            f"family {family!r} has no base scenario")
