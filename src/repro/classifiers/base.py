@@ -4,18 +4,40 @@ A classifier learns a mapping from data values ("documents") to labels —
 either categorical-attribute values (``SrcClassInfer``) or target-column
 tags (``TgtClassInfer``).  Training is incremental (``teach``), mirroring
 the paper's ``C.teach(t.a, "RT.a")`` phrasing in Figure 7.
+
+Batch-first core
+----------------
+Candidate-view inference classifies whole columns, not single values, so
+the interface is batch-first as well: :meth:`Classifier.teach_many` and
+:meth:`Classifier.classify_many` take parallel sequences and default to
+the scalar loop, while vectorized classifiers
+(:class:`~repro.classifiers.naive_bayes.NaiveBayesClassifier`,
+:class:`~repro.classifiers.numeric.GaussianClassifier`) override them with
+compiled fast paths that produce bit-identical labels.
+
+Classifiers whose training state is a pure function of per-label
+sufficient statistics additionally set :attr:`Classifier.supports_regrouping`
+and implement :meth:`Classifier.regrouped`: given a mapping from taught
+labels to coarser group labels, they return the classifier that teaching
+the same examples under the group labels would have produced — without
+re-teaching.  The early-disjunct merge loop (Section 3.3) uses this to
+turn every group merge into an O(labels) statistics merge.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 __all__ = ["Classifier"]
 
 
 class Classifier(abc.ABC):
     """Single-label classifier over data values."""
+
+    #: True when :meth:`regrouped` derives the classifier for relabeled
+    #: training data exactly (bit-identically) from this one's statistics.
+    supports_regrouping: bool = False
 
     @abc.abstractmethod
     def teach(self, value: Any, label: Hashable) -> None:
@@ -28,6 +50,55 @@ class Classifier(abc.ABC):
     def teach_all(self, examples: Iterable[tuple[Any, Hashable]]) -> None:
         for value, label in examples:
             self.teach(value, label)
+
+    def teach_many(self, values: Sequence[Any],
+                   labels: Sequence[Hashable]) -> None:
+        """Add a batch of training examples (parallel sequences).
+
+        Equivalent to calling :meth:`teach` pairwise; batch classifiers
+        override this to amortize per-call bookkeeping (e.g. invalidating
+        a compiled representation once instead of per example).
+        """
+        if len(values) != len(labels):
+            raise ValueError(
+                f"teach_many needs parallel sequences, got {len(values)} "
+                f"values vs {len(labels)} labels")
+        for value, label in zip(values, labels):
+            self.teach(value, label)
+
+    def classify_many(self, values: Sequence[Any]) -> list[Hashable | None]:
+        """Predict labels for a batch of values, in input order.
+
+        Must return exactly what per-value :meth:`classify` calls would —
+        vectorized overrides trade the scalar loop for compiled inference
+        and distinct-value memoization, never for different answers.
+        """
+        return [self.classify(value) for value in values]
+
+    def log_posteriors_many(self, values: Sequence[Any]
+                            ) -> list[dict[Hashable, float]]:
+        """Per-value unnormalized log posteriors for a batch of values.
+
+        Only meaningful for probabilistic classifiers exposing a scalar
+        ``log_posteriors``; the default delegates to it per value.
+        """
+        scalar = getattr(self, "log_posteriors", None)
+        if scalar is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not expose log posteriors")
+        return [scalar(value) for value in values]
+
+    def regrouped(self, mapping: Mapping[Hashable, Hashable]) -> "Classifier":
+        """The classifier teaching the same examples under mapped labels
+        would have produced.
+
+        *mapping* sends every taught label to its group label.  Only
+        available when :attr:`supports_regrouping` is True; the result
+        must be bit-identical to re-teaching (its statistics are integer
+        or order-preserving merges of this classifier's).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot regroup its training statistics")
 
     @property
     @abc.abstractmethod

@@ -9,7 +9,7 @@ hypothesis of no correlation.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Hashable
+from typing import Any, Hashable, Mapping
 
 from .base import Classifier
 
@@ -19,11 +19,21 @@ __all__ = ["MajorityClassifier"]
 class MajorityClassifier(Classifier):
     """Predicts the most frequent label seen in training."""
 
+    supports_regrouping = True
+
     def __init__(self):
         self._label_counts: Counter = Counter()
 
     def teach(self, value: Any, label: Hashable) -> None:
         self._label_counts[label] += 1
+
+    def regrouped(self, mapping: Mapping[Hashable, Hashable]
+                  ) -> "MajorityClassifier":
+        """Label counts summed per group — exact (integer) merge."""
+        other = MajorityClassifier()
+        for label, count in self._label_counts.items():
+            other._label_counts[mapping[label]] += count
+        return other
 
     @property
     def labels(self) -> frozenset[Hashable]:

@@ -4,22 +4,231 @@
 with the values tokenized into 3-grams" (Section 3.2.3).  Laplace-smoothed,
 log-space, deterministic tie-breaking (more frequent label first, then
 stable lexicographic order) per Section 3.2.4's tie rules.
+
+Two equivalent inference paths exist:
+
+* the scalar path (:meth:`NaiveBayesClassifier.log_posteriors` /
+  :meth:`~NaiveBayesClassifier.classify`) walks the raw count dictionaries
+  and calls ``math.log`` per (token, label) — the original implementation,
+  kept verbatim as the equivalence reference;
+* the batch path (:meth:`~NaiveBayesClassifier.log_posteriors_many` /
+  :meth:`~NaiveBayesClassifier.classify_many`) lazily compiles the counts
+  into a vocabulary index plus a dense numpy log-probability matrix
+  (invalidated on teach), gathers each value's token columns and reduces
+  them with ``np.add.accumulate`` — the same IEEE additions in the same
+  left-to-right order as the scalar loop, so posteriors are bit-identical,
+  while the ``math.log`` table is built once per compile instead of once
+  per classified value.  Distinct values are tokenized through the shared
+  :mod:`~repro.matching.tokens` cache and their posterior rows memoized.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Any, Hashable
+from typing import Any, Hashable, Mapping, Sequence
 
-from ..matching.tokens import qgrams, value_to_text
+import numpy as np
+
+from ..matching.tokens import cached_qgrams
 from .base import Classifier
 
 __all__ = ["NaiveBayesClassifier"]
 
+#: Sentinel distinguishing "not cached" from a cached None label.
+_UNRESOLVED = object()
+
+
+class _CompiledNB:
+    """Frozen dense view of one classifier state (one teach generation).
+
+    ``log_matrix[l, t]`` holds ``math.log((count(t | l) + 1) / denom_l)``
+    for every vocabulary token, with an extra trailing column for tokens
+    outside the vocabulary (count 0 — the same smoothed probability a
+    zero-count vocabulary token gets); ``log_prior[l]`` holds the label's
+    log prior.  Every entry is produced by the exact expression the scalar
+    path evaluates, so a posterior assembled from this table equals the
+    scalar result bit-for-bit.
+    """
+
+    __slots__ = ("q", "labels", "label_counts", "vocab_index", "unseen",
+                 "log_matrix", "log_prior", "_row_cache", "_label_cache",
+                 "_gram_ids")
+
+    def __init__(self, nb: "NaiveBayesClassifier"):
+        self.q = nb.q
+        # value -> token-column memo shared across the classifier's
+        # regroup family (the vocabulary, and hence the column index, is
+        # identical for every regrouping of the same taught statistics).
+        self._gram_ids = nb._gram_ids
+        self.labels: list[Hashable] = list(nb._label_counts)
+        self.label_counts: list[int] = [nb._label_counts[label]
+                                        for label in self.labels]
+        vocabulary = sorted(nb._vocabulary)
+        self.vocab_index: dict[str, int] = {
+            token: i for i, token in enumerate(vocabulary)}
+        self.unseen = len(vocabulary)
+        vocab_size = len(vocabulary) or 1
+        n_labels = len(self.labels)
+        self.log_matrix = np.empty((n_labels, len(vocabulary) + 1),
+                                   dtype=np.float64)
+        self.log_prior = np.empty(n_labels, dtype=np.float64)
+        examples = nb._examples
+        for li, label in enumerate(self.labels):
+            counts = nb._token_counts.get(label, ())
+            denom = nb._token_totals.get(label, 0) + vocab_size
+            # math.log per *distinct count value*, not per (token, label):
+            # the scalar loop's addend depends only on (count, denom).
+            log_for_count: dict[int, float] = {0: math.log((0 + 1) / denom)}
+            row = self.log_matrix[li]
+            row.fill(log_for_count[0])
+            for token, count in counts.items() if counts else ():
+                addend = log_for_count.get(count)
+                if addend is None:
+                    addend = log_for_count[count] = math.log(
+                        (count + 1) / denom)
+                row[self.vocab_index[token]] = addend
+            self.log_prior[li] = math.log(nb._label_counts[label] / examples)
+        #: Posterior rows / decisions memoized per distinct value (keyed by
+        #: concrete class + value, so 1 / 1.0 / True stay distinct).
+        self._row_cache: dict[tuple, np.ndarray] = {}
+        self._label_cache: dict[tuple, Hashable] = {}
+
+    def _value_key(self, value: Any) -> tuple | None:
+        try:
+            key = (value.__class__, value)
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _columns_for(self, key: tuple | None, value: Any) -> list[int]:
+        """Token columns of *value*, memoized per distinct value."""
+        if key is not None:
+            cached = self._gram_ids.get(key)
+            if cached is not None:
+                return cached
+        columns = [self.vocab_index.get(token, self.unseen)
+                   for token in cached_qgrams(value, self.q)]
+        if key is not None:
+            self._gram_ids[key] = columns
+        return columns
+
+    def posterior_row(self, value: Any) -> np.ndarray:
+        """Per-label posteriors of *value*, ordered like :attr:`labels`.
+
+        Reproduces the scalar accumulation exactly: the row starts at the
+        log prior and adds one table entry per token occurrence, left to
+        right, via ``np.add.accumulate`` (a strictly sequential reduction).
+        """
+        key = self._value_key(value)
+        if key is not None:
+            cached = self._row_cache.get(key)
+            if cached is not None:
+                return cached
+        columns = self._columns_for(key, value)
+        block = np.empty((len(self.labels), len(columns) + 1),
+                         dtype=np.float64)
+        block[:, 0] = self.log_prior
+        if columns:
+            block[:, 1:] = self.log_matrix[:, columns]
+        np.add.accumulate(block, axis=1, out=block)
+        row = block[:, -1].copy()
+        if key is not None:
+            self._row_cache[key] = row
+        return row
+
+    def _pick_label(self, row: np.ndarray) -> Hashable:
+        """argmax over one posterior row with the scalar path's exact
+        tie-breaking."""
+        ties = np.flatnonzero(row == row.max())
+        if len(ties) == 1:
+            return self.labels[ties[0]]
+        # Same ordering as max(posteriors, key=(posterior, count, repr))
+        # restricted to the exact-maximum set.
+        return self.labels[max(
+            ties, key=lambda i: (self.label_counts[i],
+                                 repr(self.labels[i])))]
+
+    def classify_value(self, value: Any) -> Hashable | None:
+        """argmax with the scalar path's exact tie-breaking."""
+        if not self.labels:
+            return None
+        key = self._value_key(value)
+        if key is not None and key in self._label_cache:
+            return self._label_cache[key]
+        label = self._pick_label(self.posterior_row(value))
+        if key is not None:
+            self._label_cache[key] = label
+        return label
+
+    def classify_batch(self, values: Sequence[Any]) -> list[Hashable | None]:
+        """Batch argmax over many values with one accumulate per bucket.
+
+        Distinct uncached values are bucketed by token count; each bucket
+        classifies as a single (batch × labels × tokens+1) gather +
+        ``np.add.accumulate`` — per (value, label) the identical sequential
+        chain of IEEE additions as :meth:`posterior_row`, so decisions are
+        bit-identical to per-value classification while the numpy call
+        overhead is paid once per bucket instead of once per value.
+        """
+        if not self.labels:
+            return [None for _ in values]
+        out: list[Hashable | None] = [None] * len(values)
+        # positions needing computation, grouped by distinct value key.
+        by_key: dict[tuple, list[int]] = {}
+        loose: list[int] = []  # unhashable values — computed individually
+        for position, value in enumerate(values):
+            key = self._value_key(value)
+            if key is None:
+                loose.append(position)
+                continue
+            cached = self._label_cache.get(key, _UNRESOLVED)
+            if cached is not _UNRESOLVED:
+                out[position] = cached
+            else:
+                by_key.setdefault(key, []).append(position)
+        for position in loose:
+            out[position] = self._pick_label(
+                self.posterior_row(values[position]))
+        if not by_key:
+            return out
+        # Bucket distinct values by token count for rectangular batches.
+        buckets: dict[int, tuple[list[tuple], list[list[int]]]] = {}
+        for key, positions in by_key.items():
+            columns = self._columns_for(key, values[positions[0]])
+            keys, column_rows = buckets.setdefault(len(columns), ([], []))
+            keys.append(key)
+            column_rows.append(columns)
+        for width, (keys, column_rows) in buckets.items():
+            batch = len(keys)
+            block = np.empty((batch, len(self.labels), width + 1),
+                             dtype=np.float64)
+            block[:, :, 0] = self.log_prior
+            if width:
+                gathered = self.log_matrix[
+                    :, np.asarray(column_rows, dtype=np.intp)]
+                block[:, :, 1:] = gathered.transpose(1, 0, 2)
+            np.add.accumulate(block, axis=2, out=block)
+            rows = block[:, :, -1]
+            maxima = rows.max(axis=1)
+            argmaxima = rows.argmax(axis=1)
+            tie_counts = (rows == maxima[:, None]).sum(axis=1)
+            for b, key in enumerate(keys):
+                if tie_counts[b] == 1:
+                    label = self.labels[argmaxima[b]]
+                else:
+                    label = self._pick_label(rows[b])
+                self._label_cache[key] = label
+                for position in by_key[key]:
+                    out[position] = label
+        return out
+
 
 class NaiveBayesClassifier(Classifier):
     """Laplace-smoothed multinomial NB on q-gram tokens."""
+
+    supports_regrouping = True
 
     def __init__(self, *, q: int = 3):
         if q < 1:
@@ -30,9 +239,14 @@ class NaiveBayesClassifier(Classifier):
         self._label_counts: Counter = Counter()
         self._vocabulary: set[str] = set()
         self._examples = 0
+        self._compiled: _CompiledNB | None = None
+        #: value -> token-column memo for the compiled path, shared across
+        #: regroup copies (same vocabulary, same column index); replaced —
+        #: not mutated — on teach, so copies keep their valid view.
+        self._gram_ids: dict[tuple, list[int]] = {}
 
-    def _tokens(self, value: Any) -> list[str]:
-        return qgrams(value_to_text(value), self.q)
+    def _tokens(self, value: Any) -> tuple[str, ...]:
+        return cached_qgrams(value, self.q)
 
     def teach(self, value: Any, label: Hashable) -> None:
         tokens = self._tokens(value)
@@ -43,13 +257,35 @@ class NaiveBayesClassifier(Classifier):
             counts[token] += 1
             self._vocabulary.add(token)
         self._token_totals[label] += len(tokens)
+        self._compiled = None
+        self._gram_ids = {}
+
+    def teach_many(self, values: Sequence[Any],
+                   labels: Sequence[Hashable]) -> None:
+        """Bulk teach: per-value Counter/set updates run at C speed and the
+        compiled representation is invalidated once.  Counts are integer
+        sums, so the result is identical to per-value :meth:`teach`."""
+        if len(values) != len(labels):
+            raise ValueError(
+                f"teach_many needs parallel sequences, got {len(values)} "
+                f"values vs {len(labels)} labels")
+        vocabulary = self._vocabulary
+        for value, label in zip(values, labels):
+            tokens = self._tokens(value)
+            self._label_counts[label] += 1
+            self._token_counts[label].update(tokens)
+            self._token_totals[label] += len(tokens)
+            vocabulary.update(tokens)
+        self._examples += len(values)
+        self._compiled = None
+        self._gram_ids = {}
 
     @property
     def labels(self) -> frozenset[Hashable]:
         return frozenset(self._label_counts)
 
     def log_posteriors(self, value: Any) -> dict[Hashable, float]:
-        """Unnormalized log posterior for every label."""
+        """Unnormalized log posterior for every label (scalar path)."""
         if not self._label_counts:
             return {}
         tokens = self._tokens(value)
@@ -74,3 +310,52 @@ class NaiveBayesClassifier(Classifier):
             posteriors,
             key=lambda lab: (posteriors[lab], self._label_counts[lab], repr(lab)),
         )
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def compiled(self) -> _CompiledNB:
+        """The dense log-probability view of the current counts (lazy;
+        invalidated by :meth:`teach`)."""
+        if self._compiled is None:
+            self._compiled = _CompiledNB(self)
+        return self._compiled
+
+    def log_posteriors_many(self, values: Sequence[Any]
+                            ) -> list[dict[Hashable, float]]:
+        """Batch log posteriors, bit-identical to :meth:`log_posteriors`."""
+        if not self._label_counts:
+            return [{} for _ in values]
+        compiled = self.compiled()
+        return [
+            dict(zip(compiled.labels,
+                     compiled.posterior_row(value).tolist()))
+            for value in values
+        ]
+
+    def classify_many(self, values: Sequence[Any]) -> list[Hashable | None]:
+        """Batch classification, bit-identical to :meth:`classify`."""
+        if not self._label_counts:
+            return [None for _ in values]
+        return self.compiled().classify_batch(values)
+
+    def regrouped(self, mapping: Mapping[Hashable, Hashable]
+                  ) -> "NaiveBayesClassifier":
+        """The classifier teaching the same examples under group labels
+        would have produced: token-count rows summed per group.
+
+        All statistics are integers, so the merge is exact — classifying
+        with the regrouped classifier equals re-teaching from scratch with
+        ``mapping[label]`` in place of each label.
+        """
+        other = NaiveBayesClassifier(q=self.q)
+        for label, count in self._label_counts.items():
+            other._label_counts[mapping[label]] += count
+        for label, counts in self._token_counts.items():
+            other._token_counts[mapping[label]].update(counts)
+        for label, total in self._token_totals.items():
+            other._token_totals[mapping[label]] += total
+        other._vocabulary = set(self._vocabulary)
+        other._examples = self._examples
+        other._gram_ids = self._gram_ids  # same vocabulary, same columns
+        return other

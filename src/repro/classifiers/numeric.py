@@ -4,13 +4,23 @@
 (Section 3.2.3).  Each label gets a univariate normal fitted to its training
 values; classification maximizes prior x likelihood.  A variance floor
 keeps degenerate (constant) classes usable.
+
+The batch path (:meth:`GaussianClassifier.classify_many` /
+:meth:`~GaussianClassifier.log_posteriors_many`) keeps the scalar kernel —
+floating-point exponentiation (``** 2``) is not reproducible across numpy
+and libm at the ulp level, and the equivalence contract is bit-identity —
+and instead amortizes: the per-label fit happens once per batch and each
+*distinct* value is evaluated once (numeric columns repeat values heavily).
+:meth:`~GaussianClassifier.regrouped` merges per-label value lists back
+into original teach order (positions are recorded at teach time), so a
+merged group's fit equals a from-scratch retrain bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Any, Hashable
+from typing import Any, Hashable, Mapping, Sequence
 
 from .base import Classifier
 
@@ -23,10 +33,21 @@ _VARIANCE_FLOOR_FRACTION = 1e-4
 class GaussianClassifier(Classifier):
     """Per-label univariate Gaussian, maximum a-posteriori prediction."""
 
+    supports_regrouping = True
+
     def __init__(self):
         self._values: dict[Hashable, list[float]] = defaultdict(list)
+        #: Global teach-order index of each stored value, parallel to
+        #: ``_values`` — lets :meth:`regrouped` interleave merged lists in
+        #: the exact order a retrain would have taught them.
+        self._positions: dict[Hashable, list[int]] = defaultdict(list)
         self._label_counts: Counter = Counter()
+        self._taught = 0
         self._fitted: dict[Hashable, tuple[float, float]] | None = None
+        #: Per-label constants of the posterior formula, derived from the
+        #: fit: (label, mean, 2*variance, normal log-norm term, log prior,
+        #: label count).  Rebuilt with the fit.
+        self._terms: list[tuple[Hashable, float, float, float, float, int]] | None = None
 
     def teach(self, value: Any, label: Hashable) -> None:
         try:
@@ -34,8 +55,11 @@ class GaussianClassifier(Classifier):
         except (TypeError, ValueError):
             return  # non-numeric garbage carries no signal for this model
         self._values[label].append(number)
+        self._positions[label].append(self._taught)
+        self._taught += 1
         self._label_counts[label] += 1
         self._fitted = None
+        self._terms = None
 
     @property
     def labels(self) -> frozenset[Hashable]:
@@ -60,32 +84,129 @@ class GaussianClassifier(Classifier):
         self._fitted = fitted
         return fitted
 
+    def _posterior_terms(self) -> list[tuple[Hashable, float, float, float,
+                                             float, int]]:
+        """Per-label constants of the posterior formula, cached with the
+        fit — the ``math.log`` calls happen once per fit, not once per
+        classified value.  Each term reproduces the textbook expression's
+        exact floats, so posteriors assembled from them are bit-identical
+        to computing everything inline."""
+        if self._terms is None:
+            fitted = self._fit()
+            total = sum(self._label_counts.values())
+            self._terms = [
+                (label, mean, 2.0 * variance,
+                 -0.5 * math.log(2.0 * math.pi * variance),
+                 math.log(self._label_counts[label] / total),
+                 self._label_counts[label])
+                for label, (mean, variance) in fitted.items()
+            ]
+        return self._terms
+
     def log_posteriors(self, value: Any) -> dict[Hashable, float]:
         try:
             number = float(value)
         except (TypeError, ValueError):
             return {}
-        fitted = self._fit()
-        if not fitted:
-            return {}
-        total = sum(self._label_counts.values())
-        posteriors: dict[Hashable, float] = {}
-        for label, (mean, variance) in fitted.items():
-            prior = self._label_counts[label] / total
-            log_likelihood = (-0.5 * math.log(2.0 * math.pi * variance)
-                              - (number - mean) ** 2 / (2.0 * variance))
-            posteriors[label] = math.log(prior) + log_likelihood
-        return posteriors
+        return {
+            label: log_prior + (log_norm - (number - mean) ** 2 / twice_var)
+            for label, mean, twice_var, log_norm, log_prior, _
+            in self._posterior_terms()
+        }
 
     def classify(self, value: Any) -> Hashable | None:
-        posteriors = self.log_posteriors(value)
-        if not posteriors:
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            number = None
+        terms = self._posterior_terms()
+        if number is None or not terms:
             # Fall back to the prior for unparseable inputs, if trained.
             if self._label_counts:
                 return max(self._label_counts,
                            key=lambda lab: (self._label_counts[lab], repr(lab)))
             return None
-        return max(
-            posteriors,
-            key=lambda lab: (posteriors[lab], self._label_counts[lab], repr(lab)),
-        )
+        # Single pass tracking the best posterior; the (count, repr)
+        # tie-break only engages on exact posterior ties, exactly like
+        # max(posteriors, key=(posterior, count, repr)).
+        best_posterior: float | None = None
+        ties: list[tuple[Hashable, int]] = []
+        for label, mean, twice_var, log_norm, log_prior, count in terms:
+            posterior = log_prior + (log_norm - (number - mean) ** 2 / twice_var)
+            if best_posterior is None or posterior > best_posterior:
+                best_posterior = posterior
+                ties = [(label, count)]
+            elif posterior == best_posterior:
+                ties.append((label, count))
+        if len(ties) == 1:
+            return ties[0][0]
+        return max(ties, key=lambda lc: (lc[1], repr(lc[0])))[0]
+
+    # ------------------------------------------------------------------
+    # Batch path
+    # ------------------------------------------------------------------
+    def _memo_key(self, value: Any) -> tuple | None:
+        # classify/log_posteriors depend on value only through float(value)
+        # (or its unparseability), but key on the concrete class + value so
+        # the memo never has to reason about cross-type equality.
+        try:
+            key = (value.__class__, value)
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def log_posteriors_many(self, values: Sequence[Any]
+                            ) -> list[dict[Hashable, float]]:
+        """Batch log posteriors: one fit, one evaluation per distinct
+        value, bit-identical to :meth:`log_posteriors`."""
+        self._fit()
+        memo: dict[tuple, dict[Hashable, float]] = {}
+        out: list[dict[Hashable, float]] = []
+        for value in values:
+            key = self._memo_key(value)
+            if key is None:
+                out.append(self.log_posteriors(value))
+                continue
+            cached = memo.get(key)
+            if cached is None:
+                cached = memo[key] = self.log_posteriors(value)
+            out.append(dict(cached))
+        return out
+
+    def classify_many(self, values: Sequence[Any]) -> list[Hashable | None]:
+        """Batch classification, bit-identical to :meth:`classify`."""
+        self._fit()
+        memo: dict[tuple, Hashable | None] = {}
+        out: list[Hashable | None] = []
+        for value in values:
+            key = self._memo_key(value)
+            if key is None:
+                out.append(self.classify(value))
+                continue
+            if key not in memo:
+                memo[key] = self.classify(value)
+            out.append(memo[key])
+        return out
+
+    def regrouped(self, mapping: Mapping[Hashable, Hashable]
+                  ) -> "GaussianClassifier":
+        """The classifier teaching the same examples under group labels
+        would have produced.
+
+        Merged value lists are re-interleaved by recorded teach position,
+        so the (order-sensitive) mean/variance accumulations of
+        :meth:`_fit` see exactly the sequence a retrain would have."""
+        other = GaussianClassifier()
+        merged: dict[Hashable, list[tuple[int, float]]] = {}
+        for label, values in self._values.items():
+            merged.setdefault(mapping[label], []).extend(
+                zip(self._positions[label], values))
+        for group, tagged in merged.items():
+            tagged.sort(key=lambda pair: pair[0])
+            other._values[group] = [value for _, value in tagged]
+            other._positions[group] = [position for position, _ in tagged]
+        for label, count in self._label_counts.items():
+            other._label_counts[mapping[label]] += count
+        other._taught = self._taught
+        return other

@@ -5,15 +5,23 @@ trained on every compatible target column: each value of ``RT.a`` is taught
 with the label ``"RT.a"``.  Applied to a source value, the classifier
 guesses which target column the value "should appear in" — the tag that
 ``TgtClassInfer`` then correlates with the source's categorical attributes.
+
+Tagging is the hottest classifier loop of a ``tgt``-inference run (every
+sampled source value is scored against every compatible target column), so
+the set exposes :meth:`TargetClassifierSet.classify_many`, which routes
+whole columns through the family classifier's batch path — distinct values
+are tagged once and the Naive Bayes family classifier answers from its
+compiled log-probability matrix.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from ..relational.instance import Database
 from ..relational.schema import AttributeRef
 from ..relational.types import DataType, is_missing
+from ..sampling import systematic_thin
 from .base import Classifier
 from .naive_bayes import NaiveBayesClassifier
 from .numeric import GaussianClassifier
@@ -56,11 +64,9 @@ class TargetClassifierSet:
                     classifiers[family] = classifier
                 tag = str(AttributeRef(relation.name, attribute.name))
                 values = relation.non_missing(attribute.name)
-                if sample_limit is not None and len(values) > sample_limit:
-                    step = len(values) / sample_limit
-                    values = [values[int(i * step)] for i in range(sample_limit)]
-                for value in values:
-                    classifier.teach(value, tag)
+                if sample_limit is not None:
+                    values = systematic_thin(values, sample_limit)
+                classifier.teach_many(values, [tag] * len(values))
         return cls(classifiers)
 
     def families(self) -> frozenset[str]:
@@ -78,6 +84,27 @@ class TargetClassifierSet:
             return None
         tag = classifier.classify(value)
         return None if tag is None else str(tag)
+
+    def classify_many(self, values: Sequence[Any],
+                      dtype: DataType) -> list[str | None]:
+        """Batch-tag a column of source values (in input order).
+
+        Identical to per-value :meth:`classify` calls, but missing values
+        are skipped up front and the rest go through the family
+        classifier's vectorized :meth:`~Classifier.classify_many`.
+        """
+        classifier = self.classifier_for(dtype)
+        if classifier is None:
+            return [None] * len(values)
+        present = [i for i, value in enumerate(values)
+                   if not is_missing(value)]
+        tags: list[str | None] = [None] * len(values)
+        if not present:
+            return tags
+        predicted = classifier.classify_many([values[i] for i in present])
+        for i, tag in zip(present, predicted):
+            tags[i] = None if tag is None else str(tag)
+        return tags
 
 
 def create_target_classifier(target: Database,

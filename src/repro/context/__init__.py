@@ -8,7 +8,8 @@ triples ``(RS.s, RT.t, condition)`` plus a per-stage
 :class:`~repro.engine.RunReport`.
 """
 
-from .candidates import (CandidateViewGenerator, InferenceContext, NaiveInfer,
+from .candidates import (CandidateViewGenerator, FamilyAssessor,
+                         InferenceContext, InferenceStats, NaiveInfer,
                          SrcClassInfer, TgtClassInfer, make_generator,
                          set_partitions)
 from .categorical import (CategoricalPolicy, categorical_attributes,
@@ -32,7 +33,9 @@ __all__ = [
     "MatchResult",
     "CandidateScore",
     "CandidateViewGenerator",
+    "FamilyAssessor",
     "InferenceContext",
+    "InferenceStats",
     "NaiveInfer",
     "SrcClassInfer",
     "TgtClassInfer",

@@ -18,6 +18,20 @@ The early-disjunct extension (Section 3.3) merges the most frequently
 confused label pair, retrains, and keeps merged families that test as
 well-clustered — producing views over disjunctive conditions
 ``l in {v1, ..., vk}``.
+
+Batch inference
+---------------
+With ``ContextMatchConfig.use_batch_inference`` (the default) the
+ClusteredViewGen loop runs on a :class:`FamilyAssessor`: the classifier is
+taught *once* per (h, l) attribute pair with the original label values,
+and every family — the base family and each early-disjunct merge — is
+assessed by *regrouping* those sufficient statistics
+(:meth:`~repro.classifiers.base.Classifier.regrouped`: an O(labels)
+count-vector merge, mirroring the profiling subsystem's partition-cell
+merges) and classifying the test column through the classifier's batch
+path.  Results are bit-identical to the legacy per-family retrain path
+(:func:`assess_family`), which stays as the equivalence reference;
+:class:`InferenceStats` counts the work for the engine's stage reports.
 """
 
 from __future__ import annotations
@@ -39,20 +53,49 @@ from ..classifiers.significance import classifier_significance
 from ..classifiers.target import TargetClassifierSet
 from ..matching.standard import AttributeMatch
 from ..relational.instance import Database, Relation
-from ..relational.types import DataType, is_missing
+from ..relational.types import DataType
 from ..relational.views import ViewFamily
+from ..sampling import systematic_thin
 from .categorical import (CategoricalPolicy, categorical_attributes,
                           non_categorical_attributes)
 from .model import ContextMatchConfig
 
-__all__ = ["InferenceContext", "CandidateViewGenerator", "NaiveInfer",
-           "SrcClassInfer", "TgtClassInfer", "make_generator",
-           "set_partitions"]
+__all__ = ["InferenceContext", "InferenceStats", "CandidateViewGenerator",
+           "NaiveInfer", "SrcClassInfer", "TgtClassInfer", "FamilyAssessor",
+           "make_generator", "set_partitions"]
 
 #: NaiveInfer enumerates every partition of the value set only up to this
 #: many values (Bell(6) = 203 partitions); beyond it, single-merge families
 #: keep the candidate count polynomial.
 MAX_EXACT_PARTITION_VALUES = 6
+
+
+@dataclasses.dataclass
+class InferenceStats:
+    """Inference-side work counters for one run's stage reports.
+
+    ``values_classified`` counts individual value classifications issued
+    through the batch entry points, ``batch_calls`` the number of batched
+    invocations carrying them, and ``merges_without_retrain`` the
+    early-disjunct group merges assessed by statistics regrouping instead
+    of re-teaching a fresh classifier.
+    """
+
+    values_classified: int = 0
+    batch_calls: int = 0
+    merges_without_retrain: int = 0
+
+    def as_counts(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def since(self, before: "InferenceStats") -> dict[str, int]:
+        """Counter deltas relative to an earlier snapshot."""
+        now = self.as_counts()
+        then = before.as_counts()
+        return {key: now[key] - then.get(key, 0) for key in now}
+
+    def snapshot(self) -> "InferenceStats":
+        return dataclasses.replace(self)
 
 
 @dataclasses.dataclass
@@ -73,6 +116,9 @@ class InferenceContext:
     #: the disjunct-merge loop builds a fresh classifier per retraining, but
     #: the expensive value -> target-column tagging never changes.
     tag_cache: dict = dataclasses.field(default_factory=dict)
+    #: Per-run inference work counters (batch calls, classified values,
+    #: retrain-free merges), surfaced by the infer-views stage report.
+    stats: InferenceStats = dataclasses.field(default_factory=InferenceStats)
 
     @property
     def target_classifiers(self) -> TargetClassifierSet:
@@ -80,14 +126,6 @@ class InferenceContext:
             self._target_classifiers = TargetClassifierSet.train(
                 self.target, sample_limit=self.config.standard.sample_limit)
         return self._target_classifiers
-
-
-def _thin(pairs: list[tuple[Any, Any]], limit: int) -> list[tuple[Any, Any]]:
-    """Deterministic systematic thinning to at most *limit* pairs."""
-    if len(pairs) <= limit:
-        return pairs
-    step = len(pairs) / limit
-    return [pairs[int(i * step)] for i in range(limit)]
 
 
 def set_partitions(values: Sequence[Hashable]) -> Iterator[list[list[Hashable]]]:
@@ -225,6 +263,90 @@ def assess_family(family: ViewFamily, classifier: Classifier,
     return AssessmentResult(matrix, significance.confidence)
 
 
+class FamilyAssessor:
+    """Batch ``doTraining`` + ``doTesting`` for every family over one
+    (h, l) attribute pair.
+
+    The classifier (and the ``CNaive`` baseline) is taught exactly once,
+    with the *original* label values.  Assessing a family then regroups
+    those sufficient statistics to the family's groups — for Naive Bayes
+    an O(labels) sum of token-count rows, for the Gaussian an
+    order-preserving merge of value lists — and classifies the test column
+    through the classifier's batch path.  Both steps are bit-identical to
+    :func:`assess_family` with a freshly retrained classifier, so the
+    early-disjunct merge loop (Section 3.3) walks the same trajectory with
+    no re-teaching.
+    """
+
+    def __init__(self, classifier: Classifier,
+                 train_pairs: Sequence[tuple[Any, Any]],
+                 test_pairs: Sequence[tuple[Any, Any]],
+                 *, stats: InferenceStats | None = None):
+        if not classifier.supports_regrouping:
+            raise TypeError(
+                f"{type(classifier).__name__} does not support statistics "
+                "regrouping; use assess_family instead")
+        self._test_pairs = list(test_pairs)
+        self._test_values = [value for value, _ in self._test_pairs]
+        self._stats = stats
+        values = [value for value, _ in train_pairs]
+        labels = [label for _, label in train_pairs]
+        classifier.teach_many(values, labels)
+        self._classifier = classifier
+        naive = MajorityClassifier()
+        naive.teach_many(values, labels)
+        self._naive = naive
+        self._label_values = (set(labels)
+                              | {label for _, label in self._test_pairs})
+
+    def assess(self, family: ViewFamily, *,
+               merged: bool = False) -> AssessmentResult:
+        """Assess one family grouping; *merged* marks early-disjunct merge
+        steps for the ``merges_without_retrain`` counter."""
+        mapping = {label: family.group_label(label)
+                   for label in self._label_values}
+        grouped = self._classifier.regrouped(mapping)
+        naive = self._naive.regrouped(mapping)
+        predictions = grouped.classify_many(self._test_values)
+        matrix = ConfusionMatrix()
+        for (_, label), predicted in zip(self._test_pairs, predictions):
+            matrix.record(mapping[label], predicted)
+        significance = classifier_significance(
+            matrix.correct, matrix.total, naive.majority_fraction)
+        if self._stats is not None:
+            self._stats.batch_calls += 1
+            self._stats.values_classified += len(self._test_values)
+            if merged:
+                self._stats.merges_without_retrain += 1
+        return AssessmentResult(matrix, significance.confidence)
+
+
+class _PairExtractor:
+    """(h, l) training-pair extraction over one train/test split.
+
+    ``ClusteredViewGen`` pairs every non-categorical attribute h with
+    every categorical attribute l, so per-pair filtering would run
+    ``is_missing`` over each column once per *pairing*; the relation's
+    memoized :meth:`~repro.relational.instance.Relation.presence_mask`
+    runs it once per (attribute, row).  The produced pair lists are
+    identical to zip-and-filter over the raw columns.
+    """
+
+    def __init__(self, relation: Relation):
+        self._relation = relation
+
+    def pairs(self, h_attr: str, label_attr: str) -> list[tuple[Any, Any]]:
+        """(h, l) values over the rows where both are present."""
+        relation = self._relation
+        return [
+            (h, l) for h, l, h_ok, l_ok
+            in zip(relation.column(h_attr), relation.column(label_attr),
+                   relation.presence_mask(h_attr),
+                   relation.presence_mask(label_attr))
+            if h_ok and l_ok
+        ]
+
+
 class ClusteredViewGenBase(CandidateViewGenerator):
     """Shared Algorithm ClusteredViewGen (Figure 6) skeleton.
 
@@ -242,6 +364,8 @@ class ClusteredViewGenBase(CandidateViewGenerator):
         if not cats or not noncats or len(relation) < 4:
             return []
         train, test = relation.split(config.train_fraction, ctx.rng)
+        train_extractor = _PairExtractor(train)
+        test_extractor = _PairExtractor(test)
         best: dict[ViewFamily, float] = {}
         for label_attr in cats:
             values = relation.distinct(label_attr)
@@ -250,48 +374,49 @@ class ClusteredViewGenBase(CandidateViewGenerator):
             base_family = ViewFamily.simple(relation.name, label_attr, values)
             for h_attr in noncats:
                 dtype = relation.schema.dtype(h_attr)
-                train_pairs = _thin(self._pairs(train, h_attr, label_attr),
-                                    config.max_train)
-                test_pairs = _thin(self._pairs(test, h_attr, label_attr),
-                                   config.max_test)
+                train_pairs = systematic_thin(
+                    train_extractor.pairs(h_attr, label_attr),
+                    config.max_train)
+                test_pairs = systematic_thin(
+                    test_extractor.pairs(h_attr, label_attr), config.max_test)
                 if len(train_pairs) < 2 or len(test_pairs) < 1:
                     continue
-                result = assess_family(
-                    base_family, self.make_classifier(dtype, ctx),
-                    train_pairs, test_pairs)
+                classifier = self.make_classifier(dtype, ctx)
+                assessor: FamilyAssessor | None = None
+                if (config.use_batch_inference
+                        and classifier.supports_regrouping):
+                    assessor = FamilyAssessor(classifier, train_pairs,
+                                              test_pairs, stats=ctx.stats)
+                    result = assessor.assess(base_family)
+                else:
+                    result = assess_family(base_family, classifier,
+                                           train_pairs, test_pairs)
                 if result.significant(config.significance_threshold):
                     quality = max(best.get(base_family, 0.0), result.confidence)
                     best[base_family] = quality
                 if config.early_disjuncts:
                     for family, conf in self._merged_families(
                             base_family, result, dtype, ctx,
-                            train_pairs, test_pairs):
+                            train_pairs, test_pairs, assessor=assessor):
                         best[family] = max(best.get(family, 0.0), conf)
         return [
             ViewFamily(f.table, f.attribute, f.groups, quality=q)
             for f, q in best.items()
         ]
 
-    @staticmethod
-    def _pairs(relation: Relation, h_attr: str,
-               label_attr: str) -> list[tuple[Any, Any]]:
-        h_col = relation.column(h_attr)
-        l_col = relation.column(label_attr)
-        return [
-            (h, l) for h, l in zip(h_col, l_col)
-            if not is_missing(h) and not is_missing(l)
-        ]
-
     def _merged_families(self, family: ViewFamily, result: AssessmentResult,
                          dtype: DataType, ctx: InferenceContext,
                          train_pairs: Sequence[tuple[Any, Any]],
                          test_pairs: Sequence[tuple[Any, Any]],
+                         *, assessor: "FamilyAssessor | None" = None,
                          ) -> Iterator[tuple[ViewFamily, float]]:
         """Early-disjunct error-pair merging loop (Section 3.3).
 
         Merge the most frequent (frequency-normalized) confusion pair,
         retrain and retest; keep merged families that test well-clustered.
         Repeats until the test is error-free or only one group remains.
+        With a :class:`FamilyAssessor` (batch inference) the retrain is a
+        statistics regroup — same results, no re-teaching.
         """
         config = ctx.config
         current = family
@@ -308,9 +433,12 @@ class ClusteredViewGenBase(CandidateViewGenerator):
             merged = current.merge(rep_a, rep_b)
             if len(merged.groups) == len(current.groups):
                 break  # already together — cannot make progress
-            merged_result = assess_family(
-                merged, self.make_classifier(dtype, ctx),
-                train_pairs, test_pairs)
+            if assessor is not None:
+                merged_result = assessor.assess(merged, merged=True)
+            else:
+                merged_result = assess_family(
+                    merged, self.make_classifier(dtype, ctx),
+                    train_pairs, test_pairs)
             if (len(merged.groups) > 1
                     and merged_result.significant(config.significance_threshold)):
                 yield (ViewFamily(merged.table, merged.attribute, merged.groups,
@@ -346,8 +474,11 @@ class _TgtTagClassifier(Classifier):
     """bestCAT ∘ C_D^T: tag source values with target columns, then map tags
     to categorical values by the acc·prec score of Section 3.2.4."""
 
+    supports_regrouping = True
+
     def __init__(self, tagger: TargetClassifierSet, dtype: DataType,
-                 tag_cache: dict | None = None):
+                 tag_cache: dict | None = None,
+                 stats: InferenceStats | None = None):
         self._tagger = tagger
         self._dtype = dtype
         self._tbag: Counter = Counter()          # (tag g, label v) -> count
@@ -355,13 +486,68 @@ class _TgtTagClassifier(Classifier):
         self._tag_counts: Counter = Counter()    # g -> count
         self._best: dict[Any, Hashable] | None = None
         self._tag_cache: dict = tag_cache if tag_cache is not None else {}
+        self._stats = stats
+        #: Flat value -> tag view of ``_tag_cache`` for this classifier's
+        #: (dtype, tagger), shared across :meth:`regrouped` copies — the
+        #: batch path's per-value lookup skips the qualified-key tuple.
+        #: Keyed by raw value, with the same ==/hash collision semantics
+        #: as the qualified key (the family component is fixed here).
+        self._value_tags: dict = {}
+
+    def _tag_key(self, value: Any) -> tuple:
+        return (self._dtype.family,
+                value if isinstance(value, Hashable) else str(value))
 
     def _tag(self, value: Any) -> str | None:
-        key = (self._dtype.family,
-               value if isinstance(value, Hashable) else str(value))
+        key = self._tag_key(value)
         if key not in self._tag_cache:
             self._tag_cache[key] = self._tagger.classify(value, self._dtype)
         return self._tag_cache[key]
+
+    def _tag_many(self, values: Sequence[Any]) -> list[str | None]:
+        """Tags for *values*, bulk-filling the shared tag cache.
+
+        Uncached distinct values go through the tagger's batch path in
+        first-appearance order, so cache contents (including the legacy
+        key-collision semantics of :meth:`_tag`) match per-value tagging.
+        """
+        value_tags = self._value_tags
+        tags: list[str | None] = [None] * len(values)
+        missing_positions: list[int] = []
+        for i, value in enumerate(values):
+            try:
+                tags[i] = value_tags[value]
+            except KeyError:
+                missing_positions.append(i)
+            except TypeError:  # unhashable — resolve via the slow path
+                tags[i] = self._tag(values[i])
+        if not missing_positions:
+            return tags
+        queued: set = set()
+        batch_keys: list = []
+        batch_values: list[Any] = []
+        resolve: list[int] = []
+        for i in missing_positions:
+            key = self._tag_key(values[i])
+            if key in self._tag_cache or key in queued:
+                resolve.append(i)
+                continue
+            queued.add(key)
+            batch_keys.append(key)
+            batch_values.append(values[i])
+            resolve.append(i)
+        if batch_values:
+            predicted = self._tagger.classify_many(batch_values, self._dtype)
+            for key, tag in zip(batch_keys, predicted):
+                self._tag_cache[key] = tag
+            if self._stats is not None:
+                self._stats.batch_calls += 1
+                self._stats.values_classified += len(batch_values)
+        for i in resolve:
+            tag = self._tag_cache[self._tag_key(values[i])]
+            tags[i] = tag
+            value_tags[values[i]] = tag
+        return tags
 
     def teach(self, value: Any, label: Hashable) -> None:
         tag = self._tag(value)
@@ -369,6 +555,22 @@ class _TgtTagClassifier(Classifier):
         if tag is not None:
             self._tbag[(tag, label)] += 1
             self._tag_counts[tag] += 1
+        self._best = None
+
+    def teach_many(self, values: Sequence[Any],
+                   labels: Sequence[Hashable]) -> None:
+        """Batch teach: bulk tagging plus a *single* ``_best`` memo
+        invalidation (per-value :meth:`teach` invalidates every call)."""
+        if len(values) != len(labels):
+            raise ValueError(
+                f"teach_many needs parallel sequences, got {len(values)} "
+                f"values vs {len(labels)} labels")
+        tags = self._tag_many(values)
+        for tag, label in zip(tags, labels):
+            self._label_counts[label] += 1
+            if tag is not None:
+                self._tbag[(tag, label)] += 1
+                self._tag_counts[tag] += 1
         self._best = None
 
     @property
@@ -410,6 +612,28 @@ class _TgtTagClassifier(Classifier):
             return self._arbitrary_label()
         return best[tag]
 
+    def classify_many(self, values: Sequence[Any]) -> list[Hashable | None]:
+        """Batch classification: one bulk tag pass, one ``bestCAT`` table."""
+        tags = self._tag_many(values)
+        best = self._best_cat()
+        fallback = self._arbitrary_label()
+        return [best[tag] if tag is not None and tag in best else fallback
+                for tag in tags]
+
+    def regrouped(self, mapping) -> "_TgtTagClassifier":
+        """The classifier teaching the same values under group labels would
+        have produced: (tag, label) joint counts summed per group."""
+        other = _TgtTagClassifier(self._tagger, self._dtype,
+                                  tag_cache=self._tag_cache,
+                                  stats=self._stats)
+        for (tag, label), count in self._tbag.items():
+            other._tbag[(tag, mapping[label])] += count
+        for label, count in self._label_counts.items():
+            other._label_counts[mapping[label]] += count
+        other._tag_counts = Counter(self._tag_counts)
+        other._value_tags = self._value_tags  # same (tagger, dtype) view
+        return other
+
 
 class TgtClassInfer(ClusteredViewGenBase):
     """Classify source values by which target column they resemble, then
@@ -419,7 +643,7 @@ class TgtClassInfer(ClusteredViewGenBase):
 
     def make_classifier(self, dtype: DataType, ctx: InferenceContext) -> Classifier:
         return _TgtTagClassifier(ctx.target_classifiers, dtype,
-                                 tag_cache=ctx.tag_cache)
+                                 tag_cache=ctx.tag_cache, stats=ctx.stats)
 
 
 def make_generator(kind: str) -> CandidateViewGenerator:

@@ -184,6 +184,18 @@ class ContextMatchConfig:
         (table, attribute, matcher) instead of being rebuilt per view.
         Results are bit-identical either way — False forces the legacy
         materialize-and-reprofile path (the equivalence reference).
+    use_batch_inference:
+        Route candidate-view *inference* through the vectorized batch
+        classifier core: classifiers are taught once per (h, l) attribute
+        pair and compiled into dense log-probability tables
+        (:class:`~repro.classifiers.naive_bayes.NaiveBayesClassifier`),
+        target-column tagging batches whole columns, and every
+        early-disjunct merge is an O(labels) statistics regroup instead of
+        a retrain (:class:`~repro.context.candidates.FamilyAssessor`).
+        Posteriors, tags, tie-breaks and candidate families are
+        bit-identical either way — False forces the legacy scalar
+        teach/classify loops (the equivalence reference), exactly like
+        ``use_profiling`` for the scoring stage.
     standard:
         Configuration of the underlying standard matching system.
     """
@@ -201,6 +213,7 @@ class ContextMatchConfig:
     conjunctive_stages: int = 1
     seed: int = 0
     use_profiling: bool = True
+    use_batch_inference: bool = True
     standard: StandardMatchConfig = dataclasses.field(
         default_factory=StandardMatchConfig)
 

@@ -31,6 +31,11 @@ class StageReport:
     Stages that consume a :class:`~repro.profiling.ProfileStore` add that
     stage's cache deltas: ``profile_hits`` / ``profile_misses``,
     ``partitions_built`` / ``partition_hits`` and ``profiles_merged``.
+    Stages that tokenize values add the shared q-gram cache deltas
+    (``token_cache_hits`` / ``token_cache_misses``), and the infer-views
+    stage reports the batch classifier core's work:
+    ``values_classified``, ``batch_calls`` and ``merges_without_retrain``
+    (see :class:`~repro.context.candidates.InferenceStats`).
     """
 
     name: str

@@ -34,10 +34,17 @@ from ..context.model import ContextMatchConfig, MatchResult
 from ..context.score import score_family_candidates
 from ..context.select import select_matches
 from ..matching.standard import AttributeMatch, MatchingSystem
+from ..matching.tokens import token_cache_counters
 from ..profiling import ProfileStore
 from ..relational.instance import Database
 from ..relational.views import View, ViewFamily
 from .prepared import PreparedTarget
+
+
+def _token_counters_since(before: dict[str, int]) -> dict[str, int]:
+    """Shared q-gram cache deltas for one stage's work."""
+    now = token_cache_counters()
+    return {key: now[key] - before.get(key, 0) for key in now}
 
 __all__ = ["PipelineState", "Stage", "StandardMatchStage",
            "InferViewsStage", "ScoreCandidatesStage", "SelectStage",
@@ -116,6 +123,7 @@ class StandardMatchStage(Stage):
 
     def run(self, state: PipelineState) -> dict[str, int]:
         before = state.store_counters()
+        tokens_before = token_cache_counters()
         use_store = (state.store is not None
                      and getattr(state.matcher, "supports_profile_store",
                                  False))
@@ -132,15 +140,26 @@ class StandardMatchStage(Stage):
             state.result.standard_matches.extend(accepted)
         return {"relations": len(state.accepted),
                 "accepted": len(state.result.standard_matches),
-                **state.store_counters_since(before)}
+                **state.store_counters_since(before),
+                **_token_counters_since(tokens_before)}
 
 
 class InferViewsStage(Stage):
-    """Candidate view families per source relation (``InferCandidateViews``)."""
+    """Candidate view families per source relation (``InferCandidateViews``).
+
+    The inference hot path: with ``config.use_batch_inference`` (default)
+    classifier work runs through the vectorized batch core, and the stage
+    counts surface it — ``values_classified`` / ``batch_calls`` /
+    ``merges_without_retrain`` from the run's
+    :class:`~repro.context.candidates.InferenceStats` plus the shared
+    q-gram cache's ``token_cache_hits`` / ``token_cache_misses`` deltas.
+    """
 
     name = "infer-views"
 
     def run(self, state: PipelineState) -> dict[str, int]:
+        stats_before = state.ctx.stats.snapshot()
+        tokens_before = token_cache_counters()
         for relation in state.source:
             families = state.generator.infer(
                 relation, state.accepted.get(relation.name, []), state.ctx)
@@ -148,7 +167,9 @@ class InferViewsStage(Stage):
             state.result.families.extend(families)
         n_views = sum(len(f.views()) for fs in state.families.values()
                       for f in fs)
-        return {"families": len(state.result.families), "views": n_views}
+        return {"families": len(state.result.families), "views": n_views,
+                **state.ctx.stats.since(stats_before),
+                **_token_counters_since(tokens_before)}
 
 
 class ScoreCandidatesStage(Stage):

@@ -14,7 +14,9 @@ from .similarity import (containment, cosine_counts, dice, jaccard, jaro,
                          jaro_winkler, levenshtein, levenshtein_similarity)
 from .standard import (AttributeMatch, MatchingSystem, StandardMatch,
                        StandardMatchConfig, TargetIndex)
-from .tokens import normalize_text, qgram_set, qgrams, value_to_text, word_tokens
+from .tokens import (QGramCache, cached_qgrams, clear_token_cache,
+                     normalize_text, qgram_set, qgrams, token_cache_counters,
+                     value_to_text, word_tokens)
 
 __all__ = [
     "AttributeMatch",
@@ -47,4 +49,8 @@ __all__ = [
     "word_tokens",
     "normalize_text",
     "value_to_text",
+    "QGramCache",
+    "cached_qgrams",
+    "token_cache_counters",
+    "clear_token_cache",
 ]

@@ -29,6 +29,7 @@ from typing import Any, Sequence
 
 from ...relational.schema import Attribute
 from ...relational.types import is_missing
+from ...sampling import systematic_thin
 
 __all__ = ["AttributeSample", "Matcher"]
 
@@ -46,11 +47,8 @@ class AttributeSample:
     def from_column(cls, table: str, attribute: Attribute,
                     values: Sequence[Any], *, limit: int | None = None) -> "AttributeSample":
         clean = [v for v in values if not is_missing(v)]
-        if limit is not None and len(clean) > limit:
-            # Deterministic systematic sample: every k-th value.  Avoids both
-            # RNG plumbing and pathological prefix bias in sorted data.
-            step = len(clean) / limit
-            clean = [clean[int(i * step)] for i in range(limit)]
+        if limit is not None:
+            clean = systematic_thin(clean, limit)
         return cls(table, attribute, tuple(clean))
 
     @property

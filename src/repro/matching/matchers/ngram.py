@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 
 from ..similarity import cosine_counts
-from ..tokens import qgrams, value_to_text
+from ..tokens import cached_qgrams
 from .base import AttributeSample, Matcher
 
 __all__ = ["QGramMatcher"]
@@ -40,7 +40,7 @@ class QGramMatcher(Matcher):
     def profile(self, sample: AttributeSample) -> Counter:
         counts: Counter = Counter()
         for value in sample.values:
-            counts.update(qgrams(value_to_text(value), self.q))
+            counts.update(cached_qgrams(value, self.q))
         return counts
 
     def score_profiles(self, source: Counter, target: Counter) -> float:

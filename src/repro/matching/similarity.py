@@ -6,6 +6,7 @@ All functions return similarities in ``[0, 1]``; 1 means identical.
 from __future__ import annotations
 
 import math
+import weakref
 from collections import Counter
 from typing import Hashable, Iterable, Mapping, Sequence
 
@@ -22,7 +23,12 @@ __all__ = [
 
 
 def levenshtein(a: str, b: str) -> int:
-    """Classic edit distance (insert/delete/substitute, unit costs)."""
+    """Classic edit distance (insert/delete/substitute, unit costs).
+
+    Two row buffers are allocated once and swapped per row instead of
+    building a fresh list per row of the DP table — the function sits on
+    the name-matcher hot path.
+    """
     if a == b:
         return 0
     if not a:
@@ -32,16 +38,17 @@ def levenshtein(a: str, b: str) -> int:
     if len(a) < len(b):
         a, b = b, a
     previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
     for i, char_a in enumerate(a, start=1):
-        current = [i]
+        current[0] = i
         for j, char_b in enumerate(b, start=1):
             cost = 0 if char_a == char_b else 1
-            current.append(min(
+            current[j] = min(
                 previous[j] + 1,        # deletion
                 current[j - 1] + 1,     # insertion
                 previous[j - 1] + cost  # substitution
-            ))
-        previous = current
+            )
+        previous, current = current, previous
     return previous[-1]
 
 
@@ -130,11 +137,36 @@ def containment(a: Iterable[Hashable], b: Iterable[Hashable]) -> float:
     return len(set_a & set_b) / len(set_a)
 
 
+#: Norms memoized per count-vector object (by id, evicted on GC).  The
+#: q-gram matcher scores each cached profile Counter against hundreds of
+#: candidate pairs; the norm is a pure function of the counts, so it is
+#: computed once per profile.  Callers must treat profiles as immutable
+#: after first scoring (the profiling subsystem already does).
+_NORM_CACHE: dict[int, float] = {}
+
+
+def _cached_norm(counter: Mapping[Hashable, int]) -> float:
+    key = id(counter)
+    cached = _NORM_CACHE.get(key)
+    if cached is not None:
+        return cached
+    norm = math.sqrt(sum(c * c for c in counter.values()))
+    try:
+        # Evict when the object dies so a recycled id never aliases.
+        weakref.finalize(counter, _NORM_CACHE.pop, key, None)
+    except TypeError:
+        return norm  # not weakref-able (e.g. plain dict) — don't cache
+    _NORM_CACHE[key] = norm
+    return norm
+
+
 def cosine_counts(a: Mapping[Hashable, int] | Sequence[Hashable],
                   b: Mapping[Hashable, int] | Sequence[Hashable]) -> float:
     """Cosine similarity between two term-frequency vectors.
 
-    Accepts either Counters/mappings or raw token sequences.
+    Accepts either Counters/mappings or raw token sequences.  Norms of
+    mapping inputs are cached per object — pass stable (never mutated
+    after scoring) Counters, as the matcher profiles are, to benefit.
     """
     counter_a = a if isinstance(a, Mapping) else Counter(a)
     counter_b = b if isinstance(b, Mapping) else Counter(b)
@@ -144,8 +176,8 @@ def cosine_counts(a: Mapping[Hashable, int] | Sequence[Hashable],
     if len(counter_a) > len(counter_b):
         counter_a, counter_b = counter_b, counter_a
     dot = sum(count * counter_b.get(term, 0) for term, count in counter_a.items())
-    norm_a = math.sqrt(sum(c * c for c in counter_a.values()))
-    norm_b = math.sqrt(sum(c * c for c in counter_b.values()))
+    norm_a = _cached_norm(counter_a)
+    norm_b = _cached_norm(counter_b)
     if norm_a == 0.0 or norm_b == 0.0:
         return 0.0
     return dot / (norm_a * norm_b)

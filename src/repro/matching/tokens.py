@@ -3,6 +3,15 @@
 The paper's instance matchers and the ``SrcClassInfer`` Naive Bayes
 classifier both work on character q-grams (3-grams, Section 3.2.3); the
 name matcher works on word tokens split at case and punctuation boundaries.
+
+Tokenization is the innermost loop of both instance matching and
+classifier inference, and the same data values flow through it many times
+— once per matcher during profiling, once per Naive Bayes teach/classify,
+once per target-column tagging.  :class:`QGramCache` memoizes the
+``value_to_text`` + ``qgrams`` composition per distinct value so that work
+happens once per value process-wide; :func:`cached_qgrams` is the shared
+entry point and :func:`token_cache_counters` exposes hit/miss telemetry
+for the engine's stage reports.
 """
 
 from __future__ import annotations
@@ -10,7 +19,9 @@ from __future__ import annotations
 import re
 from typing import Any, Iterable
 
-__all__ = ["qgrams", "qgram_set", "word_tokens", "normalize_text", "value_to_text"]
+__all__ = ["qgrams", "qgram_set", "word_tokens", "normalize_text",
+           "value_to_text", "QGramCache", "cached_qgrams",
+           "token_cache_counters", "clear_token_cache"]
 
 _CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
 _NON_ALNUM_RE = re.compile(r"[^a-z0-9]+")
@@ -67,5 +78,77 @@ def qgram_set(values: Iterable[Any], q: int = 3) -> frozenset[str]:
     """Union of q-grams over the text renderings of *values*."""
     grams: set[str] = set()
     for value in values:
-        grams.update(qgrams(value_to_text(value), q))
+        grams.update(cached_qgrams(value, q))
     return frozenset(grams)
+
+
+class QGramCache:
+    """Memo of ``qgrams(value_to_text(value), q)`` keyed by distinct value.
+
+    The key includes the value's concrete class: ``1``, ``1.0`` and ``True``
+    hash equal but render to different texts (``"1"`` vs ``"true"``), so a
+    plain value key would alias them.  Unhashable values bypass the cache.
+    The cache is cleared wholesale when it reaches ``max_entries`` — a
+    simple, deterministic bound that never changes results (the cached
+    function is pure).
+    """
+
+    def __init__(self, max_entries: int = 1 << 20):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._grams: dict[tuple, tuple[str, ...]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def qgrams(self, value: Any, q: int = 3) -> tuple[str, ...]:
+        """Cached q-grams of *value*'s canonical text rendering."""
+        try:
+            key = (q, value.__class__, value)
+            cached = self._grams.get(key)
+        except TypeError:  # unhashable value — compute without caching
+            self.misses += 1
+            return tuple(qgrams(value_to_text(value), q))
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        grams = tuple(qgrams(value_to_text(value), q))
+        if len(self._grams) >= self.max_entries:
+            self._grams.clear()
+        self._grams[key] = grams
+        return grams
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative hit/miss counts (snapshot/delta like the profile
+        store's counters)."""
+        return {"token_cache_hits": self.hits,
+                "token_cache_misses": self.misses}
+
+    def clear(self) -> None:
+        """Drop every cached tokenization (counters keep accumulating)."""
+        self._grams.clear()
+
+    def __len__(self) -> int:
+        return len(self._grams)
+
+
+#: The process-wide cache shared by matchers, the target-column tagger and
+#: the Naive Bayes classifier.  Pure-function memoization: sharing it across
+#: runs never changes results, only the hit/miss telemetry.
+TOKEN_CACHE = QGramCache()
+
+
+def cached_qgrams(value: Any, q: int = 3) -> tuple[str, ...]:
+    """q-grams of ``value_to_text(value)`` through the shared cache."""
+    return TOKEN_CACHE.qgrams(value, q)
+
+
+def token_cache_counters() -> dict[str, int]:
+    """Snapshot of the shared cache's cumulative hit/miss counters."""
+    return TOKEN_CACHE.counters()
+
+
+def clear_token_cache() -> None:
+    """Reset the shared cache's entries (benchmarks isolate runs with it)."""
+    TOKEN_CACHE.clear()

@@ -10,12 +10,21 @@ its cell; any member view's rows are then a cell, or a sorted merge of
 cells for merged groups, and its column samples come from plain list
 indexing in base-row order — exactly the rows and order
 ``View.evaluate(base)`` would produce.
+
+Row indices are held as numpy arrays: merged-group row sets come from one
+C-level concatenate-and-sort (indices are unique, so the ascending order
+is identical to a heap merge), presence filtering is a boolean gather over
+the base relation's memoized per-column mask, and
+:meth:`PartitionIndex.sampled_present_column` pushes the deterministic
+systematic thinning into *index space* so only the sampled rows are ever
+gathered as Python objects.
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Iterable
+
+import numpy as np
 
 from ..relational.instance import Relation
 
@@ -25,8 +34,8 @@ __all__ = ["PartitionIndex"]
 class PartitionIndex:
     """One base relation partitioned by one categorical attribute.
 
-    The index never copies row data: it stores row-index tuples per cell
-    plus a memo of merged-group index tuples, and slices base columns on
+    The index never copies row data: it stores row-index arrays per cell
+    plus a memo of merged-group index arrays, and slices base columns on
     demand.  Row order within a cell (and within any merged group) is base
     order, so restricted columns are bit-identical to the columns of the
     materialized view.
@@ -39,31 +48,91 @@ class PartitionIndex:
             value: tuple(indices)
             for value, indices in relation.partition_indices(attribute).items()
         }
-        self._group_rows: dict[frozenset, tuple[int, ...]] = {}
+        self._cell_arrays: dict[Any, np.ndarray] = {
+            value: np.array(indices, dtype=np.intp)
+            for value, indices in self.cells.items()
+        }
+        self._group_arrays: dict[frozenset, np.ndarray] = {}
+        self._group_tuples: dict[frozenset, tuple[int, ...]] = {}
+        self._present: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
-    def group_rows(self, group: Iterable[Any]) -> tuple[int, ...]:
+    def group_row_array(self, group: Iterable[Any]) -> np.ndarray:
         """Base-order row indices of the view selecting *group*'s values."""
         key = group if isinstance(group, frozenset) else frozenset(group)
-        rows = self._group_rows.get(key)
+        rows = self._group_arrays.get(key)
         if rows is None:
-            parts = [self.cells[v] for v in key if v in self.cells]
-            if len(parts) == 1:
+            parts = [self._cell_arrays[v] for v in key
+                     if v in self._cell_arrays]
+            if not parts:
+                rows = np.empty(0, dtype=np.intp)
+            elif len(parts) == 1:
                 rows = parts[0]
             else:
-                rows = tuple(heapq.merge(*parts))
-            self._group_rows[key] = rows
+                # Indices are unique across disjoint cells, so sorting the
+                # concatenation reproduces the ascending heap-merge order.
+                rows = np.sort(np.concatenate(parts))
+            self._group_arrays[key] = rows
+        return rows
+
+    def group_rows(self, group: Iterable[Any]) -> tuple[int, ...]:
+        """:meth:`group_row_array` as a (memoized) tuple of Python ints."""
+        key = group if isinstance(group, frozenset) else frozenset(group)
+        rows = self._group_tuples.get(key)
+        if rows is None:
+            rows = tuple(self.group_row_array(key).tolist())
+            self._group_tuples[key] = rows
         return rows
 
     def group_size(self, group: Iterable[Any]) -> int:
         """Number of sample rows in the group's view (``len(restricted)``)."""
-        return len(self.group_rows(group))
+        return len(self.group_row_array(group))
+
+    def _presence(self, attr_name: str) -> np.ndarray:
+        mask = self._present.get(attr_name)
+        if mask is None:
+            mask = np.array(self.relation.presence_mask(attr_name),
+                            dtype=bool)
+            self._present[attr_name] = mask
+        return mask
 
     def restricted_column(self, attr_name: str, group: Iterable[Any]) -> list[Any]:
         """The group view's column for *attr_name*, in base-row order —
         bit-identical to ``view.evaluate(base).column(attr_name)``."""
         column = self.relation.column(attr_name)
-        return [column[i] for i in self.group_rows(group)]
+        return [column[i] for i in self.group_row_array(group).tolist()]
+
+    def restricted_present_column(self, attr_name: str,
+                                  group: Iterable[Any]) -> list[Any]:
+        """The group view's column with missing values already removed —
+        bit-identical to filtering :meth:`restricted_column` through
+        ``is_missing``, but masked in index space."""
+        rows = self.group_row_array(group)
+        present = rows[self._presence(attr_name)[rows]]
+        column = self.relation.column(attr_name)
+        return [column[i] for i in present.tolist()]
+
+    def sampled_present_column(self, attr_name: str, group: Iterable[Any],
+                               limit: int | None) -> tuple[list[Any], bool]:
+        """``(values, thinned)``: the group view's non-missing column,
+        systematically thinned to *limit*.
+
+        Exactly ``systematic_thin(restricted_present_column(...), limit)``
+        — the stride formula runs over the index array, so at most *limit*
+        values are gathered from the base column.
+        """
+        rows = self.group_row_array(group)
+        present = rows[self._presence(attr_name)[rows]]
+        n_clean = len(present)
+        thinned = limit is not None and n_clean > limit
+        if thinned:
+            # present[int(i * step)] for i in range(limit) — the
+            # systematic_thin formula, evaluated in float64 exactly as the
+            # scalar helper does.
+            step = n_clean / limit
+            present = present[(np.arange(limit) * step).astype(np.intp)]
+        column = self.relation.column(attr_name)
+        return [column[i] for i in present.tolist()], thinned
 
     @property
     def n_cells(self) -> int:

@@ -27,6 +27,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..matching.matchers import AttributeSample, Matcher
 from ..relational.schema import Attribute
 from ..relational.types import is_missing
+from ..sampling import systematic_thin
 
 __all__ = ["SampleDigest", "ColumnProfile", "build_column_profile",
            "merge_column_profiles"]
@@ -96,14 +97,50 @@ class ColumnProfile:
         return SampleDigest(self.table, self.attribute, self.n_values)
 
 
+def _drop_missing(values: Sequence[Any]) -> list[Any]:
+    """``[v for v in values if not is_missing(v)]``, testing each distinct
+    value once — the predicate is a pure function of the value, and view
+    cells are filtered long before thinning caps the sample."""
+    try:
+        missing = {v for v in set(values) if is_missing(v)}
+    except TypeError:  # unhashable values — per-row fallback
+        return [v for v in values if not is_missing(v)]
+    if not missing:
+        return list(values)
+    return [v for v in values if v not in missing]
+
+
 def build_column_profile(table: str, attribute: Attribute,
                          values: Sequence[Any], matchers: Sequence[Matcher],
-                         limit: int | None) -> ColumnProfile:
+                         limit: int | None,
+                         *, values_clean: bool = False) -> ColumnProfile:
     """Profile one column under every matcher (sampling as
-    ``AttributeSample.from_column`` does)."""
-    clean = [v for v in values if not is_missing(v)]
+    ``AttributeSample.from_column`` does).
+
+    ``values_clean`` asserts the caller already removed missing values
+    (e.g. via a memoized presence mask) — the filtering pass is skipped.
+    """
+    clean = list(values) if values_clean else _drop_missing(values)
     thinned = limit is not None and len(clean) > limit
-    sample = AttributeSample.from_column(table, attribute, clean, limit=limit)
+    # clean already has missing values removed; build the sample directly
+    # rather than through from_column, which would re-filter every value.
+    sample = AttributeSample(
+        table, attribute,
+        tuple(systematic_thin(clean, limit) if limit is not None else clean))
+    return ColumnProfile(
+        table=table, attribute=attribute, n_values=len(sample.values),
+        thinned=thinned,
+        profiles={m.name: m.profile(sample) for m in matchers},
+        sample=sample)
+
+
+def build_presampled_profile(table: str, attribute: Attribute,
+                             sample_values: Sequence[Any], thinned: bool,
+                             matchers: Sequence[Matcher]) -> ColumnProfile:
+    """Profile a column whose clean, thinned sample the caller already
+    gathered (e.g. :meth:`PartitionIndex.sampled_present_column`, which
+    thins in index space before touching row data)."""
+    sample = AttributeSample(table, attribute, tuple(sample_values))
     return ColumnProfile(
         table=table, attribute=attribute, n_values=len(sample.values),
         thinned=thinned,
@@ -121,9 +158,9 @@ def merge_column_profiles(table: str, attribute: Attribute,
     Returns ``(profile, n_composed)`` where ``n_composed`` counts the
     matcher profiles composed via :meth:`Matcher.merge_profiles` instead of
     being recomputed from values.  *gather_values* lazily materializes the
-    union column (in base-row order) and is only called when some matcher
-    profile — or the union sample itself, when thinning applies — cannot
-    be composed.
+    union column (in base-row order, missing values already removed) and
+    is only called when some matcher profile — or the union sample itself,
+    when thinning applies — cannot be composed.
     """
     total = sum(p.n_values for p in parts)
     composable = (not any(p.thinned for p in parts)
@@ -132,7 +169,7 @@ def merge_column_profiles(table: str, attribute: Attribute,
         # Thinning of the union differs from the union of (possibly
         # thinned) cells: rebuild from the gathered rows for exactness.
         return build_column_profile(table, attribute, gather_values(),
-                                    matchers, limit), 0
+                                    matchers, limit, values_clean=True), 0
     mergeable = [m for m in matchers if m.mergeable]
     if len(mergeable) == len(matchers):
         # Pure composition: no raw row is touched.
@@ -144,8 +181,10 @@ def merge_column_profiles(table: str, attribute: Attribute,
                              profiles=profiles, sample=None), len(matchers)
     # Mixed: gather the union sample once for the non-additive matchers,
     # compose the rest from cell profiles.
-    clean = [v for v in gather_values() if not is_missing(v)]
-    sample = AttributeSample.from_column(table, attribute, clean, limit=limit)
+    clean = list(gather_values())
+    sample = AttributeSample(
+        table, attribute,
+        tuple(systematic_thin(clean, limit) if limit is not None else clean))
     profiles = {
         m.name: (m.merge_profiles([p.profiles[m.name] for p in parts])
                  if m.mergeable else m.profile(sample))

@@ -24,7 +24,8 @@ from ..relational.conditions import Eq, In
 from ..relational.instance import Relation
 from ..relational.views import view_name
 from .partition import PartitionIndex
-from .profiles import ColumnProfile, build_column_profile, merge_column_profiles
+from .profiles import (ColumnProfile, build_column_profile,
+                       build_presampled_profile, merge_column_profiles)
 
 __all__ = ["ProfileStore"]
 
@@ -105,9 +106,12 @@ class ProfileStore:
             self.profile_hits += 1
             return profile
         self.profile_misses += 1
+        values = relation.column(attr_name)
+        mask = relation.presence_mask(attr_name)
+        clean = [v for v, present in zip(values, mask) if present]
         profile = build_column_profile(
             relation.name, relation.schema.attribute(attr_name),
-            relation.column(attr_name), self.matchers, self.sample_limit)
+            clean, self.matchers, self.sample_limit, values_clean=True)
         self._profiles[key] = profile
         return profile
 
@@ -145,12 +149,13 @@ class ProfileStore:
         if compose and cells:
             profile, merged = merge_column_profiles(
                 table, attribute, cells, self.matchers, self.sample_limit,
-                lambda: index.restricted_column(attr_name, group))
+                lambda: index.restricted_present_column(attr_name, group))
             self.profiles_merged += merged
         else:
-            profile = build_column_profile(
-                table, attribute, index.restricted_column(attr_name, group),
-                self.matchers, self.sample_limit)
+            values, thinned = index.sampled_present_column(
+                attr_name, group, self.sample_limit)
+            profile = build_presampled_profile(
+                table, attribute, values, thinned, self.matchers)
         self._profiles[key] = profile
         return profile
 

@@ -50,6 +50,7 @@ class Relation:
             a: list(columns[a]) for a in schema.attribute_names
         }
         self._nrows = lengths.pop() if lengths else 0
+        self._presence_masks: dict[str, list[bool]] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -103,6 +104,26 @@ class Relation:
     def non_missing(self, attribute: str) -> list[Any]:
         """Column values with NULLs removed."""
         return [v for v in self.column(attribute) if not is_missing(v)]
+
+    def presence_mask(self, attribute: str) -> list[bool]:
+        """Per-row ``not is_missing`` flags for one column, memoized.
+
+        Row data is immutable after construction, so the mask is a pure
+        per-column fact; the profiling fast path slices it per view cell
+        instead of re-testing every cell value.  ``is_missing`` runs once
+        per distinct value where the column is hashable.
+        """
+        mask = self._presence_masks.get(attribute)
+        if mask is None:
+            values = self.column(attribute)
+            try:
+                missing = {v for v in set(values) if is_missing(v)}
+                mask = ([True] * len(values) if not missing
+                        else [v not in missing for v in values])
+            except TypeError:  # unhashable values — per-row fallback
+                mask = [not is_missing(v) for v in values]
+            self._presence_masks[attribute] = mask
+        return mask
 
     def row(self, index: int) -> dict[str, Any]:
         return {a: self._columns[a][index] for a in self.schema.attribute_names}

@@ -78,13 +78,28 @@ class DataType(enum.Enum):
         return self.value
 
 
+#: Longest missing-marker token ("null" / "none") — the string fast path
+#: below can reject longer unpadded strings without allocating.
+_MAX_MISSING_TOKEN_LEN = max(len(token) for token in MISSING_TOKENS)
+
+
 def is_missing(value: Any) -> bool:
-    """Return True if *value* represents SQL NULL / absent data."""
+    """Return True if *value* represents SQL NULL / absent data.
+
+    This predicate runs once per value in every profiling, sampling and
+    classifier-training loop, so the common case — a plain string that is
+    clearly data — must not allocate: a string longer than the longest
+    missing token with no surrounding whitespace cannot strip down to one,
+    and is rejected before ``strip().lower()``.
+    """
     if value is None:
         return True
+    if isinstance(value, str):
+        if (len(value) > _MAX_MISSING_TOKEN_LEN
+                and not value[0].isspace() and not value[-1].isspace()):
+            return False
+        return value.strip().lower() in MISSING_TOKENS
     if isinstance(value, float) and math.isnan(value):
-        return True
-    if isinstance(value, str) and value.strip().lower() in MISSING_TOKENS:
         return True
     return False
 

@@ -1,0 +1,35 @@
+"""Deterministic systematic sampling shared across the pipeline.
+
+Several layers cap how many values they are willing to process — matcher
+profiling (:class:`~repro.matching.matchers.base.AttributeSample`), target
+classifier training (:class:`~repro.classifiers.target.TargetClassifierSet`)
+and the classifier train/test splits of ``ClusteredViewGen``
+(:mod:`repro.context.candidates`).  They all thin with the same rule, kept
+here so every cap means exactly the same thing: every k-th element of the
+input, which avoids both RNG plumbing and the pathological prefix bias of a
+head sample over sorted data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+__all__ = ["systematic_thin"]
+
+T = TypeVar("T")
+
+
+def systematic_thin(items: Sequence[T], limit: int) -> list[T]:
+    """At most *limit* elements of *items*, sampled systematically.
+
+    Returns *items* unchanged (as given) when it already fits the limit;
+    otherwise picks ``items[int(i * len/limit)]`` for ``i in range(limit)``
+    — a deterministic, order-preserving stride through the whole sequence.
+    The same input always thins to the same output.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    if len(items) <= limit:
+        return list(items)
+    step = len(items) / limit
+    return [items[int(i * step)] for i in range(limit)]

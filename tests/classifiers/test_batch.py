@@ -1,0 +1,249 @@
+"""Batch classifier core: bit-identity with the scalar paths.
+
+The vectorized paths (compiled Naive Bayes, Gaussian batch, statistics
+regrouping) must reproduce the scalar teach/classify loops *exactly* —
+same posterior floats, same tie-breaks, same labels — because the golden
+tier compares the two pipeline modes with zero tolerance.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import (GaussianClassifier, MajorityClassifier,
+                               NaiveBayesClassifier, TargetClassifierSet)
+from repro.relational import Database, Relation
+from repro.relational.types import DataType
+
+
+def bit_pattern(posteriors: dict) -> dict:
+    """Posteriors with values replaced by their raw float bits — exact
+    comparison that also treats equal NaNs as equal."""
+    return {k: struct.pack("<d", v) for k, v in posteriors.items()}
+
+
+def taught_nb(pairs, q=3):
+    nb = NaiveBayesClassifier(q=q)
+    for value, label in pairs:
+        nb.teach(value, label)
+    return nb
+
+
+WORDS = ["garden", "kings", "war", "letters", "road", "castle",
+         "groove", "soul", "neon", "rhythm", "velvet", "echo"]
+
+
+def text_pairs(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n):
+        label = ["A", "B", "C"][int(rng.integers(3))]
+        words = [WORDS[int(rng.integers(len(WORDS)))] for _ in range(3)]
+        pairs.append((" ".join(words) + f" {i % 23}", label))
+    return pairs
+
+
+class TestAccumulateIsSequential:
+    """The compiled NB kernel's exactness rests on ``np.add.accumulate``
+    performing a strictly sequential left-to-right reduction."""
+
+    @given(st.lists(st.floats(min_value=-50.0, max_value=-1e-6),
+                    min_size=1, max_size=300))
+    @settings(max_examples=200)
+    def test_accumulate_matches_python_sum(self, addends):
+        sequential = addends[0]
+        for addend in addends[1:]:
+            sequential += addend
+        assert float(np.add.accumulate(
+            np.array(addends, dtype=np.float64))[-1]) == sequential
+
+    def test_3d_accumulate_matches_2d(self):
+        rng = np.random.default_rng(7)
+        block = rng.uniform(-30.0, -0.1, size=(5, 4, 17))
+        batched = np.add.accumulate(block.copy(), axis=2)[:, :, -1]
+        for b in range(block.shape[0]):
+            single = np.add.accumulate(block[b].copy(), axis=1)[:, -1]
+            assert (batched[b] == single).all()
+
+
+class TestNaiveBayesBatch:
+    def test_posteriors_bit_identical(self):
+        nb = taught_nb(text_pairs())
+        probes = [v for v, _ in text_pairs(80, seed=1)] + [
+            "", "unseen words entirely", 42, 3.5, True, None]
+        scalar = [bit_pattern(nb.log_posteriors(v)) for v in probes]
+        batch = [bit_pattern(p) for p in nb.log_posteriors_many(probes)]
+        assert scalar == batch
+
+    def test_classify_identical(self):
+        nb = taught_nb(text_pairs())
+        probes = [v for v, _ in text_pairs(120, seed=2)] + ["", None, 9]
+        assert nb.classify_many(probes) == [nb.classify(v) for v in probes]
+
+    def test_untrained(self):
+        nb = NaiveBayesClassifier()
+        assert nb.classify_many(["a", "b"]) == [None, None]
+        assert nb.log_posteriors_many(["a"]) == [{}]
+
+    def test_teach_invalidates_compiled(self):
+        nb = taught_nb(text_pairs(50))
+        first = nb.classify_many(["garden kings"])
+        nb.teach("completely new evidence garden", "C")
+        assert nb._compiled is None
+        assert nb.classify_many(["x"]) == [nb.classify("x")]
+        assert first is not None
+
+    def test_teach_many_equals_teach_loop(self):
+        pairs = text_pairs(150, seed=3)
+        one = taught_nb(pairs)
+        many = NaiveBayesClassifier()
+        many.teach_many([v for v, _ in pairs], [l for _, l in pairs])
+        probes = [v for v, _ in text_pairs(60, seed=4)]
+        assert ([bit_pattern(p) for p in one.log_posteriors_many(probes)]
+                == [bit_pattern(p) for p in many.log_posteriors_many(probes)])
+
+    def test_regrouped_equals_retrained(self):
+        pairs = text_pairs(200, seed=5)
+        mapping = {"A": frozenset({"A", "B"}), "B": frozenset({"A", "B"}),
+                   "C": frozenset({"C"})}
+        regrouped = taught_nb(pairs).regrouped(mapping)
+        retrained = taught_nb([(v, mapping[l]) for v, l in pairs])
+        probes = [v for v, _ in text_pairs(80, seed=6)] + ["zzz"]
+        assert ([bit_pattern(p) for p in regrouped.log_posteriors_many(probes)]
+                == [bit_pattern(p) for p in retrained.log_posteriors_many(probes)])
+        assert (regrouped.classify_many(probes)
+                == [retrained.classify(v) for v in probes])
+
+    def test_batch_tie_break_matches_scalar(self):
+        # Symmetric training data forces exact posterior ties.
+        nb = NaiveBayesClassifier()
+        for label in ("x", "y", "y"):
+            nb.teach("same text", label)
+        assert nb.classify_many(["same text", "other"]) == [
+            nb.classify("same text"), nb.classify("other")]
+
+
+class TestGaussianBatch:
+    def numeric_pairs(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        pairs = []
+        for _ in range(n):
+            label = ["lo", "mid", "hi"][int(rng.integers(3))]
+            center = {"lo": 5.0, "mid": 20.0, "hi": 100.0}[label]
+            pairs.append((float(rng.normal(center, 4.0)), label))
+        return pairs
+
+    def taught(self, pairs):
+        g = GaussianClassifier()
+        for value, label in pairs:
+            g.teach(value, label)
+        return g
+
+    def test_posteriors_bit_identical(self):
+        g = self.taught(self.numeric_pairs())
+        probes = [v for v, _ in self.numeric_pairs(60, seed=1)] + [
+            "17.5", "garbage", None, 0, True]
+        assert ([bit_pattern(p) for p in g.log_posteriors_many(probes)]
+                == [bit_pattern(g.log_posteriors(v)) for v in probes])
+
+    def test_classify_identical_with_memo(self):
+        g = self.taught(self.numeric_pairs())
+        probes = [5.0, 5.0, 5.0, "not a number", 100.0, None]
+        assert g.classify_many(probes) == [g.classify(v) for v in probes]
+
+    def test_regrouped_equals_retrained_bitwise(self):
+        """Merged value lists re-interleave by teach position, so the
+        order-sensitive mean/variance sums match a retrain exactly."""
+        pairs = self.numeric_pairs(250, seed=2)
+        mapping = {"lo": frozenset({"lo", "mid"}),
+                   "mid": frozenset({"lo", "mid"}),
+                   "hi": frozenset({"hi"})}
+        regrouped = self.taught(pairs).regrouped(mapping)
+        retrained = self.taught([(v, mapping[l]) for v, l in pairs])
+        assert regrouped._fit() == retrained._fit()
+        probes = [v for v, _ in self.numeric_pairs(50, seed=3)]
+        assert ([bit_pattern(p) for p in regrouped.log_posteriors_many(probes)]
+                == [bit_pattern(retrained.log_posteriors(v)) for v in probes])
+
+    def test_unparseable_values_keep_positions_aligned(self):
+        g = GaussianClassifier()
+        for value, label in [(1.0, "a"), ("junk", "a"), (2.0, "b"),
+                             (3.0, "a"), (None, "b"), (4.0, "b")]:
+            g.teach(value, label)
+        mapping = {"a": "ab", "b": "ab"}
+        merged = g.regrouped(mapping)
+        assert merged._values["ab"] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_reference_formula_unchanged(self):
+        """The cached-terms fast path must reproduce the textbook
+        per-value expression bit-for-bit."""
+        g = self.taught(self.numeric_pairs(120, seed=4))
+        fitted = g._fit()
+        total = sum(g._label_counts.values())
+        for value in (5.0, 19.75, 101.5):
+            expected = {}
+            for label, (mean, variance) in fitted.items():
+                prior = g._label_counts[label] / total
+                log_likelihood = (-0.5 * math.log(2.0 * math.pi * variance)
+                                  - (value - mean) ** 2 / (2.0 * variance))
+                expected[label] = math.log(prior) + log_likelihood
+            assert bit_pattern(g.log_posteriors(value)) == bit_pattern(expected)
+
+
+class TestMajorityRegroup:
+    def test_regrouped_counts(self):
+        m = MajorityClassifier()
+        for label in ["a", "a", "b", "c", "c", "c"]:
+            m.teach("v", label)
+        merged = m.regrouped({"a": "ab", "b": "ab", "c": "c"})
+        assert merged._label_counts == {"ab": 3, "c": 3}
+        assert merged.majority_fraction == 0.5
+
+
+class TestTargetClassifierSetBatch:
+    @pytest.fixture()
+    def tagger(self):
+        target = Database.from_relations("T", [
+            Relation.infer_schema("book", {
+                "title": ["the lost road", "garden of kings",
+                          "hidden letters", "a winter journey"],
+                "price": [10.0, 12.5, 9.0, 20.0],
+            }),
+            Relation.infer_schema("cd", {
+                "name": ["electric groove", "midnight soul",
+                         "neon parade", "velvet echo"],
+                "price": [15.0, 14.0, 16.5, 13.0],
+            }),
+        ])
+        return TargetClassifierSet.train(target)
+
+    def test_classify_many_matches_scalar(self, tagger):
+        values = ["garden road", "velvet groove", None, "", 11.0,
+                  "the lost road", "nan"]
+        text = DataType.STRING
+        assert tagger.classify_many(values, text) == [
+            tagger.classify(v, text) for v in values]
+        numeric = DataType.FLOAT
+        assert tagger.classify_many([10.5, None, "x"], numeric) == [
+            tagger.classify(v, numeric) for v in [10.5, None, "x"]]
+
+    def test_unknown_family_yields_nones(self, tagger):
+        boolean = DataType.BOOLEAN
+        if tagger.classifier_for(boolean) is None:
+            assert tagger.classify_many([True, False], boolean) == [None, None]
+
+    def test_train_thinning_matches_legacy_formula(self):
+        values = [f"value {i}" for i in range(50)]
+        target = Database.from_relations("T", [
+            Relation.infer_schema("t", {"a": values})])
+        limited = TargetClassifierSet.train(target, sample_limit=7)
+        full = TargetClassifierSet.train(target)
+        step = len(values) / 7
+        expected = [values[int(i * step)] for i in range(7)]
+        nb = limited.classifier_for(DataType.STRING)
+        assert sum(nb._label_counts.values()) == len(expected)
+        assert full.classifier_for(DataType.STRING)._examples == 50

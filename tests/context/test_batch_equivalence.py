@@ -1,0 +1,266 @@
+"""Vectorized-vs-legacy inference equivalence.
+
+``use_batch_inference`` must be a pure performance knob: the FamilyAssessor
+regroup-instead-of-retrain loop, the compiled Naive Bayes kernel, batch
+target tagging and the batched Gaussian produce bit-identical posteriors,
+tags, tie-breaks and candidate families.  Pinned here at three levels:
+
+* unit — :class:`FamilyAssessor` against :func:`assess_family` on synthetic
+  data, and ``_TgtTagClassifier`` batch teach against scalar teach;
+* engine — full pipeline runs on a handful of scenarios (tier 1);
+* grid — every registered scenario, engine artifacts plus classifier-level
+  posterior/tag sweeps (``pytest -m golden``, alongside the golden tier).
+"""
+
+import dataclasses
+import struct
+
+import numpy as np
+import pytest
+
+from repro.classifiers import NaiveBayesClassifier
+from repro.context import ContextMatchConfig, InferenceContext
+from repro.context.candidates import (FamilyAssessor, _TgtTagClassifier,
+                                      assess_family)
+from repro.datagen import build_scenario, registered_scenarios, scenario_names
+from repro.engine import MatchEngine
+from repro.evaluation.scenarios import scenario_config
+from repro.relational import Database, Relation, ViewFamily
+from repro.relational.types import DataType
+
+#: Scenarios exercised in tier 1 (one per family keeps the run fast); the
+#: golden-marked grid covers all registered scenarios.
+TIER1_SCENARIOS = ("retail", "grades", "clinical")
+
+
+def engine_artifacts(result):
+    """Everything inference influences, in comparable (exact) form."""
+    return {
+        "matches": [(str(m.source), str(m.target), str(m.condition),
+                     struct.pack("<d", m.score),
+                     struct.pack("<d", m.confidence))
+                    for m in result.matches],
+        "standard": [(m.key(), struct.pack("<d", m.score),
+                      struct.pack("<d", m.confidence))
+                     for m in result.standard_matches],
+        "families": sorted(
+            (f.table, f.attribute,
+             tuple(sorted(tuple(sorted(map(repr, g))) for g in f.groups)),
+             struct.pack("<d", f.quality))
+            for f in result.families),
+        "candidates": [(c.view.name, c.base_match.key(),
+                        struct.pack("<d", c.rescored.confidence),
+                        c.view_rows)
+                       for c in result.candidates],
+    }
+
+
+def run_modes(name):
+    workload = build_scenario(name)
+    base = scenario_config(next(s for s in registered_scenarios()
+                                if s.name == name))
+    results = {}
+    for batch in (True, False):
+        config = dataclasses.replace(base, use_batch_inference=batch)
+        engine = MatchEngine(config)
+        results[batch] = engine.match(workload.source,
+                                      engine.prepare(workload.target))
+    return workload, results
+
+
+class TestFamilyAssessorUnit:
+    @pytest.fixture()
+    def pairs(self, rng):
+        words = ["garden", "kings", "war", "road", "castle", "groove"]
+        pairs = []
+        for i in range(160):
+            label = ["p", "q", "r"][int(rng.integers(3))]
+            text = " ".join(words[int(rng.integers(6))] for _ in range(3))
+            pairs.append((f"{text} {i % 13}", label))
+        return pairs
+
+    def test_matches_assess_family_for_every_grouping(self, pairs):
+        train, test = pairs[:100], pairs[100:]
+        base = ViewFamily.simple("t", "label", ["p", "q", "r"])
+        merged = base.merge("p", "q")
+        assessor = FamilyAssessor(NaiveBayesClassifier(), train, test)
+        for family in (base, merged, merged.merge("p", "r")):
+            batch = assessor.assess(family)
+            legacy = assess_family(family, NaiveBayesClassifier(),
+                                   train, test)
+            assert batch.matrix.counts == legacy.matrix.counts
+            assert struct.pack("<d", batch.confidence) == struct.pack(
+                "<d", legacy.confidence)
+
+    def test_rejects_non_regroupable_classifiers(self, pairs):
+        from repro.classifiers.base import Classifier
+
+        class Opaque(Classifier):
+            def teach(self, value, label):  # pragma: no cover - stub
+                pass
+
+            def classify(self, value):  # pragma: no cover - stub
+                return None
+
+            @property
+            def labels(self):  # pragma: no cover - stub
+                return frozenset()
+
+        with pytest.raises(TypeError):
+            FamilyAssessor(Opaque(), pairs[:10], pairs[10:20])
+
+    def test_stats_counters(self, pairs):
+        from repro.context import InferenceStats
+
+        stats = InferenceStats()
+        train, test = pairs[:100], pairs[100:]
+        base = ViewFamily.simple("t", "label", ["p", "q", "r"])
+        assessor = FamilyAssessor(NaiveBayesClassifier(), train, test,
+                                  stats=stats)
+        assessor.assess(base)
+        assessor.assess(base.merge("p", "q"), merged=True)
+        assert stats.batch_calls == 2
+        assert stats.values_classified == 2 * len(test)
+        assert stats.merges_without_retrain == 1
+
+
+class TestTgtTagClassifierBatch:
+    @pytest.fixture()
+    def parts(self):
+        target = Database.from_relations("T", [
+            Relation.infer_schema("book", {
+                "title": ["the lost road", "garden of kings",
+                          "hidden letters"]}),
+            Relation.infer_schema("cd", {
+                "name": ["electric groove", "midnight soul",
+                         "neon parade"]}),
+        ])
+        config = ContextMatchConfig()
+        ctx = InferenceContext(config=config,
+                               rng=np.random.default_rng(0), target=target)
+        values = ["garden road", "midnight groove", "lost kings",
+                  "neon echo", "garden road", None]
+        labels = ["x", "y", "x", "y", "x", "y"]
+        return ctx, values, labels
+
+    def test_batch_teach_equals_scalar_teach(self, parts):
+        ctx, values, labels = parts
+        dtype = DataType.STRING
+        scalar = _TgtTagClassifier(ctx.target_classifiers, dtype,
+                                   tag_cache=ctx.tag_cache)
+        for value, label in zip(values, labels):
+            scalar.teach(value, label)
+        batch = _TgtTagClassifier(ctx.target_classifiers, dtype,
+                                  tag_cache=ctx.tag_cache)
+        batch.teach_many(values, labels)
+        assert scalar._tbag == batch._tbag
+        assert scalar._label_counts == batch._label_counts
+        assert scalar._tag_counts == batch._tag_counts
+        probes = values + ["entirely new probe"]
+        assert batch.classify_many(probes) == [scalar.classify(v)
+                                               for v in probes]
+
+    def test_best_cat_memoized_until_teach(self, parts):
+        """Regression: ``_best_cat`` must be computed once per teach
+        generation — classify calls reuse the memo, batch teach
+        invalidates exactly once."""
+        ctx, values, labels = parts
+        classifier = _TgtTagClassifier(ctx.target_classifiers,
+                                       DataType.STRING,
+                                       tag_cache=ctx.tag_cache)
+        classifier.teach_many(values, labels)
+        assert classifier._best is None  # invalidated (once) by teach_many
+        first = classifier._best_cat()
+        assert classifier._best_cat() is first  # memo hit, not recomputed
+        classifier.classify("garden road")
+        assert classifier._best is first  # classify must not invalidate
+        classifier.teach("midnight kings", "x")
+        assert classifier._best is None  # scalar teach invalidates again
+        assert classifier._best_cat() is not first
+
+    def test_regrouped_equals_retaught(self, parts):
+        ctx, values, labels = parts
+        dtype = DataType.STRING
+        taught = _TgtTagClassifier(ctx.target_classifiers, dtype,
+                                   tag_cache=ctx.tag_cache)
+        taught.teach_many(values, labels)
+        mapping = {"x": frozenset({"x", "y"}), "y": frozenset({"x", "y"})}
+        regrouped = taught.regrouped(mapping)
+        retaught = _TgtTagClassifier(ctx.target_classifiers, dtype,
+                                     tag_cache=ctx.tag_cache)
+        retaught.teach_many(values, [mapping[l] for l in labels])
+        assert regrouped._tbag == retaught._tbag
+        assert regrouped._label_counts == retaught._label_counts
+        probes = values + ["other probe"]
+        assert regrouped.classify_many(probes) == [retaught.classify(v)
+                                                   for v in probes]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", TIER1_SCENARIOS)
+    def test_batch_and_legacy_runs_identical(self, name):
+        _, results = run_modes(name)
+        assert engine_artifacts(results[True]) == engine_artifacts(
+            results[False])
+
+    def test_infer_stage_reports_batch_counters(self):
+        _, results = run_modes("retail")
+        counts = results[True].report.stage("infer-views").counts
+        assert counts["batch_calls"] > 0
+        assert counts["values_classified"] > 0
+        assert "merges_without_retrain" in counts
+        assert "token_cache_hits" in counts
+        legacy_counts = results[False].report.stage("infer-views").counts
+        assert legacy_counts["batch_calls"] == 0
+        assert legacy_counts["values_classified"] == 0
+
+
+def classifier_sweep(workload, config):
+    """Posterior/tag bit-patterns over real scenario columns, both paths."""
+    from repro.classifiers import TargetClassifierSet
+
+    patterns = []
+    tagger = TargetClassifierSet.train(
+        workload.target, sample_limit=config.standard.sample_limit)
+    for relation in workload.source:
+        for attribute in relation.schema:
+            values = relation.non_missing(attribute.name)[:120]
+            if not values:
+                continue
+            tags_batch = tagger.classify_many(values, attribute.dtype)
+            tags_scalar = [tagger.classify(v, attribute.dtype)
+                           for v in values]
+            patterns.append(("tags", relation.name, attribute.name,
+                             tags_batch == tags_scalar))
+            family = tagger.classifier_for(attribute.dtype)
+            if family is None or not hasattr(family, "log_posteriors"):
+                continue
+            batch = family.log_posteriors_many(values[:40])
+            scalar = [family.log_posteriors(v) for v in values[:40]]
+            same = all(
+                {k: struct.pack("<d", p) for k, p in b.items()}
+                == {k: struct.pack("<d", p) for k, p in s.items()}
+                for b, s in zip(batch, scalar))
+            patterns.append(("posteriors", relation.name, attribute.name,
+                             same))
+    return patterns
+
+
+@pytest.mark.golden
+class TestFullScenarioGrid:
+    """All registered scenarios: the heavyweight grid runs with the golden
+    tier (same job, same cadence) — baselines themselves are untouched."""
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_engine_equivalence(self, name):
+        workload, results = run_modes(name)
+        assert engine_artifacts(results[True]) == engine_artifacts(
+            results[False])
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_classifier_posteriors_and_tags(self, name):
+        spec = next(s for s in registered_scenarios() if s.name == name)
+        workload = build_scenario(spec)
+        for kind, table, attr, same in classifier_sweep(
+                workload, scenario_config(spec)):
+            assert same, f"{kind} diverged on {name}:{table}.{attr}"

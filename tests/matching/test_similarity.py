@@ -127,3 +127,52 @@ class TestCosine:
     def test_scale_invariance(self, counts, factor):
         scaled = {k: v * factor for k, v in counts.items()}
         assert cosine_counts(counts, scaled) == pytest.approx(1.0)
+
+
+class TestCosineNormCache:
+    def test_cached_counter_norms_do_not_change_results(self):
+        from collections import Counter
+
+        profile = Counter({"ab": 3, "bc": 1, "cd": 2})
+        other = Counter({"ab": 1, "cd": 2, "de": 4})
+        first = cosine_counts(profile, other)
+        # Repeated scoring against the same profile objects hits the norm
+        # cache; the value must be identical.
+        for _ in range(3):
+            assert cosine_counts(profile, other) == first
+        # Fresh-but-equal Counters produce the same value as cached ones.
+        assert cosine_counts(Counter(profile), Counter(other)) == first
+
+    def test_sequences_still_accepted(self):
+        assert cosine_counts(["a", "b", "a"], ["a", "b", "a"]) == pytest.approx(1.0)
+        assert cosine_counts([], []) == 1.0
+        assert cosine_counts(["a"], []) == 0.0
+
+    def test_plain_dicts_bypass_cache(self):
+        # dicts are not weakref-able; the norm is computed but not cached.
+        assert cosine_counts({"a": 1}, {"a": 1}) == pytest.approx(1.0)
+
+
+class TestLevenshteinBuffers:
+    def test_asymmetric_lengths(self):
+        # The two-buffer rewrite swaps operands so b is the shorter; cover
+        # both orders explicitly.
+        assert levenshtein("short", "a much longer string") == \
+            levenshtein("a much longer string", "short")
+
+    @given(short_text, short_text)
+    def test_against_reference_dp(self, a, b):
+        # Full-matrix reference implementation.
+        rows = len(a) + 1
+        cols = len(b) + 1
+        dp = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            dp[i][0] = i
+        for j in range(cols):
+            dp[0][j] = j
+        for i in range(1, rows):
+            for j in range(1, cols):
+                cost = 0 if a[i - 1] == b[j - 1] else 1
+                dp[i][j] = min(dp[i - 1][j] + 1, dp[i][j - 1] + 1,
+                               dp[i - 1][j - 1] + cost)
+        assert levenshtein(a, b) == dp[-1][-1]

@@ -82,3 +82,69 @@ def test_qgram_count_matches_length(text):
 def test_normalize_idempotent(text):
     once = normalize_text(text)
     assert normalize_text(once) == once
+
+
+class TestQGramCache:
+    def test_cached_equals_uncached(self):
+        from repro.matching.tokens import QGramCache, qgrams, value_to_text
+
+        cache = QGramCache()
+        for value in ["hello world", 42, 3.5, 7.0, True, None, "N/A", ""]:
+            assert cache.qgrams(value, 3) == tuple(
+                qgrams(value_to_text(value), 3))
+
+    def test_hits_and_misses_counted(self):
+        from repro.matching.tokens import QGramCache
+
+        cache = QGramCache()
+        cache.qgrams("abc")
+        cache.qgrams("abc")
+        cache.qgrams("xyz")
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.counters() == {"token_cache_hits": 1,
+                                    "token_cache_misses": 2}
+
+    def test_equal_but_differently_typed_values_do_not_alias(self):
+        """1, 1.0 and True hash equal but render differently — the cache
+        must key on the concrete class."""
+        from repro.matching.tokens import QGramCache
+
+        cache = QGramCache()
+        assert cache.qgrams(1) == cache.qgrams(1.0)  # both render "1"
+        assert cache.qgrams(True) != cache.qgrams(1)  # "true" vs "1"
+
+    def test_unhashable_values_bypass_cache(self):
+        from repro.matching.tokens import QGramCache, qgrams, value_to_text
+
+        cache = QGramCache()
+        value = ["a", "list"]
+        assert cache.qgrams(value) == tuple(qgrams(value_to_text(value), 3))
+        assert len(cache) == 0 and cache.misses == 1
+
+    def test_bounded_by_max_entries(self):
+        from repro.matching.tokens import QGramCache
+
+        cache = QGramCache(max_entries=4)
+        for i in range(10):
+            cache.qgrams(f"value {i}")
+        assert len(cache) <= 4
+
+    def test_clear_keeps_counters(self):
+        from repro.matching.tokens import QGramCache
+
+        cache = QGramCache()
+        cache.qgrams("abc")
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 1
+        cache.qgrams("abc")
+        assert cache.misses == 2  # re-tokenized after clear
+
+    def test_shared_cache_counters_snapshot(self):
+        from repro.matching.tokens import cached_qgrams, token_cache_counters
+
+        before = token_cache_counters()
+        cached_qgrams("snapshot-test-value")
+        cached_qgrams("snapshot-test-value")
+        after = token_cache_counters()
+        assert after["token_cache_hits"] >= before["token_cache_hits"] + 1
+        assert after["token_cache_misses"] >= before["token_cache_misses"]

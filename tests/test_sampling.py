@@ -1,0 +1,59 @@
+"""Tests for the shared deterministic systematic-thinning helper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sampling import systematic_thin
+
+
+class TestSystematicThin:
+    def test_short_input_returned_whole(self):
+        assert systematic_thin([1, 2, 3], 5) == [1, 2, 3]
+
+    def test_exact_limit_returned_whole(self):
+        assert systematic_thin([1, 2, 3], 3) == [1, 2, 3]
+
+    def test_thins_to_exactly_limit(self):
+        assert len(systematic_thin(list(range(1000)), 37)) == 37
+
+    def test_strides_the_whole_sequence(self):
+        thinned = systematic_thin(list(range(100)), 10)
+        assert thinned == [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+
+    def test_sorted_input_keeps_tail_representation(self):
+        # The whole point of systematic over head sampling: sorted data
+        # must not collapse to its prefix.
+        thinned = systematic_thin(list(range(10000)), 100)
+        assert max(thinned) >= 9000
+
+    def test_deterministic(self):
+        values = [f"v{i}" for i in range(500)]
+        assert systematic_thin(values, 50) == systematic_thin(values, 50)
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            systematic_thin([1], 0)
+
+    def test_returns_new_list(self):
+        values = [1, 2]
+        thinned = systematic_thin(values, 5)
+        assert thinned == values and thinned is not values
+
+    @given(st.lists(st.integers(), max_size=200), st.integers(1, 50))
+    def test_properties(self, values, limit):
+        thinned = systematic_thin(values, limit)
+        assert len(thinned) == min(len(values), limit)
+        # Order-preserving subsequence of the input.
+        it = iter(values)
+        assert all(any(v == w for w in it) for v in thinned)
+
+    def test_matches_the_three_former_inline_copies(self):
+        """The helper reproduces the exact formula the three call sites
+        (candidates pair thinning, target-classifier training,
+        AttributeSample.from_column) previously spelled out inline."""
+        values = [f"v{i}" for i in range(977)]
+        for limit in (1, 7, 250, 400, 976):
+            step = len(values) / limit
+            legacy = [values[int(i * step)] for i in range(limit)]
+            assert systematic_thin(values, limit) == legacy
