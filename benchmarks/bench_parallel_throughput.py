@@ -1,0 +1,117 @@
+"""Parallel-executor benchmark: serial vs process-pool ``match_many``.
+
+Times a 20-source ``match_many`` batch against one shared prepared target
+through both :class:`~repro.engine.MatchExecutor` backends:
+
+* ``serial``: the in-process reference — tasks run sequentially on one
+  core, sharing the caller's prepared artifacts directly;
+* ``process``: a 4-worker ``ProcessPoolExecutor`` fan-out — the prepared
+  target is pickled once, shipped through the pool initializer, and
+  deserialized once per worker (the per-task payload is just the source
+  database).
+
+Both backends must produce identical matches for every source; the
+headline number is the wall-time speedup of the process backend at 4
+workers.  That floor is only meaningful on hardware that can actually run
+4 workers concurrently, so it is asserted when the host's effective
+parallelism is >= 4 (and never under ``BENCH_TINY``); lower-parallelism
+hosts still run both backends, verify equivalence, and record their
+numbers with the host parallelism alongside — the committed JSON always
+says what hardware produced it.
+
+Results are persisted to machine-readable ``results/BENCH_parallel.json``
+(wall seconds, tasks/sec, per-backend busy time, prepared-artifact
+transfer bytes, host parallelism) so the throughput trajectory is
+trackable across PRs.  Set ``BENCH_TINY=1`` for a seconds-scale smoke run
+(CI): schema and equivalence checks still apply, the speedup floor does
+not.
+"""
+
+from conftest import BENCH_TINY, run_once
+from repro import ContextMatchConfig, ExecutorConfig, MatchEngine
+from repro.engine import MatchExecutor
+from repro.engine.executor import effective_parallelism
+from repro.datagen import make_retail_workload
+
+MIN_SPEEDUP = 2.0
+WORKERS = 4
+N_SOURCES = 4 if BENCH_TINY else 20
+N_ROWS = 150 if BENCH_TINY else 2500
+CONFIG = dict(inference="src", seed=5)
+GAMMA = 4
+
+
+def _batch():
+    """One shared target plus N_SOURCES independently-seeded sources."""
+    workloads = [make_retail_workload(target="ryan", gamma=GAMMA,
+                                      n_source=N_ROWS, seed=100 + i)
+                 for i in range(N_SOURCES)]
+    return [w.source for w in workloads], workloads[0].target
+
+
+def _keys(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+def test_parallel_throughput(benchmark, record_json):
+    sources, target = _batch()
+    engine = MatchEngine(ContextMatchConfig(**CONFIG))
+    prepared = engine.prepare(target)
+
+    serial_batch = MatchExecutor(ExecutorConfig(backend="serial")) \
+        .match_many(engine, sources, prepared)
+    with MatchExecutor(ExecutorConfig(backend="process",
+                                      max_workers=WORKERS)) as executor:
+        process_batch = run_once(benchmark, executor.match_many,
+                                 engine, sources, prepared)
+
+    # Bit-identical fan-out: every source's matches agree across backends.
+    for serial_result, process_result in zip(serial_batch, process_batch):
+        assert _keys(serial_result) == _keys(process_result)
+
+    serial = serial_batch.throughput
+    process = process_batch.throughput
+    speedup = (serial.wall_seconds / process.wall_seconds
+               if process.wall_seconds > 0 else 0.0)
+    parallelism = effective_parallelism()
+    floor_asserted = not BENCH_TINY and parallelism >= WORKERS
+
+    record_json("BENCH_parallel", {
+        "benchmark": "bench_parallel_throughput",
+        "config": {**CONFIG, "gamma": GAMMA, "n_rows": N_ROWS,
+                   "tiny": BENCH_TINY},
+        "n_sources": N_SOURCES,
+        "workers": WORKERS,
+        "host": {"effective_parallelism": parallelism},
+        "modes": {
+            "serial": {
+                "elapsed_seconds": serial.wall_seconds,
+                "ops_per_second": serial.tasks_per_second,
+                "busy_seconds": serial.busy_seconds,
+            },
+            "process": {
+                "elapsed_seconds": process.wall_seconds,
+                "ops_per_second": process.tasks_per_second,
+                "busy_seconds": process.busy_seconds,
+                "prepare_transfer_bytes": process.prepare_transfer_bytes,
+            },
+        },
+        "speedup": {"process_vs_serial": speedup},
+        "floor": {"required": MIN_SPEEDUP, "workers": WORKERS,
+                  "asserted": floor_asserted},
+    })
+    print(f"\nserial:  {serial}")
+    print(f"process: {process}")
+    print(f"speedup: {speedup:.2f}x at {WORKERS} workers "
+          f"(host parallelism {parallelism}, floor "
+          f"{'asserted' if floor_asserted else 'skipped'})")
+
+    assert process.prepare_transfer_bytes > 0
+    assert process.workers == WORKERS
+    assert len(process.task_seconds) == N_SOURCES
+    if floor_asserted:
+        assert speedup >= MIN_SPEEDUP, (
+            f"process fan-out at {WORKERS} workers should be >= "
+            f"{MIN_SPEEDUP}x serial on a >= {WORKERS}-core host, got "
+            f"{speedup:.2f}x")

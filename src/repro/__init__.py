@@ -46,6 +46,13 @@ per-stage :class:`RunReport`::
     prepared_src = engine.prepare_source(workload.source)
     result = engine.match(prepared_src, prepared)
 
+    # Scale out: fan the batch across worker processes (bit-identical).
+    from repro import ExecutorConfig, MatchExecutor
+    with MatchExecutor(ExecutorConfig(backend="process",
+                                      max_workers=4)) as executor:
+        batch = executor.match_many(engine, [workload.source], prepared)
+    print(batch.throughput)     # tasks, workers, wall, per-task elapsed
+
 The pre-engine entry point is kept as a thin backward-compatible facade:
 ``ContextMatch(config).run(source, target)`` is exactly
 ``MatchEngine(config).match(source, target)``.
@@ -53,9 +60,10 @@ The pre-engine entry point is kept as a thin backward-compatible facade:
 
 from .context import (ContextMatch, ContextMatchConfig, ContextualMatch,
                       MatchResult)
-from .engine import (EngineObserver, MatchEngine, PreparedSource,
+from .engine import (BatchResult, EngineObserver, ExecutorConfig,
+                     MatchEngine, MatchExecutor, PreparedSource,
                      PreparedTarget, RunReport, Stage, StageReport,
-                     default_stages)
+                     ThroughputReport, default_stages)
 from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
 from .profiling import ColumnProfile, PartitionIndex, ProfileStore
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
@@ -67,6 +75,10 @@ __all__ = [
     "MatchEngine",
     "PreparedTarget",
     "PreparedSource",
+    "MatchExecutor",
+    "ExecutorConfig",
+    "BatchResult",
+    "ThroughputReport",
     "ProfileStore",
     "ColumnProfile",
     "PartitionIndex",

@@ -339,6 +339,24 @@ class NaiveBayesClassifier(Classifier):
             return [None for _ in values]
         return self.compiled().classify_batch(values)
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the taught statistics only.
+
+        The compiled log-probability matrix and the value -> token-column
+        memo are lazy, pure functions of the counts; dropping them keeps
+        worker-bound payloads small and the first worker-side
+        :meth:`classify_many` recompiles from the restored counts —
+        producing the exact same ``math.log`` table, so posteriors are
+        bit-identical across the process boundary.
+        """
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        state["_gram_ids"] = {}
+        return state
+
     def regrouped(self, mapping: Mapping[Hashable, Hashable]
                   ) -> "NaiveBayesClassifier":
         """The classifier teaching the same examples under group labels

@@ -189,6 +189,19 @@ class GaussianClassifier(Classifier):
             out.append(memo[key])
         return out
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the taught values/positions only; the fit and the cached
+        posterior terms are lazy pure functions of them and are rebuilt on
+        first use after a load — the same accumulation order, so worker-side
+        posteriors are bit-identical."""
+        state = self.__dict__.copy()
+        state["_fitted"] = None
+        state["_terms"] = None
+        return state
+
     def regrouped(self, mapping: Mapping[Hashable, Hashable]
                   ) -> "GaussianClassifier":
         """The classifier teaching the same examples under group labels

@@ -5,10 +5,17 @@ Commands
 ``generate``    write a seeded workload (retail or grades) to CSV directories
 ``match``       run contextual matching between two CSV directories
 ``match-many``  match several source directories against one shared target,
-                preparing the target exactly once
+                preparing the target exactly once; ``--jobs N`` fans the
+                batch across N worker processes (bit-identical results)
 ``map``         additionally generate + execute the extended-Clio mapping
 ``scenarios``   the scenario registry: ``list`` registered specs, ``run``
-                one end-to-end (build, match, score against ground truth)
+                one or more end-to-end (build, match, score against ground
+                truth), with the same ``--jobs N`` fan-out
+
+Batch commands run on :class:`~repro.MatchExecutor`; with ``--jobs`` their
+``--json`` output carries an ``executor`` section (the serialized
+:class:`~repro.ThroughputReport`: backend, workers, tasks, wall and
+per-task seconds, prepared-artifact transfer bytes).
 
 CSV directories contain one ``<table>.csv`` per table (header row; types
 are inferred).  All knobs of :class:`~repro.ContextMatchConfig` that matter
@@ -28,8 +35,10 @@ import json
 import sys
 from typing import Sequence
 
-from . import ContextMatchConfig, MatchEngine, __version__
-from .context.serialize import config_from_dict, result_to_dict
+from . import (ContextMatchConfig, ExecutorConfig, MatchEngine,
+               MatchExecutor, __version__)
+from .context.serialize import (config_from_dict, result_to_dict,
+                                throughput_to_dict)
 from .datagen import (get_scenario, make_grades_workload,
                       make_retail_workload, registered_scenarios)
 from .mapping import generate_mapping
@@ -46,6 +55,13 @@ _CONFIG_FLAGS = {
     "conjunctive_stages": "conjunctive_stages",
     "seed": "seed",
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_matching_flags(cmd: argparse.ArgumentParser) -> None:
@@ -116,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     many.add_argument("sources", nargs="+",
                       help="source CSV directories, matched in order")
     _add_matching_flags(many)
+    many.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                      help="fan sources out across N worker processes "
+                           "(results are bit-identical to the serial "
+                           "default; 1 forces the serial executor)")
     many.add_argument("--json", action="store_true",
                       help="emit one JSON document with all results")
 
@@ -128,16 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
     listing.add_argument("--json", action="store_true",
                          help="emit the specs as JSON")
     run = scenario_sub.add_parser(
-        "run", help="build, match and score one scenario")
-    run.add_argument("name", help="a registered scenario name "
-                                  "(see `repro scenarios list`)")
+        "run", help="build, match and score one or more scenarios")
+    run.add_argument("names", nargs="+", metavar="name",
+                     help="registered scenario names "
+                          "(see `repro scenarios list`)")
     run.add_argument("--seed", type=int, default=None,
-                     help="override the spec's seed")
+                     help="override the specs' seed")
     run.add_argument("--size", type=int, default=None,
-                     help="override the spec's source-size budget")
+                     help="override the specs' source-size budget")
+    run.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                     help="fan scenarios out across N worker processes "
+                          "(bit-identical results; also switches the "
+                          "output to the batch shape with executor "
+                          "counters)")
     run.add_argument("--json", action="store_true",
                      help="emit the full ScenarioResult (metrics, "
-                          "counters, per-stage report) as JSON")
+                          "counters, per-stage report) as JSON; with "
+                          "several names or --jobs, a batch document "
+                          "with `results` and `executor` sections")
     return parser
 
 
@@ -206,6 +234,30 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
     target = load_database(args.target, name="target")
     engine = MatchEngine(config_from_args(args))
     prepared = engine.prepare(target)
+    if args.jobs is not None:
+        # Executor fan-out: the whole batch — every loaded source and
+        # every MatchResult — is held in memory at once, trading the
+        # sequential loop's flat memory profile for wall-clock; prefer
+        # the default (no --jobs) path for very large batches on small
+        # machines.  Results are bit-identical either way.
+        with MatchExecutor(ExecutorConfig.for_jobs(args.jobs)) as executor:
+            batch = executor.match_many(
+                engine,
+                [load_database(d, name="source") for d in args.sources],
+                prepared)
+        if args.json:
+            rendered = [{"source": source_dir, **result_to_dict(result)}
+                        for source_dir, result in zip(args.sources, batch)]
+            print(json.dumps(
+                {"target": args.target, "results": rendered,
+                 "executor": throughput_to_dict(batch.throughput)},
+                indent=2, default=str))
+        else:
+            for source_dir, result in zip(args.sources, batch):
+                print(f"== {source_dir}")
+                _print_result(result)
+            print(f"# executor: {batch.throughput}")
+        return 0
     # Full MatchResults (with their view/candidate diagnostics) are dropped
     # as soon as each source is rendered, so batch memory stays flat.
     rendered = []
@@ -244,7 +296,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     # Imported lazily: the scenario runner pulls in the full evaluation
     # stack, which the matching-only commands don't need.
     from .errors import ReproError
-    from .evaluation.scenarios import run_scenario, scenario_result_to_dict
+    from .evaluation.scenarios import (run_scenario, run_scenarios,
+                                       scenario_result_to_dict)
 
     if args.scenario_command == "list":
         specs = registered_scenarios()
@@ -256,19 +309,36 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     try:
-        spec = get_scenario(args.name)
+        specs = [get_scenario(name) for name in args.names]
     except ReproError as exc:
         raise SystemExit(f"repro: error: {exc}")
     if args.size is not None:
-        spec = spec.resized(args.size)
+        specs = [spec.resized(args.size) for spec in specs]
     if args.seed is not None:
-        spec = dataclasses.replace(spec, seed=args.seed)
-    result = run_scenario(spec)
-    if args.json:
-        print(json.dumps(scenario_result_to_dict(result), indent=2,
-                         default=str))
+        specs = [dataclasses.replace(spec, seed=args.seed)
+                 for spec in specs]
+
+    if args.jobs is None and len(specs) == 1:
+        # Single-scenario runs keep the original output shape.
+        result = run_scenario(specs[0])
+        if args.json:
+            print(json.dumps(scenario_result_to_dict(result), indent=2,
+                             default=str))
+            return 0
+        print(result)
         return 0
-    print(result)
+
+    with MatchExecutor(ExecutorConfig.for_jobs(args.jobs)) as executor:
+        batch = run_scenarios(specs, executor=executor)
+    if args.json:
+        print(json.dumps(
+            {"results": [scenario_result_to_dict(r) for r in batch],
+             "executor": throughput_to_dict(batch.throughput)},
+            indent=2, default=str))
+        return 0
+    for result in batch:
+        print(result)
+    print(f"# executor: {batch.throughput}")
     return 0
 
 

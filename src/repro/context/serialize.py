@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Mapping
 
-from ..engine.report import RunReport, StageReport
+from ..engine.report import RunReport, StageReport, ThroughputReport
 from ..errors import ConditionError
 from ..matching.standard import AttributeMatch, StandardMatchConfig
 from ..relational.conditions import TRUE, And, Condition, Eq, In, Or
@@ -24,6 +24,7 @@ from .model import ContextMatchConfig, ContextualMatch, MatchResult
 __all__ = ["condition_to_dict", "condition_from_dict", "match_to_dict",
            "match_from_dict", "attribute_match_to_dict",
            "attribute_match_from_dict", "report_to_dict", "report_from_dict",
+           "throughput_to_dict", "throughput_from_dict",
            "result_to_dict", "result_from_dict", "config_to_dict",
            "config_from_dict"]
 
@@ -148,6 +149,34 @@ def report_from_dict(data: Mapping[str, Any]) -> RunReport:
         target_prepared=bool(data.get("target_prepared", False)),
         source_prepared=bool(data.get("source_prepared", False)),
         role_reversed=bool(data.get("role_reversed", False)))
+
+
+def throughput_to_dict(report: ThroughputReport) -> dict[str, Any]:
+    """Render an executor batch's
+    :class:`~repro.engine.report.ThroughputReport` (round-trippable).
+    ``tasks_per_second`` / ``busy_seconds`` are emitted for consumers but
+    derived on parse, not stored."""
+    return {
+        "backend": report.backend,
+        "workers": report.workers,
+        "tasks": report.tasks,
+        "wall_seconds": report.wall_seconds,
+        "task_seconds": list(report.task_seconds),
+        "prepare_transfer_bytes": report.prepare_transfer_bytes,
+        "busy_seconds": report.busy_seconds,
+        "tasks_per_second": report.tasks_per_second,
+    }
+
+
+def throughput_from_dict(data: Mapping[str, Any]) -> ThroughputReport:
+    """Inverse of :func:`throughput_to_dict` for the stored fields."""
+    return ThroughputReport(
+        backend=str(data["backend"]),
+        workers=int(data["workers"]),
+        tasks=int(data["tasks"]),
+        wall_seconds=float(data.get("wall_seconds", 0.0)),
+        task_seconds=[float(v) for v in data.get("task_seconds", [])],
+        prepare_transfer_bytes=int(data.get("prepare_transfer_bytes", 0)))
 
 
 def result_to_dict(result: MatchResult) -> dict[str, Any]:

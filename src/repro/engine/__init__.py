@@ -11,13 +11,22 @@
   stages — the pluggable pipeline;
 * :class:`EngineObserver` — per-stage hooks;
 * :class:`RunReport` / :class:`StageReport` — per-run diagnostics,
-  including profile/partition cache counters in the stage counts.
+  including profile/partition cache counters in the stage counts;
+* :class:`MatchExecutor` / :class:`ExecutorConfig` — batch fan-out for
+  ``match_many``, reversed sweeps and scenario runs over a serial or
+  process-pool backend (``ExecutorConfig(backend="process",
+  max_workers=N)``), bit-identical across backends; every batch returns a
+  :class:`BatchResult` whose :class:`ThroughputReport` records tasks,
+  workers, wall time, per-task elapsed and prepared-artifact transfer
+  bytes.
 """
 
 from .engine import MatchEngine
+from .executor import (BatchResult, ExecutorConfig, MatchExecutor,
+                       effective_parallelism)
 from .hooks import EngineObserver
 from .prepared import PreparedSource, PreparedTarget
-from .report import STAGE_NAMES, RunReport, StageReport
+from .report import STAGE_NAMES, RunReport, StageReport, ThroughputReport
 from .stages import (ConjunctiveRefineStage, InferViewsStage, PipelineState,
                      ScoreCandidatesStage, SelectStage, Stage,
                      StandardMatchStage, default_stages)
@@ -26,6 +35,11 @@ __all__ = [
     "MatchEngine",
     "PreparedTarget",
     "PreparedSource",
+    "MatchExecutor",
+    "ExecutorConfig",
+    "BatchResult",
+    "ThroughputReport",
+    "effective_parallelism",
     "EngineObserver",
     "RunReport",
     "StageReport",

@@ -35,7 +35,7 @@ backward-compatible facade over this class.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from .hooks import EngineObserver
 from .prepared import PreparedSource, PreparedTarget
 from .report import RunReport, StageReport
 from .stages import PipelineState, Stage, default_stages
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (executor sits above)
+    from .executor import MatchExecutor
 
 __all__ = ["MatchEngine"]
 
@@ -134,22 +137,48 @@ class MatchEngine:
                 f"system ({prepared.matcher!r} vs {self.matcher!r}); "
                 "re-prepare the target with this engine")
 
+    def prepared_fingerprint(self) -> tuple:
+        """Hashable digest of every configuration input prepared artifacts
+        derive from.
+
+        Two engines with equal fingerprints produce interchangeable
+        (bit-identical) :class:`PreparedTarget` / :class:`PreparedSource`
+        artifacts; caches such as
+        :class:`~repro.evaluation.runner.EngineRunner`'s prepared LRUs key
+        on it so engines with differing configurations sharing one runner
+        can never serve each other stale artifacts.  A plain
+        :class:`StandardMatch` whose matcher zoo was derived from its
+        configuration fingerprints by that configuration (mirroring
+        :meth:`_matcher_interchangeable`); anything else — custom matching
+        systems, and StandardMatch instances built over an explicit
+        matcher list, whose parameterization names/types do not expose —
+        fingerprints by identity, since its artifacts are only provably
+        valid for itself.
+        """
+        matcher = self.matcher
+        if type(matcher) is StandardMatch and matcher.default_zoo:
+            matcher_key: tuple = ("standard", matcher.config)
+        else:
+            matcher_key = ("custom", type(matcher).__qualname__, id(matcher))
+        return (matcher_key, self.policy)
+
     def _matcher_interchangeable(self, theirs: MatchingSystem | None) -> bool:
         """Whether artifacts built by *theirs* are valid for this engine.
 
         Distinct matcher objects are interchangeable only when both are
-        plain StandardMatch instances profiling identically — the derived
-        artifacts are then bit-equal.  Anything custom must be the same
-        object, or its artifacts may silently disagree with this engine's
-        scorer.
+        plain StandardMatch instances whose zoos were derived from equal
+        configurations — the derived artifacts are then bit-equal.
+        Anything else (custom systems, explicit matcher lists whose
+        parameterization the names don't expose) must be the same object,
+        or its artifacts may silently disagree with this engine's scorer.
         """
         ours = self.matcher
         if theirs is ours:
             return True
         return (type(ours) is StandardMatch and type(theirs) is StandardMatch
-                and ours.config == theirs.config
-                and [m.name for m in ours.matchers]
-                == [m.name for m in theirs.matchers])
+                and ours.default_zoo
+                and getattr(theirs, "default_zoo", False)
+                and ours.config == theirs.config)
 
     # ------------------------------------------------------------------
     # Source preparation
@@ -269,7 +298,9 @@ class MatchEngine:
         return result
 
     def match_many(self, sources: Iterable[Database | PreparedSource],
-                   target: Database | PreparedTarget) -> list[MatchResult]:
+                   target: Database | PreparedTarget,
+                   *, executor: "MatchExecutor | None" = None
+                   ) -> list[MatchResult]:
         """Match every source schema against one shared target.
 
         The target is prepared (at most) once, up front; each source then
@@ -278,7 +309,15 @@ class MatchEngine:
         :class:`PreparedSource` objects to amortize their own profiling
         across batches.  Results arrive in input order and are identical
         to independent :meth:`match` calls per source.
+
+        ``executor`` routes the batch through a
+        :class:`~repro.engine.executor.MatchExecutor` (its process backend
+        fans sources out across worker processes, bit-identically); the
+        executor's ``last_throughput`` carries the batch-level
+        :class:`~repro.engine.report.ThroughputReport`.
         """
+        if executor is not None:
+            return executor.match_many(self, sources, target).results
         prepared, _ = self._resolve(target)
         return [self.match(source, prepared) for source in sources]
 

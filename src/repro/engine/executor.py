@@ -1,0 +1,449 @@
+"""Parallel match execution: process-pool fan-out over prepared artifacts.
+
+A single ContextMatch run is sub-second, but every multi-source workload —
+:meth:`~repro.engine.engine.MatchEngine.match_many`, role-reversed sweeps,
+the scenario registry behind the golden tier and the paper's figure
+reproductions — is a *batch* of independent runs, and the dominant
+enterprise workload is throughput across runs, not latency within one.
+:class:`MatchExecutor` runs such batches through a pluggable backend:
+
+* ``"serial"`` (default) — tasks run in-process, in submission order.
+  This is the fallback on hosts without process support and the
+  equivalence reference: the process backend must reproduce its matches,
+  posteriors and metrics bit-for-bit.
+* ``"process"`` — tasks fan out across a ``ProcessPoolExecutor``.  The
+  shared prepared artifact (a :class:`~repro.engine.prepared.PreparedTarget`
+  carrying the trained classifiers, tag cache and target index, or the
+  prepared side of a reversed sweep) is pickled **once**, shipped through
+  the pool initializer, and cached per worker process keyed by a content
+  token — each worker deserializes it once per pool lifetime, not once per
+  task.  Lazy memos (compiled NB matrices, partition arrays, presence
+  masks) are dropped from the payload and rebuilt worker-side, which is
+  deterministic, so results are bit-identical to the serial backend.
+
+Results always come back in submission order, with every run's
+:class:`~repro.engine.report.RunReport` intact, plus a batch-level
+:class:`~repro.engine.report.ThroughputReport` (tasks, workers, wall time,
+per-task elapsed, prepared-artifact transfer bytes).
+
+Engine observers do not cross the process boundary: the serial backend
+runs batches on the caller's engine, so observers fire exactly as in a
+hand-written loop, while process workers rebuild engines from the shipped
+configuration (custom stage lists are shipped; observer lists are not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from ..errors import EngineError
+from .report import ThroughputReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..context.model import ContextMatchConfig, MatchResult
+    from ..relational.instance import Database
+    from .engine import MatchEngine
+    from .prepared import PreparedSource, PreparedTarget
+
+__all__ = ["ExecutorConfig", "BatchResult", "MatchExecutor",
+           "effective_parallelism"]
+
+_BACKENDS = ("serial", "process")
+
+
+def effective_parallelism() -> int:
+    """CPUs this process may actually run on (affinity-aware when the
+    platform exposes it) — what a worker pool can really exploit."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorConfig:
+    """Backend selection for a :class:`MatchExecutor`.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (in-process, the default) or ``"process"``
+        (``ProcessPoolExecutor`` fan-out).
+    max_workers:
+        Worker processes for the process backend; ``None`` uses the host's
+        effective parallelism.  Ignored by the serial backend.
+    """
+
+    backend: str = "serial"
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise EngineError(
+                f"unknown executor backend {self.backend!r}; "
+                f"choose one of {list(_BACKENDS)}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise EngineError(
+                f"max_workers must be >= 1, got {self.max_workers}")
+
+    @classmethod
+    def for_jobs(cls, jobs: int | None) -> "ExecutorConfig":
+        """The configuration a ``--jobs N`` CLI flag means: serial for
+        ``N == 1`` (or None), an N-worker process pool otherwise.
+        ``N < 1`` is the same error the constructor raises — a computed
+        job count of 0 is a caller bug, not a request for serial."""
+        if jobs is not None and jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        if jobs is None or jobs == 1:
+            return cls(backend="serial", max_workers=None)
+        return cls(backend="process", max_workers=jobs)
+
+    def resolved_workers(self) -> int:
+        if self.backend == "serial":
+            return 1
+        return self.max_workers or effective_parallelism()
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """An executor batch's results (submission order) plus its
+    :class:`~repro.engine.report.ThroughputReport`.
+
+    Iterates / indexes like the plain result list, so callers that only
+    care about the results can treat it as a sequence.
+    """
+
+    results: list[Any]
+    throughput: ThroughputReport
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery
+# ---------------------------------------------------------------------------
+
+#: Worker-process cache of deserialized prepared artifacts, keyed by the
+#: content token of their pickled payload.  Seeded by the pool initializer,
+#: so each worker pays exactly one deserialization per pool lifetime no
+#: matter how many tasks it executes.
+_ARTIFACTS: dict[str, Any] = {}
+
+
+def _seed_artifact(token: str, payload: bytes) -> None:
+    """Pool initializer: install the shared prepared artifact."""
+    if token not in _ARTIFACTS:
+        _ARTIFACTS[token] = pickle.loads(payload)
+
+
+def _run_task(fn: Callable, token: str | None, payload: Any
+              ) -> tuple[Any, float]:
+    """Execute one task, timing it worker-side.
+
+    ``fn(payload)`` for artifact-free tasks, ``fn(artifact, payload)``
+    when the batch shipped a shared artifact.
+    """
+    started = time.perf_counter()
+    if token is None:
+        result = fn(payload)
+    else:
+        result = fn(_ARTIFACTS[token], payload)
+    return result, time.perf_counter() - started
+
+
+@dataclasses.dataclass
+class EngineArtifact:
+    """The shared half of a match batch: a prepared side plus everything
+    needed to rebuild an equivalent engine in a worker.
+
+    ``stages`` ships the caller's (stateless, picklable) stage list so
+    custom pipelines survive the fan-out; observers deliberately do not.
+    In-process (the serial backend) the artifact simply holds the caller's
+    engine, so observers fire exactly as in a hand-written loop; the
+    pickled copy drops it and a worker rebuilds an observer-less
+    equivalent once per pool lifetime.
+    """
+
+    prepared: "PreparedTarget"
+    config: "ContextMatchConfig"
+    policy: Any
+    stages: list | None = None
+    _engine: "MatchEngine | None" = dataclasses.field(
+        default=None, repr=False, compare=False)
+
+    @classmethod
+    def of(cls, engine: "MatchEngine",
+           prepared: "PreparedTarget") -> "EngineArtifact":
+        return cls(prepared=prepared, config=engine.config,
+                   policy=engine.policy, stages=list(engine.stages),
+                   _engine=engine)
+
+    def engine(self) -> "MatchEngine":
+        if self._engine is None:
+            from .engine import MatchEngine
+            self._engine = MatchEngine(
+                self.config, matcher=self.prepared.matcher,
+                policy=self.policy, stages=self.stages)
+        return self._engine
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
+
+
+def _match_task(artifact: EngineArtifact,
+                source: "Database | PreparedSource") -> "MatchResult":
+    return artifact.engine().match(source, artifact.prepared)
+
+
+def _match_reversed_task(artifact: EngineArtifact,
+                         target: "Database") -> "MatchResult":
+    return artifact.engine().match_reversed(artifact.prepared, target)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+class MatchExecutor:
+    """Batch runner for match / scenario tasks with a pluggable backend.
+
+    The executor is reusable (and closeable): consecutive batches sharing
+    the same prepared artifact reuse the worker pool, so the artifact is
+    shipped and deserialized once across all of them.  Batches with a
+    *different* artifact recycle the pool.  Use as a context manager, or
+    call :meth:`close` when done; the serial backend holds no resources.
+
+    Example
+    -------
+    >>> from repro.datagen import make_retail_workload
+    >>> from repro.engine import ExecutorConfig, MatchEngine, MatchExecutor
+    >>> workload = make_retail_workload(target="ryan", seed=7)
+    >>> engine = MatchEngine()
+    >>> with MatchExecutor(ExecutorConfig(backend="serial")) as executor:
+    ...     batch = executor.match_many(engine, [workload.source],
+    ...                                 workload.target)
+    >>> batch.throughput.tasks
+    1
+    """
+
+    #: Entries kept in each per-executor memo (wrapped artifacts, pickled
+    #: payloads): enough for alternating batches, bounded so a long-lived
+    #: executor cycling through many targets cannot grow without limit.
+    _MEMO_SLOTS = 4
+
+    def __init__(self, config: ExecutorConfig | None = None):
+        self.config = config or ExecutorConfig()
+        self.last_throughput: ThroughputReport | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_token: str | None = None
+        #: (id(engine), id(prepared)) -> (engine, prepared, artifact):
+        #: repeated batches over the same pair reuse one EngineArtifact,
+        #: which is what lets the payload memo below actually hit.  The
+        #: strong references pin the ids against recycling.
+        self._artifacts: "OrderedDict[tuple[int, int], tuple]" = OrderedDict()
+        #: Pickled-payload memo keyed by artifact identity; values keep a
+        #: strong reference to the artifact so an id() is never recycled
+        #: while its entry is live.
+        self._shipped: "OrderedDict[int, tuple[Any, str, bytes]]" = \
+            OrderedDict()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (if any); the executor stays usable
+        and will lazily build a fresh pool on the next process batch."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_token = None
+
+    def __enter__(self) -> "MatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- generic batch core --------------------------------------------
+    def run_tasks(self, fn: Callable, payloads: Iterable[Any], *,
+                  artifact: Any = None) -> BatchResult:
+        """Run ``fn`` over every payload, returning results in submission
+        order plus the batch's :class:`ThroughputReport`.
+
+        ``fn`` must be a module-level callable (workers import it by
+        reference).  It is called as ``fn(payload)``, or as
+        ``fn(artifact, payload)`` when *artifact* is given — the serial
+        backend passes the caller's object, the process backend a
+        worker-cached deserialized copy.
+        """
+        payloads = list(payloads)
+        started = time.perf_counter()
+        if not payloads:
+            # Nothing to do — don't pickle the artifact or spin a pool up.
+            results, timings, transfer = [], [], 0
+        elif self.config.backend == "serial":
+            results, timings = self._run_serial(fn, payloads, artifact)
+            transfer = 0
+        else:
+            results, timings, transfer = self._run_process(
+                fn, payloads, artifact)
+        report = ThroughputReport(
+            backend=self.config.backend,
+            workers=self.config.resolved_workers(),
+            tasks=len(payloads),
+            wall_seconds=time.perf_counter() - started,
+            task_seconds=timings,
+            prepare_transfer_bytes=transfer)
+        self.last_throughput = report
+        return BatchResult(results=results, throughput=report)
+
+    def _run_serial(self, fn: Callable, payloads: list,
+                    artifact: Any) -> tuple[list, list[float]]:
+        results: list[Any] = []
+        timings: list[float] = []
+        for payload in payloads:
+            task_started = time.perf_counter()
+            if artifact is None:
+                results.append(fn(payload))
+            else:
+                results.append(fn(artifact, payload))
+            timings.append(time.perf_counter() - task_started)
+        return results, timings
+
+    def _run_process(self, fn: Callable, payloads: list, artifact: Any
+                     ) -> tuple[list, list[float], int]:
+        token, blob = (None, b"")
+        if artifact is not None:
+            token, blob = self._ship(artifact)
+        pool = self._ensure_pool(token, blob)
+        futures = [pool.submit(_run_task, fn, token, payload)
+                   for payload in payloads]
+        results: list[Any] = []
+        timings: list[float] = []
+        for future in futures:
+            result, elapsed = future.result()
+            results.append(result)
+            timings.append(elapsed)
+        return results, timings, len(blob)
+
+    def _artifact_for(self, engine: "MatchEngine",
+                      prepared: "PreparedTarget") -> EngineArtifact:
+        """One EngineArtifact per (engine, prepared) pair, memoized so
+        consecutive batches ship (and workers cache) the same object.
+
+        The memo is validated against the engine's live configuration —
+        swapping ``engine.stages`` (the advertised pluggable surface)
+        between batches invalidates the entry, so serial and process
+        backends always see the same pipeline.
+        """
+        key = (id(engine), id(prepared))
+        entry = self._artifacts.get(key)
+        if (entry is not None and entry[0] is engine
+                and entry[1] is prepared
+                and entry[2].config is engine.config
+                and entry[2].policy is engine.policy
+                and entry[2].stages == list(engine.stages)):
+            self._artifacts.move_to_end(key)
+            return entry[2]
+        artifact = EngineArtifact.of(engine, prepared)
+        self._artifacts[key] = (engine, prepared, artifact)
+        while len(self._artifacts) > self._MEMO_SLOTS:
+            _, _, evicted = self._artifacts.popitem(last=False)[1]
+            self._shipped.pop(id(evicted), None)
+        return artifact
+
+    # -- process-backend plumbing --------------------------------------
+    def _ship(self, artifact: Any) -> tuple[str, bytes]:
+        """(content token, pickled payload) of *artifact*, memoized per
+        object so repeated batches don't re-pickle it."""
+        entry = self._shipped.get(id(artifact))
+        if entry is not None and entry[0] is artifact:
+            self._shipped.move_to_end(id(artifact))
+            return entry[1], entry[2]
+        blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        token = hashlib.sha256(blob).hexdigest()
+        self._shipped[id(artifact)] = (artifact, token, blob)
+        while len(self._shipped) > self._MEMO_SLOTS:
+            self._shipped.popitem(last=False)
+        return token, blob
+
+    @staticmethod
+    def _mp_context():
+        """Pick a worker start method: fork when it is safe (cheap spawn,
+        inherited warm caches), forkserver otherwise.
+
+        Forking a multi-threaded parent can deadlock the children on
+        locks a sibling thread held at fork time, so fork is only chosen
+        when this process has a single live thread; threaded callers
+        (servers) get forkserver, falling back to the platform default
+        where neither POSIX method exists.
+        """
+        try:
+            if threading.active_count() == 1:
+                return multiprocessing.get_context("fork")
+            return multiprocessing.get_context("forkserver")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _ensure_pool(self, token: str | None,
+                     blob: bytes) -> ProcessPoolExecutor:
+        """The worker pool seeded with *token*'s artifact, reusing the
+        live pool when the artifact (or its absence) is unchanged."""
+        if self._pool is not None and self._pool_token == token:
+            return self._pool
+        self.close()
+        kwargs: dict[str, Any] = {
+            "max_workers": self.config.resolved_workers(),
+            "mp_context": self._mp_context(),
+        }
+        if token is not None:
+            kwargs["initializer"] = _seed_artifact
+            kwargs["initargs"] = (token, blob)
+        self._pool = ProcessPoolExecutor(**kwargs)
+        self._pool_token = token
+        return self._pool
+
+    # -- high-level batches --------------------------------------------
+    def match_many(self, engine: "MatchEngine",
+                   sources: Iterable["Database | PreparedSource"],
+                   target: "Database | PreparedTarget") -> BatchResult:
+        """Fan :meth:`MatchEngine.match` over *sources* against one shared
+        target, prepared (at most) once up front.
+
+        Results are :class:`~repro.context.model.MatchResult` objects in
+        input order, each with its :class:`RunReport` — bit-identical
+        across backends.
+        """
+        prepared, _ = engine._resolve(target)
+        artifact = self._artifact_for(engine, prepared)
+        return self.run_tasks(_match_task, sources, artifact=artifact)
+
+    def match_reversed_many(self, engine: "MatchEngine",
+                            source: "Database | PreparedTarget",
+                            targets: Iterable["Database"]) -> BatchResult:
+        """Fan :meth:`MatchEngine.match_reversed` over *targets* with one
+        shared conditioned side (the *source*, which is the prepared side
+        of a reversed run), prepared once up front."""
+        prepared, _ = engine._resolve(source)
+        artifact = self._artifact_for(engine, prepared)
+        return self.run_tasks(_match_reversed_task, targets,
+                              artifact=artifact)

@@ -23,6 +23,15 @@ skips source-side profiling entirely.
 All of it is read-only during matching except the lazily-populated caches,
 whose entries are pure functions of their side — sharing them never
 changes results, only skips recomputation.
+
+Both prepared classes are picklable, which is what lets the
+:class:`~repro.engine.executor.MatchExecutor` process backend ship them to
+worker pools: the payload carries the trained classifier statistics, the
+tag cache, the profile store and the partition indices, while purely lazy
+memos (compiled Naive Bayes log-probability matrices, Gaussian fits,
+partition row arrays, presence masks) are dropped on pickle and rebuilt
+deterministically worker-side — a restored artifact produces bit-identical
+matches (see the components' ``__getstate__`` hooks).
 """
 
 from __future__ import annotations

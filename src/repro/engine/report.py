@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 
-__all__ = ["StageReport", "RunReport", "STAGE_NAMES"]
+__all__ = ["StageReport", "RunReport", "ThroughputReport", "STAGE_NAMES"]
 
 #: Canonical names of the default five-stage pipeline (paper Figure 5),
 #: in execution order.
@@ -96,3 +96,58 @@ class RunReport:
                  + (" [reversed]" if self.role_reversed else "")]
         lines.extend(f"  {stage}" for stage in self.stages)
         return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ThroughputReport:
+    """Diagnostics of one executor batch (a ``match_many`` fan-out, a
+    reversed sweep, or a scenario-registry run).
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"`` or ``"process"`` — which
+        :class:`~repro.engine.executor.MatchExecutor` backend ran the batch.
+    workers:
+        Worker processes the batch could use (1 for the serial backend).
+    tasks:
+        Number of tasks submitted.
+    wall_seconds:
+        Wall-clock duration of the whole batch as seen by the caller,
+        including pool spin-up and prepared-artifact transfer when the
+        batch had to pay for them.
+    task_seconds:
+        Per-task elapsed seconds measured inside the worker, in submission
+        order.  Summing them gives the busy time the batch would have cost
+        a single core.
+    prepare_transfer_bytes:
+        Size of the pickled prepared artifact shipped to the worker pool
+        (0 for the serial backend, which shares the caller's objects, and
+        for batches without a shared artifact).
+    """
+
+    backend: str
+    workers: int
+    tasks: int
+    wall_seconds: float
+    task_seconds: list[float] = dataclasses.field(default_factory=list)
+    prepare_transfer_bytes: int = 0
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-side compute across all tasks."""
+        return sum(self.task_seconds)
+
+    @property
+    def tasks_per_second(self) -> float:
+        """Batch throughput (0.0 for an instantaneous empty batch)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.tasks / self.wall_seconds
+
+    def __str__(self) -> str:
+        return (f"{self.backend} x{self.workers}: {self.tasks} tasks in "
+                f"{self.wall_seconds:.3f}s "
+                f"({self.tasks_per_second:.2f} tasks/s, "
+                f"busy {self.busy_seconds:.3f}s, "
+                f"{self.prepare_transfer_bytes} prepare bytes)")

@@ -14,8 +14,8 @@ from .metrics import EvalMetrics, condition_values, evaluate_matches, evaluate_r
 from .reporting import format_series, format_table
 from .runner import Averaged, EngineRunner, seed_pairs, summarize
 from .scenarios import (ScenarioResult, compare_to_golden, golden_payload,
-                        run_scenario, scenario_result_from_dict,
-                        scenario_result_to_dict)
+                        run_scenario, run_scenarios,
+                        scenario_result_from_dict, scenario_result_to_dict)
 
 __all__ = [
     "EngineRunner",
@@ -30,6 +30,7 @@ __all__ = [
     "seed_pairs",
     "ScenarioResult",
     "run_scenario",
+    "run_scenarios",
     "scenario_result_to_dict",
     "scenario_result_from_dict",
     "golden_payload",

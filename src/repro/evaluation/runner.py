@@ -23,6 +23,7 @@ from typing import Iterable, TypeVar
 from ..context.categorical import CategoricalPolicy
 from ..context.model import ContextMatchConfig, MatchResult
 from ..engine.engine import MatchEngine
+from ..engine.executor import BatchResult, MatchExecutor
 from ..engine.prepared import PreparedSource, PreparedTarget
 from ..relational.instance import Database
 
@@ -39,9 +40,16 @@ class EngineRunner:
     for the first and the hundredth configuration against a target, which
     keeps averaged runtime series comparable.
 
-    Entries are keyed by target identity plus the configuration the
-    artifacts depend on; the cache holds strong references to its targets,
-    so an ``id()`` can never be recycled while its entry is live.
+    Entries are keyed by database identity plus the engine's prepared
+    fingerprint (:meth:`MatchEngine.prepared_fingerprint` — the standard
+    configuration, matcher zoo and policy for a plain engine, the matcher's
+    own identity for custom matching systems), so two engines with
+    different configurations sharing one runner can never serve each other
+    stale prepared artifacts, while a sweep whose configurations only vary
+    contextual knobs still prepares each side exactly once.  The cache
+    holds strong references to its targets and matchers (via the prepared
+    artifacts), so an ``id()`` in a key can never be recycled while its
+    entry is live.
     """
 
     def __init__(self, *, max_prepared: int = 8):
@@ -49,10 +57,24 @@ class EngineRunner:
         self._prepared: OrderedDict[tuple, PreparedTarget] = OrderedDict()
         self._prepared_sources: OrderedDict[tuple, PreparedSource] = \
             OrderedDict()
+        #: (config, policy, engine) of the most recent :meth:`run_many`
+        #: call: consecutive batch calls with an equal configuration reuse
+        #: one engine object, so a shared MatchExecutor's id-keyed
+        #: artifact/payload memos actually hit across calls.
+        self._engine_cache: tuple | None = None
+
+    def _engine_for(self, config: ContextMatchConfig,
+                    policy: CategoricalPolicy | None) -> MatchEngine:
+        cached = self._engine_cache
+        if cached is not None and cached[0] == config and cached[1] == policy:
+            return cached[2]
+        engine = MatchEngine(config, policy=policy)
+        self._engine_cache = (config, policy, engine)
+        return engine
 
     def prepared_for(self, engine: MatchEngine,
                      target: Database) -> PreparedTarget:
-        key = (id(target), engine.config.standard, engine.policy)
+        key = (id(target), engine.prepared_fingerprint())
         prepared = self._prepared.get(key)
         if prepared is None:
             prepared = engine.prepare(target)
@@ -67,11 +89,12 @@ class EngineRunner:
                             source: Database) -> PreparedSource | None:
         """The shared source-side profile store for *source*, or None when
         profiling is off.  Profiles depend only on the source instance and
-        the standard-matcher configuration, so one entry serves every
+        the matching system's fingerprint, so one entry serves every
         contextual configuration sharing those."""
         if not engine.config.use_profiling:
             return None
-        key = (id(source), engine.config.standard)
+        matcher_key, _policy = engine.prepared_fingerprint()
+        key = (id(source), matcher_key)
         prepared = self._prepared_sources.get(key)
         if prepared is None:
             prepared = engine.prepare_source(source)
@@ -92,6 +115,24 @@ class EngineRunner:
         return engine.match(
             prepared_source if prepared_source is not None else source,
             self.prepared_for(engine, target))
+
+    def run_many(self, sources: Iterable[Database], target: Database,
+                 config: ContextMatchConfig,
+                 *, policy: CategoricalPolicy | None = None,
+                 executor: "MatchExecutor | None" = None) -> BatchResult:
+        """One batch of engine runs against a shared (LRU-cached) prepared
+        target, routed through *executor* (serial in-process when None).
+
+        The process backend ships the prepared target to the worker pool
+        once and matches plain source databases worker-side; results come
+        back in input order, bit-identical to sequential :meth:`run` calls
+        over plain (un-prepared) sources.
+        """
+        engine = self._engine_for(config, policy)
+        prepared = self.prepared_for(engine, target)
+        if executor is None:
+            executor = MatchExecutor()
+        return executor.match_many(engine, sources, prepared)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -6,7 +6,11 @@ into a workload, run the match engine under the spec's configuration, and
 score the result against the workload's ground truth — returning a
 :class:`ScenarioResult` that bundles precision/recall/F-measure, match
 counts, the per-stage :class:`~repro.engine.report.RunReport` and the
-profile-cache counters summed across stages.
+profile-cache counters summed across stages.  :func:`run_scenarios` is the
+batch counterpart: a list of specs routed through a
+:class:`~repro.engine.executor.MatchExecutor` (optionally fanned out
+across worker processes, bit-identically), returning results in input
+order plus the batch's throughput counters.
 
 The *golden tier* pins these results per scenario: ``tests/golden/``
 holds one committed JSON baseline per registered scenario
@@ -20,19 +24,20 @@ legitimately noisier can widen its band in one reviewable place.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from ..context.model import ContextMatchConfig, MatchResult
 from ..context.serialize import report_from_dict, report_to_dict
 from ..datagen.registry import ScenarioSpec, build_scenario, get_scenario
 from ..engine.engine import MatchEngine
+from ..engine.executor import BatchResult, MatchExecutor
 from ..engine.report import RunReport
 from .metrics import EvalMetrics, evaluate_result
 from .runner import EngineRunner
 
-__all__ = ["ScenarioResult", "run_scenario", "scenario_result_to_dict",
-           "scenario_result_from_dict", "golden_payload",
-           "compare_to_golden", "DEFAULT_TOLERANCES"]
+__all__ = ["ScenarioResult", "run_scenario", "run_scenarios",
+           "scenario_result_to_dict", "scenario_result_from_dict",
+           "golden_payload", "compare_to_golden", "DEFAULT_TOLERANCES"]
 
 #: Profile-cache counter keys aggregated from stage reports (the PR-2
 #: profiling subsystem's reuse telemetry).
@@ -113,6 +118,37 @@ def run_scenario(spec: ScenarioSpec | str, *,
         n_contextual=sum(1 for m in result.matches if m.is_contextual),
         counters=_profile_counters(result.report),
         elapsed_seconds=result.elapsed_seconds, report=result.report)
+
+
+def _scenario_task(payload: tuple[ScenarioSpec, ContextMatchConfig | None]
+                   ) -> ScenarioResult:
+    """Executor task: one full scenario run (workers rebuild the workload
+    from the spec, so nothing but the tiny spec/config pair is shipped)."""
+    spec, config = payload
+    return run_scenario(spec, config=config)
+
+
+def run_scenarios(specs: Iterable[ScenarioSpec | str], *,
+                  config: ContextMatchConfig | None = None,
+                  executor: MatchExecutor | None = None) -> BatchResult:
+    """Run a batch of scenarios, optionally fanned out across processes.
+
+    The batch counterpart of :func:`run_scenario`: every spec (or
+    registered name) is built, matched and scored independently — scenario
+    workloads are deterministic functions of their specs, so tasks ship
+    only the spec and rebuild the workload worker-side.  Results come back
+    in input order inside a :class:`~repro.engine.executor.BatchResult`
+    whose :class:`~repro.engine.report.ThroughputReport` records workers,
+    per-task elapsed and wall time; the process backend
+    (``MatchExecutor(ExecutorConfig(backend="process"))``) is bit-identical
+    to the default in-process serial run.
+    """
+    resolved = [get_scenario(spec) if isinstance(spec, str) else spec
+                for spec in specs]
+    if executor is None:
+        executor = MatchExecutor()
+    return executor.run_tasks(_scenario_task,
+                              [(spec, config) for spec in resolved])
 
 
 # ---------------------------------------------------------------------------

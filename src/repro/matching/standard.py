@@ -175,6 +175,13 @@ class StandardMatch:
     def __init__(self, config: StandardMatchConfig | None = None,
                  matchers: Sequence[Matcher] | None = None):
         self.config = config or StandardMatchConfig()
+        #: True when the zoo is the pure function of ``config`` that
+        #: ``build_matchers`` produces — only then are two instances with
+        #: equal configs guaranteed to profile identically.  An explicit
+        #: ``matchers`` list may carry arbitrary parameterization that the
+        #: matcher names/types do not expose, so such instances are only
+        #: interchangeable with themselves.
+        self.default_zoo = matchers is None
         self.matchers = list(matchers) if matchers is not None \
             else self.config.build_matchers()
         if not self.matchers:

@@ -57,6 +57,29 @@ class PartitionIndex:
         self._present: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle the partition itself (relation, attribute, cells); the
+        per-cell numpy arrays and the merged-group / presence memos are
+        derived lazily and rebuilt on load, so shipped indices stay small
+        and behave identically."""
+        return {"relation": self.relation, "attribute": self.attribute,
+                "cells": self.cells}
+
+    def __setstate__(self, state: dict) -> None:
+        self.relation = state["relation"]
+        self.attribute = state["attribute"]
+        self.cells = state["cells"]
+        self._cell_arrays = {
+            value: np.array(indices, dtype=np.intp)
+            for value, indices in self.cells.items()
+        }
+        self._group_arrays = {}
+        self._group_tuples = {}
+        self._present = {}
+
+    # ------------------------------------------------------------------
     def group_row_array(self, group: Iterable[Any]) -> np.ndarray:
         """Base-order row indices of the view selecting *group*'s values."""
         key = group if isinstance(group, frozenset) else frozenset(group)

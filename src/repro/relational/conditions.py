@@ -149,6 +149,11 @@ class In(Condition):
     def __setattr__(self, *_: Any) -> None:  # immutability guard
         raise AttributeError("In conditions are immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard defeat default pickling; rebuild
+        # through the constructor (the value set is order-insensitive).
+        return (In, (self.attribute, tuple(self.values)))
+
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         actual = row.get(self.attribute)
         if is_missing(actual):
@@ -206,6 +211,12 @@ class _Compound(Condition):
 
     def __setattr__(self, *_: Any) -> None:
         raise AttributeError("compound conditions are immutable")
+
+    def __reduce__(self):
+        # Slots + the immutability guard defeat default pickling; rebuild
+        # through the constructor (flattening canonical children is a
+        # no-op, so the round trip is exact).
+        return (type(self), (self.children,))
 
     @classmethod
     def of(cls, *children: Condition) -> Condition:

@@ -52,6 +52,14 @@ class Relation:
         self._nrows = lengths.pop() if lengths else 0
         self._presence_masks: dict[str, list[bool]] = {}
 
+    def __getstate__(self) -> dict:
+        """Pickle columns without the per-column presence-mask memo — a
+        lazy pure function of the data, rebuilt on demand after a load so
+        shipped relations carry rows, not caches."""
+        state = self.__dict__.copy()
+        state["_presence_masks"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -1,0 +1,288 @@
+"""Tests for the parallel match executor: backend selection, submission
+ordering, throughput reporting, worker-side artifact caching, and
+serial/process bit-identity."""
+
+import pytest
+
+from repro import ContextMatchConfig, MatchEngine
+from repro.context.serialize import (result_to_dict, throughput_from_dict,
+                                     throughput_to_dict)
+from repro.engine import (BatchResult, ExecutorConfig, MatchExecutor,
+                          ThroughputReport)
+from repro.engine.executor import effective_parallelism
+from repro.errors import EngineError
+
+
+@pytest.fixture(scope="module")
+def retail_batch():
+    """Three small retail sources plus one shared target."""
+    from repro.datagen import make_retail_workload
+    workloads = [make_retail_workload(target="ryan", gamma=2, n_source=150,
+                                      seed=60 + i) for i in range(3)]
+    return [w.source for w in workloads], workloads[0].target
+
+
+CONFIG = ContextMatchConfig(inference="src", seed=5)
+
+
+def _comparable(result):
+    """Everything pinned across backends: matches, prototype scores and
+    deterministic stage counts (timings and the process-global token-cache
+    telemetry legitimately vary run to run)."""
+    payload = result_to_dict(result)
+    payload.pop("elapsed_seconds")
+    report = payload["report"]
+    report.pop("elapsed_seconds")
+    for stage in report["stages"]:
+        stage.pop("elapsed_seconds")
+        for key in ("token_cache_hits", "token_cache_misses"):
+            stage["counts"].pop(key, None)
+    return payload
+
+
+class TestExecutorConfig:
+    def test_defaults_to_serial(self):
+        config = ExecutorConfig()
+        assert config.backend == "serial"
+        assert config.resolved_workers() == 1
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(EngineError, match="unknown executor backend"):
+            ExecutorConfig(backend="threads")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(EngineError, match="max_workers"):
+            ExecutorConfig(backend="process", max_workers=0)
+
+    def test_process_workers_default_to_host_parallelism(self):
+        config = ExecutorConfig(backend="process")
+        assert config.resolved_workers() == effective_parallelism()
+
+    def test_for_jobs_mapping(self):
+        assert ExecutorConfig.for_jobs(None).backend == "serial"
+        assert ExecutorConfig.for_jobs(1).backend == "serial"
+        four = ExecutorConfig.for_jobs(4)
+        assert four.backend == "process"
+        assert four.resolved_workers() == 4
+
+    def test_for_jobs_rejects_non_positive(self):
+        with pytest.raises(EngineError, match="jobs must be >= 1"):
+            ExecutorConfig.for_jobs(0)
+        with pytest.raises(EngineError, match="jobs must be >= 1"):
+            ExecutorConfig.for_jobs(-2)
+
+
+class TestSerialBackend:
+    def test_match_many_equals_engine_loop(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        direct = [engine.match(source, prepared) for source in sources]
+        batch = MatchExecutor().match_many(engine, sources, prepared)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == len(sources)
+        for loop_result, batch_result in zip(direct, batch):
+            assert loop_result.matches == batch_result.matches
+            assert (loop_result.standard_matches
+                    == batch_result.standard_matches)
+
+    def test_throughput_report_shape(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        executor = MatchExecutor()
+        batch = executor.match_many(engine, sources, target)
+        report = batch.throughput
+        assert isinstance(report, ThroughputReport)
+        assert report.backend == "serial"
+        assert report.workers == 1
+        assert report.tasks == len(sources)
+        assert len(report.task_seconds) == len(sources)
+        assert all(t > 0.0 for t in report.task_seconds)
+        assert report.wall_seconds >= max(report.task_seconds)
+        assert report.prepare_transfer_bytes == 0
+        assert report.tasks_per_second > 0.0
+        assert executor.last_throughput is report
+
+    def test_batch_result_is_sequence_like(self, retail_batch):
+        sources, target = retail_batch
+        batch = MatchExecutor().match_many(MatchEngine(CONFIG),
+                                           sources[:2], target)
+        assert len(batch) == 2
+        assert batch[0] is batch.results[0]
+        assert list(batch) == batch.results
+
+    def test_serial_backend_fires_observers(self, retail_batch):
+        """In-process batches run on the caller's engine, so observer
+        hooks fire exactly as in a hand-written loop."""
+        from repro.engine import EngineObserver
+
+        class Recorder(EngineObserver):
+            def __init__(self):
+                self.runs = 0
+                self.stages = []
+
+            def on_run_start(self, source, prepared):
+                self.runs += 1
+
+            def on_stage_end(self, report, state):
+                self.stages.append(report.name)
+
+        sources, target = retail_batch
+        recorder = Recorder()
+        engine = MatchEngine(CONFIG, observers=[recorder])
+        MatchExecutor().match_many(engine, sources[:2], target)
+        assert recorder.runs == 2
+        assert recorder.stages.count("select") == 2
+
+    def test_engine_match_many_routes_through_executor(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        executor = MatchExecutor()
+        results = engine.match_many(sources[:2], target, executor=executor)
+        assert isinstance(results, list) and len(results) == 2
+        assert executor.last_throughput.tasks == 2
+
+
+class TestProcessBackend:
+    def test_match_many_bit_identical_to_serial(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        serial = MatchExecutor().match_many(engine, sources, prepared)
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            process = executor.match_many(engine, sources, prepared)
+        assert [_comparable(r) for r in serial] \
+            == [_comparable(r) for r in process]
+
+    def test_results_in_submission_order(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            batch = executor.match_many(engine, sources, target)
+        serial = [engine.match(s, engine.prepare(target)) for s in sources]
+        for expected, got in zip(serial, batch):
+            assert {str(m) for m in expected.matches} \
+                == {str(m) for m in got.matches}
+
+    def test_reports_transfer_bytes_and_workers(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            batch = executor.match_many(engine, sources[:2], target)
+        report = batch.throughput
+        assert report.backend == "process"
+        assert report.workers == 2
+        assert report.prepare_transfer_bytes > 0
+        assert len(report.task_seconds) == 2
+
+    def test_pool_and_payload_reused_across_batches(self, retail_batch):
+        """Same prepared artifact, consecutive batches: the pickled payload
+        is shipped (counted) identically and the pool object survives."""
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            first = executor.match_many(engine, sources[:1], prepared)
+            pool = executor._pool
+            second = executor.match_many(engine, sources[1:2], prepared)
+            assert executor._pool is pool
+            assert (first.throughput.prepare_transfer_bytes
+                    == second.throughput.prepare_transfer_bytes)
+            # One shared EngineArtifact, pickled exactly once: the memos
+            # hit instead of accumulating per batch.
+            assert len(executor._artifacts) == 1
+            assert len(executor._shipped) == 1
+        assert executor._pool is None  # context exit closed it
+
+    def test_artifact_memo_invalidated_by_stage_mutation(self,
+                                                         retail_batch):
+        """Swapping engine.stages between batches must rebuild the shipped
+        artifact — both backends always run the live pipeline."""
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        executor = MatchExecutor()
+        first = executor._artifact_for(engine, prepared)
+        assert executor._artifact_for(engine, prepared) is first  # memo hit
+        engine.stages = [s for s in engine.stages
+                         if s.name != "conjunctive-refine"]
+        second = executor._artifact_for(engine, prepared)
+        assert second is not first
+        assert [s.name for s in second.stages] \
+            == [s.name for s in engine.stages]
+
+    def test_empty_process_batch_spins_no_pool(self, retail_batch):
+        _, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        executor = MatchExecutor(ExecutorConfig(backend="process"))
+        batch = executor.match_many(engine, [], target)
+        assert batch.results == []
+        assert executor._pool is None  # early return, no workers spawned
+
+    def test_artifact_memos_are_bounded(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        executor = MatchExecutor()
+        for _ in range(executor._MEMO_SLOTS + 3):
+            # A fresh PreparedTarget per batch — distinct memo keys.
+            executor.match_many(engine, sources[:1], target)
+        assert len(executor._artifacts) <= executor._MEMO_SLOTS
+        assert len(executor._shipped) <= executor._MEMO_SLOTS
+
+    def test_reversed_sweep_bit_identical(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        targets = [target]
+        serial = MatchExecutor().match_reversed_many(engine, sources[0],
+                                                     targets)
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            process = executor.match_reversed_many(engine, sources[0],
+                                                   targets)
+        assert [_comparable(r) for r in serial] \
+            == [_comparable(r) for r in process]
+        assert all(r.report.role_reversed for r in process)
+
+    def test_worker_errors_propagate(self):
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=1)) as executor:
+            with pytest.raises(ZeroDivisionError):
+                executor.run_tasks(_failing_task, [1])
+
+    def test_empty_batch(self, retail_batch):
+        _, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        batch = MatchExecutor(ExecutorConfig(backend="process")) \
+            .match_many(engine, [], target)
+        assert batch.results == []
+        assert batch.throughput.tasks == 0
+        assert batch.throughput.tasks_per_second == 0.0
+
+
+def _failing_task(payload):
+    return payload / 0
+
+
+class TestThroughputCodec:
+    def test_round_trip(self):
+        report = ThroughputReport(backend="process", workers=4, tasks=3,
+                                  wall_seconds=1.5,
+                                  task_seconds=[0.5, 0.4, 0.6],
+                                  prepare_transfer_bytes=1234)
+        payload = throughput_to_dict(report)
+        assert payload["busy_seconds"] == pytest.approx(1.5)
+        assert payload["tasks_per_second"] == pytest.approx(2.0)
+        restored = throughput_from_dict(payload)
+        assert restored == report
+
+    def test_derived_fields_not_trusted_on_parse(self):
+        payload = throughput_to_dict(ThroughputReport(
+            backend="serial", workers=1, tasks=1, wall_seconds=2.0,
+            task_seconds=[2.0]))
+        payload["busy_seconds"] = 999.0  # ignored: derived, not stored
+        assert throughput_from_dict(payload).busy_seconds \
+            == pytest.approx(2.0)

@@ -117,3 +117,112 @@ class TestEngineRunner:
                        inference="src", seed=3,
                        standard=StandardMatchConfig(sample_limit=100)))
         assert len(runner._prepared) == 2
+
+    def test_distinct_standard_configs_get_distinct_source_stores(
+            self, retail_workload):
+        """Regression: the prepared-source LRU keys on the engine's
+        fingerprint too — a differing sample limit must not serve the
+        other engine's cached profiles."""
+        from repro import MatchEngine
+        from repro.matching import StandardMatchConfig
+        runner = EngineRunner()
+        narrow = MatchEngine(ContextMatchConfig(
+            inference="src", seed=3,
+            standard=StandardMatchConfig(sample_limit=100)))
+        wide = MatchEngine(ContextMatchConfig(inference="src", seed=3))
+        first = runner.prepared_source_for(narrow, retail_workload.source)
+        second = runner.prepared_source_for(wide, retail_workload.source)
+        assert first is not second
+        assert len(runner._prepared_sources) == 2
+        assert runner.prepared_source_for(narrow,
+                                          retail_workload.source) is first
+
+    def test_custom_matcher_engines_do_not_share_artifacts(
+            self, retail_workload):
+        """Regression: a custom matching system fingerprints by identity,
+        so it can neither poison nor crash a plain engine sharing the
+        runner (previously both landed on one key and the compatibility
+        check raised EngineError for whichever came second)."""
+        from repro import MatchEngine, StandardMatch
+
+        class LoudStandardMatch(StandardMatch):
+            """Same scoring, but a distinct type: artifacts are only valid
+            for this very object."""
+
+        config = ContextMatchConfig(inference="src", seed=3)
+        custom_engine = MatchEngine(config,
+                                    matcher=LoudStandardMatch(config.standard))
+        plain_engine = MatchEngine(config)
+        runner = EngineRunner()
+        custom_prepared = runner.prepared_for(custom_engine,
+                                              retail_workload.target)
+        plain_prepared = runner.prepared_for(plain_engine,
+                                             retail_workload.target)
+        assert custom_prepared is not plain_prepared
+        assert len(runner._prepared) == 2
+        # Both engines run happily against their own artifacts.
+        custom_engine.match(retail_workload.source, custom_prepared)
+        plain_engine.match(retail_workload.source, plain_prepared)
+        # And repeated lookups still hit their own entries.
+        assert runner.prepared_for(custom_engine,
+                                   retail_workload.target) is custom_prepared
+        assert runner.prepared_for(plain_engine,
+                                   retail_workload.target) is plain_prepared
+
+    def test_explicit_matcher_zoo_does_not_share_artifacts(
+            self, retail_workload):
+        """A StandardMatch built over an explicit matcher list may carry
+        parameterization its matcher names don't expose, so it
+        fingerprints by identity — no sharing with the config-derived
+        zoo, even when the names coincide."""
+        from repro import MatchEngine, StandardMatch
+
+        config = ContextMatchConfig(inference="src", seed=3)
+        explicit = MatchEngine(config, matcher=StandardMatch(
+            config.standard, matchers=config.standard.build_matchers()))
+        derived = MatchEngine(config)
+        runner = EngineRunner()
+        first = runner.prepared_for(explicit, retail_workload.target)
+        second = runner.prepared_for(derived, retail_workload.target)
+        assert first is not second
+        assert explicit.prepared_fingerprint() \
+            != derived.prepared_fingerprint()
+
+    def test_run_many_matches_sequential_runs(self, retail_workload,
+                                              grades_workload):
+        from repro.engine import ExecutorConfig, MatchExecutor
+        config = ContextMatchConfig(inference="src", seed=3)
+        sources = [retail_workload.source]
+        sequential = EngineRunner().run(retail_workload.source,
+                                        retail_workload.target, config)
+        runner = EngineRunner()
+        batch = runner.run_many(sources, retail_workload.target, config)
+        assert batch.throughput.backend == "serial"
+        assert batch.throughput.tasks == 1
+        assert ([match_to_dict(m) for m in batch[0].matches]
+                == [match_to_dict(m) for m in sequential.matches])
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            process = runner.run_many(sources, retail_workload.target,
+                                      config, executor=executor)
+        assert process.throughput.backend == "process"
+        assert ([match_to_dict(m) for m in process[0].matches]
+                == [match_to_dict(m) for m in sequential.matches])
+        # The prepared target came from (and stayed in) the runner's LRU.
+        assert len(runner._prepared) == 1
+
+    def test_run_many_reuses_engine_and_shipped_payload(self,
+                                                        retail_workload):
+        """Consecutive equal-config run_many calls share one engine, so a
+        reused executor's artifact/payload memos hit instead of
+        re-pickling the prepared target per call."""
+        from repro.engine import ExecutorConfig, MatchExecutor
+        runner = EngineRunner()
+        executor = MatchExecutor(ExecutorConfig(backend="serial"))
+        config = ContextMatchConfig(inference="src", seed=3)
+        runner.run_many([retail_workload.source], retail_workload.target,
+                        config, executor=executor)
+        runner.run_many([retail_workload.source], retail_workload.target,
+                        ContextMatchConfig(inference="src", seed=3),
+                        executor=executor)
+        assert len(executor._artifacts) == 1  # one shared EngineArtifact

@@ -1,0 +1,71 @@
+"""Tests for the scenario batch path: ``run_scenarios`` over the serial
+and process executor backends, ordering, and executor-counter round-trips
+(the full 20-scenario bit-identity grid runs under ``pytest -m golden``)."""
+
+import pytest
+
+from repro.context.serialize import throughput_from_dict, throughput_to_dict
+from repro.engine import BatchResult, ExecutorConfig, MatchExecutor
+from repro.evaluation import golden_payload, run_scenario, run_scenarios
+from repro.evaluation.scenarios import scenario_result_to_dict
+
+#: Cheap tier-1 slice of the registry: two families, one perturbed.
+NAMES = ("events", "retail-nulls")
+
+
+@pytest.fixture(scope="module")
+def serial_batch():
+    return run_scenarios(NAMES)
+
+
+class TestRunScenariosSerial:
+    def test_returns_batch_in_input_order(self, serial_batch):
+        assert isinstance(serial_batch, BatchResult)
+        assert [r.scenario for r in serial_batch] == list(NAMES)
+
+    def test_equals_individual_runs(self, serial_batch):
+        for name, batched in zip(NAMES, serial_batch):
+            assert golden_payload(run_scenario(name)) \
+                == golden_payload(batched)
+
+    def test_throughput_counts_tasks(self, serial_batch):
+        report = serial_batch.throughput
+        assert report.backend == "serial"
+        assert report.tasks == len(NAMES)
+        assert len(report.task_seconds) == len(NAMES)
+        assert report.prepare_transfer_bytes == 0
+
+    def test_accepts_spec_objects_and_names(self):
+        from repro.datagen import get_scenario
+        spec = get_scenario("events").resized(60)
+        batch = run_scenarios([spec, "events"])
+        assert batch[0].spec.size == 60
+        assert batch[1].scenario == "events"
+
+
+class TestRunScenariosProcess:
+    def test_bit_identical_to_serial(self, serial_batch):
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=2)) as executor:
+            process = run_scenarios(NAMES, executor=executor)
+        assert [golden_payload(r) for r in serial_batch] \
+            == [golden_payload(r) for r in process]
+        # Full per-stage reports come back intact from the workers.
+        for result in process:
+            assert [s.name for s in result.report.stages] == [
+                "standard-match", "infer-views", "score-candidates",
+                "select", "conjunctive-refine"]
+        assert process.throughput.backend == "process"
+        assert process.throughput.workers == 2
+
+    def test_results_serialize_with_executor_counters(self, serial_batch):
+        """The CLI's batch document round-trips: every result through the
+        scenario codec, the throughput through the report codec."""
+        payload = {
+            "results": [scenario_result_to_dict(r) for r in serial_batch],
+            "executor": throughput_to_dict(serial_batch.throughput),
+        }
+        restored = throughput_from_dict(payload["executor"])
+        assert restored == serial_batch.throughput
+        assert payload["executor"]["workers"] == 1
+        assert len(payload["executor"]["task_seconds"]) == len(NAMES)

@@ -38,6 +38,12 @@ class TestParser:
         assert args.sources == ["s1", "s2"]
         assert args.json
 
+    def test_jobs_flag_rejects_non_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match-many", "tgt", "s1",
+                                       "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
 
 class TestConfigResolution:
     def test_defaults_without_flags_or_file(self):
@@ -154,6 +160,48 @@ class TestEndToEnd:
             assert entry["report"]["target_prepared"]
         assert payload["results"][0]["source"] == str(out1 / "src")
 
+    def test_match_many_jobs_json(self, tmp_path, capsys):
+        """Tier-1 smoke of the 2-worker process fan-out: same result shape
+        as the serial path plus the executor throughput section."""
+        out1 = tmp_path / "wl1"
+        out2 = tmp_path / "wl2"
+        main(["generate", "retail", str(out1), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        main(["generate", "retail", str(out2), "--rows", "200",
+              "--gamma", "2", "--seed", "8"])
+        capsys.readouterr()
+        args = ["match-many", str(out1 / "tgt"), str(out1 / "src"),
+                str(out2 / "src"), "--inference", "src", "--seed", "2",
+                "--json"]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        executor = parallel.pop("executor")
+        assert executor["backend"] == "process"
+        assert executor["workers"] == 2
+        assert executor["tasks"] == 2
+        assert len(executor["task_seconds"]) == 2
+        assert executor["prepare_transfer_bytes"] > 0
+        # Identical matches in identical order, serial vs process.
+        assert [r["matches"] for r in parallel["results"]] \
+            == [r["matches"] for r in serial["results"]]
+        assert all(r["report"]["target_prepared"]
+                   for r in parallel["results"])
+
+    def test_match_many_jobs_one_is_serial(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match-many", str(out / "tgt"), str(out / "src"),
+                   "--inference", "src", "--seed", "2", "--jobs", "1",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"]["backend"] == "serial"
+        assert payload["executor"]["prepare_transfer_bytes"] == 0
+
     def test_match_many_text_output(self, tmp_path, capsys):
         out = tmp_path / "wl"
         main(["generate", "retail", str(out), "--rows", "200",
@@ -218,6 +266,30 @@ class TestEndToEnd:
         with pytest.raises(SystemExit) as excinfo:
             main(["scenarios", "run", "no-such-scenario"])
         assert "unknown scenario" in str(excinfo.value)
+
+    def test_scenarios_run_batch_json_surfaces_executor(self, capsys):
+        """Several names (or --jobs) switch to the batch document: results
+        in input order plus the serialized ThroughputReport."""
+        rc = main(["scenarios", "run", "events", "retail", "--size", "80",
+                   "--jobs", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["scenario"] for r in payload["results"]] \
+            == ["events", "retail"]
+        executor = payload["executor"]
+        assert executor["backend"] == "process"
+        assert executor["workers"] == 2
+        assert executor["tasks"] == 2
+        assert len(executor["task_seconds"]) == 2
+        from repro.context.serialize import throughput_from_dict
+        assert throughput_from_dict(executor).tasks == 2
+
+    def test_scenarios_run_multiple_names_text(self, capsys):
+        rc = main(["scenarios", "run", "events", "events", "--size", "60"])
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert output.count("events:") == 2
+        assert "# executor:" in output
 
     def test_map_with_no_matches_fails_cleanly(self, tmp_path, capsys):
         import csv
