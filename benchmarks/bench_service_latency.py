@@ -1,0 +1,139 @@
+"""Service latency benchmark: concurrent clients against ``repro serve``.
+
+Stands up the real serving stack — an :class:`~repro.store.ArtifactStore`
+holding one prepared hub target, a :class:`~repro.service.MatchService`
+with a warm LRU, and the ``ThreadingHTTPServer`` loop on an ephemeral
+port — then drives it with concurrent HTTP clients issuing ``/match``
+requests, exactly the hub-and-spoke deployment the service subsystem
+exists for.
+
+The headline numbers are request latency under concurrent load (client-
+side p50/p99 across every request, plus the server's own ``/report``
+percentiles) and sustained requests/sec.  Correctness is asserted along
+the way: every response is bit-identical to an in-process engine run,
+and the final report must show **exactly one** store load — the warm
+LRU absorbed the entire storm.
+
+Results are persisted to machine-readable ``results/BENCH_service.json``
+(latency percentiles, throughput, LRU/store counters, concurrency
+level).  Set ``BENCH_TINY=1`` for a seconds-scale smoke run (CI):
+identity and one-load checks still apply.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+from conftest import BENCH_TINY, run_once
+from repro import ArtifactStore, ContextMatchConfig, MatchEngine, MatchService
+from repro.context.serialize import result_to_dict
+from repro.relational.jsonio import database_to_dict
+from repro.service import start_service
+from repro.service.report import latency_summary
+from repro.datagen import make_retail_workload
+
+N_CLIENTS = 4 if BENCH_TINY else 8
+REQUESTS_PER_CLIENT = 3 if BENCH_TINY else 25
+N_ROWS = 150 if BENCH_TINY else 1000
+CONFIG = dict(inference="src", seed=5)
+
+
+def _match_key(result_dict):
+    return [(m["source"], m["target"], m["condition"], m["score"],
+             m["confidence"]) for m in result_dict["matches"]]
+
+
+def _storm(base_url, payload, expected):
+    """N_CLIENTS concurrent client threads, each issuing its requests
+    back-to-back; returns per-request client-side latencies (ms)."""
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def client():
+        body = json.dumps(payload).encode("utf-8")
+        for _ in range(REQUESTS_PER_CLIENT):
+            request = urllib.request.Request(
+                f"{base_url}/match", data=body,
+                headers={"Content-Type": "application/json"})
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request) as response:
+                    answer = json.loads(response.read())
+                elapsed = (time.perf_counter() - started) * 1000.0
+                assert _match_key(answer["result"]) == expected
+                with lock:
+                    latencies.append(elapsed)
+            except Exception as exc:  # pragma: no cover - failure path
+                with lock:
+                    errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=client) for _ in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors[0]
+    return latencies
+
+
+def test_service_latency(benchmark, record_json, tmp_path):
+    workload = make_retail_workload(target="ryan", n_source=N_ROWS, seed=5)
+    engine = MatchEngine(ContextMatchConfig(**CONFIG))
+    prepared = engine.prepare(workload.target)
+    expected = _match_key(
+        result_to_dict(engine.match(workload.source, prepared)))
+
+    store = ArtifactStore(tmp_path / "store")
+    entry = store.save(prepared, engine=engine)
+    service = MatchService(store, config=ContextMatchConfig(**CONFIG))
+    service.warm()
+    server = start_service(service)
+    payload = {"target": entry.token,
+               "source": database_to_dict(workload.source)}
+    base_url = f"http://127.0.0.1:{server.port}"
+
+    try:
+        wall_started = time.perf_counter()
+        latencies = run_once(benchmark, _storm, base_url, payload, expected)
+        wall_seconds = time.perf_counter() - wall_started
+        report = service.report()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    total_requests = N_CLIENTS * REQUESTS_PER_CLIENT
+    assert len(latencies) == total_requests
+    client_side = latency_summary(latencies)
+    server_side = report.latency_ms["match"]
+    requests_per_second = total_requests / wall_seconds
+
+    # The storm was absorbed by the warm LRU: one store load, full stop.
+    assert report.lru["loads"] == 1, report.lru
+    assert report.lru["hits"] >= total_requests
+    assert report.errors == 0
+
+    record_json("BENCH_service", {
+        "benchmark": "bench_service_latency",
+        "config": {**CONFIG, "n_rows": N_ROWS, "tiny": BENCH_TINY},
+        "concurrency": {"clients": N_CLIENTS,
+                        "requests_per_client": REQUESTS_PER_CLIENT},
+        "requests": total_requests,
+        "elapsed_seconds": wall_seconds,
+        "ops_per_second": requests_per_second,
+        "latency_ms": {"client": client_side, "server": server_side},
+        "lru": report.lru,
+        "store": report.store,
+    })
+    print(f"\n{total_requests} requests from {N_CLIENTS} concurrent "
+          f"clients in {wall_seconds:.2f}s "
+          f"({requests_per_second:.1f} req/s)")
+    print(f"client p50 {client_side['p50']:.1f}ms / "
+          f"p99 {client_side['p99']:.1f}ms; "
+          f"server p50 {server_side['p50']:.1f}ms / "
+          f"p99 {server_side['p99']:.1f}ms")
+    print(f"lru: {report.lru}")

@@ -53,6 +53,13 @@ per-stage :class:`RunReport`::
         batch = executor.match_many(engine, [workload.source], prepared)
     print(batch.throughput)     # tasks, workers, wall, per-task elapsed
 
+    # Persist the prepared target and serve it (see `repro serve`):
+    from repro import ArtifactStore, MatchService
+    store = ArtifactStore("artifacts/")
+    token = store.save(prepared, engine=engine).token
+    with MatchService(store) as service:
+        result, _ = service.match(workload.source, token)
+
 The pre-engine entry point is kept as a thin backward-compatible facade:
 ``ContextMatch(config).run(source, target)`` is exactly
 ``MatchEngine(config).match(source, target)``.
@@ -68,8 +75,10 @@ from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
 from .profiling import ColumnProfile, PartitionIndex, ProfileStore
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
                          Relation, Schema, TableSchema, View, ViewFamily)
+from .service import MatchService, ServiceReport, start_service
+from .store import ArtifactStore, StoreEntry
 
-__version__ = "1.1.0"
+from ._version import __version__
 
 __all__ = [
     "MatchEngine",
@@ -105,5 +114,10 @@ __all__ = [
     "TableSchema",
     "View",
     "ViewFamily",
+    "ArtifactStore",
+    "StoreEntry",
+    "MatchService",
+    "ServiceReport",
+    "start_service",
     "__version__",
 ]

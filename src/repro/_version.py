@@ -1,0 +1,9 @@
+"""Single source of the library version.
+
+Kept in its own leaf module (no imports) so subsystems that stamp the
+version into persisted artifacts — the artifact store's manifests, the
+service's reports — can read it without importing the package root,
+which would cycle during ``repro/__init__`` execution.
+"""
+
+__version__ = "1.2.0"

@@ -11,6 +11,12 @@ Commands
 ``scenarios``   the scenario registry: ``list`` registered specs, ``run``
                 one or more end-to-end (build, match, score against ground
                 truth), with the same ``--jobs N`` fan-out
+``store``       the persistent artifact store: ``save`` a prepared target,
+                ``load`` (verify) an artifact, ``list`` entries, ``gc``
+                unreferenced/corrupt files
+``serve``       matching as a service: a JSON-over-HTTP server answering
+                match / match-many requests against stored targets kept
+                warm in a token-keyed LRU
 
 Batch commands run on :class:`~repro.MatchExecutor`; with ``--jobs`` their
 ``--json`` output carries an ``executor`` section (the serialized
@@ -166,6 +172,59 @@ def build_parser() -> argparse.ArgumentParser:
                           "counters, per-stage report) as JSON; with "
                           "several names or --jobs, a batch document "
                           "with `results` and `executor` sections")
+
+    store = sub.add_parser(
+        "store", help="manage the persistent prepared-artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    save = store_sub.add_parser(
+        "save", help="prepare a target CSV directory and persist it")
+    save.add_argument("target", help="target CSV directory")
+    save.add_argument("--store", required=True, metavar="DIR",
+                      help="artifact store directory (created if missing)")
+    _add_matching_flags(save)
+    save.add_argument("--json", action="store_true",
+                      help="emit the store entry as JSON")
+    load = store_sub.add_parser(
+        "load", help="load + integrity-check one artifact by token")
+    load.add_argument("token", help="artifact content token (sha256)")
+    load.add_argument("--store", required=True, metavar="DIR")
+    load.add_argument("--json", action="store_true",
+                      help="emit the verified entry as JSON")
+    listing = store_sub.add_parser("list", help="list store entries")
+    listing.add_argument("--store", required=True, metavar="DIR")
+    listing.add_argument("--json", action="store_true",
+                         help="emit the entries as JSON")
+    gc = store_sub.add_parser(
+        "gc", help="remove orphaned/corrupt files, optionally evict "
+                   "down to a budget")
+    gc.add_argument("--store", required=True, metavar="DIR")
+    gc.add_argument("--max-entries", type=_positive_int, default=None,
+                    metavar="N", help="evict oldest entries beyond N")
+    gc.add_argument("--no-verify", action="store_true",
+                    help="skip blob digest verification during the sweep")
+    gc.add_argument("--json", action="store_true",
+                    help="emit the removal map as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="serve match requests over HTTP from a store")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="artifact store of prepared hub targets")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral; default: 8642)")
+    serve.add_argument("--jobs", type=_positive_int, default=None,
+                       metavar="N",
+                       help="worker processes for /match-many batches")
+    serve.add_argument("--max-targets", type=_positive_int, default=8,
+                       metavar="N", help="warm-LRU capacity (default: 8)")
+    _add_matching_flags(serve)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the startup line as JSON")
+    serve.add_argument("--startup-only", action="store_true",
+                       help="bind, warm the LRU, print the startup line "
+                            "and exit (smoke-testing)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each request to stderr")
     return parser
 
 
@@ -342,11 +401,113 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_json(payload: dict, store) -> str:
+    """Every ``--json`` surface of store/serve carries the library
+    version and the store path."""
+    return json.dumps({"__version__": __version__,
+                       "store": str(store.root), **payload},
+                      indent=2, default=str)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    # Lazy import: matching-only commands don't need the store stack.
+    from .errors import StoreError
+    from .store import ArtifactStore, store_entry_to_dict
+
+    store = ArtifactStore(args.store)
+    try:
+        if args.store_command == "save":
+            target = load_database(args.target, name="target")
+            engine = MatchEngine(config_from_args(args))
+            entry = store.save(engine.prepare(target), engine=engine)
+            if args.json:
+                print(_store_json({"entry": store_entry_to_dict(entry)},
+                                  store))
+            else:
+                dedup = store.counters["dedup_hits"] > 0
+                print(f"{'already stored' if dedup else 'saved'} "
+                      f"{entry.database} as {entry.token} "
+                      f"({entry.size_bytes} bytes)")
+            return 0
+        if args.store_command == "load":
+            prepared = store.load(args.token)
+            entry = store.entry(args.token)
+            if args.json:
+                print(_store_json({"entry": store_entry_to_dict(entry),
+                                   "verified": True}, store))
+            else:
+                print(f"ok: {entry.kind} {entry.database} "
+                      f"({entry.size_bytes} bytes, verified) -> {prepared!r}")
+            return 0
+        if args.store_command == "list":
+            entries = store.entries()
+            if args.json:
+                print(_store_json(
+                    {"entries": [store_entry_to_dict(e) for e in entries],
+                     "total_bytes": store.total_bytes()}, store))
+            else:
+                for entry in entries:
+                    print(f"{entry.token}  {entry.kind:<16} "
+                          f"{entry.database:<20} {entry.size_bytes:>9}B  "
+                          f"{entry.created_at}")
+                print(f"# {len(entries)} entries, "
+                      f"{store.total_bytes()} bytes")
+            return 0
+        removed = store.gc(max_entries=args.max_entries,
+                           verify=not args.no_verify)
+        if args.json:
+            print(_store_json({"removed": removed,
+                               "remaining": len(store)}, store))
+        else:
+            for stem, reason in removed.items():
+                print(f"removed {stem}: {reason}")
+            print(f"# {len(removed)} removed, {len(store)} entries remain")
+        return 0
+    except StoreError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import StoreError
+    from .service import MatchService
+    from .service.http import MatchServer
+
+    service = MatchService(args.store, config=config_from_args(args),
+                           jobs=args.jobs, capacity=args.max_targets)
+    try:
+        warmed = service.warm()
+    except StoreError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    server = MatchServer((args.host, args.port), service,
+                         verbose=args.verbose)
+    startup = {"serving": f"http://{args.host}:{server.port}",
+               "targets_warmed": len(warmed),
+               "jobs": service.executor.config.resolved_workers(),
+               "capacity": service.capacity}
+    if args.json:
+        print(_store_json(startup, service.store), flush=True)
+    else:
+        print(f"repro serve {__version__}: {startup['serving']} "
+              f"(store {service.store.root}, {len(warmed)} targets warm)",
+              flush=True)
+    if args.startup_only:
+        server.server_close()
+        return 0
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _cmd_generate, "match": _cmd_match,
                 "match-many": _cmd_match_many, "map": _cmd_map,
-                "scenarios": _cmd_scenarios}
+                "scenarios": _cmd_scenarios, "store": _cmd_store,
+                "serve": _cmd_serve}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

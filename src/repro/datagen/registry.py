@@ -39,6 +39,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..relational.instance import Database
+from ..store.tokens import update_digest_with_database
 from .clinical import make_clinical_workload
 from .events import make_events_workload
 from .grades import make_grades_workload
@@ -286,15 +287,9 @@ def workload_fingerprint(workload: Workload) -> str:
     digest = hashlib.sha256()
 
     def feed_database(database: Database) -> None:
-        digest.update(f"db:{database.name}\n".encode("utf-8"))
-        for relation in database:
-            attrs = ",".join(f"{a.name}:{a.dtype.value}"
-                             for a in relation.schema)
-            digest.update(
-                f"table:{relation.name}({attrs})x{len(relation)}\n"
-                .encode("utf-8"))
-            for attr in relation.schema.attribute_names:
-                digest.update(repr(relation.column(attr)).encode("utf-8"))
+        # Shared with the artifact store's database_token so workload and
+        # per-database content hashing can never drift apart.
+        update_digest_with_database(digest, database)
 
     def feed_truth(truth: GroundTruth) -> None:
         entries = sorted(

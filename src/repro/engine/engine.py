@@ -51,7 +51,8 @@ from .prepared import PreparedSource, PreparedTarget
 from .report import RunReport, StageReport
 from .stages import PipelineState, Stage, default_stages
 
-if TYPE_CHECKING:  # pragma: no cover - typing only (executor sits above)
+if TYPE_CHECKING:  # pragma: no cover - typing only (executor/store sit above)
+    from ..store.artifacts import ArtifactStore
     from .executor import MatchExecutor
 
 __all__ = ["MatchEngine"]
@@ -104,8 +105,20 @@ class MatchEngine:
     # ------------------------------------------------------------------
     # Target preparation
     # ------------------------------------------------------------------
-    def prepare(self, target: Database) -> PreparedTarget:
-        """Profile *target* once for reuse across any number of runs."""
+    def prepare(self, target: Database, *,
+                store: "ArtifactStore | None" = None) -> PreparedTarget:
+        """Profile *target* once for reuse across any number of runs.
+
+        With *store* (an :class:`~repro.store.ArtifactStore`) preparation
+        becomes durable: if the store already holds an artifact for this
+        (target content, engine fingerprint) pair it is loaded — verified,
+        bit-identical to preparing in memory — and otherwise the freshly
+        built artifact is saved before being returned.  Engines whose
+        fingerprint is identity-scoped (custom matching systems) bypass
+        the store.
+        """
+        if store is not None:
+            return store.prepared_target(self, target)
         # Stamp the configuration the index was actually profiled under: a
         # custom StandardMatch may carry a different config than the
         # engine-level ContextMatchConfig.standard.

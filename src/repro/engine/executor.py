@@ -187,15 +187,23 @@ class EngineArtifact:
     config: "ContextMatchConfig"
     policy: Any
     stages: list | None = None
+    #: Stable content token of the prepared side (an artifact-store
+    #: token), when the caller knows one.  Lets the executor derive a
+    #: shipping token that survives object turnover: a prepared target
+    #: evicted from a serving LRU and reloaded from the store is a *new*
+    #: object, but with the same content token the executor reuses the
+    #: live worker pool and the already-pickled payload instead of
+    #: re-shipping and recycling workers.
+    content_token: str | None = None
     _engine: "MatchEngine | None" = dataclasses.field(
         default=None, repr=False, compare=False)
 
     @classmethod
-    def of(cls, engine: "MatchEngine",
-           prepared: "PreparedTarget") -> "EngineArtifact":
+    def of(cls, engine: "MatchEngine", prepared: "PreparedTarget",
+           token: str | None = None) -> "EngineArtifact":
         return cls(prepared=prepared, config=engine.config,
                    policy=engine.policy, stages=list(engine.stages),
-                   _engine=engine)
+                   content_token=token, _engine=engine)
 
     def engine(self) -> "MatchEngine":
         if self._engine is None:
@@ -267,6 +275,11 @@ class MatchExecutor:
         #: while its entry is live.
         self._shipped: "OrderedDict[int, tuple[Any, str, bytes]]" = \
             OrderedDict()
+        #: Pickled-payload memo keyed by *stable shipping token* for
+        #: artifacts carrying a content token: equal-content artifacts
+        #: hit this memo across object lifetimes (LRU evict + store
+        #: reload), keeping the pool and the worker-side caches warm.
+        self._shipped_by_token: "OrderedDict[str, bytes]" = OrderedDict()
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
@@ -346,7 +359,8 @@ class MatchExecutor:
         return results, timings, len(blob)
 
     def _artifact_for(self, engine: "MatchEngine",
-                      prepared: "PreparedTarget") -> EngineArtifact:
+                      prepared: "PreparedTarget",
+                      token: str | None = None) -> EngineArtifact:
         """One EngineArtifact per (engine, prepared) pair, memoized so
         consecutive batches ship (and workers cache) the same object.
 
@@ -361,10 +375,11 @@ class MatchExecutor:
                 and entry[1] is prepared
                 and entry[2].config is engine.config
                 and entry[2].policy is engine.policy
+                and entry[2].content_token == token
                 and entry[2].stages == list(engine.stages)):
             self._artifacts.move_to_end(key)
             return entry[2]
-        artifact = EngineArtifact.of(engine, prepared)
+        artifact = EngineArtifact.of(engine, prepared, token=token)
         self._artifacts[key] = (engine, prepared, artifact)
         while len(self._artifacts) > self._MEMO_SLOTS:
             _, _, evicted = self._artifacts.popitem(last=False)[1]
@@ -373,8 +388,30 @@ class MatchExecutor:
 
     # -- process-backend plumbing --------------------------------------
     def _ship(self, artifact: Any) -> tuple[str, bytes]:
-        """(content token, pickled payload) of *artifact*, memoized per
-        object so repeated batches don't re-pickle it."""
+        """(shipping token, pickled payload) of *artifact*, memoized so
+        repeated batches don't re-pickle it.
+
+        Plain artifacts token by blob digest, memoized per object.  An
+        :class:`EngineArtifact` carrying a ``content_token`` ships under
+        a *stable* token instead — a digest of the prepared side's
+        content token plus the engine-side configuration (config, policy,
+        stages, which the content token alone does not cover) — so a
+        different object with equal content hits the token memo: no
+        re-pickle, no pool recycle, and the worker-side artifact caches
+        stay warm.  Two engines with differing configurations sharing one
+        content token still get distinct shipping tokens.
+        """
+        token = self._stable_token(artifact)
+        if token is not None:
+            blob = self._shipped_by_token.get(token)
+            if blob is not None:
+                self._shipped_by_token.move_to_end(token)
+                return token, blob
+            blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+            self._shipped_by_token[token] = blob
+            while len(self._shipped_by_token) > self._MEMO_SLOTS:
+                self._shipped_by_token.popitem(last=False)
+            return token, blob
         entry = self._shipped.get(id(artifact))
         if entry is not None and entry[0] is artifact:
             self._shipped.move_to_end(id(artifact))
@@ -385,6 +422,20 @@ class MatchExecutor:
         while len(self._shipped) > self._MEMO_SLOTS:
             self._shipped.popitem(last=False)
         return token, blob
+
+    @staticmethod
+    def _stable_token(artifact: Any) -> str | None:
+        """Content-derived shipping token of an EngineArtifact, or None
+        for artifacts without one (fall back to blob-digest tokening)."""
+        content_token = getattr(artifact, "content_token", None)
+        if content_token is None:
+            return None
+        engine_side = pickle.dumps(
+            (artifact.config, artifact.policy, artifact.stages),
+            protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(content_token.encode("utf-8"))
+        digest.update(engine_side)
+        return digest.hexdigest()
 
     @staticmethod
     def _mp_context():
@@ -425,25 +476,35 @@ class MatchExecutor:
     # -- high-level batches --------------------------------------------
     def match_many(self, engine: "MatchEngine",
                    sources: Iterable["Database | PreparedSource"],
-                   target: "Database | PreparedTarget") -> BatchResult:
+                   target: "Database | PreparedTarget",
+                   *, token: str | None = None) -> BatchResult:
         """Fan :meth:`MatchEngine.match` over *sources* against one shared
         target, prepared (at most) once up front.
 
         Results are :class:`~repro.context.model.MatchResult` objects in
         input order, each with its :class:`RunReport` — bit-identical
         across backends.
+
+        ``token`` is the prepared target's stable content token (an
+        :class:`~repro.store.ArtifactStore` token) when the caller knows
+        one: the process backend then keys its shipped payload and worker
+        pool by content instead of object identity, so serving loops that
+        evict and reload the same target keep their warm pool (see
+        :meth:`EngineArtifact <_ship>`).
         """
         prepared, _ = engine._resolve(target)
-        artifact = self._artifact_for(engine, prepared)
+        artifact = self._artifact_for(engine, prepared, token=token)
         return self.run_tasks(_match_task, sources, artifact=artifact)
 
     def match_reversed_many(self, engine: "MatchEngine",
                             source: "Database | PreparedTarget",
-                            targets: Iterable["Database"]) -> BatchResult:
+                            targets: Iterable["Database"],
+                            *, token: str | None = None) -> BatchResult:
         """Fan :meth:`MatchEngine.match_reversed` over *targets* with one
         shared conditioned side (the *source*, which is the prepared side
-        of a reversed run), prepared once up front."""
+        of a reversed run), prepared once up front.  ``token`` works as in
+        :meth:`match_many`."""
         prepared, _ = engine._resolve(source)
-        artifact = self._artifact_for(engine, prepared)
+        artifact = self._artifact_for(engine, prepared, token=token)
         return self.run_tasks(_match_reversed_task, targets,
                               artifact=artifact)

@@ -57,3 +57,37 @@ class MatchingError(ReproError):
 class EngineError(ReproError):
     """The match engine was misused (e.g. a PreparedTarget built under an
     incompatible configuration was passed to :meth:`MatchEngine.match`)."""
+
+
+class StoreError(ReproError):
+    """Base class for artifact-store failures.
+
+    The :class:`~repro.store.ArtifactStore` never lets a corrupt or
+    incompatible artifact reach ``pickle.loads``: every load failure is
+    reported as one of the typed subclasses below, so callers can
+    distinguish "not there" from "damaged" from "built by another
+    version" without parsing messages.
+    """
+
+
+class ArtifactNotFoundError(StoreError):
+    """No artifact with the requested content token exists in the store."""
+
+    def __init__(self, token: str, store: str):
+        super().__init__(f"no artifact {token!r} in store {store}")
+        self.token = token
+        self.store = store
+
+
+class ArtifactIntegrityError(StoreError):
+    """A stored artifact failed verification (truncated or bit-rotted blob,
+    unreadable manifest, or a blob whose digest disagrees with its
+    manifest).  Raised *before* deserialization — a damaged artifact is
+    never unpickled, let alone served."""
+
+
+class ArtifactVersionError(StoreError):
+    """A stored artifact was written by an incompatible library or store-
+    format version.  Pickled prepared artifacts carry version-coupled
+    internals, so cross-version loads are refused with this error instead
+    of surfacing as an arbitrary unpickling failure downstream."""

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import weakref
 from collections import OrderedDict
-from typing import Iterable, TypeVar
+from typing import TYPE_CHECKING, Iterable, TypeVar
 
 from ..context.categorical import CategoricalPolicy
 from ..context.model import ContextMatchConfig, MatchResult
@@ -26,6 +27,11 @@ from ..engine.engine import MatchEngine
 from ..engine.executor import BatchResult, MatchExecutor
 from ..engine.prepared import PreparedSource, PreparedTarget
 from ..relational.instance import Database
+from ..store.tokens import database_token as compute_database_token
+from ..store.tokens import fingerprint_token
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.artifacts import ArtifactStore
 
 T = TypeVar("T")
 
@@ -40,28 +46,54 @@ class EngineRunner:
     for the first and the hundredth configuration against a target, which
     keeps averaged runtime series comparable.
 
-    Entries are keyed by database identity plus the engine's prepared
+    Entries are keyed by database *content token* (a sha256 of schema,
+    dtypes and every column value — see
+    :func:`repro.store.tokens.database_token`) plus the engine's prepared
     fingerprint (:meth:`MatchEngine.prepared_fingerprint` — the standard
     configuration, matcher zoo and policy for a plain engine, the matcher's
     own identity for custom matching systems), so two engines with
     different configurations sharing one runner can never serve each other
     stale prepared artifacts, while a sweep whose configurations only vary
-    contextual knobs still prepares each side exactly once.  The cache
-    holds strong references to its targets and matchers (via the prepared
-    artifacts), so an ``id()`` in a key can never be recycled while its
-    entry is live.
+    contextual knobs still prepares each side exactly once.  Content
+    tokens replace the previous ``id(database)`` keys: an ``id()`` says
+    nothing once the object it named is gone — after an eviction and a
+    garbage collection the same address can host a *different* database,
+    which a content token can never alias.  Tokens are memoized per live
+    database object (a ``WeakKeyDictionary``), so the hash is paid once
+    per object, not once per run; as a bonus, equal-content databases now
+    share one prepared entry regardless of object identity.
+
+    ``store`` (an :class:`~repro.store.ArtifactStore`) backs the
+    prepared-target LRU with disk: evicted or never-seen targets are
+    loaded from the store when present (verified, bit-identical) and
+    newly prepared ones are saved, so preparation survives the process —
+    the same artifacts ``repro serve`` answers from.
     """
 
-    def __init__(self, *, max_prepared: int = 8):
+    def __init__(self, *, max_prepared: int = 8,
+                 store: "ArtifactStore | None" = None):
         self.max_prepared = max_prepared
+        self.store = store
         self._prepared: OrderedDict[tuple, PreparedTarget] = OrderedDict()
         self._prepared_sources: OrderedDict[tuple, PreparedSource] = \
             OrderedDict()
+        #: database object -> content token, weakly keyed: tokens die with
+        #: their objects, and a recycled id() can never inherit one.
+        self._db_tokens: "weakref.WeakKeyDictionary[Database, str]" = \
+            weakref.WeakKeyDictionary()
         #: (config, policy, engine) of the most recent :meth:`run_many`
         #: call: consecutive batch calls with an equal configuration reuse
         #: one engine object, so a shared MatchExecutor's id-keyed
         #: artifact/payload memos actually hit across calls.
         self._engine_cache: tuple | None = None
+
+    def database_token(self, database: Database) -> str:
+        """The (memoized) stable content token of *database*."""
+        token = self._db_tokens.get(database)
+        if token is None:
+            token = compute_database_token(database)
+            self._db_tokens[database] = token
+        return token
 
     def _engine_for(self, config: ContextMatchConfig,
                     policy: CategoricalPolicy | None) -> MatchEngine:
@@ -74,10 +106,12 @@ class EngineRunner:
 
     def prepared_for(self, engine: MatchEngine,
                      target: Database) -> PreparedTarget:
-        key = (id(target), engine.prepared_fingerprint())
+        key = (self.database_token(target), engine.prepared_fingerprint())
         prepared = self._prepared.get(key)
         if prepared is None:
-            prepared = engine.prepare(target)
+            # A store-backed runner loads (or saves) through the store;
+            # prepare() bypasses it for identity-fingerprinted engines.
+            prepared = engine.prepare(target, store=self.store)
             self._prepared[key] = prepared
             while len(self._prepared) > self.max_prepared:
                 self._prepared.popitem(last=False)
@@ -94,7 +128,7 @@ class EngineRunner:
         if not engine.config.use_profiling:
             return None
         matcher_key, _policy = engine.prepared_fingerprint()
-        key = (id(source), matcher_key)
+        key = (self.database_token(source), matcher_key)
         prepared = self._prepared_sources.get(key)
         if prepared is None:
             prepared = engine.prepare_source(source)
@@ -132,7 +166,12 @@ class EngineRunner:
         prepared = self.prepared_for(engine, target)
         if executor is None:
             executor = MatchExecutor()
-        return executor.match_many(engine, sources, prepared)
+        # Stable-fingerprint engines (always the case for the runner's
+        # internally built engines) ship under a content-derived token,
+        # so executor pools stay warm across prepared-LRU turnover.
+        token = (self.database_token(target)
+                 if fingerprint_token(engine) is not None else None)
+        return executor.match_many(engine, sources, prepared, token=token)
 
 
 @dataclasses.dataclass(frozen=True)

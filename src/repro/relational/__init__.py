@@ -11,6 +11,8 @@ from .constraints import ContextualForeignKey, ForeignKey, Key
 from .csvio import (dump_database, load_database, read_csv,
                     relation_from_csv_text, relation_to_csv_text, write_csv)
 from .instance import Database, Relation, Row
+from .jsonio import (database_from_dict, database_to_dict,
+                     relation_from_dict, relation_to_dict)
 from .schema import Attribute, AttributeRef, Schema, TableSchema
 from .types import DataType, coerce_value, infer_column_type, infer_type, is_missing
 from .views import View, ViewFamily, view_name
@@ -48,4 +50,8 @@ __all__ = [
     "load_database",
     "relation_to_csv_text",
     "relation_from_csv_text",
+    "database_to_dict",
+    "database_from_dict",
+    "relation_to_dict",
+    "relation_from_dict",
 ]

@@ -1,0 +1,71 @@
+"""JSON codecs for relational instances.
+
+The CSV codecs (:mod:`repro.relational.csvio`) serve on-disk workloads;
+these serve the wire: the matching service (:mod:`repro.service`)
+receives source databases as JSON request bodies and the quickstart
+examples build them inline.  Unlike CSV, the JSON shape carries dtypes
+explicitly, so a round trip preserves the schema exactly instead of
+re-inferring it — ``database_from_dict(database_to_dict(db))`` matches
+bit-identically to ``db``.
+
+Values are the library's native column values (str / int / float / bool
+/ None), which are exactly JSON's scalars; dates travel as their ISO
+strings, the same representation they have in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..errors import InstanceError
+from .instance import Database, Relation
+from .schema import Attribute, TableSchema
+from .types import DataType
+
+__all__ = ["relation_to_dict", "relation_from_dict",
+           "database_to_dict", "database_from_dict"]
+
+
+def relation_to_dict(relation: Relation) -> dict[str, Any]:
+    """Serialize one relation: name, typed attributes, columns in order."""
+    return {
+        "name": relation.name,
+        "is_view": relation.schema.is_view,
+        "attributes": [{"name": a.name, "dtype": a.dtype.value}
+                       for a in relation.schema],
+        "columns": {a: relation.column(a)
+                    for a in relation.schema.attribute_names},
+    }
+
+
+def relation_from_dict(data: Mapping[str, Any]) -> Relation:
+    """Inverse of :func:`relation_to_dict`; schema comes from the payload,
+    nothing is re-inferred."""
+    try:
+        attributes = [Attribute(a["name"], DataType(a["dtype"]))
+                      for a in data["attributes"]]
+        schema = TableSchema(data["name"], attributes,
+                             is_view=bool(data.get("is_view", False)))
+        columns = data["columns"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InstanceError(f"malformed relation payload: {exc}") from exc
+    return Relation(schema, columns)
+
+
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """Serialize a database: name plus every table, in schema order."""
+    return {
+        "name": database.name,
+        "tables": [relation_to_dict(relation) for relation in database],
+    }
+
+
+def database_from_dict(data: Mapping[str, Any]) -> Database:
+    """Inverse of :func:`database_to_dict`."""
+    try:
+        name = data["name"]
+        tables = data["tables"]
+    except (KeyError, TypeError) as exc:
+        raise InstanceError(f"malformed database payload: {exc}") from exc
+    return Database.from_relations(
+        name, [relation_from_dict(table) for table in tables])

@@ -1,0 +1,26 @@
+"""Matching as a service: a long-lived server over stored artifacts.
+
+:class:`MatchService` answers match requests against hub targets kept
+warm in a token-keyed LRU backed by an
+:class:`~repro.store.ArtifactStore` — each target is loaded from disk at
+most once per process.  :func:`start_service` / :class:`MatchServer`
+wrap it in a dependency-free JSON-over-HTTP loop (``repro serve``), and
+:class:`ServiceReport` is the latency/cache telemetry both expose.
+"""
+
+from .core import MatchService
+from .http import MatchRequestHandler, MatchServer, start_service
+from .report import (ServiceReport, latency_summary, percentile,
+                     service_report_from_dict, service_report_to_dict)
+
+__all__ = [
+    "MatchService",
+    "MatchServer",
+    "MatchRequestHandler",
+    "start_service",
+    "ServiceReport",
+    "latency_summary",
+    "percentile",
+    "service_report_to_dict",
+    "service_report_from_dict",
+]

@@ -1,0 +1,279 @@
+"""The matching service: hub targets served warm from a token-keyed LRU.
+
+:class:`MatchService` is the engine-side half of ``repro serve`` (the
+HTTP loop in :mod:`repro.service.http` is a thin shell around it, and it
+is equally usable in-process).  It owns:
+
+* an :class:`~repro.store.ArtifactStore` of prepared hub targets;
+* a **warm LRU** keyed by artifact content token: each target is loaded
+  (and verified) from the store at most once per process — the first
+  request pays the deserialization, every later request is a cache hit.
+  ``warm()`` pre-loads the store's targets at startup so even the first
+  request is warm.  Counters prove the behavior: ``lru["loads"]`` equals
+  the number of distinct targets served, full stop.
+* one :class:`~repro.engine.engine.MatchEngine` and one
+  :class:`~repro.engine.executor.MatchExecutor` (``--jobs N`` selects
+  the process backend) for batch requests.  Batches ship under the
+  target's *stable content token*, so the executor's worker pool and
+  worker-side artifact caches stay warm across LRU turnover.
+
+Concurrency: requests arrive from many server threads.  The LRU and the
+counters are lock-protected; per-token load locks make a cold target
+load exactly once even under a thundering herd.  Matching itself runs
+without locks — a :class:`~repro.engine.prepared.PreparedTarget` is
+read-mostly, and its lazily-populated memos (tag cache, compiled
+classifier matrices, partition arrays) hold pure functions of the
+prepared side, so concurrent population can duplicate work but never
+change a result.  Batch requests serialize on the executor (one worker
+pool).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Iterable, Mapping
+
+from .._version import __version__
+from ..engine.engine import MatchEngine
+from ..engine.executor import BatchResult, ExecutorConfig, MatchExecutor
+from ..engine.prepared import PreparedTarget
+from ..errors import ArtifactNotFoundError
+from ..relational.instance import Database
+from ..relational.jsonio import database_from_dict
+from ..store.artifacts import KIND_TARGET, ArtifactStore, StoreEntry
+from .report import ServiceReport, latency_summary
+
+__all__ = ["MatchService"]
+
+#: Sliding-window size of the per-endpoint latency series.
+_LATENCY_WINDOW = 8192
+
+
+class MatchService:
+    """Serve match requests against stored, warm-cached hub targets.
+
+    Parameters
+    ----------
+    store:
+        An :class:`~repro.store.ArtifactStore` (or a path to create one
+        over).  Hub targets are loaded from here; ``save_target`` writes
+        back through it.
+    config / policy:
+        Engine configuration for every request this service answers.
+        Loaded artifacts are checked against it — an artifact prepared
+        under an incompatible configuration is refused, exactly as in
+        direct engine use.
+    jobs:
+        Worker processes for ``/match-many`` batches (None/1 = serial).
+    capacity:
+        Warm-LRU slots; least recently used targets are evicted (and
+        transparently reloaded from the store on their next request).
+
+    Example
+    -------
+    >>> import tempfile
+    >>> from repro import MatchEngine
+    >>> from repro.datagen import make_retail_workload
+    >>> from repro.store import ArtifactStore
+    >>> workload = make_retail_workload(target="ryan", seed=7)
+    >>> store = ArtifactStore(tempfile.mkdtemp())
+    >>> engine = MatchEngine()
+    >>> token = store.save(engine.prepare(workload.target),
+    ...                    engine=engine).token
+    >>> service = MatchService(store)
+    >>> _ = service.warm()
+    >>> result, served = service.match(workload.source, token)
+    >>> served == token and len(result.matches) > 0
+    True
+    """
+
+    def __init__(self, store: ArtifactStore | str, *,
+                 config: Any = None, policy: Any = None,
+                 jobs: int | None = None, capacity: int = 8):
+        self.store = (store if isinstance(store, ArtifactStore)
+                      else ArtifactStore(store))
+        self.engine = MatchEngine(config, policy=policy)
+        self.executor = MatchExecutor(ExecutorConfig.for_jobs(jobs))
+        self.capacity = max(1, capacity)
+        self._targets: "OrderedDict[str, PreparedTarget]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self._executor_lock = threading.Lock()
+        self._started = time.time()
+        self.lru_counters = {"hits": 0, "misses": 0, "evictions": 0,
+                             "loads": 0}
+        self._requests: dict[str, int] = {}
+        self._errors = 0
+        self._latencies: dict[str, deque] = {}
+
+    # -- warm cache ----------------------------------------------------
+    def warm(self, tokens: Iterable[str] | None = None) -> list[str]:
+        """Load hub targets into the LRU up front; returns their tokens.
+
+        With no *tokens*, every prepared-target entry in the store is
+        eligible, newest first, up to the LRU capacity — the serve loop
+        calls this once at startup so the first request of every popular
+        target is already warm.
+        """
+        if tokens is None:
+            tokens = [entry.token for entry in self.store.entries()
+                      if entry.kind == KIND_TARGET][:self.capacity]
+        warmed = []
+        for token in tokens:
+            self._target_for(token)
+            warmed.append(token)
+        return warmed
+
+    def _load_lock(self, token: str) -> threading.Lock:
+        with self._lock:
+            lock = self._load_locks.get(token)
+            if lock is None:
+                lock = self._load_locks[token] = threading.Lock()
+            return lock
+
+    def _target_for(self, token: str) -> PreparedTarget:
+        """The warm prepared target for *token*: LRU hit, or exactly one
+        store load per token no matter how many threads race for it."""
+        with self._lock:
+            prepared = self._targets.get(token)
+            if prepared is not None:
+                self.lru_counters["hits"] += 1
+                self._targets.move_to_end(token)
+                return prepared
+            self.lru_counters["misses"] += 1
+        with self._load_lock(token):
+            # Double-checked: the herd's first thread loads, the rest
+            # find the entry on re-check.
+            with self._lock:
+                prepared = self._targets.get(token)
+                if prepared is not None:
+                    self._targets.move_to_end(token)
+                    return prepared
+            loaded = self.store.load_target(token)
+            self.engine._check_compatible(loaded)
+            with self._lock:
+                self.lru_counters["loads"] += 1
+                self._targets[token] = loaded
+                while len(self._targets) > self.capacity:
+                    self._targets.popitem(last=False)
+                    self.lru_counters["evictions"] += 1
+            return loaded
+
+    def resolve(self, ref: str) -> str:
+        """Resolve a target reference — a content token or a database
+        name — to a token.  Names resolve to the newest stored target of
+        that name; unknown references raise
+        :class:`~repro.errors.ArtifactNotFoundError`."""
+        if ref in self._targets or ref in self.store:
+            return ref
+        for entry in self.store.entries():
+            if entry.kind == KIND_TARGET and entry.database == ref:
+                return entry.token
+        raise ArtifactNotFoundError(ref, str(self.store.root))
+
+    # -- request surface -----------------------------------------------
+    @staticmethod
+    def _as_database(source: Database | Mapping[str, Any]) -> Database:
+        if isinstance(source, Database):
+            return source
+        return database_from_dict(source)
+
+    def match(self, source: Database | Mapping[str, Any],
+              target_ref: str) -> tuple[Any, str]:
+        """One match run against a warm target; returns
+        ``(MatchResult, resolved token)``."""
+        token = self.resolve(target_ref)
+        prepared = self._target_for(token)
+        return self.engine.match(self._as_database(source), prepared), token
+
+    def match_many(self, sources: Iterable[Database | Mapping[str, Any]],
+                   target_ref: str) -> tuple[BatchResult, str]:
+        """One executor batch against a warm target; returns
+        ``(BatchResult, resolved token)``.  Batches serialize on the
+        service's one executor (and its one worker pool); the shared
+        artifact ships under the target's stable content token."""
+        token = self.resolve(target_ref)
+        prepared = self._target_for(token)
+        databases = [self._as_database(source) for source in sources]
+        with self._executor_lock:
+            batch = self.executor.match_many(self.engine, databases,
+                                             prepared, token=token)
+        return batch, token
+
+    def save_target(self, target: Database | Mapping[str, Any]
+                    ) -> StoreEntry:
+        """Prepare a new hub target with this service's engine and
+        persist it; the entry is immediately servable (and warmed)."""
+        prepared = self.engine.prepare(self._as_database(target))
+        entry = self.store.save(prepared, engine=self.engine)
+        with self._lock:
+            self._targets[entry.token] = prepared
+            self._targets.move_to_end(entry.token)
+            while len(self._targets) > self.capacity:
+                self._targets.popitem(last=False)
+                self.lru_counters["evictions"] += 1
+        return entry
+
+    # -- telemetry -----------------------------------------------------
+    def observe(self, endpoint: str, elapsed_ms: float,
+                *, error: bool = False) -> None:
+        """Record one served request (called by the HTTP layer)."""
+        with self._lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+            if error:
+                self._errors += 1
+            window = self._latencies.get(endpoint)
+            if window is None:
+                window = self._latencies[endpoint] = \
+                    deque(maxlen=_LATENCY_WINDOW)
+            window.append(elapsed_ms)
+
+    def target_entries(self) -> list[dict[str, Any]]:
+        """Warm + stored targets: manifest fields plus warm/runs state."""
+        with self._lock:
+            warm = {token: prepared.runs
+                    for token, prepared in self._targets.items()}
+        entries = []
+        for entry in self.store.entries():
+            if entry.kind != KIND_TARGET:
+                continue
+            entries.append({
+                "token": entry.token, "database": entry.database,
+                "tables": entry.tables, "size_bytes": entry.size_bytes,
+                "warm": entry.token in warm,
+                "runs": warm.get(entry.token, 0)})
+        return entries
+
+    def report(self) -> ServiceReport:
+        """A :class:`ServiceReport` snapshot of this service."""
+        with self._lock:
+            requests = dict(self._requests)
+            errors = self._errors
+            latency = {endpoint: latency_summary(list(window))
+                       for endpoint, window in self._latencies.items()}
+            lru = dict(self.lru_counters,
+                       size=len(self._targets), capacity=self.capacity)
+            warm = [{"token": token, "database": prepared.target.name,
+                     "runs": prepared.runs}
+                    for token, prepared in reversed(self._targets.items())]
+        return ServiceReport(
+            version=__version__, store_path=str(self.store.root),
+            uptime_seconds=time.time() - self._started,
+            requests=sum(requests.values()), errors=errors,
+            endpoints=requests, latency_ms=latency, lru=lru,
+            store=dict(self.store.counters, entries=len(self.store)),
+            executor={"backend": self.executor.config.backend,
+                      "workers": self.executor.config.resolved_workers()},
+            targets=warm)
+
+    def close(self) -> None:
+        """Release the executor's worker pool (if any)."""
+        self.executor.close()
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,429 @@
+"""Disk-backed store of prepared match artifacts, keyed by content token.
+
+PR 5 made every :class:`~repro.engine.prepared.PreparedTarget` and
+:class:`~repro.engine.prepared.PreparedSource` picklable with a sha256
+content token — but the artifacts still died with the process.
+:class:`ArtifactStore` persists them:
+
+* **Layout.**  One directory; each entry is a pair of files named by the
+  blob's sha256 content token — ``<token>.blob`` (the pickled artifact)
+  and ``<token>.json`` (a versioned manifest: artifact kind, library
+  version, store format, engine fingerprint digest, byte size, blob
+  digest, source-database token).  Writes are atomic (tmp + rename) and
+  the manifest lands *after* its blob, so a manifest's existence always
+  implies a complete entry; interrupted saves leave orphan blobs that
+  :meth:`gc` sweeps.
+* **Integrity.**  :meth:`load` re-reads the manifest, checks the store
+  format and library version, re-hashes the blob and compares it to the
+  manifest digest — all *before* ``pickle.loads``.  A truncated blob, a
+  flipped bit, or an artifact written by a different library version
+  raises a typed error (:class:`~repro.errors.ArtifactIntegrityError`,
+  :class:`~repro.errors.ArtifactVersionError`); a corrupt artifact is
+  never silently served and never surfaces as a pickle exception.
+* **Lookup.**  Entries whose engine fingerprint is stable also carry a
+  ``lookup_key`` — a digest of (kind, database content token, engine
+  fingerprint) — so :meth:`find` can answer "is *this* database already
+  prepared for *this* engine?" without touching any blob.
+  :meth:`prepared_target` builds on it: load on hit, prepare-and-save on
+  miss — the get-or-build primitive behind store-aware
+  :meth:`~repro.engine.engine.MatchEngine.prepare` and the serving
+  layer's warm LRU.
+* **Maintenance.**  :meth:`entries` lists manifests (newest first);
+  :meth:`gc` removes orphans and corrupt entries and can trim the store
+  to a byte/entry budget, oldest first.
+
+The round-trip invariant — a loaded artifact produces bit-identical
+match results vs the in-memory prepared path — is pinned across the
+all-20-scenario golden grid (``pytest -m golden``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import time
+from typing import Any, Iterable, Mapping
+
+from .._version import __version__
+from ..errors import (ArtifactIntegrityError, ArtifactNotFoundError,
+                      ArtifactVersionError, StoreError)
+from .tokens import blob_token, database_token, fingerprint_token
+
+__all__ = ["ArtifactStore", "StoreEntry", "STORE_FORMAT",
+           "KIND_TARGET", "KIND_SOURCE"]
+
+#: On-disk format revision.  Bumped when the layout or manifest schema
+#: changes incompatibly; loads refuse other revisions with a typed error.
+STORE_FORMAT = 1
+
+KIND_TARGET = "prepared-target"
+KIND_SOURCE = "prepared-source"
+_KINDS = (KIND_TARGET, KIND_SOURCE)
+
+_MANIFEST_SUFFIX = ".json"
+_BLOB_SUFFIX = ".blob"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreEntry:
+    """Manifest of one stored artifact — everything verifiable without
+    touching the blob.
+
+    ``token`` doubles as the blob digest (the store keys entries by the
+    sha256 of the pickled payload); ``fingerprint`` / ``lookup_key`` are
+    None for artifacts saved without a stable engine fingerprint, which
+    are loadable by token but invisible to :meth:`ArtifactStore.find`.
+    """
+
+    token: str
+    kind: str
+    format: int
+    version: str
+    size_bytes: int
+    created_at: float
+    database: str
+    tables: int
+    fingerprint: str | None = None
+    database_token: str | None = None
+    lookup_key: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoreEntry":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    def __str__(self) -> str:
+        return (f"{self.token[:12]}  {self.kind:<15} "
+                f"{self.database:<12} {self.tables} tables  "
+                f"{self.size_bytes} bytes  v{self.version}")
+
+
+def _lookup_key(kind: str, db_token: str, fingerprint: str) -> str:
+    payload = f"{kind}:{db_token}:{fingerprint}".encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _atomic_write(path: pathlib.Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+class ArtifactStore:
+    """A directory of prepared artifacts addressable by content token.
+
+    Thread-safe for the operations the serving layer performs
+    concurrently (token-addressed loads and reads): entries are immutable
+    once their manifest exists, saves are atomic renames, and counters
+    are simple integer bumps.  ``counters`` tracks ``saves`` (new blobs
+    written), ``dedup_hits`` (saves that found their token already
+    present), ``loads`` (verified blob deserializations), ``find_hits`` /
+    ``find_misses`` (lookup-key probes).
+
+    Example
+    -------
+    >>> import tempfile
+    >>> from repro import MatchEngine
+    >>> from repro.datagen import make_retail_workload
+    >>> workload = make_retail_workload(target="ryan", seed=7)
+    >>> store = ArtifactStore(tempfile.mkdtemp())
+    >>> engine = MatchEngine()
+    >>> entry = store.save(engine.prepare(workload.target), engine=engine)
+    >>> loaded = store.load_target(entry.token)
+    >>> loaded.table_names == engine.prepare(workload.target).table_names
+    True
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters: dict[str, int] = {
+            "saves": 0, "dedup_hits": 0, "loads": 0,
+            "find_hits": 0, "find_misses": 0,
+        }
+
+    # -- paths ---------------------------------------------------------
+    def _manifest_path(self, token: str) -> pathlib.Path:
+        return self.root / f"{token}{_MANIFEST_SUFFIX}"
+
+    def _blob_path(self, token: str) -> pathlib.Path:
+        return self.root / f"{token}{_BLOB_SUFFIX}"
+
+    def __contains__(self, token: object) -> bool:
+        return (isinstance(token, str)
+                and self._manifest_path(token).is_file())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob(f"*{_MANIFEST_SUFFIX}"))
+
+    # -- save ----------------------------------------------------------
+    @staticmethod
+    def _kind_of(artifact: Any) -> tuple[str, Any]:
+        # Imported here so the store stays importable from serialization
+        # helpers without dragging the engine package into their import
+        # graph at module load.
+        from ..engine.prepared import PreparedSource, PreparedTarget
+        if isinstance(artifact, PreparedTarget):
+            return KIND_TARGET, artifact.target
+        if isinstance(artifact, PreparedSource):
+            return KIND_SOURCE, artifact.source
+        raise StoreError(
+            f"cannot store {type(artifact).__name__}: expected a "
+            "PreparedTarget or PreparedSource")
+
+    def save(self, artifact: Any, *, engine: Any = None) -> StoreEntry:
+        """Persist a prepared artifact; returns its manifest.
+
+        The blob is pickled once; its sha256 is the entry's token.
+        Saving the same content twice lands on one entry
+        (``dedup_hits``): by blob digest when the bytes repeat exactly,
+        and otherwise by the (kind, database token, engine fingerprint)
+        lookup key — pickle bytes are *not* canonical across interpreter
+        processes (hash randomization perturbs set/dict ordering), so
+        the content-derived lookup key is what makes ``save`` idempotent
+        across runs.  Passing the *engine* that built the artifact
+        stamps the manifest with the engine's stable fingerprint digest
+        and that lookup key, also making the entry discoverable via
+        :meth:`find`; identity-fingerprinted engines (custom matching
+        systems) yield token-only entries deduped by digest alone.
+        """
+        kind, database = self._kind_of(artifact)
+        blob = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        token = blob_token(blob)
+        if token in self:
+            self.counters["dedup_hits"] += 1
+            return self.entry(token)
+        fingerprint = fingerprint_token(engine) if engine is not None \
+            else None
+        db_token = database_token(database)
+        if fingerprint is not None:
+            lookup = _lookup_key(kind, db_token, fingerprint)
+            for existing in self.entries():
+                if existing.lookup_key == lookup:
+                    self.counters["dedup_hits"] += 1
+                    return existing
+        entry = StoreEntry(
+            token=token, kind=kind, format=STORE_FORMAT,
+            version=__version__, size_bytes=len(blob),
+            created_at=time.time(), database=database.name,
+            tables=len(tuple(database)), fingerprint=fingerprint,
+            database_token=db_token,
+            lookup_key=(_lookup_key(kind, db_token, fingerprint)
+                        if fingerprint is not None else None))
+        _atomic_write(self._blob_path(token), blob)
+        _atomic_write(self._manifest_path(token),
+                      (json.dumps(entry.to_dict(), indent=2, sort_keys=True)
+                       + "\n").encode("utf-8"))
+        self.counters["saves"] += 1
+        return entry
+
+    # -- manifests -----------------------------------------------------
+    def entry(self, token: str) -> StoreEntry:
+        """The verified manifest of *token* (no blob access)."""
+        path = self._manifest_path(token)
+        if not path.is_file():
+            raise ArtifactNotFoundError(token, str(self.root))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            entry = StoreEntry.from_dict(data)
+        except (ValueError, TypeError) as exc:
+            raise ArtifactIntegrityError(
+                f"unreadable manifest for artifact {token!r} in store "
+                f"{self.root}: {exc}") from exc
+        if entry.token != token:
+            raise ArtifactIntegrityError(
+                f"manifest for artifact {token!r} names token "
+                f"{entry.token!r}; the store entry was tampered with or "
+                "misfiled")
+        return entry
+
+    def entries(self) -> list[StoreEntry]:
+        """Every readable manifest, newest first.  Unreadable manifests
+        are skipped here (listing is a maintenance view); :meth:`load`
+        and :meth:`gc` are where damage turns into errors/cleanup."""
+        found = []
+        for path in self.root.glob(f"*{_MANIFEST_SUFFIX}"):
+            try:
+                found.append(self.entry(path.stem))
+            except StoreError:
+                continue
+        found.sort(key=lambda e: e.created_at, reverse=True)
+        return found
+
+    def _check_compatible(self, entry: StoreEntry) -> None:
+        if entry.format != STORE_FORMAT:
+            raise ArtifactVersionError(
+                f"artifact {entry.token!r} uses store format "
+                f"{entry.format}, this library reads format "
+                f"{STORE_FORMAT}; re-prepare and re-save the artifact")
+        if entry.version != __version__:
+            raise ArtifactVersionError(
+                f"artifact {entry.token!r} was saved by repro "
+                f"{entry.version}, this is repro {__version__}; prepared "
+                "artifacts carry version-coupled internals — re-prepare "
+                "and re-save the artifact")
+
+    # -- load ----------------------------------------------------------
+    def load(self, token: str, *, expected_kind: str | None = None) -> Any:
+        """Load and verify the artifact stored under *token*.
+
+        Verification order: manifest readable → store format and library
+        version match → blob present and its sha256 equals the token →
+        only then ``pickle.loads`` → unpickled type matches the manifest
+        kind.  Every failure raises a typed :class:`StoreError` subclass.
+        """
+        entry = self.entry(token)
+        if expected_kind is not None and entry.kind != expected_kind:
+            raise StoreError(
+                f"artifact {token!r} is a {entry.kind}, expected "
+                f"{expected_kind}")
+        self._check_compatible(entry)
+        blob_path = self._blob_path(token)
+        if not blob_path.is_file():
+            raise ArtifactIntegrityError(
+                f"artifact {token!r} has a manifest but no blob in store "
+                f"{self.root}")
+        blob = blob_path.read_bytes()
+        if len(blob) != entry.size_bytes or blob_token(blob) != token:
+            raise ArtifactIntegrityError(
+                f"artifact {token!r} failed digest verification "
+                f"({len(blob)} bytes on disk vs {entry.size_bytes} in the "
+                "manifest); the blob is truncated or corrupt — delete it "
+                "via gc() and re-save")
+        artifact = pickle.loads(blob)
+        kind, _ = self._kind_of(artifact)
+        if kind != entry.kind:
+            raise ArtifactIntegrityError(
+                f"artifact {token!r} unpickled as a {kind} but its "
+                f"manifest says {entry.kind}")
+        self.counters["loads"] += 1
+        return artifact
+
+    def load_target(self, token: str):
+        """:meth:`load`, asserting the artifact is a PreparedTarget."""
+        return self.load(token, expected_kind=KIND_TARGET)
+
+    def load_source(self, token: str):
+        """:meth:`load`, asserting the artifact is a PreparedSource."""
+        return self.load(token, expected_kind=KIND_SOURCE)
+
+    # -- lookup --------------------------------------------------------
+    def find(self, kind: str, database: Any, engine: Any) -> str | None:
+        """Token of the stored *kind* artifact for (database, engine), or
+        None — including when the engine's fingerprint is unstable."""
+        if kind not in _KINDS:
+            raise StoreError(f"unknown artifact kind {kind!r}; "
+                             f"choose one of {list(_KINDS)}")
+        fingerprint = fingerprint_token(engine)
+        if fingerprint is None:
+            return None
+        wanted = _lookup_key(kind, database_token(database), fingerprint)
+        for entry in self.entries():
+            if entry.lookup_key == wanted:
+                self.counters["find_hits"] += 1
+                return entry.token
+        self.counters["find_misses"] += 1
+        return None
+
+    def find_target(self, database: Any, engine: Any) -> str | None:
+        return self.find(KIND_TARGET, database, engine)
+
+    def find_source(self, database: Any, engine: Any) -> str | None:
+        return self.find(KIND_SOURCE, database, engine)
+
+    def prepared_target(self, engine: Any, target: Any):
+        """Get-or-build: the PreparedTarget for (engine, target), loaded
+        from the store when present, otherwise prepared fresh and saved.
+
+        Engines without a stable fingerprint bypass the store entirely
+        (their artifacts are identity-scoped); the result is always
+        usable, the store just stays out of the loop.
+        """
+        token = self.find_target(target, engine)
+        if token is not None:
+            return self.load_target(token)
+        prepared = engine.prepare(target)
+        if fingerprint_token(engine) is not None:
+            self.save(prepared, engine=engine)
+        return prepared
+
+    # -- maintenance ---------------------------------------------------
+    def gc(self, *, max_entries: int | None = None,
+           verify: bool = True) -> dict[str, str]:
+        """Sweep the store; returns {removed file stem: reason}.
+
+        Removes blobs without manifests and manifests without blobs
+        (interrupted saves), unreadable manifests, and — with *verify* —
+        entries whose blob fails digest verification.  ``max_entries``
+        then trims surviving entries to the newest N.  Version-mismatched
+        entries are *kept*: they are valid data for the library that
+        wrote them, and refusing to serve them is :meth:`load`'s job.
+        """
+        removed: dict[str, str] = {}
+
+        def drop(token: str, reason: str) -> None:
+            for path in (self._manifest_path(token), self._blob_path(token)):
+                if path.is_file():
+                    path.unlink()
+            removed[token] = reason
+
+        manifests = {p.stem for p in self.root.glob(f"*{_MANIFEST_SUFFIX}")}
+        blobs = {p.stem for p in self.root.glob(f"*{_BLOB_SUFFIX}")}
+        for stem in sorted(blobs - manifests):
+            drop(stem, "orphan-blob")
+        survivors: list[StoreEntry] = []
+        for stem in sorted(manifests):
+            try:
+                entry = self.entry(stem)
+            except StoreError:
+                drop(stem, "unreadable-manifest")
+                continue
+            blob_path = self._blob_path(stem)
+            if not blob_path.is_file():
+                drop(stem, "orphan-manifest")
+                continue
+            if verify:
+                blob = blob_path.read_bytes()
+                if (len(blob) != entry.size_bytes
+                        or blob_token(blob) != stem):
+                    drop(stem, "corrupt-blob")
+                    continue
+            survivors.append(entry)
+        if max_entries is not None and len(survivors) > max_entries:
+            survivors.sort(key=lambda e: e.created_at, reverse=True)
+            for entry in survivors[max_entries:]:
+                drop(entry.token, "evicted")
+        return removed
+
+    def remove(self, token: str) -> None:
+        """Delete one entry (manifest + blob); missing tokens error."""
+        if token not in self:
+            raise ArtifactNotFoundError(token, str(self.root))
+        for path in (self._manifest_path(token), self._blob_path(token)):
+            if path.is_file():
+                path.unlink()
+
+    def total_bytes(self) -> int:
+        """Bytes of blob payload currently stored."""
+        return sum(p.stat().st_size
+                   for p in self.root.glob(f"*{_BLOB_SUFFIX}"))
+
+    def __repr__(self) -> str:
+        return f"<ArtifactStore {self.root} ({len(self)} entries)>"
+
+
+def store_entry_to_dict(entry: StoreEntry) -> dict[str, Any]:
+    """Serialize a manifest (the JSON shape committed to disk)."""
+    return entry.to_dict()
+
+
+def store_entry_from_dict(data: Mapping[str, Any]) -> StoreEntry:
+    """Inverse of :func:`store_entry_to_dict`."""
+    return StoreEntry.from_dict(data)

@@ -1,0 +1,194 @@
+"""The HTTP loop: routes, error mapping, concurrent bit-identity.
+
+Requests run against a real ``ThreadingHTTPServer`` on an ephemeral
+port — the same code path ``repro serve`` runs — with the stdlib
+``urllib`` as the client, so the wire shapes (request and response) are
+pinned exactly as an external consumer would see them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import ArtifactStore, MatchEngine, MatchService, start_service
+from repro.context.serialize import result_to_dict
+from repro.relational.jsonio import database_to_dict
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.datagen import build_scenario, get_scenario
+    return build_scenario(get_scenario("events").resized(60))
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory, workload):
+    store = ArtifactStore(tmp_path_factory.mktemp("store"))
+    engine = MatchEngine()
+    entry = store.save(engine.prepare(workload.target), engine=engine)
+    service = MatchService(store)
+    service.warm()
+    server = start_service(service)
+    server.entry = entry  # test-side convenience
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    engine = MatchEngine()
+    result = engine.match(workload.source, engine.prepare(workload.target))
+    return result_to_dict(result)
+
+
+def _get(server, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}{path}") as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _match_key(result_dict):
+    return [(m["source"], m["target"], m["condition"], m["score"],
+             m["confidence"]) for m in result_dict["matches"]]
+
+
+class TestRoutes:
+    def test_health(self, server):
+        from repro import __version__
+
+        status, body = _get(server, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["__version__"] == __version__
+        assert body["store"]
+
+    def test_targets(self, server, workload):
+        status, body = _get(server, "/targets")
+        assert status == 200
+        assert body["targets"][0]["database"] == workload.target.name
+        assert body["targets"][0]["warm"] is True
+
+    def test_match_by_token_is_bit_identical(self, server, workload,
+                                             reference):
+        status, body = _post(server, "/match", {
+            "target": server.entry.token,
+            "source": database_to_dict(workload.source)})
+        assert status == 200
+        assert body["target"] == server.entry.token
+        assert body["elapsed_ms"] > 0
+        assert _match_key(body["result"]) == _match_key(reference)
+
+    def test_match_by_name(self, server, workload):
+        status, body = _post(server, "/match", {
+            "target": workload.target.name,
+            "source": database_to_dict(workload.source)})
+        assert status == 200
+        assert body["target"] == server.entry.token
+
+    def test_match_many(self, server, workload, reference):
+        source = database_to_dict(workload.source)
+        status, body = _post(server, "/match-many", {
+            "target": server.entry.token, "sources": [source, source]})
+        assert status == 200
+        assert len(body["results"]) == 2
+        for result in body["results"]:
+            assert _match_key(result) == _match_key(reference)
+        assert body["throughput"]["tasks"] == 2
+
+    def test_report_reflects_traffic(self, server):
+        status, body = _get(server, "/report")
+        assert status == 200
+        assert body["requests"] >= 1
+        assert body["lru"]["loads"] == 1
+        assert body["version"]
+
+
+class TestErrorMapping:
+    def _error(self, server, path, payload):
+        try:
+            _post(server, path, payload)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+        pytest.fail("expected an HTTP error")
+
+    def test_unknown_target_is_404(self, server, workload):
+        code, body = self._error(server, "/match", {
+            "target": "nobody", "source": database_to_dict(workload.source)})
+        assert code == 404
+        assert body["type"] == "ArtifactNotFoundError"
+
+    def test_malformed_source_is_400(self, server):
+        code, body = self._error(server, "/match", {
+            "target": server.entry.token, "source": {"bogus": True}})
+        assert code == 400
+        assert body["type"] == "InstanceError"
+
+    def test_missing_field_is_400(self, server):
+        code, body = self._error(server, "/match", {"source": {}})
+        assert code == 400
+
+    def test_empty_sources_is_400(self, server):
+        code, body = self._error(server, "/match-many", {
+            "target": server.entry.token, "sources": []})
+        assert code == 400
+
+    def test_unknown_route_is_404(self, server):
+        try:
+            _get(server, "/nope")
+            pytest.fail("expected 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+
+    def test_errors_count_in_report(self, server, workload):
+        self._error(server, "/match", {
+            "target": "nobody", "source": database_to_dict(workload.source)})
+        _, body = _get(server, "/report")
+        assert body["errors"] >= 1
+
+
+class TestConcurrency:
+    def test_concurrent_requests_bit_identical_one_load(self, server,
+                                                        workload, reference):
+        """The serve-loop acceptance pin over real sockets: a burst of
+        concurrent clients, every response equal to the in-process
+        engine, still exactly one store load."""
+        payload = {"target": server.entry.token,
+                   "source": database_to_dict(workload.source)}
+        results, errors = [], []
+
+        def client():
+            try:
+                status, body = _post(server, "/match", payload)
+                assert status == 200
+                results.append(_match_key(body["result"]))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(10)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 10
+        expected = _match_key(reference)
+        assert all(r == expected for r in results)
+        _, report = _get(server, "/report")
+        assert report["lru"]["loads"] == 1
+        assert report["latency_ms"]["match"]["p99"] \
+            >= report["latency_ms"]["match"]["p50"] > 0

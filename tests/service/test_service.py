@@ -1,0 +1,217 @@
+"""MatchService: warm-LRU semantics, concurrency, telemetry.
+
+The acceptance pin of the serve loop lives here: concurrent requests
+against one target are answered from the warm LRU with **exactly one**
+store load per target per process — the ``lru["loads"]`` counter proves
+it — and every served result is bit-identical to running the engine in
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import ArtifactStore, MatchEngine, MatchService
+from repro.datagen import build_scenario, get_scenario
+from repro.errors import ArtifactNotFoundError
+from repro.relational.jsonio import database_to_dict
+from repro.service.report import ServiceReport, latency_summary, percentile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_scenario(get_scenario("events").resized(60))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MatchEngine()
+
+
+@pytest.fixture(scope="module")
+def reference(engine, workload):
+    """The in-process answer every served result must equal."""
+    prepared = engine.prepare(workload.target)
+    return engine.match(workload.source, prepared)
+
+
+@pytest.fixture
+def store(tmp_path, engine, workload):
+    store = ArtifactStore(tmp_path / "store")
+    store.save(engine.prepare(workload.target), engine=engine)
+    return store
+
+
+def _key(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+class TestMatch:
+    def test_bit_identical_to_in_process(self, store, workload, reference):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            result, served = service.match(workload.source, token)
+        assert served == token
+        assert _key(result) == _key(reference)
+
+    def test_accepts_json_payload_sources(self, store, workload, reference):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            result, _ = service.match(database_to_dict(workload.source),
+                                      token)
+        assert _key(result) == _key(reference)
+
+    def test_resolves_database_name(self, store, workload):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            _, served = service.match(workload.source,
+                                      workload.target.name)
+        assert served == token
+
+    def test_unknown_target_raises_not_found(self, store, workload):
+        with MatchService(store) as service:
+            with pytest.raises(ArtifactNotFoundError):
+                service.match(workload.source, "no-such-target")
+
+    def test_match_many_routes_through_executor(self, store, workload,
+                                                reference):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            batch, served = service.match_many(
+                [workload.source, workload.source], token)
+        assert served == token
+        assert len(batch.results) == 2
+        for result in batch.results:
+            assert _key(result) == _key(reference)
+        assert batch.throughput.tasks == 2
+
+
+class TestWarmLRU:
+    def test_one_store_load_per_target(self, store, workload):
+        """The headline counter: N requests, one disk load."""
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            for _ in range(5):
+                service.match(workload.source, token)
+            lru = dict(service.lru_counters)
+        assert lru["loads"] == 1
+        assert lru["misses"] == 1  # the warm() call's initial cold miss
+        assert lru["hits"] == 5
+        assert store.counters["loads"] == 1
+
+    def test_concurrent_cold_herd_loads_once(self, store, workload):
+        """Eight threads race a cold target; the per-token load lock
+        admits exactly one store load."""
+        service = MatchService(store)  # deliberately NOT warmed
+        token = store.entries()[0].token
+        errors = []
+        results = []
+
+        def hammer():
+            try:
+                result, _ = service.match(workload.source, token)
+                results.append(_key(result))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.close()
+        assert not errors
+        assert len(results) == 8
+        assert all(r == results[0] for r in results)
+        assert service.lru_counters["loads"] == 1
+        assert store.counters["loads"] == 1
+
+    def test_eviction_and_reload(self, store, engine, workload):
+        """A capacity-1 LRU serving two targets alternately reloads from
+        the store instead of failing — and counts each load."""
+        other = build_scenario(get_scenario("retail").resized(60))
+        store.save(engine.prepare(other.target), engine=engine)
+        with MatchService(store, capacity=1) as service:
+            token_events = service.resolve(workload.target.name)
+            token_retail = service.resolve(other.target.name)
+            service.match(workload.source, token_events)
+            service.match(other.source, token_retail)   # evicts events
+            service.match(workload.source, token_events)  # reloads
+            lru = dict(service.lru_counters)
+        assert lru["evictions"] == 2
+        assert lru["loads"] == 3
+        assert store.counters["loads"] == 3
+
+    def test_save_target_is_immediately_warm(self, tmp_path, workload):
+        store = ArtifactStore(tmp_path / "fresh")
+        with MatchService(store) as service:
+            entry = service.save_target(workload.target)
+            _, served = service.match(workload.source, entry.token)
+            lru = dict(service.lru_counters)
+        assert served == entry.token
+        assert lru["loads"] == 0  # prepared in memory, never read back
+        assert store.counters["loads"] == 0
+
+
+class TestReport:
+    def test_report_counters_and_shape(self, store, workload):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            service.match(workload.source, token)
+            service.observe("match", 12.5)
+            service.observe("match", 20.0, error=True)
+            report = service.report()
+        assert isinstance(report, ServiceReport)
+        assert report.version
+        assert report.store_path == str(store.root)
+        assert report.requests == 2
+        assert report.errors == 1
+        assert report.endpoints == {"match": 2}
+        assert report.latency_ms["match"]["n"] == 2
+        assert report.lru["loads"] == 1
+        assert report.lru["capacity"] == 8
+        assert report.store["entries"] == len(store)
+        assert report.executor["backend"] == "serial"
+        assert report.targets[0]["token"] == token
+
+    def test_report_round_trips(self, store, workload):
+        from repro.service.report import (service_report_from_dict,
+                                          service_report_to_dict)
+
+        with MatchService(store) as service:
+            service.warm()
+            service.observe("match", 1.0)
+            report = service.report()
+        back = service_report_from_dict(service_report_to_dict(report))
+        assert back == report
+
+    def test_target_entries_show_warm_state(self, store, workload):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            service.match(workload.source, token)
+            entries = service.target_entries()
+        assert entries == [{
+            "token": token, "database": workload.target.name,
+            "tables": 2, "size_bytes": store.entries()[0].size_bytes,
+            "warm": True, "runs": 1}]
+
+
+class TestLatencyMath:
+    def test_percentile_interpolates(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 50) == 25.0
+        assert percentile(values, 100) == 40.0
+        assert percentile([7.0], 99) == 7.0
+        assert percentile([], 50) == 0.0
+
+    def test_latency_summary_fields(self):
+        summary = latency_summary([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["p50"] == 2.0
+        assert summary["mean"] == 2.0
+        assert summary["max"] == 3.0
+        assert latency_summary([])["n"] == 0

@@ -309,3 +309,94 @@ class TestEndToEnd:
         rc = main(["map", str(src), str(tgt), "--inference", "src",
                    "--tau", "0.99"])
         assert rc == 1
+
+
+class TestStoreAndServeCLI:
+    """Satellite: the new subcommands, including the --json surfaces that
+    must carry ``__version__`` and the store path."""
+
+    @pytest.fixture(scope="class")
+    def workload_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("wl")
+        assert main(["generate", "retail", str(out), "--rows", "80",
+                     "--seed", "7"]) == 0
+        return out
+
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory, workload_dir):
+        return tmp_path_factory.mktemp("store")
+
+    def test_store_and_serve_parse(self):
+        args = build_parser().parse_args(
+            ["store", "save", "tgt", "--store", "s", "--json"])
+        assert args.store_command == "save" and args.json
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--port", "0", "--jobs", "2",
+             "--startup-only"])
+        assert args.jobs == 2 and args.startup_only
+
+    def test_save_json_carries_version_and_store(self, workload_dir,
+                                                 store_dir, capsys):
+        rc = main(["store", "save", str(workload_dir / "tgt"),
+                   "--store", str(store_dir), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["__version__"] == __version__
+        assert doc["store"] == str(store_dir)
+        assert len(doc["entry"]["token"]) == 64
+        assert doc["entry"]["kind"] == "prepared-target"
+
+    def test_save_again_dedups(self, workload_dir, store_dir, capsys):
+        rc = main(["store", "save", str(workload_dir / "tgt"),
+                   "--store", str(store_dir)])
+        assert rc == 0
+        assert "already stored" in capsys.readouterr().out
+
+    def test_list_json(self, store_dir, capsys):
+        rc = main(["store", "list", "--store", str(store_dir), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["__version__"] == __version__
+        assert len(doc["entries"]) == 1
+        assert doc["total_bytes"] > 0
+
+    def test_load_verifies(self, store_dir, capsys):
+        main(["store", "list", "--store", str(store_dir), "--json"])
+        token = json.loads(capsys.readouterr().out)["entries"][0]["token"]
+        rc = main(["store", "load", token, "--store", str(store_dir),
+                   "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+        assert doc["entry"]["token"] == token
+
+    def test_load_missing_exits_cleanly(self, store_dir):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "load", "0" * 64, "--store", str(store_dir)])
+        assert "no artifact" in str(excinfo.value)
+
+    def test_gc_json(self, store_dir, capsys):
+        rc = main(["store", "gc", "--store", str(store_dir), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["removed"] == {}
+        assert doc["remaining"] == 1
+        assert doc["store"] == str(store_dir)
+
+    def test_serve_startup_only_json(self, store_dir, capsys):
+        rc = main(["serve", "--store", str(store_dir), "--port", "0",
+                   "--startup-only", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["__version__"] == __version__
+        assert doc["store"] == str(store_dir)
+        assert doc["targets_warmed"] == 1
+        assert doc["serving"].startswith("http://127.0.0.1:")
+
+    def test_serve_startup_only_text(self, store_dir, capsys):
+        rc = main(["serve", "--store", str(store_dir), "--port", "0",
+                   "--startup-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+        assert "1 targets warm" in out

@@ -1,0 +1,60 @@
+"""Store round-trip grid (``pytest -m golden``).
+
+The acceptance pin of the artifact store: for every registered scenario,
+matching over a target that was prepared, **saved to disk, and loaded
+back by a fresh runner** reproduces the direct run bit-for-bit — same
+golden payload (metrics, counts, profile counters) — and stays within
+the committed ``tests/golden/`` baselines, which this PR does *not*
+regenerate.  Every warm run must really come from disk: its store handle
+records loads and zero saves.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro import ArtifactStore
+from repro.datagen import scenario_names
+from repro.evaluation import (EngineRunner, compare_to_golden,
+                              golden_payload, run_scenario)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    """One on-disk store shared by the whole grid — scenarios in the same
+    family sharing a target content dedup onto one artifact, exactly as a
+    long-lived serve deployment would."""
+    return tmp_path_factory.mktemp("golden-store")
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_store_round_trip_matches_golden(name, store_root):
+    cold_store = ArtifactStore(store_root)
+    cold = run_scenario(name, runner=EngineRunner(store=cold_store))
+
+    warm_store = ArtifactStore(store_root)  # fresh handle, same disk
+    warm = run_scenario(name, runner=EngineRunner(store=warm_store))
+    assert warm_store.counters["loads"] >= 1, (
+        f"scenario {name!r}: warm run never touched the store")
+    assert warm_store.counters["saves"] == 0, (
+        f"scenario {name!r}: warm run re-prepared instead of loading")
+
+    assert golden_payload(warm) == golden_payload(cold), (
+        f"scenario {name!r}: store round trip is not bit-identical")
+
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"no golden baseline for scenario {name!r}"
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    for label, result in (("cold", cold), ("warm", warm)):
+        violations = compare_to_golden(result, golden)
+        assert not violations, (
+            f"{label} store-backed run of {name!r} regressed against "
+            f"tests/golden/{name}.json:\n"
+            + "\n".join(f"  - {v}" for v in violations))
