@@ -75,6 +75,7 @@ from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
 from .profiling import ColumnProfile, PartitionIndex, ProfileStore
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
                          Relation, Schema, TableSchema, View, ViewFamily)
+from .retrieval import RetrievalIndex
 from .service import MatchService, ServiceReport, start_service
 from .store import ArtifactStore, StoreEntry
 
@@ -114,6 +115,7 @@ __all__ = [
     "TableSchema",
     "View",
     "ViewFamily",
+    "RetrievalIndex",
     "ArtifactStore",
     "StoreEntry",
     "MatchService",

@@ -25,7 +25,10 @@ per-task seconds, prepared-artifact transfer bytes).
 
 CSV directories contain one ``<table>.csv`` per table (header row; types
 are inferred).  All knobs of :class:`~repro.ContextMatchConfig` that matter
-operationally are exposed as flags; ``--config path.json`` loads a full
+operationally are exposed as flags (including the candidate-retrieval
+frontier: ``--retrieval-top-k N`` / ``--no-retrieval``, whose pair/recall
+counters appear as a ``retrieval`` section in every matching command's
+``--json`` output); ``--config path.json`` loads a full
 serialized configuration (see
 :func:`~repro.context.serialize.config_to_dict`), with explicit flags
 overriding file values.  All matching commands run on
@@ -59,8 +62,15 @@ _CONFIG_FLAGS = {
     "inference": "inference",
     "selection": "selection",
     "conjunctive_stages": "conjunctive_stages",
+    "retrieval_top_k": "retrieval_top_k",
     "seed": "seed",
 }
+
+#: Stage-count keys summed into the ``retrieval`` section of ``--json``
+#: output (see :class:`~repro.engine.stages.ScoreCandidatesStage`).
+_RETRIEVAL_COUNT_KEYS = ("retrieval_queries", "pairs_considered",
+                         "pairs_pruned", "retrieval_hits",
+                         "retrieval_missed")
 
 
 def _positive_int(text: str) -> int:
@@ -95,6 +105,15 @@ def _add_matching_flags(cmd: argparse.ArgumentParser) -> None:
                      default=argparse.SUPPRESS,
                      help="ContextMatch iterations for conjunctive "
                           "conditions (default: 1)")
+    cmd.add_argument("--retrieval-top-k", type=_positive_int,
+                     default=argparse.SUPPRESS, metavar="N",
+                     help="candidate-retrieval frontier size per source "
+                          "attribute (default: 16)")
+    cmd.add_argument("--no-retrieval", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="score candidate views against every target "
+                          "attribute instead of pruning with the "
+                          "retrieval index")
     cmd.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                      help="train/test partitioning seed (default: 0)")
 
@@ -162,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the specs' seed")
     run.add_argument("--size", type=int, default=None,
                      help="override the specs' source-size budget")
+    run.add_argument("--retrieval-top-k", type=_positive_int,
+                     default=argparse.SUPPRESS, metavar="N",
+                     help="override the specs' retrieval frontier size")
+    run.add_argument("--no-retrieval", action="store_true",
+                     default=argparse.SUPPRESS,
+                     help="run the specs without retrieval pruning")
     run.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
                      help="fan scenarios out across N worker processes "
                           "(bit-identical results; also switches the "
@@ -245,7 +270,48 @@ def config_from_args(args: argparse.Namespace) -> ContextMatchConfig:
                  if hasattr(args, dest)}
     if hasattr(args, "late_disjuncts"):
         overrides["early_disjuncts"] = not args.late_disjuncts
+    if hasattr(args, "no_retrieval"):
+        overrides["use_retrieval"] = False
     return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def _absorb_retrieval_counts(totals: dict, result) -> None:
+    """Sum one result's retrieval stage counters into *totals* (keyed by
+    :data:`_RETRIEVAL_COUNT_KEYS`); results without a report contribute
+    nothing."""
+    report = getattr(result, "report", None)
+    if report is None:
+        return
+    for stage in report.stages:
+        for key in _RETRIEVAL_COUNT_KEYS:
+            totals[key] += int(stage.counts.get(key, 0))
+
+
+def _retrieval_section(config: ContextMatchConfig, totals: dict) -> dict:
+    """The ``retrieval`` block of the matching commands' ``--json``
+    output: the configured frontier knobs, the summed pair/query
+    counters, and the derived recall (1.0 when nothing was prunable)."""
+    prunable = totals["retrieval_hits"] + totals["retrieval_missed"]
+    return {
+        "enabled": config.use_retrieval,
+        "top_k": config.retrieval_top_k,
+        "queries": totals["retrieval_queries"],
+        "pairs_considered": totals["pairs_considered"],
+        "pairs_pruned": totals["pairs_pruned"],
+        "hits": totals["retrieval_hits"],
+        "missed": totals["retrieval_missed"],
+        "recall": (totals["retrieval_hits"] / prunable
+                   if prunable else 1.0),
+    }
+
+
+def _retrieval_section_for(config: ContextMatchConfig,
+                           results) -> dict:
+    """:func:`_retrieval_section` over an in-memory result collection."""
+    totals = {key: 0 for key in _RETRIEVAL_COUNT_KEYS}
+    for result in results:
+        _absorb_retrieval_counts(totals, result)
+    return _retrieval_section(config, totals)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -267,9 +333,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _run_matching(args: argparse.Namespace):
     source = load_database(args.source, name="source")
     target = load_database(args.target, name="target")
-    engine = MatchEngine(config_from_args(args))
-    result = engine.match(source, target)
-    return source, target, result
+    config = config_from_args(args)
+    result = MatchEngine(config).match(source, target)
+    return source, target, config, result
 
 
 def _print_result(result) -> None:
@@ -281,9 +347,12 @@ def _print_result(result) -> None:
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
-    _, _, result = _run_matching(args)
+    _, _, config, result = _run_matching(args)
     if args.json:
-        print(json.dumps(result_to_dict(result), indent=2, default=str))
+        print(json.dumps(
+            {"__version__": __version__, **result_to_dict(result),
+             "retrieval": _retrieval_section_for(config, [result])},
+            indent=2, default=str))
         return 0
     _print_result(result)
     return 0
@@ -291,7 +360,8 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 def _cmd_match_many(args: argparse.Namespace) -> int:
     target = load_database(args.target, name="target")
-    engine = MatchEngine(config_from_args(args))
+    config = config_from_args(args)
+    engine = MatchEngine(config)
     prepared = engine.prepare(target)
     if args.jobs is not None:
         # Executor fan-out: the whole batch — every loaded source and
@@ -308,7 +378,9 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
             rendered = [{"source": source_dir, **result_to_dict(result)}
                         for source_dir, result in zip(args.sources, batch)]
             print(json.dumps(
-                {"target": args.target, "results": rendered,
+                {"__version__": __version__, "target": args.target,
+                 "results": rendered,
+                 "retrieval": _retrieval_section_for(config, batch),
                  "executor": throughput_to_dict(batch.throughput)},
                 indent=2, default=str))
         else:
@@ -318,24 +390,31 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
             print(f"# executor: {batch.throughput}")
         return 0
     # Full MatchResults (with their view/candidate diagnostics) are dropped
-    # as soon as each source is rendered, so batch memory stays flat.
+    # as soon as each source is rendered, so batch memory stays flat; the
+    # retrieval counters are absorbed into running totals for the same
+    # reason.
     rendered = []
+    totals = {key: 0 for key in _RETRIEVAL_COUNT_KEYS}
     for source_dir in args.sources:
         source = load_database(source_dir, name="source")
         result = engine.match(source, prepared)
+        _absorb_retrieval_counts(totals, result)
         if args.json:
             rendered.append({"source": source_dir, **result_to_dict(result)})
         else:
             print(f"== {source_dir}")
             _print_result(result)
     if args.json:
-        print(json.dumps({"target": args.target, "results": rendered},
-                         indent=2, default=str))
+        print(json.dumps(
+            {"__version__": __version__, "target": args.target,
+             "results": rendered,
+             "retrieval": _retrieval_section(config, totals)},
+            indent=2, default=str))
     return 0
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
-    source, target, result = _run_matching(args)
+    source, target, _, result = _run_matching(args)
     if not result.matches:
         print("no matches found; nothing to map", file=sys.stderr)
         return 1
@@ -356,6 +435,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     # stack, which the matching-only commands don't need.
     from .errors import ReproError
     from .evaluation.scenarios import (run_scenario, run_scenarios,
+                                       scenario_config,
                                        scenario_result_to_dict)
 
     if args.scenario_command == "list":
@@ -376,13 +456,33 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.seed is not None:
         specs = [dataclasses.replace(spec, seed=args.seed)
                  for spec in specs]
+    retrieval_overrides = {}
+    if hasattr(args, "retrieval_top_k"):
+        retrieval_overrides["retrieval_top_k"] = args.retrieval_top_k
+    if hasattr(args, "no_retrieval"):
+        retrieval_overrides["use_retrieval"] = False
+    if retrieval_overrides:
+        # Folded into each spec's own config overrides so the flags reach
+        # worker processes through the spec itself (nothing new shipped).
+        specs = [dataclasses.replace(
+                     spec,
+                     config=tuple({**dict(spec.config),
+                                   **retrieval_overrides}.items()))
+                 for spec in specs]
+    # The retrieval section reflects the first spec's resolved config;
+    # CLI flags apply uniformly across the batch.
+    section_config = scenario_config(specs[0])
 
     if args.jobs is None and len(specs) == 1:
         # Single-scenario runs keep the original output shape.
         result = run_scenario(specs[0])
         if args.json:
-            print(json.dumps(scenario_result_to_dict(result), indent=2,
-                             default=str))
+            print(json.dumps(
+                {"__version__": __version__,
+                 **scenario_result_to_dict(result),
+                 "retrieval": _retrieval_section_for(section_config,
+                                                     [result])},
+                indent=2, default=str))
             return 0
         print(result)
         return 0
@@ -391,7 +491,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         batch = run_scenarios(specs, executor=executor)
     if args.json:
         print(json.dumps(
-            {"results": [scenario_result_to_dict(r) for r in batch],
+            {"__version__": __version__,
+             "results": [scenario_result_to_dict(r) for r in batch],
+             "retrieval": _retrieval_section_for(section_config, batch),
              "executor": throughput_to_dict(batch.throughput)},
             indent=2, default=str))
         return 0

@@ -196,6 +196,19 @@ class ContextMatchConfig:
         bit-identical either way — False forces the legacy scalar
         teach/classify loops (the equivalence reference), exactly like
         ``use_profiling`` for the scoring stage.
+    use_retrieval:
+        Gate candidate-view rescoring on the hybrid retrieval frontier
+        (:mod:`repro.retrieval`): each source attribute is rescored only
+        against its top-``retrieval_top_k`` retrieved target attributes
+        (always including its accepted prototype targets), instead of
+        against the whole target schema.  False forces exhaustive
+        rescoring — the equivalence reference, exactly like
+        ``use_profiling`` / ``use_batch_inference``.  Pruning shrinks the
+        Φ-normalization pool of rejected alternatives, so results are
+        bit-identical whenever ``retrieval_top_k`` covers the target's
+        attribute count (the default does for every golden scenario).
+    retrieval_top_k:
+        Frontier size per source attribute when ``use_retrieval`` is on.
     standard:
         Configuration of the underlying standard matching system.
     """
@@ -214,6 +227,8 @@ class ContextMatchConfig:
     seed: int = 0
     use_profiling: bool = True
     use_batch_inference: bool = True
+    use_retrieval: bool = True
+    retrieval_top_k: int = 16
     standard: StandardMatchConfig = dataclasses.field(
         default_factory=StandardMatchConfig)
 
@@ -230,3 +245,6 @@ class ContextMatchConfig:
             raise ValueError(f"unknown selection kind {self.selection!r}")
         if self.conjunctive_stages < 1:
             raise ValueError("conjunctive_stages must be >= 1")
+        if self.retrieval_top_k < 1:
+            raise ValueError(
+                f"retrieval_top_k must be >= 1, got {self.retrieval_top_k}")

@@ -35,6 +35,7 @@ from .model import CandidateScore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..profiling import ProfileStore
+    from ..retrieval import ScoringFrontier
 
 __all__ = ["score_view_candidates", "score_family_candidates"]
 
@@ -66,15 +67,27 @@ def _pair_candidates(view: View, family: ViewFamily,
     return results
 
 
+def _frontier_positions(frontier: "ScoringFrontier | None",
+                        attr_name: str) -> tuple[int, ...] | None:
+    """The target subset to rescore *attr_name* against (None = all)."""
+    if frontier is None:
+        return None
+    return frontier.positions_for(attr_name)
+
+
 def score_view_candidates(view: View, family: ViewFamily, base: Relation,
                           accepted: Sequence[AttributeMatch],
                           matcher: MatchingSystem, index: TargetIndex,
-                          *, min_view_rows: int = 2) -> list[CandidateScore]:
+                          *, min_view_rows: int = 2,
+                          frontier: "ScoringFrontier | None" = None,
+                          ) -> list[CandidateScore]:
     """Evaluate one candidate view against the accepted matches of its base.
 
     Returns one :class:`CandidateScore` per (view, prototype match) pair —
     the entries added to RL.  Views whose restricted sample is smaller than
     ``min_view_rows`` are skipped: they cannot be scored meaningfully.
+    With a :class:`~repro.retrieval.ScoringFrontier` each attribute is
+    rescored only against its retrieved target positions.
     """
     restricted = view.evaluate(base)
     if len(restricted) < min_view_rows:
@@ -83,8 +96,14 @@ def score_view_candidates(view: View, family: ViewFamily, base: Relation,
     results: list[CandidateScore] = []
     for attr_name, matches in by_attr.items():
         attribute = restricted.schema.attribute(attr_name)
-        scored = matcher.score_attribute(
-            view.name, restricted.column(attr_name), attribute, index)
+        positions = _frontier_positions(frontier, attr_name)
+        if positions is None:
+            scored = matcher.score_attribute(
+                view.name, restricted.column(attr_name), attribute, index)
+        else:
+            scored = matcher.score_attribute(
+                view.name, restricted.column(attr_name), attribute, index,
+                positions=positions)
         results.extend(_pair_candidates(view, family, matches, scored,
                                         len(restricted)))
     return results
@@ -95,6 +114,7 @@ def _score_group_candidates(view: View, group: frozenset,
                             by_attr: dict[str, list[AttributeMatch]],
                             matcher: MatchingSystem, index: TargetIndex,
                             store: "ProfileStore", min_view_rows: int,
+                            frontier: "ScoringFrontier | None" = None,
                             ) -> list[CandidateScore]:
     """Partition-once scoring of one member view (fast path)."""
     partition = store.partition(base, family.attribute)
@@ -104,7 +124,12 @@ def _score_group_candidates(view: View, group: frozenset,
     results: list[CandidateScore] = []
     for attr_name, matches in by_attr.items():
         profile = store.view_profile(base, family.attribute, group, attr_name)
-        scored = matcher.score_column_profile(profile, index)
+        positions = _frontier_positions(frontier, attr_name)
+        if positions is None:
+            scored = matcher.score_column_profile(profile, index)
+        else:
+            scored = matcher.score_column_profile(profile, index,
+                                                  positions=positions)
         results.extend(_pair_candidates(view, family, matches, scored,
                                         view_rows))
     return results
@@ -116,6 +141,7 @@ def score_family_candidates(family: ViewFamily, base: Relation,
                             *, min_view_rows: int = 2,
                             seen_views: set[View] | None = None,
                             store: "ProfileStore | None" = None,
+                            frontier: "ScoringFrontier | None" = None,
                             ) -> list[CandidateScore]:
     """Score every member view of a family (the loop body of Figure 5).
 
@@ -128,6 +154,11 @@ def score_family_candidates(family: ViewFamily, base: Relation,
     that opts in via ``supports_profile_store``) the member views are
     scored from one shared partition of the base relation instead of being
     individually materialized; results are bit-identical either way.
+
+    A :class:`~repro.retrieval.ScoringFrontier` (built per relation by the
+    scoring stage) restricts each attribute's rescoring to its retrieved
+    target positions and tallies considered/pruned pair counts; None — or
+    a counting-only frontier — keeps the exhaustive behaviour.
     """
     use_store = (store is not None
                  and getattr(matcher, "supports_profile_store", False)
@@ -143,9 +174,9 @@ def score_family_candidates(family: ViewFamily, base: Relation,
         if use_store:
             results.extend(_score_group_candidates(
                 view, group, family, base, by_attr, matcher, index,
-                store, min_view_rows))
+                store, min_view_rows, frontier))
         else:
             results.extend(score_view_candidates(
                 view, family, base, accepted, matcher, index,
-                min_view_rows=min_view_rows))
+                min_view_rows=min_view_rows, frontier=frontier))
     return results

@@ -137,12 +137,20 @@ def report_to_dict(report: RunReport) -> dict[str, Any]:
     }
 
 
+def _parse_count(value: Any) -> int | float:
+    """Stage counts are integers except for ratio diagnostics such as
+    ``retrieval_recall`` — integral values parse to int, the rest keep
+    their float value."""
+    number = float(value)
+    return int(number) if number.is_integer() else number
+
+
 def report_from_dict(data: Mapping[str, Any]) -> RunReport:
     """Inverse of :func:`report_to_dict`."""
     return RunReport(
         stages=[StageReport(name=s["name"],
                             elapsed_seconds=float(s["elapsed_seconds"]),
-                            counts={k: int(v)
+                            counts={k: _parse_count(v)
                                     for k, v in s.get("counts", {}).items()})
                 for s in data.get("stages", [])],
         elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),

@@ -44,6 +44,7 @@ from ..matching.standard import (MatchingSystem, StandardMatchConfig,
                                  TargetIndex)
 from ..profiling import ProfileStore
 from ..relational.instance import Database
+from ..retrieval import RetrievalIndex
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..classifiers.target import TargetClassifierSet
@@ -89,6 +90,12 @@ class PreparedTarget:
     target_classifiers: "TargetClassifierSet | None" = None
     #: Shared (type family, value) -> target-column tag memo.
     tag_cache: dict = dataclasses.field(default_factory=dict)
+    #: Hybrid candidate-retrieval prefilter over ``index``
+    #: (:mod:`repro.retrieval`); None when the matching system does not
+    #: support target subsets.  Built unconditionally of the run-time
+    #: ``use_retrieval`` switch so one prepared artifact serves both
+    #: pruned and exhaustive runs (and store tokens stay config-agnostic).
+    retrieval: RetrievalIndex | None = None
 
     @classmethod
     def build(cls, target: Database, index: TargetIndex,
@@ -99,9 +106,13 @@ class PreparedTarget:
             relation.name: tuple(categorical_attributes(relation, policy))
             for relation in target
         }
+        retrieval = (RetrievalIndex.build(index, target)
+                     if matcher is not None
+                     and RetrievalIndex.supports(matcher, index) else None)
         return cls(target=target, index=index,
                    standard_config=standard_config, policy=policy,
-                   categorical=categorical, matcher=matcher)
+                   categorical=categorical, matcher=matcher,
+                   retrieval=retrieval)
 
     @property
     def table_names(self) -> tuple[str, ...]:

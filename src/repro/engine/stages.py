@@ -33,11 +33,13 @@ from ..context.conjunctive import refine_conjunctive
 from ..context.model import ContextMatchConfig, MatchResult
 from ..context.score import score_family_candidates
 from ..context.select import select_matches
+from ..matching.matchers import AttributeSample
 from ..matching.standard import AttributeMatch, MatchingSystem
 from ..matching.tokens import token_cache_counters
 from ..profiling import ProfileStore
-from ..relational.instance import Database
+from ..relational.instance import Database, Relation
 from ..relational.views import View, ViewFamily
+from ..retrieval import RetrievalIndex, ScoringFrontier
 from .prepared import PreparedTarget
 
 
@@ -173,7 +175,7 @@ class InferViewsStage(Stage):
 
 
 class ScoreCandidatesStage(Stage):
-    """Re-score every prototype match against every candidate view (RL).
+    """Re-score every prototype match against the candidate views (RL).
 
     The ScoreMatch hot path: with a profile store each base relation is
     partitioned once per family attribute and member views are scored from
@@ -182,21 +184,117 @@ class ScoreCandidatesStage(Stage):
     stage's counts surface the cache economics: ``partitions_built`` /
     ``partition_hits`` and ``profile_hits`` / ``profile_misses`` /
     ``profiles_merged``.
+
+    With ``config.use_retrieval`` (default, requires a matching system
+    that opts in via ``supports_target_subset``) the target side of every
+    rescoring is pruned to the :class:`~repro.retrieval.RetrievalIndex`
+    frontier: each source attribute is queried once per relation and its
+    retrieved top-k positions — always widened by the attribute's accepted
+    prototype targets, so no RL entry is lost — bound the Φ-normalization
+    pool.  The pruning economics land in the stage counts
+    (``pairs_considered`` / ``pairs_pruned`` / ``retrieval_queries`` /
+    ``retrieval_hits`` / ``retrieval_missed`` / ``retrieval_recall``);
+    exhaustive runs report the same keys with zero pruning.
     """
 
     name = "score-candidates"
 
+    @staticmethod
+    def _source_qgrams(state: PipelineState, relation: Relation,
+                       attr_name: str):
+        """The q-gram frequency profile of one source column for frontier
+        queries — from the run's profile store when already built (via the
+        counter-neutral peek, keeping golden counter baselines stable),
+        re-profiled from the raw column otherwise."""
+        if state.store is not None:
+            profile = state.store.peek_base_profile(relation.name, attr_name)
+            if profile is not None:
+                grams = profile.profiles.get("qgram")
+                if grams is not None:
+                    return grams
+        qgram_matcher = next(
+            (m for m in getattr(state.matcher, "matchers", ())
+             if m.name == "qgram"), None)
+        if qgram_matcher is None:
+            return None
+        sample = AttributeSample.from_column(
+            relation.name, relation.schema.attribute(attr_name),
+            relation.column(attr_name),
+            limit=state.prepared.standard_config.sample_limit)
+        return qgram_matcher.profile(sample)
+
+    def _build_frontier(self, state: PipelineState,
+                        retrieval: RetrievalIndex, relation: Relation,
+                        ) -> tuple[ScoringFrontier, int, int, int]:
+        """(frontier, queries, hits, missed) for one source relation."""
+        top_k = state.config.retrieval_top_k
+        by_attr: dict[str, set[tuple[str, str]]] = {}
+        for match in state.accepted.get(relation.name, []):
+            by_attr.setdefault(match.source.attribute, set()).add(
+                (match.target.table, match.target.attribute))
+        positions: dict[str, tuple[int, ...]] = {}
+        queries = hits = missed = 0
+        for attribute in relation.schema:
+            targets = by_attr.get(attribute.name)
+            if targets is None:
+                continue
+            # The identity fast path (k >= n_targets) never reads the
+            # grams — skip profiling the column in that case.
+            grams = (self._source_qgrams(state, relation, attribute.name)
+                     if top_k < retrieval.n_targets else None)
+            retrieved = set(retrieval.query(attribute, grams, top_k))
+            queries += 1
+            accepted_positions = set()
+            for table, attr in targets:
+                position = retrieval.position_of(table, attr)
+                if position is not None:
+                    accepted_positions.add(position)
+            hits += len(accepted_positions & retrieved)
+            missed += len(accepted_positions - retrieved)
+            positions[attribute.name] = tuple(
+                sorted(retrieved | accepted_positions))
+        return (ScoringFrontier(retrieval.n_targets, positions),
+                queries, hits, missed)
+
     def run(self, state: PipelineState) -> dict[str, int]:
         before = state.store_counters()
+        retrieval = getattr(state.prepared, "retrieval", None)
+        use_retrieval = (state.config.use_retrieval
+                         and retrieval is not None
+                         and getattr(state.matcher,
+                                     "supports_target_subset", False))
+        n_targets = len(state.prepared.index.samples)
+        queries = hits = missed = 0
+        pairs_considered = pairs_pruned = 0
         for relation in state.source:
             seen_views: set[View] = set()
+            if use_retrieval:
+                frontier, q, h, m = self._build_frontier(
+                    state, retrieval, relation)
+                queries += q
+                hits += h
+                missed += m
+            else:
+                # Counting-only frontier: exhaustive scoring with the same
+                # pairs_considered accounting, zero pruning.
+                frontier = ScoringFrontier(n_targets)
             for family in state.families.get(relation.name, []):
                 state.result.candidates.extend(score_family_candidates(
                     family, relation, state.accepted.get(relation.name, []),
                     state.matcher, state.prepared.index,
                     min_view_rows=state.config.min_view_rows,
-                    seen_views=seen_views, store=state.store))
+                    seen_views=seen_views, store=state.store,
+                    frontier=frontier))
+            pairs_considered += frontier.pairs_considered
+            pairs_pruned += frontier.pairs_pruned
+        recall = hits / (hits + missed) if (hits + missed) else 1.0
         return {"candidates": len(state.result.candidates),
+                "pairs_considered": pairs_considered,
+                "pairs_pruned": pairs_pruned,
+                "retrieval_queries": queries,
+                "retrieval_hits": hits,
+                "retrieval_missed": missed,
+                "retrieval_recall": recall,
                 **state.store_counters_since(before)}
 
 

@@ -136,7 +136,11 @@ class MatchingSystem(Protocol):
     setting ``supports_profile_store = True`` and providing
     ``score_column_profile(profile, index)`` plus ``matchers`` / ``config``
     attributes (see :class:`StandardMatch`); the contextual layer falls
-    back to :meth:`score_attribute` per view otherwise.
+    back to :meth:`score_attribute` per view otherwise.  Setting
+    ``supports_target_subset = True`` additionally opts into the retrieval
+    frontier: the scoring entry points then accept a ``positions`` keyword
+    restricting the target side.  Systems without the flag are always
+    scored exhaustively.
     """
 
     def match(self, source: Database, target: Database,
@@ -172,6 +176,12 @@ class StandardMatch:
     #: :meth:`~repro.profiling.ProfileStore.for_matcher`.
     supports_profile_store = True
 
+    #: This scorer accepts the ``positions`` keyword on its scoring entry
+    #: points — a retrieval frontier may restrict rescoring to a subset of
+    #: target attributes.  Custom :class:`MatchingSystem` implementations
+    #: without the flag are never passed a frontier.
+    supports_target_subset = True
+
     def __init__(self, config: StandardMatchConfig | None = None,
                  matchers: Sequence[Matcher] | None = None):
         self.config = config or StandardMatchConfig()
@@ -194,23 +204,30 @@ class StandardMatch:
         return TargetIndex(target, self.matchers, self.config.sample_limit)
 
     def score_attribute(self, table: str, sample_values: Sequence,
-                        attribute, index: TargetIndex) -> list[AttributeMatch]:
+                        attribute, index: TargetIndex,
+                        *, positions: Sequence[int] | None = None,
+                        ) -> list[AttributeMatch]:
         """All-target scores for one source attribute sample.
 
         ``table`` may name a base table or a candidate view; ``attribute``
         is the :class:`~repro.relational.schema.Attribute` being scored and
         ``sample_values`` the bag of values from the (restricted) sample.
+        ``positions`` restricts scoring to those target-index positions (a
+        retrieval frontier); None scores against every target attribute.
         """
         sample = AttributeSample.from_column(
             table, attribute, list(sample_values),
             limit=self.config.sample_limit)
         profiles = {m.name: m.profile(sample) for m in self.matchers}
-        return self._score_profiled(table, attribute, sample, profiles, index)
+        return self._score_profiled(table, attribute, sample, profiles,
+                                    index, positions=positions)
 
     def score_column_profile(self, profile: "ColumnProfile",
-                             index: TargetIndex) -> list[AttributeMatch]:
+                             index: TargetIndex,
+                             *, positions: Sequence[int] | None = None,
+                             ) -> list[AttributeMatch]:
         """Batch entry point: score a prepared column profile against every
-        target attribute.
+        target attribute (or the frontier subset in ``positions``).
 
         The profile (from a :class:`~repro.profiling.ProfileStore`) must
         have been built under this scorer's matchers and sample limit; the
@@ -219,38 +236,49 @@ class StandardMatch:
         """
         return self._score_profiled(profile.table, profile.attribute,
                                     profile.sample_view(), profile.profiles,
-                                    index)
+                                    index, positions=positions)
 
     def _score_profiled(self, table: str, attribute, sample,
-                        profiles, index: TargetIndex) -> list[AttributeMatch]:
+                        profiles, index: TargetIndex,
+                        *, positions: Sequence[int] | None = None,
+                        ) -> list[AttributeMatch]:
         """Shared scoring half: matcher raws -> Φ confidences -> combined
-        evidence, for one source column whose profiles are already built."""
-        n_targets = len(index.samples)
-        # evidence[i] collects MatcherEvidence for target attribute i.
-        evidence: list[list[MatcherEvidence]] = [[] for _ in range(n_targets)]
+        evidence, for one source column whose profiles are already built.
+
+        ``positions`` narrows the target side to a frontier subset; the
+        Φ normalization then runs over that subset's score distribution
+        (the whole point of pruning).  With ``positions=None`` — or a
+        frontier covering every position — the arithmetic is exactly the
+        historical exhaustive loop.
+        """
+        target_ids = (list(range(len(index.samples))) if positions is None
+                      else list(positions))
+        # evidence[slot] collects MatcherEvidence for target_ids[slot].
+        evidence: list[list[MatcherEvidence]] = [[] for _ in target_ids]
         for matcher in self.matchers:
             source_profile = profiles[matcher.name]
+            target_profiles = index.profiles[matcher.name]
             raw: list[float | None] = []
-            for target_sample, target_profile in zip(
-                    index.samples, index.profiles[matcher.name]):
-                if matcher.applicable(sample, target_sample):
+            for i in target_ids:
+                if matcher.applicable(sample, index.samples[i]):
                     raw.append(matcher.score_profiles(source_profile,
-                                                      target_profile))
+                                                      target_profiles[i]))
                 else:
                     raw.append(None)
-            for i, (raw_score, conf) in enumerate(
+            for slot, (raw_score, conf) in enumerate(
                     zip(raw, confidences_from_scores(raw))):
                 if raw_score is None or conf is None:
                     continue
-                evidence[i].append(MatcherEvidence(
+                evidence[slot].append(MatcherEvidence(
                     matcher=matcher.name, weight=matcher.weight,
                     raw_score=raw_score, confidence=conf))
         matches: list[AttributeMatch] = []
         source_ref = AttributeRef(table, attribute.name)
-        for target_sample, pair_evidence in zip(index.samples, evidence):
-            combined = combine_evidence(pair_evidence)
+        for slot, i in enumerate(target_ids):
+            combined = combine_evidence(evidence[slot])
             if combined is None:
                 continue
+            target_sample = index.samples[i]
             matches.append(AttributeMatch(
                 source=source_ref,
                 target=AttributeRef(target_sample.table, target_sample.name),

@@ -115,6 +115,17 @@ class ProfileStore:
         self._profiles[key] = profile
         return profile
 
+    def peek_base_profile(self, relation_name: str,
+                          attr_name: str) -> ColumnProfile | None:
+        """The cached base-column profile, or None — *without* touching
+        the hit/miss counters.
+
+        Retrieval-frontier queries reuse already-built source profiles
+        opportunistically; keeping them counter-neutral preserves the
+        profile-counter baselines the golden tier pins exactly.
+        """
+        return self._profiles.get((relation_name, attr_name))
+
     def view_profile(self, base: Relation, partition_attr: str,
                      group: frozenset, attr_name: str) -> ColumnProfile:
         """The profile of one attribute of the view selecting *group*.

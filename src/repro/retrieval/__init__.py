@@ -1,0 +1,42 @@
+"""Candidate retrieval — prune the scoring frontier before the pipeline.
+
+PRs 4-5 made each (source attribute x candidate view x matcher) scoring
+pair cheap; this package makes the *set of pairs* small.  A hybrid
+retrieve-then-rank prefilter (the SCHEMORA shape) runs over the target's
+column profiles and hands the candidate-scoring stage a top-k frontier
+per source attribute, so view rescoring stops being quadratic in target
+schema width.
+
+Module index
+------------
+:mod:`repro.retrieval.sparse`
+    :class:`BM25Index` — Okapi BM25 ranked retrieval over the q-gram
+    frequency profiles the target index already computed.
+:mod:`repro.retrieval.minhash`
+    :class:`MinHashLSH` — stable (blake2b-based) MinHash signatures with
+    banded LSH buckets, catching near-duplicate value distributions by
+    estimated Jaccard.
+:mod:`repro.retrieval.index`
+    :class:`RetrievalIndex` — the fused index built inside
+    ``MatchEngine.prepare()`` (reciprocal rank fusion + name/type
+    tie-breaks), carried on every ``PreparedTarget`` and persistable as
+    its own artifact kind; :class:`ScoringFrontier` — the per-relation
+    position map + pruning counters the scoring stage consumes.
+
+Guarantees
+----------
+* ``ContextMatchConfig.use_retrieval=False`` (or ``retrieval_top_k >=``
+  the target's attribute count) is bit-identical to exhaustive scoring.
+* The frontier always includes every accepted prototype target, so no RL
+  entry is ever dropped — pruning can only shrink the Φ-normalization
+  pool of *rejected* alternatives.
+* ``retrieval_recall`` (accepted targets retrieved in the raw top-k) is
+  pinned at 1.0 across the golden scenario grid.
+"""
+
+from .index import RRF_K, RetrievalIndex, ScoringFrontier
+from .minhash import MinHashLSH
+from .sparse import BM25Index
+
+__all__ = ["BM25Index", "MinHashLSH", "RetrievalIndex", "ScoringFrontier",
+           "RRF_K"]

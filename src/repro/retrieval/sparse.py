@@ -1,0 +1,90 @@
+"""Sparse BM25 channel over q-gram profiles.
+
+The target side of a prepared schema already carries one q-gram
+:class:`collections.Counter` per attribute (the ``qgram`` matcher's
+profile, built once by :class:`~repro.matching.standard.TargetIndex`
+through the shared :class:`~repro.matching.tokens.QGramCache`).  Treating
+those counters as bag-of-grams documents turns candidate retrieval into
+classic sparse ranked retrieval: an inverted postings list per gram and
+Okapi BM25 scoring, which rewards rare shared grams (high idf) and
+saturates on repeated ones.
+
+Scoring is pure integer/float arithmetic over a fixed postings layout, so
+rankings are deterministic across processes — ties break by ascending
+document id.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["BM25Index"]
+
+
+class BM25Index:
+    """Okapi BM25 over gram-frequency documents.
+
+    Parameters
+    ----------
+    documents:
+        One ``gram -> term frequency`` mapping per document; document ids
+        are list positions.  Empty documents are allowed (they simply never
+        score).
+    k1, b:
+        The standard Okapi saturation / length-normalization constants.
+    """
+
+    def __init__(self, documents: Sequence[Mapping[str, int]],
+                 *, k1: float = 1.2, b: float = 0.75):
+        self.k1 = k1
+        self.b = b
+        self.n_docs = len(documents)
+        self.doc_lengths = [sum(doc.values()) for doc in documents]
+        total = sum(self.doc_lengths)
+        self.avg_length = (total / self.n_docs) if self.n_docs else 0.0
+        postings: dict[str, list[tuple[int, int]]] = {}
+        for doc_id, doc in enumerate(documents):
+            for gram, tf in doc.items():
+                postings.setdefault(gram, []).append((doc_id, tf))
+        self.postings = postings
+        # idf with the +1 inside the log (always positive, even for grams
+        # present in more than half the documents).
+        self.idf = {
+            gram: math.log(1.0 + (self.n_docs - len(plist) + 0.5)
+                           / (len(plist) + 0.5))
+            for gram, plist in postings.items()
+        }
+
+    def query(self, grams: Mapping[str, int] | None,
+              limit: int | None = None) -> list[tuple[int, float]]:
+        """Ranked ``(doc_id, score)`` pairs for a gram-frequency query.
+
+        Only documents sharing at least one gram with the query appear.
+        The ranking is deterministic: descending score, then ascending
+        document id.  ``limit`` truncates the result (None keeps every
+        scored document — what rank fusion consumes).
+        """
+        if not grams or not self.n_docs or self.avg_length == 0.0:
+            return []
+        scores: dict[int, float] = {}
+        for gram in grams:
+            plist = self.postings.get(gram)
+            if plist is None:
+                continue
+            idf = self.idf[gram]
+            for doc_id, tf in plist:
+                denom = tf + self.k1 * (
+                    1.0 - self.b
+                    + self.b * self.doc_lengths[doc_id] / self.avg_length)
+                scores[doc_id] = scores.get(doc_id, 0.0) \
+                    + idf * tf * (self.k1 + 1.0) / denom
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked if limit is None else ranked[:limit]
+
+    def __len__(self) -> int:
+        return self.n_docs
+
+    def __repr__(self) -> str:
+        return (f"<BM25Index {self.n_docs} docs, "
+                f"{len(self.postings)} grams>")

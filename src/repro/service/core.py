@@ -40,6 +40,7 @@ from ..engine.engine import MatchEngine
 from ..engine.executor import BatchResult, ExecutorConfig, MatchExecutor
 from ..engine.prepared import PreparedTarget
 from ..errors import ArtifactNotFoundError
+from ..matching.tokens import token_cache_counters
 from ..relational.instance import Database
 from ..relational.jsonio import database_from_dict
 from ..store.artifacts import KIND_TARGET, ArtifactStore, StoreEntry
@@ -49,6 +50,16 @@ __all__ = ["MatchService"]
 
 #: Sliding-window size of the per-endpoint latency series.
 _LATENCY_WINDOW = 8192
+
+#: Stage-count keys summed into the service's retrieval telemetry
+#: (stage key -> report key).
+_RETRIEVAL_KEYS = {
+    "retrieval_queries": "queries",
+    "pairs_considered": "pairs_considered",
+    "pairs_pruned": "pairs_pruned",
+    "retrieval_hits": "hits",
+    "retrieval_missed": "missed",
+}
 
 
 class MatchService:
@@ -107,6 +118,7 @@ class MatchService:
         self._requests: dict[str, int] = {}
         self._errors = 0
         self._latencies: dict[str, deque] = {}
+        self.retrieval_counters = {key: 0 for key in _RETRIEVAL_KEYS.values()}
 
     # -- warm cache ----------------------------------------------------
     def warm(self, tokens: Iterable[str] | None = None) -> list[str]:
@@ -180,13 +192,30 @@ class MatchService:
             return source
         return database_from_dict(source)
 
+    def _absorb_retrieval(self, *results: Any) -> None:
+        """Accumulate the runs' retrieval stage counts into the service's
+        process-lifetime telemetry (surfaced by ``/report``)."""
+        totals = {key: 0 for key in _RETRIEVAL_KEYS.values()}
+        for result in results:
+            report = getattr(result, "report", None)
+            if report is None:
+                continue
+            for stage in report.stages:
+                for stage_key, report_key in _RETRIEVAL_KEYS.items():
+                    totals[report_key] += stage.counts.get(stage_key, 0)
+        with self._lock:
+            for key, value in totals.items():
+                self.retrieval_counters[key] += value
+
     def match(self, source: Database | Mapping[str, Any],
               target_ref: str) -> tuple[Any, str]:
         """One match run against a warm target; returns
         ``(MatchResult, resolved token)``."""
         token = self.resolve(target_ref)
         prepared = self._target_for(token)
-        return self.engine.match(self._as_database(source), prepared), token
+        result = self.engine.match(self._as_database(source), prepared)
+        self._absorb_retrieval(result)
+        return result, token
 
     def match_many(self, sources: Iterable[Database | Mapping[str, Any]],
                    target_ref: str) -> tuple[BatchResult, str]:
@@ -200,6 +229,7 @@ class MatchService:
         with self._executor_lock:
             batch = self.executor.match_many(self.engine, databases,
                                              prepared, token=token)
+        self._absorb_retrieval(*batch.results)
         return batch, token
 
     def save_target(self, target: Database | Mapping[str, Any]
@@ -258,6 +288,10 @@ class MatchService:
             warm = [{"token": token, "database": prepared.target.name,
                      "runs": prepared.runs}
                     for token, prepared in reversed(self._targets.items())]
+            retrieval = dict(self.retrieval_counters)
+        prunable = retrieval["hits"] + retrieval["missed"]
+        retrieval["recall"] = (retrieval["hits"] / prunable if prunable
+                               else 1.0)
         return ServiceReport(
             version=__version__, store_path=str(self.store.root),
             uptime_seconds=time.time() - self._started,
@@ -266,7 +300,8 @@ class MatchService:
             store=dict(self.store.counters, entries=len(self.store)),
             executor={"backend": self.executor.config.backend,
                       "workers": self.executor.config.resolved_workers()},
-            targets=warm)
+            targets=warm, retrieval=retrieval,
+            token_cache=token_cache_counters())
 
     def close(self) -> None:
         """Release the executor's worker pool (if any)."""

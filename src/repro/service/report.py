@@ -81,6 +81,17 @@ class ServiceReport:
     targets:
         Warm targets, most recently used first: content token, database
         name and runs served.
+    retrieval:
+        Process-lifetime candidate-retrieval totals over every run this
+        service answered: ``queries`` / ``pairs_considered`` /
+        ``pairs_pruned`` / ``hits`` / ``missed`` and the derived
+        ``recall`` (1.0 when nothing was prunable) — how much scoring
+        work the :mod:`repro.retrieval` frontier saved, and whether it
+        ever dropped an accepted match.
+    token_cache:
+        The shared :class:`~repro.matching.tokens.QGramCache` hit/miss
+        counters (process-wide), so tokenization-cache efficacy is
+        observable over HTTP next to the retrieval counters.
     """
 
     version: str
@@ -95,6 +106,8 @@ class ServiceReport:
     store: dict[str, int] = dataclasses.field(default_factory=dict)
     executor: dict[str, Any] = dataclasses.field(default_factory=dict)
     targets: list[dict[str, Any]] = dataclasses.field(default_factory=list)
+    retrieval: dict[str, Any] = dataclasses.field(default_factory=dict)
+    token_cache: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

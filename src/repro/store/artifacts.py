@@ -54,7 +54,7 @@ from ..errors import (ArtifactIntegrityError, ArtifactNotFoundError,
 from .tokens import blob_token, database_token, fingerprint_token
 
 __all__ = ["ArtifactStore", "StoreEntry", "STORE_FORMAT",
-           "KIND_TARGET", "KIND_SOURCE"]
+           "KIND_TARGET", "KIND_SOURCE", "KIND_RETRIEVAL"]
 
 #: On-disk format revision.  Bumped when the layout or manifest schema
 #: changes incompatibly; loads refuse other revisions with a typed error.
@@ -62,7 +62,8 @@ STORE_FORMAT = 1
 
 KIND_TARGET = "prepared-target"
 KIND_SOURCE = "prepared-source"
-_KINDS = (KIND_TARGET, KIND_SOURCE)
+KIND_RETRIEVAL = "retrieval_index"
+_KINDS = (KIND_TARGET, KIND_SOURCE, KIND_RETRIEVAL)
 
 _MANIFEST_SUFFIX = ".json"
 _BLOB_SUFFIX = ".blob"
@@ -166,17 +167,22 @@ class ArtifactStore:
     # -- save ----------------------------------------------------------
     @staticmethod
     def _kind_of(artifact: Any) -> tuple[str, Any]:
+        """(kind, described database) — the database is None for kinds
+        that carry their schema metadata inline (retrieval indexes)."""
         # Imported here so the store stays importable from serialization
         # helpers without dragging the engine package into their import
         # graph at module load.
         from ..engine.prepared import PreparedSource, PreparedTarget
+        from ..retrieval import RetrievalIndex
         if isinstance(artifact, PreparedTarget):
             return KIND_TARGET, artifact.target
         if isinstance(artifact, PreparedSource):
             return KIND_SOURCE, artifact.source
+        if isinstance(artifact, RetrievalIndex):
+            return KIND_RETRIEVAL, None
         raise StoreError(
             f"cannot store {type(artifact).__name__}: expected a "
-            "PreparedTarget or PreparedSource")
+            "PreparedTarget, PreparedSource or RetrievalIndex")
 
     def save(self, artifact: Any, *, engine: Any = None) -> StoreEntry:
         """Persist a prepared artifact; returns its manifest.
@@ -202,7 +208,14 @@ class ArtifactStore:
             return self.entry(token)
         fingerprint = fingerprint_token(engine) if engine is not None \
             else None
-        db_token = database_token(database)
+        if database is not None:
+            db_name = database.name
+            n_tables = len(tuple(database))
+            db_token = database_token(database)
+        else:  # retrieval indexes carry their database metadata inline
+            db_name = artifact.database_name
+            n_tables = artifact.n_tables
+            db_token = artifact.database_token
         if fingerprint is not None:
             lookup = _lookup_key(kind, db_token, fingerprint)
             for existing in self.entries():
@@ -212,8 +225,8 @@ class ArtifactStore:
         entry = StoreEntry(
             token=token, kind=kind, format=STORE_FORMAT,
             version=__version__, size_bytes=len(blob),
-            created_at=time.time(), database=database.name,
-            tables=len(tuple(database)), fingerprint=fingerprint,
+            created_at=time.time(), database=db_name,
+            tables=n_tables, fingerprint=fingerprint,
             database_token=db_token,
             lookup_key=(_lookup_key(kind, db_token, fingerprint)
                         if fingerprint is not None else None))
@@ -314,6 +327,10 @@ class ArtifactStore:
         """:meth:`load`, asserting the artifact is a PreparedSource."""
         return self.load(token, expected_kind=KIND_SOURCE)
 
+    def load_retrieval_index(self, token: str):
+        """:meth:`load`, asserting the artifact is a RetrievalIndex."""
+        return self.load(token, expected_kind=KIND_RETRIEVAL)
+
     # -- lookup --------------------------------------------------------
     def find(self, kind: str, database: Any, engine: Any) -> str | None:
         """Token of the stored *kind* artifact for (database, engine), or
@@ -337,6 +354,9 @@ class ArtifactStore:
 
     def find_source(self, database: Any, engine: Any) -> str | None:
         return self.find(KIND_SOURCE, database, engine)
+
+    def find_retrieval_index(self, database: Any, engine: Any) -> str | None:
+        return self.find(KIND_RETRIEVAL, database, engine)
 
     def prepared_target(self, engine: Any, target: Any):
         """Get-or-build: the PreparedTarget for (engine, target), loaded

@@ -160,6 +160,19 @@ class TestReportRoundTrip:
         report = RunReport(role_reversed=True)
         assert report_from_dict(report_to_dict(report)).role_reversed
 
+    def test_float_counts_survive(self):
+        """Ratio diagnostics like ``retrieval_recall`` must round-trip as
+        floats; integral counts stay ints."""
+        report = RunReport(stages=[StageReport(
+            name="score-candidates", elapsed_seconds=0.1,
+            counts={"candidates": 42, "retrieval_recall": 0.75,
+                    "pairs_pruned": 0})])
+        counts = report_from_dict(report_to_dict(report)) \
+            .stage("score-candidates").counts
+        assert counts["retrieval_recall"] == 0.75
+        assert counts["candidates"] == 42
+        assert isinstance(counts["candidates"], int)
+
 
 class TestConfigRoundTrip:
     def test_round_trip(self):

@@ -1,0 +1,189 @@
+"""Unit tests of the candidate-retrieval package: the BM25 channel, the
+MinHash-LSH channel, the fused :class:`RetrievalIndex` and the
+:class:`ScoringFrontier` bookkeeping."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ContextMatchConfig, MatchEngine
+from repro.datagen import make_retail_workload
+from repro.retrieval import (BM25Index, MinHashLSH, RetrievalIndex,
+                             ScoringFrontier)
+from repro.retrieval.minhash import gram_hash
+
+
+def _grams(text: str, q: int = 3) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    padded = f" {text} "
+    for i in range(len(padded) - q + 1):
+        gram = padded[i:i + q]
+        counts[gram] = counts.get(gram, 0) + 1
+    return counts
+
+
+class TestBM25Index:
+    def test_exact_duplicate_ranks_first(self):
+        docs = [_grams("hardcover"), _grams("audio cd"),
+                _grams("monday tuesday wednesday")]
+        index = BM25Index(docs)
+        ranked = index.query(_grams("hardcover"))
+        assert ranked[0][0] == 0
+        assert ranked[0][1] > 0.0
+
+    def test_deterministic_ordering_with_ties(self):
+        docs = [_grams("abc"), _grams("abc"), _grams("xyz")]
+        ranked = BM25Index(docs).query(_grams("abc"))
+        # Equal scores break by ascending document id.
+        assert [doc_id for doc_id, _ in ranked] == [0, 1]
+        assert ranked[0][1] == ranked[1][1]
+
+    def test_empty_query_and_empty_index(self):
+        index = BM25Index([_grams("abc")])
+        assert index.query(None) == []
+        assert index.query({}) == []
+        empty = BM25Index([])
+        assert empty.query(_grams("abc")) == []
+        assert len(empty) == 0
+
+    def test_empty_documents_never_score(self):
+        index = BM25Index([{}, _grams("abc"), {}])
+        ranked = index.query(_grams("abc"))
+        assert [doc_id for doc_id, _ in ranked] == [1]
+
+    def test_limit_truncates(self):
+        docs = [_grams(f"value {i}") for i in range(10)]
+        index = BM25Index(docs)
+        assert len(index.query(_grams("value 1"), limit=3)) == 3
+
+    def test_rare_gram_outweighs_common(self):
+        # "zq" appears in one doc, " a" in many: the rare gram's idf must
+        # dominate when both appear once in the query.
+        docs = [_grams("a zq"), _grams("a b"), _grams("a c"),
+                _grams("a d")]
+        index = BM25Index(docs)
+        ranked = index.query(_grams("a zq"))
+        assert ranked[0][0] == 0
+
+
+class TestMinHashLSH:
+    def test_gram_hash_is_process_stable(self):
+        # blake2b-derived, so this value is a constant of the test suite.
+        assert gram_hash("abc") == int.from_bytes(
+            __import__("hashlib").blake2b(b"abc", digest_size=8).digest(),
+            "big")
+
+    def test_identical_documents_collide_with_estimate_one(self):
+        grams = tuple(_grams("hardcover paperback").keys())
+        lsh = MinHashLSH([grams, tuple(_grams("audio cd").keys())])
+        ranked = lsh.query(grams)
+        assert ranked[0] == (0, 1.0)
+
+    def test_disjoint_documents_do_not_collide(self):
+        lsh = MinHashLSH([tuple(_grams("aaaa bbbb cccc").keys())])
+        ranked = lsh.query(tuple(_grams("xxxx yyyy zzzz").keys()))
+        assert ranked == []
+
+    def test_cross_instance_determinism(self):
+        docs = [tuple(_grams(f"value number {i}").keys()) for i in range(6)]
+        first = MinHashLSH(docs)
+        second = MinHashLSH(docs)
+        np.testing.assert_array_equal(first.signatures, second.signatures)
+        assert first.buckets.keys() == second.buckets.keys()
+        query = tuple(_grams("value number 3").keys())
+        assert first.query(query) == second.query(query)
+
+    def test_pickle_round_trip_preserves_rankings(self):
+        docs = [tuple(_grams(f"row {i}").keys()) for i in range(4)]
+        lsh = MinHashLSH(docs)
+        restored = pickle.loads(pickle.dumps(lsh))
+        query = tuple(_grams("row 2").keys())
+        assert restored.query(query) == lsh.query(query)
+
+    def test_empty_document_gets_sentinel_signature(self):
+        lsh = MinHashLSH([(), tuple(_grams("abc").keys())])
+        assert (lsh.signatures[0] == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_bands_must_divide_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHashLSH([], num_perm=64, bands=7)
+
+
+@pytest.fixture(scope="module")
+def prepared_retail():
+    workload = make_retail_workload(target="ryan", gamma=2, n_source=200,
+                                    seed=3)
+    engine = MatchEngine(ContextMatchConfig(inference="src", seed=2))
+    return engine.prepare(workload.target)
+
+
+class TestRetrievalIndex:
+    def test_built_on_prepare(self, prepared_retail):
+        retrieval = prepared_retail.retrieval
+        assert isinstance(retrieval, RetrievalIndex)
+        assert retrieval.n_targets == len(prepared_retail.index.samples)
+        assert retrieval.database_name == prepared_retail.target.name
+
+    def test_query_k_at_or_above_n_is_identity(self, prepared_retail):
+        retrieval = prepared_retail.retrieval
+        sample = prepared_retail.index.samples[0]
+        identity = list(range(retrieval.n_targets))
+        assert retrieval.query(sample.attribute, None,
+                               retrieval.n_targets) == identity
+        assert retrieval.query(sample.attribute, None, 10_000) == identity
+
+    def test_self_retrieval(self, prepared_retail):
+        """Every target attribute retrieves its own position at small k
+        when queried with its own gram profile."""
+        retrieval = prepared_retail.retrieval
+        profiles = prepared_retail.index.profiles["qgram"]
+        k = max(1, retrieval.n_targets // 2)
+        for position, sample in enumerate(prepared_retail.index.samples):
+            retrieved = retrieval.query(sample.attribute,
+                                        profiles[position], k)
+            assert len(retrieved) == k
+            assert retrieved == sorted(retrieved)
+            assert position in retrieved
+
+    def test_position_of(self, prepared_retail):
+        retrieval = prepared_retail.retrieval
+        for position, (table, attr) in enumerate(retrieval.refs):
+            assert retrieval.position_of(table, attr) == position
+        assert retrieval.position_of("nope", "nothing") is None
+
+    def test_pickle_zeroes_counters_and_is_deterministic(
+            self, prepared_retail):
+        retrieval = prepared_retail.retrieval
+        sample = prepared_retail.index.samples[0]
+        profiles = prepared_retail.index.profiles["qgram"]
+        before = pickle.dumps(retrieval)
+        retrieval.query(sample.attribute, profiles[0], 2)
+        assert retrieval.counters["retrieval_queries"] > 0
+        after = pickle.dumps(retrieval)
+        # Query counters are diagnostics: the payload is a pure function
+        # of the index content (store dedup-by-digest relies on this).
+        assert before == after
+        restored = pickle.loads(after)
+        assert restored.counters["retrieval_queries"] == 0
+        assert restored.query(sample.attribute, profiles[0], 2) \
+            == retrieval.query(sample.attribute, profiles[0], 2)
+
+
+class TestScoringFrontier:
+    def test_counting_only_frontier_never_prunes(self):
+        frontier = ScoringFrontier(10)
+        assert frontier.positions_for("price") is None
+        assert frontier.positions_for("name") is None
+        assert frontier.counts() == {"pairs_considered": 20,
+                                     "pairs_pruned": 0}
+
+    def test_position_map_prunes_and_counts(self):
+        frontier = ScoringFrontier(10, positions={"price": (1, 4, 7)})
+        assert frontier.positions_for("price") == (1, 4, 7)
+        # Unseen attribute: exhaustive, never drop evidence.
+        assert frontier.positions_for("name") is None
+        assert frontier.counts() == {"pairs_considered": 13,
+                                     "pairs_pruned": 7}

@@ -188,6 +188,40 @@ class TestReport:
         back = service_report_from_dict(service_report_to_dict(report))
         assert back == report
 
+    def test_report_surfaces_retrieval_and_token_cache(self, store,
+                                                       workload):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            service.match(workload.source, token)
+            report = service.report()
+        retrieval = report.retrieval
+        # Default top-k covers the events target: queries ran, nothing
+        # was prunable, recall reads 1.0.
+        assert retrieval["queries"] > 0
+        assert retrieval["pairs_considered"] > 0
+        assert retrieval["pairs_pruned"] == 0
+        assert retrieval["missed"] == 0
+        assert retrieval["recall"] == 1.0
+        assert set(report.token_cache) >= {"token_cache_hits",
+                                           "token_cache_misses"}
+        # Round-trips with the new sections intact.
+        from repro.service.report import (service_report_from_dict,
+                                          service_report_to_dict)
+        back = service_report_from_dict(service_report_to_dict(report))
+        assert back.retrieval == retrieval
+        assert back.token_cache == report.token_cache
+
+    def test_match_many_accumulates_retrieval(self, store, workload):
+        with MatchService(store) as service:
+            token = service.warm()[0]
+            _, _ = service.match_many([workload.source, workload.source],
+                                      token)
+            single = service.report().retrieval
+            service.match(workload.source, token)
+            after = service.report().retrieval
+        assert single["queries"] > 0
+        assert after["queries"] > single["queries"]
+
     def test_target_entries_show_warm_state(self, store, workload):
         with MatchService(store) as service:
             token = service.warm()[0]

@@ -1,0 +1,63 @@
+"""Schema check of the committed retrieval benchmark results.
+
+``benchmarks/results/BENCH_retrieval.json`` is the committed record of
+the candidate-retrieval acceptance run (full-scale, ``BENCH_TINY``
+unset): the pruned score-candidates stage at least 2x faster than the
+exhaustive reference, and retrieval recall 1.0 across the entire golden
+scenario grid.  This tier-1 test pins the file's shape and those floors
+so a regressed re-record cannot land silently."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.datagen import scenario_names
+
+RESULTS = (pathlib.Path(__file__).parent.parent
+           / "benchmarks" / "results" / "BENCH_retrieval.json")
+
+
+def _payload():
+    assert RESULTS.exists(), (
+        "missing committed benchmark record benchmarks/results/"
+        "BENCH_retrieval.json; run benchmarks/bench_retrieval.py")
+    return json.loads(RESULTS.read_text(encoding="utf-8"))
+
+
+def test_schema():
+    data = _payload()
+    assert data["benchmark"] == "bench_retrieval"
+    assert data["stage"] == "score-candidates"
+    assert set(data["modes"]) == {"exhaustive", "pruned"}
+    for mode in data["modes"].values():
+        assert mode["elapsed_seconds"] > 0
+        assert mode["pairs_considered"] > 0
+        assert mode["ops_per_second"] > 0
+    assert data["config"]["retrieval_top_k"] >= 1
+    assert data["n_target_attributes"] > data["config"]["retrieval_top_k"]
+
+
+def test_committed_record_is_full_scale():
+    assert _payload()["config"]["tiny"] is False, (
+        "BENCH_retrieval.json was recorded under BENCH_TINY; commit a "
+        "full-scale run")
+
+
+def test_speedup_floor():
+    data = _payload()
+    speedup = data["speedup"]["pruned_vs_exhaustive"]
+    assert speedup >= 2.0, (
+        f"committed retrieval speedup {speedup:.2f}x below the 2x "
+        f"acceptance floor")
+    # Pruning must actually have happened for the speedup to mean
+    # anything.
+    assert data["counters"]["pruned"]["pairs_pruned"] > 0
+    assert data["counters"]["exhaustive"]["pairs_pruned"] == 0
+
+
+def test_golden_grid_recall_is_perfect():
+    grid = _payload()["golden_grid_recall"]
+    assert set(grid) == set(scenario_names())
+    assert all(value == 1.0 for value in grid.values()), (
+        f"non-1.0 recall: { {k: v for k, v in grid.items() if v != 1.0} }")

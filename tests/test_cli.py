@@ -262,6 +262,104 @@ class TestEndToEnd:
         restored = scenario_result_from_dict(payload)
         assert restored.scenario == "retail-nulls"
 
+    def test_match_json_retrieval_section(self, tmp_path, capsys):
+        """Satellite: matching --json output carries a `retrieval`
+        section plus the library version."""
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--seed", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["__version__"] == __version__
+        retrieval = payload["retrieval"]
+        assert retrieval["enabled"] is True
+        assert retrieval["top_k"] == 16
+        assert retrieval["queries"] > 0
+        assert retrieval["pairs_considered"] > 0
+        assert retrieval["pairs_pruned"] == 0
+        assert retrieval["recall"] == 1.0
+
+    def test_match_no_retrieval_flag(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        base = ["match", str(out / "src"), str(out / "tgt"),
+                "--inference", "src", "--seed", "2", "--json"]
+        assert main(base) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert main(base + ["--no-retrieval"]) == 0
+        exhaustive = json.loads(capsys.readouterr().out)
+        assert exhaustive["retrieval"]["enabled"] is False
+        assert exhaustive["retrieval"]["queries"] == 0
+        # The exhaustive reference is bit-identical to the default run.
+        assert exhaustive["matches"] == pruned["matches"]
+
+    def test_match_retrieval_top_k_flag(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match", str(out / "src"), str(out / "tgt"),
+                   "--inference", "src", "--seed", "2",
+                   "--retrieval-top-k", "2", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["retrieval"]["top_k"] == 2
+        assert payload["retrieval"]["pairs_pruned"] > 0
+
+    def test_retrieval_top_k_must_be_positive(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        with pytest.raises(SystemExit):
+            main(["match", str(out / "src"), str(out / "tgt"),
+                  "--retrieval-top-k", "0"])
+
+    def test_match_many_json_retrieval_section(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", "retail", str(out), "--rows", "200",
+              "--gamma", "2", "--seed", "3"])
+        capsys.readouterr()
+        rc = main(["match-many", str(out / "tgt"), str(out / "src"),
+                   str(out / "src"), "--inference", "src", "--seed", "2",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["__version__"] == __version__
+        # Two identical sources: counters are summed across the batch.
+        assert payload["retrieval"]["queries"] > 0
+        assert payload["retrieval"]["queries"] % 2 == 0
+        assert payload["retrieval"]["recall"] == 1.0
+
+    def test_scenarios_run_retrieval_flags(self, capsys):
+        rc = main(["scenarios", "run", "events", "--size", "80", "--json"])
+        assert rc == 0
+        default = json.loads(capsys.readouterr().out)
+        assert default["__version__"] == __version__
+        assert default["retrieval"]["enabled"] is True
+        assert default["retrieval"]["recall"] == 1.0
+
+        rc = main(["scenarios", "run", "events", "--size", "80",
+                   "--retrieval-top-k", "3", "--json"])
+        assert rc == 0
+        pruned = json.loads(capsys.readouterr().out)
+        # The flag reaches the run through the spec's own config tuple.
+        assert pruned["spec"]["config"]["retrieval_top_k"] == 3
+        assert pruned["retrieval"]["top_k"] == 3
+        assert pruned["retrieval"]["pairs_pruned"] > 0
+
+        rc = main(["scenarios", "run", "events", "--size", "80",
+                   "--no-retrieval", "--json"])
+        assert rc == 0
+        off = json.loads(capsys.readouterr().out)
+        assert off["spec"]["config"]["use_retrieval"] is False
+        assert off["retrieval"]["enabled"] is False
+        assert off["retrieval"]["queries"] == 0
+        # Same metrics either way — retrieval is invisible at default k.
+        assert off["metrics"] == default["metrics"]
+
     def test_scenarios_run_unknown_name_exits_cleanly(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["scenarios", "run", "no-such-scenario"])

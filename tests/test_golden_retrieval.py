@@ -1,0 +1,51 @@
+"""Golden-tier retrieval grid (``pytest -m golden``).
+
+Every registered scenario is matched twice — retrieval frontier on (the
+default configuration) and ``use_retrieval=False`` (the exhaustive
+reference) — and the two runs must agree bit-for-bit.  At the default
+``retrieval_top_k`` the frontier covers every golden-scale target schema,
+so the grid also pins ``retrieval_recall == 1.0`` and zero pruned pairs:
+the acceptance contract that turning the prefilter on cannot change any
+committed baseline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import MatchEngine
+from repro.datagen import build_scenario, get_scenario, scenario_names
+from repro.evaluation.scenarios import scenario_config
+
+pytestmark = pytest.mark.golden
+
+
+def _keys(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_retrieval_grid(name):
+    spec = get_scenario(name)
+    workload = build_scenario(spec)
+    config = scenario_config(spec)
+    assert config.use_retrieval, "scenario specs must not disable retrieval"
+
+    pruned = MatchEngine(config).match(workload.source, workload.target)
+    exhaustive = MatchEngine(
+        dataclasses.replace(config, use_retrieval=False)
+    ).match(workload.source, workload.target)
+
+    assert _keys(pruned) == _keys(exhaustive), (
+        f"scenario {name!r}: retrieval-pruned matches diverge from the "
+        f"exhaustive reference")
+
+    counts = pruned.report.stage("score-candidates").counts
+    assert counts["retrieval_queries"] > 0
+    assert counts["retrieval_recall"] == 1.0, (
+        f"scenario {name!r}: accepted targets missing from the raw "
+        f"top-{config.retrieval_top_k} frontier")
+    assert counts["pairs_pruned"] == 0, (
+        f"scenario {name!r}: default top-k pruned pairs at golden scale")
