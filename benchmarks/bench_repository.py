@@ -1,0 +1,138 @@
+"""Repository routing benchmark: shared preparation vs K independent runs.
+
+Times :meth:`~repro.repository.TargetRepository.route_many` on the
+routing fleet — M perturbed sources fanned against K prepared hubs —
+against the naive baseline an operator without the repository layer
+would run: for every (source, hub) pair a fresh
+``MatchEngine(config).match(source, hub)``, i.e. M×K independent match
+calls, each re-profiling the hub and the source from scratch.
+
+The repository mode prepares each hub exactly once and each source's
+:class:`~repro.engine.PreparedSource` exactly once per route, so the
+measured difference is the preparation work the repository amortizes —
+the matching pipeline itself is identical, and the benchmark asserts it:
+every (source, hub) pair's accepted matches are bit-identical between
+the two modes, and every source routes to its ground-truth hub.
+
+Repository elapsed includes building the repository (hub preparation is
+part of its cost, not a free warm-up), so the headline speedup is the
+honest end-to-end ratio.  Results are persisted as machine-readable
+``results/BENCH_repository.json``.  Set ``BENCH_TINY=1`` for a
+seconds-scale smoke run (CI): bit-identity and routing accuracy still
+apply, the ``MIN_SPEEDUP`` floor does not.
+"""
+
+import time
+
+from conftest import BENCH_TINY, run_once
+from repro import MatchEngine, TargetRepository
+from repro.datagen import ROUTING_HUB_FAMILIES, make_routing_fleet
+
+MIN_SPEEDUP = 1.5
+#: Full scale uses the realistic repository shape — small arriving
+#: sources (200 rows) routed against large prepared hubs (800 rows) —
+#: so the hub preparation the repository amortizes is a real fraction
+#: of the baseline's per-pair cost.  Tiny mode shrinks to the smallest
+#: grid whose routing signal is still reliable (two hubs, one source
+#: each, size 140 — below that the events/retail contextual margins
+#: get noisy).
+FLEET_CONFIG = (
+    dict(hub_families=("events", "retail"), sources_per_hub=1, size=140)
+    if BENCH_TINY else
+    dict(hub_families=ROUTING_HUB_FAMILIES, sources_per_hub=2, size=800,
+         source_size=200))
+
+
+def _key(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+def _independent_sweep(fleet):
+    """The baseline: a fresh engine per (source, hub) pair — no shared
+    PreparedSource, no prepared hubs, exactly ``repro match`` M×K times."""
+    results = {}
+    for case in fleet.sources:
+        for family, hub in fleet.hubs.items():
+            engine = MatchEngine()
+            results[(case.name, family)] = engine.match(case.source, hub)
+    return results
+
+
+def _repository_sweep(fleet):
+    repo = TargetRepository(MatchEngine())
+    for hub in fleet.hubs.values():
+        repo.add(hub)
+    batch = repo.route_many([case.source for case in fleet.sources])
+    return repo, batch
+
+
+def test_repository_routing(benchmark, record_series, record_json):
+    fleet = make_routing_fleet(**FLEET_CONFIG)
+    n_hubs, n_sources = len(fleet.hubs), len(fleet.sources)
+    pairs = n_hubs * n_sources
+
+    start = time.perf_counter()
+    independent = _independent_sweep(fleet)
+    elapsed_independent = time.perf_counter() - start
+
+    start = time.perf_counter()
+    repo, batch = run_once(benchmark, _repository_sweep, fleet)
+    elapsed_repository = time.perf_counter() - start
+
+    token_to_family = dict(zip(repo.tokens(), fleet.hubs))
+
+    # Bit-identity: every pair's accepted matches agree between modes.
+    for case, routed in zip(fleet.sources, batch):
+        for hub_score in routed.ranking:
+            family = token_to_family[hub_score.token]
+            assert _key(hub_score.result) \
+                == _key(independent[(case.name, family)]), (
+                    f"repository result for ({case.name}, {family}) "
+                    f"diverges from the independent match")
+
+    # Routing accuracy: every source lands on its ground-truth hub.
+    assignments = {case.name: token_to_family[routed.best.token]
+                   for case, routed in zip(fleet.sources, batch)}
+    wrong = {name: got for name, got in assignments.items()
+             if got != name.split("-")[2]}
+    assert not wrong, f"mis-routed sources: {wrong}"
+    accuracy = (n_sources - len(wrong)) / n_sources
+
+    elapsed = {"independent": elapsed_independent,
+               "repository": elapsed_repository}
+    speedup = elapsed["independent"] / elapsed["repository"]
+    ops = {mode: pairs / seconds if seconds > 0 else 0.0
+           for mode, seconds in elapsed.items()}
+
+    record_series(
+        "repository_routing",
+        f"TargetRepository.route_many vs {pairs} independent match calls "
+        f"({n_sources} sources x {n_hubs} hubs)",
+        "measurement",
+        {"elapsed_seconds": elapsed,
+         "pairs_per_second": ops,
+         "speedup_vs_independent": {"independent": 1.0,
+                                    "repository": speedup}},
+        ["independent", "repository"])
+    record_json("BENCH_repository", {
+        "benchmark": "bench_repository",
+        "config": {**{k: list(v) if isinstance(v, tuple) else v
+                      for k, v in FLEET_CONFIG.items()},
+                   "tiny": BENCH_TINY},
+        "fleet": {"hubs": n_hubs, "sources": n_sources, "pairs": pairs},
+        "modes": {
+            mode: {"elapsed_seconds": elapsed[mode],
+                   "pairs_considered": pairs,
+                   "ops_per_second": ops[mode]}
+            for mode in elapsed
+        },
+        "speedup": {"repository_vs_independent": speedup},
+        "routing_accuracy": accuracy,
+        "repository_counters": dict(repo.counters),
+    })
+
+    if not BENCH_TINY:
+        assert speedup >= MIN_SPEEDUP, (
+            f"repository routing should be >= {MIN_SPEEDUP}x the "
+            f"independent sweep, got {speedup:.2f}x")

@@ -60,6 +60,13 @@ per-stage :class:`RunReport`::
     with MatchService(store) as service:
         result, _ = service.match(workload.source, token)
 
+    # Route one source across every stored hub, ranked best-first
+    # (see `repro match-repo` and `POST /match-repository`):
+    from repro import TargetRepository
+    repo = TargetRepository.from_store(store, engine)
+    routed = repo.match_one(workload.source)
+    print(routed)               # source -> best hub (score) [K hubs]
+
 The pre-engine entry point is kept as a thin backward-compatible facade:
 ``ContextMatch(config).run(source, target)`` is exactly
 ``MatchEngine(config).match(source, target)``.
@@ -75,6 +82,7 @@ from .matching import MatchingSystem, StandardMatch, StandardMatchConfig
 from .profiling import ColumnProfile, PartitionIndex, ProfileStore
 from .relational import (Attribute, Condition, Database, DataType, Eq, In,
                          Relation, Schema, TableSchema, View, ViewFamily)
+from .repository import HubScore, RepositoryResult, TargetRepository
 from .retrieval import RetrievalIndex
 from .service import MatchService, ServiceReport, start_service
 from .store import ArtifactStore, StoreEntry
@@ -116,6 +124,9 @@ __all__ = [
     "View",
     "ViewFamily",
     "RetrievalIndex",
+    "TargetRepository",
+    "RepositoryResult",
+    "HubScore",
     "ArtifactStore",
     "StoreEntry",
     "MatchService",

@@ -7,6 +7,10 @@ Commands
 ``match-many``  match several source directories against one shared target,
                 preparing the target exactly once; ``--jobs N`` fans the
                 batch across N worker processes (bit-identical results)
+``match-repo``  route source directories against *every* prepared hub in an
+                artifact store (or a ``--targets`` subset), each source
+                profiled once and ranked best-first across hubs
+                (:class:`~repro.TargetRepository`)
 ``map``         additionally generate + execute the extended-Clio mapping
 ``scenarios``   the scenario registry: ``list`` registered specs, ``run``
                 one or more end-to-end (build, match, score against ground
@@ -163,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "default; 1 forces the serial executor)")
     many.add_argument("--json", action="store_true",
                       help="emit one JSON document with all results")
+
+    repo = sub.add_parser(
+        "match-repo",
+        help="route sources against every prepared hub in a store")
+    repo.add_argument("sources", nargs="+",
+                      help="source CSV directories, routed in order")
+    repo.add_argument("--store", required=True, metavar="DIR",
+                      help="artifact store of prepared hub targets")
+    repo.add_argument("--targets", nargs="+", default=None, metavar="TOKEN",
+                      help="restrict routing to these stored target tokens "
+                           "(default: every prepared target in the store)")
+    _add_matching_flags(repo)
+    repo.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                      help="fan the source × hub grid across N worker "
+                           "processes (bit-identical rankings)")
+    repo.add_argument("--json", action="store_true",
+                      help="emit one JSON document with every ranking; the "
+                           "winning hub carries its full match result")
 
     scenarios = sub.add_parser(
         "scenarios", help="list or run registered workload scenarios")
@@ -413,6 +435,49 @@ def _cmd_match_many(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_match_repo(args: argparse.Namespace) -> int:
+    # Lazy imports: the matching-only commands don't need the store stack.
+    from .errors import EngineError, StoreError
+    from .repository import TargetRepository, repository_result_to_dict
+    from .store import ArtifactStore
+
+    engine = MatchEngine(config_from_args(args))
+    try:
+        repository = TargetRepository.from_store(
+            ArtifactStore(args.store), engine, tokens=args.targets)
+        sources = [load_database(d, name=d) for d in args.sources]
+        executor = (MatchExecutor(ExecutorConfig.for_jobs(args.jobs))
+                    if args.jobs is not None else None)
+        try:
+            batch = repository.route_many(sources, executor=executor)
+        finally:
+            if executor is not None:
+                executor.close()
+    except (StoreError, EngineError) as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    if args.json:
+        print(json.dumps(
+            {"__version__": __version__, "store": args.store,
+             "targets": list(repository.tokens()),
+             "results": [{"source_dir": source_dir,
+                          **repository_result_to_dict(routed,
+                                                      results="best")}
+                         for source_dir, routed
+                         in zip(args.sources, batch)],
+             "repository": dict(repository.counters)},
+            indent=2, default=str))
+        return 0
+    for source_dir, routed in zip(args.sources, batch):
+        print(f"== {source_dir}")
+        print(routed)
+        for rank, hub in enumerate(routed.ranking, start=1):
+            print(f"  {rank}. {hub.database:<20} score={hub.score:.3f} "
+                  f"coverage={hub.coverage:.2f} "
+                  f"matches={hub.n_matches} "
+                  f"contextual={hub.n_contextual}  {hub.token[:12]}")
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     source, target, _, result = _run_matching(args)
     if not result.matches:
@@ -607,9 +672,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _cmd_generate, "match": _cmd_match,
-                "match-many": _cmd_match_many, "map": _cmd_map,
-                "scenarios": _cmd_scenarios, "store": _cmd_store,
-                "serve": _cmd_serve}
+                "match-many": _cmd_match_many, "match-repo": _cmd_match_repo,
+                "map": _cmd_map, "scenarios": _cmd_scenarios,
+                "store": _cmd_store, "serve": _cmd_serve}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

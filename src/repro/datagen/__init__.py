@@ -22,7 +22,11 @@ Families (:func:`~repro.datagen.registry.register_family`):
   tables, contextual on ``EventKind``.  Knobs: ``n_target``;
 * ``realestate`` — combined ``listings`` vs house / condo tables,
   contextual on ``PropertyKind`` (the Section 5.5 noise domain promoted
-  to a full workload).  Knobs: ``n_target``.
+  to a full workload).  Knobs: ``n_target``;
+* ``routing`` — repository-routing scenarios: delegates to an inner hub
+  family chosen by the ``hub`` knob, so each scenario's target doubles
+  as one :mod:`repro.repository` hub.  :func:`make_routing_fleet` builds
+  the full M-sources × K-hubs grid with ground-truth hub labels.
 
 Registered scenarios (:func:`~repro.datagen.registry.scenario_names`) pair
 every family with its base form plus three perturbation variants:
@@ -55,6 +59,8 @@ from .registry import (DEFAULT_PERTURBATION_VARIANTS, PerturbationSpec,
                        get_scenario, register_family, register_scenario,
                        registered_scenarios, scenario_names,
                        workload_fingerprint)
+from .routing import (ROUTING_HUB_FAMILIES, RoutedSourceCase, RoutingFleet,
+                      make_routing_fleet)
 
 __all__ = [
     # retail
@@ -112,4 +118,9 @@ __all__ = [
     "build_scenario",
     "workload_fingerprint",
     "DEFAULT_PERTURBATION_VARIANTS",
+    # repository routing
+    "ROUTING_HUB_FAMILIES",
+    "RoutedSourceCase",
+    "RoutingFleet",
+    "make_routing_fleet",
 ]

@@ -1,0 +1,155 @@
+"""The ``routing`` scenario family: sources that must find their hub.
+
+Repository routing (:mod:`repro.repository`) asks a different question
+than single-target matching: *which* of K prepared hub schemas is the
+right home for a source, not just how its attributes map once the hub is
+fixed.  This module gives that question a seat in the scenario registry
+and the golden regression tier:
+
+* the ``routing`` family delegates to an inner hub family (``events``,
+  ``retail``, ``clinical``, ``realestate`` — chosen by the ``hub`` knob)
+  so each registered ``routing*`` scenario is an ordinary workload whose
+  *target* doubles as one repository hub.  Perturbation variants compose
+  exactly as for every other family because delegation happens at the
+  raw-builder level, before :func:`~repro.datagen.registry.build_scenario`
+  applies the spec's perturbations;
+* :func:`make_routing_fleet` builds the M×K grid the repository golden
+  tests and ``BENCH_repository`` route: K hub targets (one per inner
+  family — structurally distinct schemas, so ranking is meaningful) and
+  M labelled sources, each the combined-table side of one hub's family,
+  optionally perturbed *source-side only* so the hub artifacts stay
+  byte-stable while the arriving sources drift.
+
+Every piece is seed-deterministic: the fleet is a pure function of
+``(seed, size, hub_families, sources_per_hub)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ReproError
+from ..relational.instance import Database
+from .perturb import Workload
+from .registry import (_FAMILIES, DEFAULT_PERTURBATION_VARIANTS,
+                       PerturbationSpec, ScenarioSpec, build_scenario,
+                       register_family, register_scenario)
+
+__all__ = ["ROUTING_HUB_FAMILIES", "RoutedSourceCase", "RoutingFleet",
+           "make_routing_fleet"]
+
+#: Inner families the routing scenarios and fleet draw hubs from.  All
+#: four are split-table contextual domains with mutually distinct
+#: schemas, so "which hub?" has exactly one right answer per source.
+ROUTING_HUB_FAMILIES: tuple[str, ...] = (
+    "events", "retail", "clinical", "realestate")
+
+
+@register_family("routing")
+def _build_routing(spec: ScenarioSpec) -> Workload:
+    """Delegate to the inner hub family named by the ``hub`` knob.
+
+    The inner builder is invoked directly (not via ``build_scenario``)
+    so the routing spec's own perturbations are applied exactly once —
+    by ``build_scenario`` after this returns — never twice.
+    """
+    hub = spec.knob("hub", ROUTING_HUB_FAMILIES[0])
+    if hub == "routing":
+        raise ReproError("routing scenarios cannot nest: hub='routing'")
+    try:
+        builder = _FAMILIES[hub]
+    except KeyError:
+        raise ReproError(
+            f"routing scenario {spec.name!r} names unknown hub family "
+            f"{hub!r}") from None
+    return builder(dataclasses.replace(spec, family=hub))
+
+
+# One routing scenario per hub family: the base form routes against
+# ``events``; each perturbation variant stresses a different hub so the
+# golden grid covers all four domains without quadrupling the matrix.
+_ROUTING_BASE = ScenarioSpec(
+    name="routing", family="routing", seed=17, size=240, gamma=2,
+    knobs=(("hub", "events"),), config=(("inference", "src"),))
+register_scenario(_ROUTING_BASE)
+for _variant, _hub in (("nulls", "retail"), ("drift", "clinical"),
+                       ("scrambled", "realestate")):
+    register_scenario(dataclasses.replace(
+        _ROUTING_BASE, name=f"routing-{_variant}",
+        knobs=(("hub", _hub),),
+        perturbations=DEFAULT_PERTURBATION_VARIANTS[_variant]))
+del _variant, _hub
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutedSourceCase:
+    """One fleet source with its ground-truth hub assignment."""
+
+    name: str
+    hub_family: str
+    source: Database
+    perturbed: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingFleet:
+    """K hub targets plus M labelled sources for repository routing.
+
+    ``hubs`` maps inner family name to that family's target database
+    (the repository hub); ``sources`` carry their expected hub family —
+    the label the golden routing tests score assignments against.
+    """
+
+    hubs: dict[str, Database]
+    sources: tuple[RoutedSourceCase, ...]
+
+
+#: Source-side-only perturbation menu, cycled per source index within a
+#: hub.  Index 0 is always the clean source; later indices drift it
+#: without touching the hub target (side="source" keeps hubs byte-stable).
+_SOURCE_VARIANTS: tuple[tuple[PerturbationSpec, ...], ...] = (
+    (),
+    (PerturbationSpec.of("nulls", rate=0.08, side="source"),),
+    (PerturbationSpec.of("shuffle", side="source"),
+     PerturbationSpec.of("nulls", rate=0.05, side="source")),
+)
+
+
+def make_routing_fleet(*, hub_families: tuple[str, ...] = ROUTING_HUB_FAMILIES,
+                       sources_per_hub: int = 2, size: int = 240,
+                       source_size: int | None = None,
+                       seed: int = 23) -> RoutingFleet:
+    """Build the M×K routing grid: K hubs, M = K × *sources_per_hub* sources.
+
+    Each hub is the target side of its family's base workload at
+    ``seed``.  Source *i* of a hub comes from the same family at
+    ``seed + i`` — source 0 is the hub's own paired source, later ones
+    are fresh draws with source-side perturbations — so every source has
+    exactly one correct hub and the grid stays fully deterministic.
+
+    ``source_size`` (default: ``size``) sizes the source draws
+    independently of the hubs, for the realistic repository shape of
+    small arriving feeds routed against large prepared hubs.
+    """
+    if sources_per_hub < 1:
+        raise ReproError("sources_per_hub must be >= 1")
+    hubs: dict[str, Database] = {}
+    sources: list[RoutedSourceCase] = []
+    for family in hub_families:
+        if family not in _FAMILIES or family == "routing":
+            raise ReproError(f"unknown routing hub family {family!r}")
+        base = ScenarioSpec(name=f"routing-hub-{family}", family=family,
+                            seed=seed, size=size, gamma=2)
+        hubs[family] = build_scenario(base).target
+        for i in range(sources_per_hub):
+            perturbations = _SOURCE_VARIANTS[i % len(_SOURCE_VARIANTS)]
+            spec = dataclasses.replace(
+                base.resized(source_size if source_size is not None
+                             else size),
+                name=f"routing-src-{family}-{i}", seed=seed + i,
+                perturbations=perturbations)
+            sources.append(RoutedSourceCase(
+                name=spec.name, hub_family=family,
+                source=build_scenario(spec).source,
+                perturbed=bool(perturbations)))
+    return RoutingFleet(hubs=hubs, sources=tuple(sources))

@@ -1,0 +1,50 @@
+"""Schema-repository matching: one source routed against N prepared hubs.
+
+Enterprises rarely match a source against a single known target — they
+match it against a *repository* of hub schemas and want the best-ranked
+home for each attribute set.  This package is that layer, built on the
+engine's reusable prepared artifacts:
+
+* :mod:`repro.repository.core` —
+  :class:`~repro.repository.core.TargetRepository` (many
+  :class:`~repro.engine.prepared.PreparedTarget` hubs, in-memory or
+  :class:`~repro.store.ArtifactStore`-backed, keyed by content token),
+  :meth:`~repro.repository.core.TargetRepository.match_one` /
+  :meth:`~repro.repository.core.TargetRepository.route_many` (shared
+  :class:`~repro.engine.prepared.PreparedSource`, M×K pairs fanned
+  through the :class:`~repro.engine.executor.MatchExecutor` as one
+  chunked batch per hub), and the comparable
+  :class:`~repro.repository.core.HubScore` /
+  :class:`~repro.repository.core.RepositoryResult` ranking types with
+  deterministic tie-breaks;
+* :mod:`repro.repository.incremental` —
+  :func:`~repro.repository.incremental.append_rows_prepared`, the
+  delta-maintenance path behind
+  :meth:`~repro.repository.core.TargetRepository.append_rows`: appended
+  rows extend cached matcher profiles (``merge_profiles``) and
+  delta-teach the additive classifier statistics instead of
+  re-preparing, bit-identical to a fresh ``prepare()`` of the grown
+  database;
+* :mod:`repro.repository.serialize` — JSON wire shapes for rankings
+  (the ``POST /match-repository`` route and ``repro match-repo --json``).
+
+The serving layer wraps this as
+:meth:`~repro.service.core.MatchService.match_repository` (warm-LRU
+hubs, repository counters in ``/report``).
+"""
+
+from .core import (HubScore, RepositoryResult, TargetRepository,
+                   rank_hub_scores, score_hub)
+from .incremental import append_rows_prepared
+from .serialize import hub_score_to_dict, repository_result_to_dict
+
+__all__ = [
+    "TargetRepository",
+    "RepositoryResult",
+    "HubScore",
+    "rank_hub_scores",
+    "score_hub",
+    "append_rows_prepared",
+    "hub_score_to_dict",
+    "repository_result_to_dict",
+]

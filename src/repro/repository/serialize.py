@@ -1,0 +1,61 @@
+"""JSON wire shapes for repository routing results.
+
+Rankings serialize compactly by default: every hub carries its
+comparable score fields, while the full per-hub
+:class:`~repro.context.model.MatchResult` (large — every match, the
+stage report) is included only where a consumer asked for it.  The
+``results`` switch picks the layer's policy: the HTTP route and the CLI
+``--json`` ship ``"best"`` (drill-down for the winning hub only),
+in-process callers can ask for ``"all"`` or ``"none"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..context.serialize import result_to_dict
+from .core import HubScore, RepositoryResult
+
+__all__ = ["hub_score_to_dict", "repository_result_to_dict"]
+
+
+def hub_score_to_dict(hub: HubScore, *,
+                      include_result: bool = False) -> dict[str, Any]:
+    """One ranked hub as a JSON-compatible dict."""
+    data: dict[str, Any] = {
+        "token": hub.token,
+        "database": hub.database,
+        "score": hub.score,
+        "coverage": hub.coverage,
+        "mean_confidence": hub.mean_confidence,
+        "n_matches": hub.n_matches,
+        "n_contextual": hub.n_contextual,
+    }
+    if include_result:
+        data["result"] = result_to_dict(hub.result)
+    return data
+
+
+def repository_result_to_dict(routed: RepositoryResult, *,
+                              results: str = "best") -> dict[str, Any]:
+    """One routed source as a JSON-compatible dict.
+
+    ``results`` controls which hubs carry their full match result:
+    ``"best"`` (default — the winning hub only), ``"all"`` or ``"none"``.
+    """
+    if results not in ("best", "all", "none"):
+        raise ValueError(f"results must be 'best', 'all' or 'none', "
+                         f"got {results!r}")
+    best = routed.best
+    return {
+        "source": routed.source,
+        "best": best.token if best is not None else None,
+        "elapsed_seconds": routed.elapsed_seconds,
+        "ranking": [
+            hub_score_to_dict(
+                hub,
+                include_result=(results == "all"
+                                or (results == "best" and hub is best)))
+            for hub in routed.ranking
+        ],
+    }

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from .._version import __version__
 from ..engine.engine import MatchEngine
@@ -45,6 +45,9 @@ from ..relational.instance import Database
 from ..relational.jsonio import database_from_dict
 from ..store.artifacts import KIND_TARGET, ArtifactStore, StoreEntry
 from .report import ServiceReport, latency_summary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repository sits above)
+    from ..repository.core import RepositoryResult
 
 __all__ = ["MatchService"]
 
@@ -119,24 +122,28 @@ class MatchService:
         self._errors = 0
         self._latencies: dict[str, deque] = {}
         self.retrieval_counters = {key: 0 for key in _RETRIEVAL_KEYS.values()}
+        self.repository_counters = {"requests": 0, "pairs": 0}
 
     # -- warm cache ----------------------------------------------------
     def warm(self, tokens: Iterable[str] | None = None) -> list[str]:
-        """Load hub targets into the LRU up front; returns their tokens.
+        """Load hub targets into the LRU up front; returns the tokens
+        that are actually resident afterwards.
 
         With no *tokens*, every prepared-target entry in the store is
-        eligible, newest first, up to the LRU capacity — the serve loop
-        calls this once at startup so the first request of every popular
-        target is already warm.
+        eligible, newest first — the serve loop calls this once at
+        startup so the first request of every popular target is already
+        warm.  Either way the request is clamped to the LRU capacity:
+        warming more targets than fit would evict the earliest ones
+        while claiming them warm.
         """
         if tokens is None:
             tokens = [entry.token for entry in self.store.entries()
-                      if entry.kind == KIND_TARGET][:self.capacity]
-        warmed = []
-        for token in tokens:
+                      if entry.kind == KIND_TARGET]
+        requested = list(tokens)[:self.capacity]
+        for token in requested:
             self._target_for(token)
-            warmed.append(token)
-        return warmed
+        with self._lock:
+            return [token for token in requested if token in self._targets]
 
     def _load_lock(self, token: str) -> threading.Lock:
         with self._lock:
@@ -168,17 +175,29 @@ class MatchService:
             with self._lock:
                 self.lru_counters["loads"] += 1
                 self._targets[token] = loaded
-                while len(self._targets) > self.capacity:
-                    self._targets.popitem(last=False)
-                    self.lru_counters["evictions"] += 1
+                self._evict_overflow()
             return loaded
+
+    def _evict_overflow(self) -> None:
+        """Evict LRU overflow and drop the evicted tokens' load locks —
+        otherwise a long-lived server cycling many targets leaks one
+        lock per token it has ever seen.  Caller holds ``_lock``."""
+        while len(self._targets) > self.capacity:
+            evicted, _ = self._targets.popitem(last=False)
+            self._load_locks.pop(evicted, None)
+            self.lru_counters["evictions"] += 1
 
     def resolve(self, ref: str) -> str:
         """Resolve a target reference — a content token or a database
         name — to a token.  Names resolve to the newest stored target of
         that name; unknown references raise
         :class:`~repro.errors.ArtifactNotFoundError`."""
-        if ref in self._targets or ref in self.store:
+        if ref in self._targets:
+            return ref
+        # Token of *some* stored artifact: only prepared targets are
+        # servable — a source or retrieval-index token must 404, not
+        # explode in load_target later.
+        if ref in self.store and self.store.entry(ref).kind == KIND_TARGET:
             return ref
         for entry in self.store.entries():
             if entry.kind == KIND_TARGET and entry.database == ref:
@@ -232,6 +251,52 @@ class MatchService:
         self._absorb_retrieval(*batch.results)
         return batch, token
 
+    def match_repository(self, source: Database | Mapping[str, Any],
+                         target_refs: Iterable[str] | None = None
+                         ) -> tuple["RepositoryResult", list[str]]:
+        """Route one source against many warm targets; returns
+        ``(RepositoryResult, routed tokens)``.
+
+        With no *target_refs* the whole store acts as the repository:
+        every prepared-target entry, oldest first (so ranking tie-breaks
+        are stable across restarts).  Explicit references resolve like
+        :meth:`match` targets — content tokens or database names — and
+        are deduplicated in order.  The source is profiled once into a
+        shared :class:`~repro.engine.prepared.PreparedSource` and reused
+        against every hub; hubs are served from the warm LRU.
+        """
+        from ..repository.core import (RepositoryResult, rank_hub_scores,
+                                       score_hub)
+
+        if target_refs is None:
+            tokens = [entry.token for entry in reversed(self.store.entries())
+                      if entry.kind == KIND_TARGET]
+        else:
+            tokens = [self.resolve(ref) for ref in target_refs]
+        tokens = list(dict.fromkeys(tokens))
+        if not tokens:
+            raise ArtifactNotFoundError("<any prepared target>",
+                                        str(self.store.root))
+        started = time.perf_counter()
+        database = self._as_database(source)
+        prepared_source = self.engine.prepare_source(database)
+        results = []
+        scores = []
+        for token in tokens:
+            prepared = self._target_for(token)
+            result = self.engine.match(prepared_source, prepared)
+            results.append(result)
+            scores.append(score_hub(database, result, token=token,
+                                    database=prepared.target.name))
+        self._absorb_retrieval(*results)
+        with self._lock:
+            self.repository_counters["requests"] += 1
+            self.repository_counters["pairs"] += len(tokens)
+        routed = RepositoryResult(
+            source=database.name, ranking=rank_hub_scores(scores),
+            elapsed_seconds=time.perf_counter() - started)
+        return routed, tokens
+
     def save_target(self, target: Database | Mapping[str, Any]
                     ) -> StoreEntry:
         """Prepare a new hub target with this service's engine and
@@ -239,11 +304,14 @@ class MatchService:
         prepared = self.engine.prepare(self._as_database(target))
         entry = self.store.save(prepared, engine=self.engine)
         with self._lock:
+            # Assignment either inserts at the MRU end (fresh token) or
+            # refreshes the value in place; only a re-save of a resident
+            # token needs the explicit move to the MRU end.
+            resident = entry.token in self._targets
             self._targets[entry.token] = prepared
-            self._targets.move_to_end(entry.token)
-            while len(self._targets) > self.capacity:
-                self._targets.popitem(last=False)
-                self.lru_counters["evictions"] += 1
+            if resident:
+                self._targets.move_to_end(entry.token)
+            self._evict_overflow()
         return entry
 
     # -- telemetry -----------------------------------------------------
@@ -289,6 +357,7 @@ class MatchService:
                      "runs": prepared.runs}
                     for token, prepared in reversed(self._targets.items())]
             retrieval = dict(self.retrieval_counters)
+            repository = dict(self.repository_counters)
         prunable = retrieval["hits"] + retrieval["missed"]
         retrieval["recall"] = (retrieval["hits"] / prunable if prunable
                                else 1.0)
@@ -300,7 +369,7 @@ class MatchService:
             store=dict(self.store.counters, entries=len(self.store)),
             executor={"backend": self.executor.config.backend,
                       "workers": self.executor.config.resolved_workers()},
-            targets=warm, retrieval=retrieval,
+            targets=warm, retrieval=retrieval, repository=repository,
             token_cache=token_cache_counters())
 
     def close(self) -> None:

@@ -14,6 +14,9 @@ Routes
 ``GET  /report``      full :class:`~repro.service.report.ServiceReport`
 ``POST /match``       ``{"target": <token-or-name>, "source": <database>}``
 ``POST /match-many``  ``{"target": ..., "sources": [<database>, ...]}``
+``POST /match-repository``  ``{"source": <database>[, "targets": [...]]}``
+— route one source against every stored hub (or just ``targets``),
+ranked best-first with the winning hub's full result attached.
 
 Database payloads use :func:`repro.relational.jsonio.database_to_dict`'s
 shape; match results come back as
@@ -74,7 +77,19 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body required")
         if length > _MAX_BODY:
             raise ValueError(f"request body too large ({length} bytes)")
-        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        # A socket read may return fewer bytes than asked for (slow or
+        # chunky clients); loop until the declared length is consumed.
+        chunks: list[bytes] = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(remaining)
+            if not chunk:
+                raise ValueError(
+                    f"premature end of request body: got "
+                    f"{length - remaining} of {length} declared bytes")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        data = json.loads(b"".join(chunks).decode("utf-8"))
         if not isinstance(data, dict):
             raise ValueError("request body must be a JSON object")
         return data
@@ -96,6 +111,12 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             error, (status, payload) = True, self._fault(500, exc)
         except (ValueError, KeyError, TypeError, json.JSONDecodeError) as exc:
             error, (status, payload) = True, self._fault(400, exc)
+        except Exception as exc:  # noqa: BLE001 - the contract: every
+            # request gets a JSON response and is observed, even when a
+            # handler raises outside the enumerated set (an
+            # AttributeError deep in a stage must not drop the
+            # connection bodiless and slip past the error counter).
+            error, (status, payload) = True, self._fault(500, exc)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.service.observe(endpoint, elapsed_ms, error=error)
         if isinstance(payload, dict):
@@ -129,6 +150,8 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             self._handle("match", self._do_match)
         elif path == "/match-many":
             self._handle("match-many", self._do_match_many)
+        elif path == "/match-repository":
+            self._handle("match-repository", self._do_match_repository)
         else:
             self._send_json(404, {"error": f"no route {path!r}",
                                   "type": "NotFound"})
@@ -148,6 +171,19 @@ class MatchRequestHandler(BaseHTTPRequestHandler):
             "target": token,
             "results": [result_to_dict(r) for r in batch.results],
             "throughput": throughput_to_dict(batch.throughput)}
+
+    def _do_match_repository(self) -> tuple[int, dict[str, Any]]:
+        from ..repository.serialize import repository_result_to_dict
+
+        body = self._read_body()
+        targets = body.get("targets")
+        if targets is not None and (not isinstance(targets, list)
+                                    or not targets):
+            raise ValueError("'targets' must be a non-empty list when given")
+        routed, tokens = self.service.match_repository(body["source"],
+                                                       targets)
+        return 200, {"targets": tokens,
+                     **repository_result_to_dict(routed, results="best")}
 
 
 class MatchServer(ThreadingHTTPServer):

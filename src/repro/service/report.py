@@ -88,6 +88,10 @@ class ServiceReport:
         ``recall`` (1.0 when nothing was prunable) — how much scoring
         work the :mod:`repro.retrieval` frontier saved, and whether it
         ever dropped an accepted match.
+    repository:
+        Cross-target routing totals for ``/match-repository`` requests:
+        ``requests`` (sources routed) and ``pairs`` (source × hub match
+        runs those requests fanned out to).
     token_cache:
         The shared :class:`~repro.matching.tokens.QGramCache` hit/miss
         counters (process-wide), so tokenization-cache efficacy is
@@ -107,6 +111,7 @@ class ServiceReport:
     executor: dict[str, Any] = dataclasses.field(default_factory=dict)
     targets: list[dict[str, Any]] = dataclasses.field(default_factory=list)
     retrieval: dict[str, Any] = dataclasses.field(default_factory=dict)
+    repository: dict[str, int] = dataclasses.field(default_factory=dict)
     token_cache: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,0 +1,156 @@
+"""append_rows: delta maintenance pinned bit-identical to a fresh prepare.
+
+The contract under test (see :mod:`repro.repository.incremental`): a
+prepared hub grown by ``append_rows`` — cached profiles extended via
+``merge_profiles``, warm classifiers delta-taught — behaves exactly like
+``MatchEngine.prepare`` run from scratch on the grown database.  Exactly,
+not approximately: index samples compare equal and match results are
+bit-identical, under both the compose path and the thinning-fallback
+rebuild path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import ContextMatchConfig, MatchEngine, TargetRepository
+from repro.datagen import build_scenario, get_scenario
+from repro.errors import UnknownTableError
+from repro.repository import append_rows_prepared
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_scenario(get_scenario("events").resized(80))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MatchEngine()
+
+
+def _split_target(target, keep=0.7):
+    """Truncate every hub table, returning (base database, delta rows)."""
+    from repro.relational.instance import Database
+
+    base_relations = []
+    deltas = {}
+    for relation in target:
+        cut = max(1, int(len(relation) * keep))
+        base_relations.append(relation.take(range(cut)))
+        deltas[relation.name] = [relation.row(i)
+                                 for i in range(cut, len(relation))]
+    return Database(target.schema, base_relations), deltas
+
+
+def _key(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+class TestBitIdentity:
+    def test_compose_path_equals_fresh_prepare(self, engine, workload):
+        base, deltas = _split_target(workload.target)
+        counters = {"profiles_merged": 0, "profiles_rebuilt": 0,
+                    "classifier_values_taught": 0,
+                    "classifier_retrains": 0}
+        grown = append_rows_prepared(engine.prepare(base), deltas,
+                                     engine=engine, counters=counters)
+        fresh = engine.prepare(grown.target)
+        assert grown.index.samples == fresh.index.samples
+        assert grown.categorical == fresh.categorical
+        assert counters["profiles_merged"] > 0
+        assert counters["profiles_rebuilt"] == 0
+        assert _key(engine.match(workload.source, grown)) \
+            == _key(engine.match(workload.source, fresh))
+
+    def test_thinning_fallback_rebuilds_and_stays_identical(self, workload):
+        """Columns that cross the sample limit fall back to a full
+        re-profile of the grown column — still equal to fresh."""
+        config = ContextMatchConfig()
+        config = dataclasses.replace(
+            config, standard=dataclasses.replace(config.standard,
+                                                 sample_limit=20))
+        engine = MatchEngine(config)
+        base, deltas = _split_target(workload.target, keep=0.4)
+        counters = {"profiles_merged": 0, "profiles_rebuilt": 0,
+                    "classifier_values_taught": 0,
+                    "classifier_retrains": 0}
+        grown = append_rows_prepared(engine.prepare(base), deltas,
+                                     engine=engine, counters=counters)
+        fresh = engine.prepare(grown.target)
+        assert counters["profiles_rebuilt"] > 0
+        assert grown.index.samples == fresh.index.samples
+        assert _key(engine.match(workload.source, grown)) \
+            == _key(engine.match(workload.source, fresh))
+
+    def test_empty_delta_reuses_everything(self, engine, workload):
+        prepared = engine.prepare(workload.target)
+        counters = {"profiles_merged": 0, "profiles_rebuilt": 0,
+                    "classifier_values_taught": 0,
+                    "classifier_retrains": 0}
+        grown = append_rows_prepared(
+            prepared, {workload.target.relations[0].name: []},
+            engine=engine, counters=counters)
+        assert counters["profiles_merged"] == 0
+        assert counters["profiles_rebuilt"] == 0
+        assert grown.index.samples == prepared.index.samples
+
+    def test_warm_classifiers_are_delta_taught(self, engine, workload):
+        """A hub that already served matches keeps its trained classifier
+        set warm through an append — taught, not retrained — and still
+        matches like a fresh prepare + fresh training."""
+        base, deltas = _split_target(workload.target)
+        prepared = engine.prepare(base)
+        engine.match(workload.source, prepared)  # trains target classifiers
+        assert prepared.target_classifiers is not None
+        counters = {"profiles_merged": 0, "profiles_rebuilt": 0,
+                    "classifier_values_taught": 0,
+                    "classifier_retrains": 0}
+        grown = append_rows_prepared(prepared, deltas, engine=engine,
+                                     counters=counters)
+        assert grown.target_classifiers is not None
+        assert counters["classifier_values_taught"] > 0
+        assert counters["classifier_retrains"] == 0
+        fresh = engine.prepare(grown.target)
+        assert _key(engine.match(workload.source, grown)) \
+            == _key(engine.match(workload.source, fresh))
+
+    def test_unknown_table_raises(self, engine, workload):
+        prepared = engine.prepare(workload.target)
+        with pytest.raises(UnknownTableError):
+            append_rows_prepared(prepared, {"nope": [{"x": 1}]},
+                                 engine=engine)
+
+
+class TestRepositoryAppend:
+    def test_append_rows_swaps_token_in_place(self, engine, workload):
+        other = build_scenario(get_scenario("retail").resized(60))
+        repo = TargetRepository(engine)
+        first = repo.add(workload.target)
+        second = repo.add(other.target)
+        base_token = repo.tokens()[0]
+        deltas = {workload.target.relations[0].name:
+                  [workload.target.relations[0].row(0)]}
+        new_token = repo.append_rows(first, deltas)
+        assert new_token != first
+        # Ranking position is preserved: the grown hub keeps slot 0.
+        assert repo.tokens() == [new_token, second]
+        assert repo.counters["appends"] == 1
+        assert base_token not in repo
+
+    def test_store_backed_append_persists(self, tmp_path, engine,
+                                          workload):
+        from repro import ArtifactStore
+        store = ArtifactStore(tmp_path / "store")
+        repo = TargetRepository(engine, store=store)
+        token = repo.add(workload.target)
+        deltas = {workload.target.relations[0].name:
+                  [workload.target.relations[0].row(0)]}
+        new_token = repo.append_rows(token, deltas)
+        assert store.entry(new_token).kind == "prepared-target"
+        # The maintained artifact round-trips and keeps serving.
+        loaded = store.load_target(new_token)
+        assert loaded.target.name == workload.target.name

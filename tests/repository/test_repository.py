@@ -1,0 +1,268 @@
+"""TargetRepository: ranking semantics, routing surface, serialization.
+
+The routing acceptance pin at full scale lives in the golden tier
+(``tests/repository/test_golden_routing.py``); this module covers the
+tier-1 mechanics — deterministic hub scores and tie-breaks, the
+repository membership surface (in-memory and store-backed), batch/serial
+equivalence, and the JSON wire shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ArtifactStore, MatchEngine, TargetRepository
+from repro.context.model import ContextualMatch, MatchResult
+from repro.datagen import build_scenario, get_scenario
+from repro.engine.prepared import PreparedSource
+from repro.errors import ArtifactNotFoundError, EngineError
+from repro.relational.conditions import TRUE, Eq
+from repro.relational.jsonio import database_to_dict
+from repro.relational.schema import AttributeRef
+from repro.repository import (HubScore, RepositoryResult, hub_score_to_dict,
+                              rank_hub_scores, repository_result_to_dict,
+                              score_hub)
+from repro.repository.core import STANDARD_MATCH_WEIGHT
+
+
+@pytest.fixture(scope="module")
+def events():
+    return build_scenario(get_scenario("events").resized(60))
+
+
+@pytest.fixture(scope="module")
+def retail():
+    return build_scenario(get_scenario("retail").resized(60))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return MatchEngine()
+
+
+@pytest.fixture(scope="module")
+def repo(engine, events, retail):
+    repo = TargetRepository(engine)
+    repo.add(events.target)
+    repo.add(retail.target)
+    return repo
+
+
+@pytest.fixture(scope="module")
+def routed_events(repo, events):
+    return repo.match_one(events.source)
+
+
+def _key(result):
+    return [(str(m.source), str(m.target), str(m.condition),
+             m.score, m.confidence) for m in result.matches]
+
+
+def _match(table, attribute, target, confidence, *, contextual):
+    condition = Eq("Kind", "a") if contextual else TRUE
+    return ContextualMatch(
+        source=AttributeRef(table, attribute),
+        target=AttributeRef("hub", target), condition=condition,
+        score=confidence, confidence=confidence)
+
+
+def _result(source, matches):
+    return MatchResult(matches=list(matches))
+
+
+class TestScoreHub:
+    def test_contextual_matches_count_in_full(self, events):
+        total = sum(len(r.schema) for r in events.source)
+        result = _result(events.source, [
+            _match("events", "Title", "title", 0.9, contextual=True)])
+        hub = score_hub(events.source, result, token="t", database="hub")
+        assert hub.score == pytest.approx(0.9 / total)
+        assert hub.coverage == pytest.approx(1 / total)
+        assert hub.mean_confidence == pytest.approx(0.9)
+        assert hub.n_contextual == 1
+
+    def test_standard_matches_are_discounted(self, events):
+        total = sum(len(r.schema) for r in events.source)
+        result = _result(events.source, [
+            _match("events", "Title", "title", 0.9, contextual=False)])
+        hub = score_hub(events.source, result, token="t", database="hub")
+        assert hub.score == pytest.approx(
+            0.9 * STANDARD_MATCH_WEIGHT / total)
+        # The undiscounted diagnostics are unchanged.
+        assert hub.mean_confidence == pytest.approx(0.9)
+        assert hub.n_contextual == 0
+
+    def test_duplicate_source_attribute_counts_once(self, events):
+        """One source attribute matching both split tables is one
+        explained attribute at its best confidence, not two."""
+        total = sum(len(r.schema) for r in events.source)
+        result = _result(events.source, [
+            _match("events", "Title", "concert_title", 0.6,
+                   contextual=True),
+            _match("events", "Title", "conf_title", 0.9, contextual=True)])
+        hub = score_hub(events.source, result, token="t", database="hub")
+        assert hub.coverage == pytest.approx(1 / total)
+        assert hub.score == pytest.approx(0.9 / total)
+        assert hub.n_matches == 2
+
+    def test_any_contextual_match_lifts_the_attribute(self, events):
+        """A standard duplicate does not drag a contextually-explained
+        attribute down to the discounted weight."""
+        total = sum(len(r.schema) for r in events.source)
+        result = _result(events.source, [
+            _match("events", "Title", "title", 0.9, contextual=False),
+            _match("events", "Title", "show", 0.7, contextual=True)])
+        hub = score_hub(events.source, result, token="t", database="hub")
+        assert hub.score == pytest.approx(0.9 / total)
+
+    def test_empty_result_scores_zero(self, events):
+        hub = score_hub(events.source, _result(events.source, []),
+                        token="t", database="hub")
+        assert hub.score == 0.0
+        assert hub.coverage == 0.0
+        assert hub.mean_confidence == 0.0
+
+
+class TestRanking:
+    @staticmethod
+    def _hub(token, database, score, n_matches=1):
+        return HubScore(token=token, database=database, score=score,
+                        coverage=score, mean_confidence=score,
+                        n_matches=n_matches, n_contextual=0, result=None)
+
+    def test_orders_by_score_descending(self):
+        ranking = rank_hub_scores([self._hub("a", "x", 0.2),
+                                   self._hub("b", "y", 0.8)])
+        assert [h.token for h in ranking] == ["b", "a"]
+
+    def test_ties_break_on_matches_then_name_then_token(self):
+        ranking = rank_hub_scores([
+            self._hub("t3", "zeta", 0.5, n_matches=1),
+            self._hub("t2", "alpha", 0.5, n_matches=1),
+            self._hub("t1", "alpha", 0.5, n_matches=2)])
+        assert [h.token for h in ranking] == ["t1", "t2", "t3"]
+
+    def test_result_best_and_lookup(self):
+        hubs = [self._hub("a", "x", 0.9), self._hub("b", "y", 0.1)]
+        routed = RepositoryResult(source="src", ranking=hubs)
+        assert routed.best is hubs[0]
+        assert routed.result_for("b") is hubs[1].result
+        with pytest.raises(KeyError):
+            routed.result_for("nope")
+        assert RepositoryResult(source="src", ranking=[]).best is None
+
+
+class TestRepository:
+    def test_routes_to_the_right_hub(self, repo, events, retail,
+                                     routed_events):
+        assert routed_events.best.database == events.target.name
+        assert repo.match_one(retail.source).best.database \
+            == retail.target.name
+
+    def test_ranking_covers_every_hub(self, repo, routed_events):
+        assert len(routed_events.ranking) == len(repo) == 2
+        assert {h.token for h in routed_events.ranking} \
+            == set(repo.tokens())
+
+    def test_membership_surface(self, repo, engine):
+        tokens = repo.tokens()
+        assert len(tokens) == 2
+        assert tokens[0] in repo
+        assert repo.hub(tokens[0]).target is not None
+        with pytest.raises(ArtifactNotFoundError):
+            repo.hub("no-such-hub")
+        assert "2 hubs" in repr(repo)
+
+    def test_empty_repository_refuses_to_route(self, events):
+        with pytest.raises(EngineError):
+            TargetRepository().match_one(events.source)
+        with pytest.raises(EngineError):
+            TargetRepository().route_many([events.source])
+
+    def test_add_token_requires_a_store(self):
+        with pytest.raises(EngineError):
+            TargetRepository().add_token("deadbeef")
+
+    def test_counters_track_routes_and_pairs(self, engine, events, retail):
+        repo = TargetRepository(engine)
+        repo.add(events.target)
+        repo.add(retail.target)
+        repo.match_one(events.source)
+        assert repo.counters["routes"] == 1
+        assert repo.counters["pairs"] == 2
+
+    def test_accepts_prepared_source_and_json_payload(self, repo, engine,
+                                                      events,
+                                                      routed_events):
+        prepared = engine.prepare_source(events.source)
+        via_prepared = repo.match_one(prepared)
+        via_json = repo.match_one(database_to_dict(events.source))
+        for other in (via_prepared, via_json):
+            assert [(h.token, h.score) for h in other.ranking] \
+                == [(h.token, h.score) for h in routed_events.ranking]
+
+    def test_route_many_equals_match_one(self, repo, events, retail,
+                                         routed_events):
+        batch = repo.route_many([events.source, retail.source])
+        assert len(batch) == 2
+        assert [(h.token, h.score) for h in batch[0].ranking] \
+            == [(h.token, h.score) for h in routed_events.ranking]
+        assert _key(batch[0].best.result) \
+            == _key(routed_events.best.result)
+        assert batch[1].best.database == retail.target.name
+
+
+class TestStoreBacked:
+    def test_from_store_registers_oldest_first(self, tmp_path, engine,
+                                               events, retail):
+        store = ArtifactStore(tmp_path / "store")
+        first = store.save(engine.prepare(events.target),
+                           engine=engine).token
+        second = store.save(engine.prepare(retail.target),
+                            engine=engine).token
+        repo = TargetRepository.from_store(store, engine)
+        assert repo.tokens() == [first, second]
+        assert repo.match_one(events.source).best.token == first
+
+    def test_from_store_token_subset(self, tmp_path, engine, events,
+                                     retail):
+        store = ArtifactStore(tmp_path / "store")
+        store.save(engine.prepare(events.target), engine=engine)
+        keep = store.save(engine.prepare(retail.target),
+                          engine=engine).token
+        repo = TargetRepository.from_store(store, engine, tokens=[keep])
+        assert repo.tokens() == [keep]
+
+    def test_add_persists_through_the_store(self, tmp_path, engine,
+                                            events):
+        store = ArtifactStore(tmp_path / "store")
+        repo = TargetRepository(engine, store=store)
+        token = repo.add(events.target)
+        assert store.entry(token).database == events.target.name
+
+
+class TestSerialize:
+    def test_best_policy_attaches_one_result(self, routed_events):
+        data = repository_result_to_dict(routed_events, results="best")
+        assert data["best"] == routed_events.best.token
+        assert data["source"] == routed_events.source
+        carried = [entry for entry in data["ranking"] if "result" in entry]
+        assert len(carried) == 1
+        assert carried[0]["token"] == data["best"]
+        assert carried[0]["result"]["matches"]
+
+    def test_all_and_none_policies(self, routed_events):
+        everything = repository_result_to_dict(routed_events, results="all")
+        assert all("result" in entry for entry in everything["ranking"])
+        bare = repository_result_to_dict(routed_events, results="none")
+        assert all("result" not in entry for entry in bare["ranking"])
+
+    def test_unknown_policy_raises(self, routed_events):
+        with pytest.raises(ValueError):
+            repository_result_to_dict(routed_events, results="everything")
+
+    def test_hub_score_shape(self, routed_events):
+        entry = hub_score_to_dict(routed_events.best)
+        assert set(entry) == {"token", "database", "score", "coverage",
+                              "mean_confidence", "n_matches",
+                              "n_contextual"}

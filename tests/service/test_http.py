@@ -161,6 +161,184 @@ class TestErrorMapping:
         assert body["errors"] >= 1
 
 
+class TestWireRobustness:
+    def _raw_socket(self, server):
+        import socket
+
+        sock = socket.create_connection(("127.0.0.1", server.port),
+                                        timeout=10)
+        sock.settimeout(10)
+        return sock
+
+    def _read_response(self, sock):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+        header, _, rest = data.partition(b"\r\n\r\n")
+        status = int(header.split(b" ", 2)[1])
+        length = 0
+        for line in header.split(b"\r\n"):
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        while len(rest) < length:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            rest += chunk
+        return status, json.loads(rest[:length])
+
+    def test_dribbled_body_is_read_in_full(self, server, workload,
+                                           reference):
+        """A slow client delivering the body across several TCP segments
+        must be answered 200, not rejected on a short first read."""
+        import time
+
+        body = json.dumps({
+            "target": server.entry.token,
+            "source": database_to_dict(workload.source)}).encode("utf-8")
+        split = len(body) // 3
+        sock = self._raw_socket(server)
+        try:
+            sock.sendall(
+                b"POST /match HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n")
+            sock.sendall(body[:split])
+            time.sleep(0.2)
+            sock.sendall(body[split:2 * split])
+            time.sleep(0.2)
+            sock.sendall(body[2 * split:])
+            status, payload = self._read_response(sock)
+        finally:
+            sock.close()
+        assert status == 200
+        assert _match_key(payload["result"]) == _match_key(reference)
+
+    def test_premature_body_eof_is_400(self, server):
+        """A client that dies mid-body gets a clean 400 naming the short
+        read, not a hung handler or a dropped connection."""
+        import socket
+
+        sock = self._raw_socket(server)
+        try:
+            sock.sendall(
+                b"POST /match HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 500\r\n"
+                b"Connection: close\r\n\r\n"
+                b'{"target": "x"')
+            sock.shutdown(socket.SHUT_WR)
+            status, payload = self._read_response(sock)
+        finally:
+            sock.close()
+        assert status == 400
+        assert "premature end of request body" in payload["error"]
+
+    def test_unexpected_handler_exception_is_500(self, server, workload):
+        """A non-enumerated exception inside a handler must still produce
+        a JSON 500 and count as an error — never a bodiless drop."""
+        service = server.service
+
+        def explode(source, target_ref):
+            raise AttributeError("simulated deep-stage fault")
+
+        errors_before = service.report().errors
+        service.match = explode
+        try:
+            try:
+                _post(server, "/match", {
+                    "target": server.entry.token,
+                    "source": database_to_dict(workload.source)})
+                pytest.fail("expected an HTTP error")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 500
+                body = json.loads(exc.read())
+                assert body["type"] == "AttributeError"
+        finally:
+            del service.match
+        assert service.report().errors == errors_before + 1
+
+    def test_stored_non_target_token_is_404(self, server, workload):
+        """A real stored token of the wrong kind must map to 404."""
+        engine = MatchEngine()
+        source_token = server.service.store.save(
+            engine.prepare_source(workload.source), engine=engine).token
+        try:
+            _post(server, "/match", {
+                "target": source_token,
+                "source": database_to_dict(workload.source)})
+            pytest.fail("expected an HTTP error")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+            assert json.loads(exc.read())["type"] \
+                == "ArtifactNotFoundError"
+
+
+class TestMatchRepository:
+    @pytest.fixture(scope="class")
+    def hub_server(self, tmp_path_factory):
+        from repro.datagen import build_scenario, get_scenario
+
+        store = ArtifactStore(tmp_path_factory.mktemp("hub-store"))
+        engine = MatchEngine()
+        scenarios = {}
+        for name in ("events", "retail", "clinical"):
+            scenario = build_scenario(get_scenario(name).resized(60))
+            store.save(engine.prepare(scenario.target), engine=engine)
+            scenarios[name] = scenario
+        server = start_service(MatchService(store))
+        server.scenarios = scenarios
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_routes_and_returns_ranked_hubs(self, hub_server):
+        scenario = hub_server.scenarios["retail"]
+        status, body = _post(hub_server, "/match-repository", {
+            "source": database_to_dict(scenario.source)})
+        assert status == 200
+        assert len(body["targets"]) == 3
+        assert len(body["ranking"]) == 3
+        assert body["best"] == body["ranking"][0]["token"]
+        # The winning hub carries its full result; the others don't.
+        assert "result" in body["ranking"][0]
+        assert all("result" not in entry
+                   for entry in body["ranking"][1:])
+        best = hub_server.service._target_for(body["best"])
+        assert best.target.name == scenario.target.name
+
+    def test_targets_subset(self, hub_server):
+        scenario = hub_server.scenarios["events"]
+        token = hub_server.service.resolve(scenario.target.name)
+        status, body = _post(hub_server, "/match-repository", {
+            "source": database_to_dict(scenario.source),
+            "targets": [token]})
+        assert status == 200
+        assert body["targets"] == [token]
+        assert body["best"] == token
+
+    def test_empty_targets_is_400(self, hub_server):
+        scenario = hub_server.scenarios["events"]
+        try:
+            _post(hub_server, "/match-repository", {
+                "source": database_to_dict(scenario.source),
+                "targets": []})
+            pytest.fail("expected an HTTP error")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+
+    def test_repository_counters_in_report(self, hub_server):
+        _, body = _get(hub_server, "/report")
+        assert body["repository"]["requests"] >= 1
+        assert body["repository"]["pairs"] >= 3
+
+
 class TestConcurrency:
     def test_concurrent_requests_bit_identical_one_load(self, server,
                                                         workload, reference):

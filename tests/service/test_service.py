@@ -156,6 +156,154 @@ class TestWarmLRU:
         assert store.counters["loads"] == 0
 
 
+class TestResolveKind:
+    def test_non_target_token_is_not_found(self, store, engine, workload):
+        """A stored token of the wrong *kind* must 404 like any unknown
+        reference, not explode inside ``load_target`` later."""
+        source_token = store.save(engine.prepare_source(workload.source),
+                                  engine=engine).token
+        with MatchService(store) as service:
+            with pytest.raises(ArtifactNotFoundError):
+                service.resolve(source_token)
+            with pytest.raises(ArtifactNotFoundError):
+                service.match(workload.source, source_token)
+
+
+class TestLRUAccounting:
+    @pytest.fixture
+    def three_targets(self, store, engine):
+        """The module store plus two more prepared targets."""
+        for name in ("retail", "clinical"):
+            scenario = build_scenario(get_scenario(name).resized(60))
+            store.save(engine.prepare(scenario.target), engine=engine)
+        return [entry.token for entry in store.entries()]
+
+    def test_warm_clamps_to_capacity(self, store, three_targets):
+        """Warming more targets than fit must not claim-warm tokens it
+        immediately evicted; only resident tokens come back."""
+        with MatchService(store, capacity=2) as service:
+            warmed = service.warm()
+            lru = dict(service.lru_counters,
+                       size=len(service._targets))
+        assert len(warmed) == 2
+        assert lru["size"] == 2
+        assert lru["loads"] == 2          # the third was never loaded
+        assert lru["evictions"] == 0
+        assert set(warmed) == set(three_targets[:2])
+
+    def test_warm_reports_only_resident_tokens(self, store, three_targets):
+        with MatchService(store, capacity=3) as service:
+            warmed = service.warm(three_targets)
+            resident = set(service._targets)
+        assert set(warmed) == resident == set(three_targets)
+
+    def test_load_locks_stay_bounded_under_eviction(self, store,
+                                                    three_targets):
+        """A capacity-1 service cycling many targets must not leak one
+        load lock per token it has ever seen."""
+        with MatchService(store, capacity=1) as service:
+            for _ in range(3):
+                for token in three_targets:
+                    service._target_for(token)
+            locks = len(service._load_locks)
+            evictions = service.lru_counters["evictions"]
+        assert locks <= 1
+        assert evictions == 8  # 9 loads through a single slot
+
+    def test_save_target_evicts_overflow(self, tmp_path, engine):
+        """save_target inserts at the MRU end and applies the same
+        capacity accounting as a cache load."""
+        store = ArtifactStore(tmp_path / "fresh")
+        scenarios = [build_scenario(get_scenario(name).resized(60))
+                     for name in ("events", "retail", "clinical")]
+        with MatchService(store, capacity=2) as service:
+            entries = [service.save_target(s.target) for s in scenarios]
+            size = len(service._targets)
+            resident = list(service._targets)
+            evictions = service.lru_counters["evictions"]
+        assert size == 2
+        assert evictions == 1
+        # Oldest saved target fell out; the newer two are resident.
+        assert resident == [entries[1].token, entries[2].token]
+
+    def test_resave_does_not_double_insert(self, tmp_path, engine,
+                                           workload):
+        store = ArtifactStore(tmp_path / "fresh")
+        with MatchService(store, capacity=2) as service:
+            first = service.save_target(workload.target)
+            second = service.save_target(workload.target)
+            size = len(service._targets)
+            evictions = service.lru_counters["evictions"]
+        assert first.token == second.token
+        assert size == 1
+        assert evictions == 0
+
+
+class TestMatchRepository:
+    @pytest.fixture
+    def hub_store(self, tmp_path, engine):
+        store = ArtifactStore(tmp_path / "hubs")
+        scenarios = {}
+        for name in ("events", "retail", "clinical"):
+            scenario = build_scenario(get_scenario(name).resized(60))
+            store.save(engine.prepare(scenario.target), engine=engine)
+            scenarios[name] = scenario
+        return store, scenarios
+
+    def test_routes_across_every_stored_hub(self, hub_store):
+        store, scenarios = hub_store
+        with MatchService(store) as service:
+            routed, tokens = service.match_repository(
+                scenarios["retail"].source)
+        assert len(tokens) == 3
+        assert len(routed.ranking) == 3
+        assert routed.best.database == scenarios["retail"].target.name
+
+    def test_explicit_refs_resolve_and_dedupe(self, hub_store):
+        store, scenarios = hub_store
+        with MatchService(store) as service:
+            events_token = service.resolve(
+                scenarios["events"].target.name)
+            routed, tokens = service.match_repository(
+                scenarios["events"].source,
+                [events_token, scenarios["retail"].target.name,
+                 events_token])
+        assert tokens[0] == events_token
+        assert len(tokens) == 2
+        assert routed.best.token == events_token
+
+    def test_empty_repository_is_not_found(self, tmp_path, workload):
+        store = ArtifactStore(tmp_path / "empty")
+        with MatchService(store) as service:
+            with pytest.raises(ArtifactNotFoundError):
+                service.match_repository(workload.source)
+
+    def test_counters_reach_the_report(self, hub_store):
+        store, scenarios = hub_store
+        with MatchService(store) as service:
+            service.match_repository(scenarios["events"].source)
+            service.match_repository(scenarios["clinical"].source)
+            report = service.report()
+        assert report.repository == {"requests": 2, "pairs": 6}
+        back = ServiceReport.from_dict(report.to_dict())
+        assert back.repository == report.repository
+
+    def test_matches_direct_repository_routing(self, hub_store, engine):
+        """The service answer equals an in-process TargetRepository over
+        the same store — scores, order and winning result."""
+        from repro import TargetRepository
+
+        store, scenarios = hub_store
+        repo = TargetRepository.from_store(store, engine)
+        direct = repo.match_one(scenarios["events"].source)
+        with MatchService(store) as service:
+            served, _ = service.match_repository(
+                scenarios["events"].source)
+        assert [(h.token, h.score) for h in served.ranking] \
+            == [(h.token, h.score) for h in direct.ranking]
+        assert _key(served.best.result) == _key(direct.best.result)
+
+
 class TestReport:
     def test_report_counters_and_shape(self, store, workload):
         with MatchService(store) as service:

@@ -1,0 +1,62 @@
+"""Schema check of the committed repository benchmark results.
+
+``benchmarks/results/BENCH_repository.json`` is the committed record of
+the repository-routing acceptance run (full-scale, ``BENCH_TINY``
+unset): ``TargetRepository.route_many`` — hubs prepared once, one
+shared ``PreparedSource`` per route — at least 1.5x faster than the
+M×K independent-match baseline, with every source assigned to its
+ground-truth hub.  This tier-1 test pins the file's shape and those
+floors so a regressed re-record cannot land silently."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS = (pathlib.Path(__file__).parent.parent
+           / "benchmarks" / "results" / "BENCH_repository.json")
+
+
+def _payload():
+    assert RESULTS.exists(), (
+        "missing committed benchmark record benchmarks/results/"
+        "BENCH_repository.json; run benchmarks/bench_repository.py")
+    return json.loads(RESULTS.read_text(encoding="utf-8"))
+
+
+def test_schema():
+    data = _payload()
+    assert data["benchmark"] == "bench_repository"
+    assert set(data["modes"]) == {"independent", "repository"}
+    for mode in data["modes"].values():
+        assert mode["elapsed_seconds"] > 0
+        assert mode["pairs_considered"] > 0
+        assert mode["ops_per_second"] > 0
+    fleet = data["fleet"]
+    assert fleet["pairs"] == fleet["hubs"] * fleet["sources"]
+    counters = data["repository_counters"]
+    assert counters["routes"] == fleet["sources"]
+    assert counters["pairs"] == fleet["pairs"]
+
+
+def test_committed_record_is_full_scale():
+    data = _payload()
+    assert data["config"]["tiny"] is False, (
+        "BENCH_repository.json was recorded under BENCH_TINY; commit a "
+        "full-scale run")
+    # The acceptance grid itself: M=8 sources across K=4 hubs.
+    assert data["fleet"]["hubs"] == 4
+    assert data["fleet"]["sources"] == 8
+
+
+def test_speedup_floor():
+    data = _payload()
+    speedup = data["speedup"]["repository_vs_independent"]
+    assert speedup >= 1.5, (
+        f"committed repository speedup {speedup:.2f}x below the 1.5x "
+        f"acceptance floor")
+
+
+def test_routing_accuracy_is_perfect():
+    assert _payload()["routing_accuracy"] == 1.0, (
+        "committed repository record shows mis-routed sources")

@@ -498,3 +498,89 @@ class TestStoreAndServeCLI:
         out = capsys.readouterr().out
         assert __version__ in out
         assert "1 targets warm" in out
+
+
+class TestMatchRepoCLI:
+    """``repro match-repo``: route sources across a store of hubs."""
+
+    @pytest.fixture(scope="class")
+    def fleet_dirs(self, tmp_path_factory):
+        from repro.datagen import make_routing_fleet
+        from repro.relational import dump_database
+
+        root = tmp_path_factory.mktemp("fleet")
+        fleet = make_routing_fleet(hub_families=("events", "retail"),
+                                   sources_per_hub=1, size=140)
+        for family, hub in fleet.hubs.items():
+            dump_database(hub, root / f"hub-{family}")
+        for case in fleet.sources:
+            dump_database(case.source, root / f"src-{case.hub_family}")
+        return root
+
+    @pytest.fixture(scope="class")
+    def hub_store(self, tmp_path_factory, fleet_dirs):
+        store = tmp_path_factory.mktemp("hub-store")
+        for family in ("events", "retail"):
+            assert main(["store", "save",
+                         str(fleet_dirs / f"hub-{family}"),
+                         "--store", str(store)]) == 0
+        return store
+
+    def test_parses(self):
+        args = build_parser().parse_args(
+            ["match-repo", "s1", "s2", "--store", "dir",
+             "--targets", "t1", "t2", "--jobs", "2", "--json"])
+        assert args.sources == ["s1", "s2"]
+        assert args.targets == ["t1", "t2"]
+        assert args.jobs == 2 and args.json
+
+    def test_text_output_ranks_hubs(self, fleet_dirs, hub_store, capsys):
+        rc = main(["match-repo", str(fleet_dirs / "src-events"),
+                   "--store", str(hub_store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== " in out
+        assert "[2 hubs]" in out
+        assert out.count("score=") == 2
+
+    def test_json_routes_both_sources(self, fleet_dirs, hub_store, capsys):
+        rc = main(["match-repo", str(fleet_dirs / "src-events"),
+                   str(fleet_dirs / "src-retail"),
+                   "--store", str(hub_store), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["__version__"] == __version__
+        assert len(doc["targets"]) == 2
+        assert doc["repository"] == {"routes": 2, "pairs": 4,
+                                     "appends": 0, "profiles_merged": 0,
+                                     "profiles_rebuilt": 0,
+                                     "classifier_values_taught": 0,
+                                     "classifier_retrains": 0}
+        # Each source routes to a different hub, and the winner carries
+        # its full drill-down result.
+        bests = [result["best"] for result in doc["results"]]
+        assert len(set(bests)) == 2
+        for result in doc["results"]:
+            winner = [entry for entry in result["ranking"]
+                      if entry["token"] == result["best"]]
+            assert "result" in winner[0]
+
+    def test_targets_subset_and_jobs(self, fleet_dirs, hub_store, capsys):
+        list_rc = main(["store", "list", "--store", str(hub_store),
+                        "--json"])
+        assert list_rc == 0
+        entries = json.loads(capsys.readouterr().out)["entries"]
+        token = entries[-1]["token"]  # oldest entry: the events hub
+        rc = main(["match-repo", str(fleet_dirs / "src-events"),
+                   "--store", str(hub_store), "--targets", token,
+                   "--jobs", "1", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["targets"] == [token]
+        assert doc["results"][0]["best"] == token
+
+    def test_empty_store_exits_cleanly(self, fleet_dirs, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["match-repo", str(fleet_dirs / "src-events"),
+                  "--store", str(tmp_path / "empty")])
+        assert "repro: error" in str(excinfo.value)
