@@ -1,0 +1,158 @@
+"""Columnar-backend benchmark: million-row ingestion, both backends.
+
+Runs the full ingest-profile-match path on a 10⁶-row ingestion workload
+(the messy retail feed, CSV round-trip included) twice — once under the
+columnar backend, once under the legacy object-list reference — and
+records wall-clock and peak RSS for each.  Every measurement runs in its
+own subprocess: ``ru_maxrss`` is a monotonic per-process high-water
+mark, so the two backends can only be compared from isolated processes.
+
+Three phases are timed per backend:
+
+* ``build``: scenario construction — datagen, messy-feed rendering, the
+  streaming CSV round-trip and normalization (both backends pay the same
+  datagen cost; the CSV reader lands in typed stores vs plain lists);
+* ``profile_classify``: the profile/classify path over the full-size
+  source relation — presence masks, non-missing projections, attribute
+  samples, the categorical test, partition indexes and value counts.
+  This is the path the columnar stores accelerate; the headline floor
+  (``MIN_SPEEDUP``, full scale only) asserts columnar is at least 2x
+  the object-list reference here;
+* ``prepare_match``: end-to-end engine prepare + match, recorded for
+  the wall-clock trajectory (sampling bounds this phase, so it is not
+  where the floor applies).
+
+Results are persisted as ``results/BENCH_columnar.json``.  Set
+``BENCH_TINY=1`` for a seconds-scale smoke run (CI): schema and
+cross-backend equivalence checks still apply, the speedup floor and the
+10⁶-row guarantee do not.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from conftest import BENCH_TINY, bench_scenario, run_once
+
+from repro.datagen import ScenarioSpec
+from repro.relational import BACKENDS
+
+MIN_SPEEDUP = 2.0
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: The ingestion family at bench scale: 10⁶ source rows arrive as a
+#: messy CSV feed and are normalized before matching.
+SPEC = bench_scenario(
+    ScenarioSpec(name="columnar-ingest", family="ingestion", seed=17,
+                 gamma=2),
+    tiny_size=2000, full_size=1_000_000,
+    tiny_target=100, full_target=2000)
+
+#: Per-backend measurement driver.  Runs as ``python -c`` in a fresh
+#: process (argv[1] = scenario spec JSON; REPRO_RELATION_BACKEND set by
+#: the parent) and reports one JSON line on stdout.
+_CHILD_SCRIPT = """
+import json, resource, sys, time
+
+from repro import ContextMatchConfig, MatchEngine
+from repro.context.categorical import categorical_attributes
+from repro.datagen import ScenarioSpec, build_scenario
+from repro.matching.matchers.base import AttributeSample
+from repro.profiling import PartitionIndex
+from repro.relational import default_backend
+
+spec = ScenarioSpec.from_dict(json.loads(sys.argv[1]))
+
+t0 = time.perf_counter()
+workload = build_scenario(spec)
+build_seconds = time.perf_counter() - t0
+
+relation = max(workload.source, key=len)
+t0 = time.perf_counter()
+for attribute in relation.schema:
+    relation.presence_array(attribute.name)
+    relation.non_missing(attribute.name)
+    AttributeSample.from_relation(relation, attribute)
+for attr in categorical_attributes(relation):
+    PartitionIndex(relation, attr).n_cells
+    relation.value_counts(attr)
+profile_seconds = time.perf_counter() - t0
+
+engine = MatchEngine(ContextMatchConfig(inference="src"))
+t0 = time.perf_counter()
+prepared = engine.prepare(workload.target)
+source = engine.prepare_source(workload.source)
+result = engine.match(source, prepared)
+match_seconds = time.perf_counter() - t0
+
+print(json.dumps({
+    "backend": default_backend(),
+    "n_rows": len(relation),
+    "build_seconds": build_seconds,
+    "profile_classify_seconds": profile_seconds,
+    "prepare_match_seconds": match_seconds,
+    "n_matches": len(result.matches),
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    / 1024.0,
+}))
+"""
+
+
+def _measure(backend: str) -> dict:
+    env = dict(os.environ)
+    env["REPRO_RELATION_BACKEND"] = backend
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, json.dumps(SPEC.to_dict())],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, check=False)
+    assert proc.returncode == 0, (
+        f"{backend} measurement child failed:\n{proc.stderr}")
+    payload = json.loads(proc.stdout.strip().splitlines()[-1])
+    assert payload["backend"] == backend
+    return payload
+
+
+def test_columnar_million_row_ingestion(benchmark, record_series,
+                                        record_json):
+    runs = {}
+    for backend in BACKENDS:
+        if backend == "columnar":
+            runs[backend] = run_once(benchmark, _measure, backend)
+        else:
+            runs[backend] = _measure(backend)
+
+    columnar, legacy = runs["columnar"], runs["legacy"]
+    assert columnar["n_rows"] == legacy["n_rows"] == SPEC.size
+    # Storage is a representation change, not a semantics change.
+    assert columnar["n_matches"] == legacy["n_matches"]
+
+    speedup = (legacy["profile_classify_seconds"]
+               / columnar["profile_classify_seconds"])
+
+    record_series(
+        "columnar_storage",
+        f"Columnar vs object-list storage "
+        f"({SPEC.size} ingested source rows)",
+        "measurement",
+        {phase: {mode: runs[mode][key] for mode in runs}
+         for phase, key in (
+             ("build_seconds", "build_seconds"),
+             ("profile_classify_seconds", "profile_classify_seconds"),
+             ("prepare_match_seconds", "prepare_match_seconds"),
+             ("peak_rss_mb", "peak_rss_mb"))},
+        list(runs))
+    record_json("BENCH_columnar", {
+        "benchmark": "bench_columnar",
+        "config": {"scenario": SPEC.to_dict(), "tiny": BENCH_TINY},
+        "n_rows": SPEC.size,
+        "modes": runs,
+        "speedup": {"profile_classify_columnar_vs_legacy": speedup},
+    })
+
+    if not BENCH_TINY:
+        assert SPEC.size == 1_000_000
+        assert speedup >= MIN_SPEEDUP, (
+            f"columnar profile/classify should be >= {MIN_SPEEDUP}x the "
+            f"object-list reference, got {speedup:.2f}x")

@@ -6,4 +6,4 @@ service's reports — can read it without importing the package root,
 which would cycle during ``repro/__init__`` execution.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"

@@ -327,9 +327,10 @@ class _PairExtractor:
     ``ClusteredViewGen`` pairs every non-categorical attribute h with
     every categorical attribute l, so per-pair filtering would run
     ``is_missing`` over each column once per *pairing*; the relation's
-    memoized :meth:`~repro.relational.instance.Relation.presence_mask`
-    runs it once per (attribute, row).  The produced pair lists are
-    identical to zip-and-filter over the raw columns.
+    native presence arrays run it once per (attribute, row), and the
+    AND of the two masks selects the surviving rows in index space so
+    only those are gathered as Python objects.  The produced pair lists
+    are identical to zip-and-filter over the raw columns.
     """
 
     def __init__(self, relation: Relation):
@@ -338,13 +339,11 @@ class _PairExtractor:
     def pairs(self, h_attr: str, label_attr: str) -> list[tuple[Any, Any]]:
         """(h, l) values over the rows where both are present."""
         relation = self._relation
-        return [
-            (h, l) for h, l, h_ok, l_ok
-            in zip(relation.column(h_attr), relation.column(label_attr),
-                   relation.presence_mask(h_attr),
-                   relation.presence_mask(label_attr))
-            if h_ok and l_ok
-        ]
+        rows = np.flatnonzero(relation.presence_array(h_attr)
+                              & relation.presence_array(label_attr))
+        h_values = relation.column_store(h_attr).gather(rows)
+        l_values = relation.column_store(label_attr).gather(rows)
+        return list(zip(h_values, l_values))
 
 
 class ClusteredViewGenBase(CandidateViewGenerator):

@@ -58,10 +58,16 @@ def is_categorical(values: Sequence[Any],
     predicate then visits each *distinct* value once (it is a pure
     function of the value), instead of once per row.
     """
-    policy = policy or CategoricalPolicy()
     counts = dict(Counter(values))
     for value in [v for v in counts if is_missing(v)]:
         del counts[value]
+    return _is_categorical_counts(counts, policy)
+
+
+def _is_categorical_counts(counts: dict[Any, int],
+                           policy: CategoricalPolicy | None) -> bool:
+    """The categorical test over already-clean per-value counts."""
+    policy = policy or CategoricalPolicy()
     total = sum(counts.values())
     if total == 0 or len(counts) < 2:
         return False
@@ -77,10 +83,15 @@ def is_categorical(values: Sequence[Any],
 
 def categorical_attributes(relation: Relation,
                            policy: CategoricalPolicy | None = None) -> list[str]:
-    """``Cat(R)``: names of the categorical attributes of a sample."""
+    """``Cat(R)``: names of the categorical attributes of a sample.
+
+    Counts come from :meth:`Relation.value_counts` — the columnar backend
+    answers them from interned codes without materializing the column.
+    """
     return [
         attribute.name for attribute in relation.schema
-        if is_categorical(relation.column(attribute.name), policy)
+        if _is_categorical_counts(relation.value_counts(attribute.name),
+                                  policy)
     ]
 
 

@@ -26,7 +26,11 @@ Families (:func:`~repro.datagen.registry.register_family`):
 * ``routing`` — repository-routing scenarios: delegates to an inner hub
   family chosen by the ``hub`` knob, so each scenario's target doubles
   as one :mod:`repro.repository` hub.  :func:`make_routing_fleet` builds
-  the full M-sources × K-hubs grid with ground-truth hub labels.
+  the full M-sources × K-hubs grid with ground-truth hub labels;
+* ``ingestion`` — the retail workload arriving as a messy CSV export
+  (renamed headers, ``$``-prices, unit-suffixed quantities, prefixed
+  SKUs, plural vocabulary) that is round-tripped through the CSV codec
+  and normalized (:mod:`repro.datagen.ingestion`) before matching.
 
 Registered scenarios (:func:`~repro.datagen.registry.scenario_names`) pair
 every family with its base form plus three perturbation variants:
@@ -59,6 +63,11 @@ from .registry import (DEFAULT_PERTURBATION_VARIANTS, PerturbationSpec,
                        get_scenario, register_family, register_scenario,
                        registered_scenarios, scenario_names,
                        workload_fingerprint)
+from .ingestion import (FEED_HEADERS, NO_STRIP_WORDS, PLURAL_MAP,
+                        TAG_VOCABULARY, make_ingestion_workload,
+                        make_messy_feed, normalize_feed, normalize_header,
+                        normalize_product_name, parse_currency,
+                        parse_quantity, parse_sku, singularize)
 from .routing import (ROUTING_HUB_FAMILIES, RoutedSourceCase, RoutingFleet,
                       make_routing_fleet)
 
@@ -123,4 +132,18 @@ __all__ = [
     "RoutedSourceCase",
     "RoutingFleet",
     "make_routing_fleet",
+    # messy-CSV ingestion
+    "FEED_HEADERS",
+    "PLURAL_MAP",
+    "NO_STRIP_WORDS",
+    "TAG_VOCABULARY",
+    "singularize",
+    "normalize_header",
+    "normalize_product_name",
+    "parse_currency",
+    "parse_quantity",
+    "parse_sku",
+    "make_messy_feed",
+    "normalize_feed",
+    "make_ingestion_workload",
 ]

@@ -1,0 +1,265 @@
+"""The ``ingestion`` scenario family: messy real-CSV feeds, normalized.
+
+Real deployments rarely hand the matcher the tidy typed relations the
+other generator families produce — they hand it a CSV export with renamed
+headers, currency-formatted prices, unit-suffixed quantities, prefixed
+record keys and pluralized product vocabulary.  This module reproduces
+that shape (modelled on the retail/warehouse ingestion pipelines in
+SNIPPETS.md §3) as a first-class scenario family:
+
+* :func:`make_messy_feed` renders the retail ``items`` table into a raw
+  ``RetailFeed`` export — every column a string, headers per
+  :data:`FEED_HEADERS`, values messied per column kind;
+* the ``normalize`` helpers invert the mess deterministically:
+  :func:`normalize_header` (rename maps), :func:`parse_currency` /
+  :func:`parse_quantity` / :func:`parse_sku` (unit/format drift) and
+  :func:`singularize` (explicit plural overrides + guarded suffix strip);
+* the registered ``ingestion`` family builds the base retail workload,
+  renders the messy feed, round-trips it through the CSV codec (the
+  streaming reader parses it back, exactly as ``repro match`` over a
+  dumped directory would) and matches the *normalized* source against the
+  untouched retail target — so the golden baselines pin the whole
+  ingest-normalize-match path, and the standard perturbation variants
+  (``-nulls``/``-drift``/``-scrambled``) compose on top as for every
+  other family.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ReproError
+from ..relational.csvio import relation_from_csv_text, relation_to_csv_text
+from ..relational.instance import Database, Relation
+from .inventory import make_retail_workload
+from .perturb import Workload
+from .registry import (DEFAULT_PERTURBATION_VARIANTS, ScenarioSpec,
+                       register_family, register_scenario)
+
+__all__ = ["FEED_HEADERS", "PLURAL_MAP", "NO_STRIP_WORDS", "TAG_VOCABULARY",
+           "singularize", "normalize_header", "parse_currency",
+           "parse_quantity", "parse_sku", "normalize_product_name",
+           "make_messy_feed", "normalize_feed", "make_ingestion_workload"]
+
+#: Feed-export header per clean ``items`` attribute (the rename map an
+#: ingestion pipeline maintains by hand; inverted by `normalize_header`).
+FEED_HEADERS: dict[str, str] = {
+    "ItemID": "Item_ID",
+    "Name": "Product_Name",
+    "Creator": "Maker",
+    "ItemType": "Item_Type",
+    "StockStatus": "Stock_Status",
+    "Code": "Product_Code",
+    "ListPrice": "Unit_Price",
+    "Qty": "Qty_On_Hand",
+}
+
+#: Explicit plural -> singular overrides for vocabulary where suffix
+#: stripping is wrong ("POTATOES" -> "POTATO", not "POTATOE").
+PLURAL_MAP: dict[str, str] = {
+    "POTATOES": "POTATO",
+    "TOMATOES": "TOMATO",
+    "BLUEBERRIES": "BLUEBERRY",
+    "STRAWBERRIES": "STRAWBERRY",
+    "ANCHOVIES": "ANCHOVY",
+    "LEAVES": "LEAF",
+}
+
+#: Singular words that happen to end in ``S``-like suffixes and must not
+#: be stripped.
+NO_STRIP_WORDS: frozenset[str] = frozenset({
+    "CHEESE", "RICE", "SAUCE", "JUICE", "LETTUCE", "PRODUCE",
+    "ASPARAGUS", "CITRUS", "COUSCOUS", "HUMMUS", "MOLASSES",
+})
+
+#: The messy feed's per-row product tag vocabulary: plural forms mixing
+#: explicit-override words, guarded no-strip words and regular plurals.
+TAG_VOCABULARY: tuple[str, ...] = (
+    "ONIONS", "CARROTS", "POTATOES", "TOMATOES", "EGGS", "MUSHROOMS",
+    "STRAWBERRIES", "GRAPES", "APPLES", "BANANAS", "CHIPS", "PICKLES",
+    "CHEESE", "RICE", "SAUCE", "JUICE", "LETTUCE", "ASPARAGUS",
+)
+
+
+def singularize(word: str) -> str:
+    """Singular form of an uppercase vocabulary word.
+
+    Explicit overrides first, then the no-strip guard, then the generic
+    suffix rules (``IES`` -> ``Y``, trailing ``S`` stripped unless the
+    word ends in ``SS``).
+    """
+    mapped = PLURAL_MAP.get(word)
+    if mapped is not None:
+        return mapped
+    if word in NO_STRIP_WORDS:
+        return word
+    if word.endswith("IES") and len(word) > 3:
+        return word[:-3] + "Y"
+    if word.endswith("S") and not word.endswith("SS"):
+        return word[:-1]
+    return word
+
+
+def normalize_header(header: str,
+                     rename: Mapping[str, str] | None = None) -> str:
+    """Spec-side attribute name for a feed header.
+
+    *rename* maps feed headers to spec names (the inverse of
+    :data:`FEED_HEADERS` by default); unknown headers fall back to the
+    header itself with underscores collapsed away.
+    """
+    if rename is None:
+        rename = {feed: clean for clean, feed in FEED_HEADERS.items()}
+    mapped = rename.get(header)
+    if mapped is not None:
+        return mapped
+    return "".join(part.capitalize() for part in header.split("_"))
+
+
+def parse_currency(text: Any) -> float | None:
+    """``"$12.34"`` -> ``12.34``; None and blanks stay missing."""
+    if text is None:
+        return None
+    cleaned = str(text).strip().lstrip("$").replace(",", "")
+    if not cleaned:
+        return None
+    return float(cleaned)
+
+
+def parse_quantity(text: Any) -> int | None:
+    """``"7 pcs"`` -> ``7``; None and blanks stay missing."""
+    if text is None:
+        return None
+    digits = "".join(ch for ch in str(text) if ch.isdigit() or ch == "-")
+    if not digits or digits == "-":
+        return None
+    return int(digits)
+
+
+def parse_sku(text: Any) -> int | None:
+    """``"SKU-000123"`` -> ``123``; None and blanks stay missing."""
+    if text is None:
+        return None
+    digits = "".join(ch for ch in str(text) if ch.isdigit())
+    if not digits:
+        return None
+    return int(digits)
+
+
+def normalize_product_name(text: Any) -> Any:
+    """``"THE_SILENT_GARDEN"`` -> ``"the silent garden"``."""
+    if text is None:
+        return None
+    return str(text).replace("_", " ").lower()
+
+
+def make_messy_feed(items: Relation, *, seed: int = 0,
+                    name: str = "RetailFeed") -> Relation:
+    """Render the clean ``items`` table as a raw CSV-export feed.
+
+    Every column becomes a string in the export's house style: prefixed
+    zero-padded SKUs, upper-snake product names, ``$``-formatted prices,
+    ``pcs``-suffixed quantities — plus a ``Product_Tag`` column of plural
+    vocabulary words that only normalization makes comparable.  Missing
+    values render as blanks, exactly as :func:`write_csv` emits them.
+    """
+    rng = np.random.default_rng([seed, 0x1EED])
+    n = len(items)
+    tags = [TAG_VOCABULARY[int(i)]
+            for i in rng.integers(0, len(TAG_VOCABULARY), size=n)]
+
+    def messy(attr: str, render) -> list:
+        return [None if value is None else render(value)
+                for value in items.column(attr)]
+
+    columns: dict[str, list] = {
+        FEED_HEADERS["ItemID"]: messy("ItemID", lambda v: f"SKU-{v:06d}"),
+        FEED_HEADERS["Name"]: messy(
+            "Name", lambda v: str(v).upper().replace(" ", "_")),
+        FEED_HEADERS["Creator"]: messy("Creator", str),
+        FEED_HEADERS["ItemType"]: messy("ItemType", str),
+        FEED_HEADERS["StockStatus"]: messy("StockStatus", str),
+        FEED_HEADERS["Code"]: messy("Code", str),
+        FEED_HEADERS["ListPrice"]: messy("ListPrice", lambda v: f"${v:.2f}"),
+        FEED_HEADERS["Qty"]: messy("Qty", lambda v: f"{v} pcs"),
+        "Product_Tag": tags,
+    }
+    return Relation.infer_schema(name, columns)
+
+
+def normalize_feed(feed: Relation, *, name: str = "items") -> Relation:
+    """Invert :func:`make_messy_feed`: renamed headers, parsed values.
+
+    The output carries the clean ``items`` attribute names (plus ``Tag``
+    for the feed's ``Product_Tag``), typed by schema inference over the
+    parsed values — the relation an ingestion pipeline would hand the
+    match engine.
+    """
+    parsers = {
+        "ItemID": parse_sku,
+        "Name": normalize_product_name,
+        "ListPrice": parse_currency,
+        "Qty": parse_quantity,
+    }
+    columns: dict[str, list] = {}
+    for header in feed.schema.attribute_names:
+        if header == "Product_Tag":
+            columns["Tag"] = [
+                None if value is None else singularize(str(value))
+                for value in feed.column(header)
+            ]
+            continue
+        attr = normalize_header(header)
+        parse = parsers.get(attr)
+        values = feed.column(header)
+        if parse is None:
+            columns[attr] = list(values)
+        else:
+            columns[attr] = [parse(value) for value in values]
+    return Relation.infer_schema(name, columns)
+
+
+def make_ingestion_workload(target: str = "ryan", *, n_source: int = 1000,
+                            n_target: int = 400, gamma: int = 4,
+                            seed: int = 0) -> Workload:
+    """The retail workload arriving as a messy CSV feed.
+
+    The source side is rendered messy, round-tripped through the CSV
+    codec (string-typed, exactly what ``load_database`` would read from a
+    dumped directory) and normalized back; the target database and ground
+    truth are the base retail ones, so every correspondence the engine
+    must find survives ingestion rather than being handed over typed.
+    """
+    base = make_retail_workload(target=target, n_source=n_source,
+                                n_target=n_target, gamma=gamma, seed=seed)
+    feed = make_messy_feed(base.source.relation(base.source_table),
+                           seed=seed)
+    parsed = relation_from_csv_text(relation_to_csv_text(feed), feed.name)
+    clean = normalize_feed(parsed)
+    source = Database.from_relations("ingestion_src", [clean])
+    return Workload(source=source, target=base.target,
+                    ground_truth=base.ground_truth)
+
+
+@register_family("ingestion")
+def _build_ingestion(spec: ScenarioSpec) -> Workload:
+    if spec.gamma < 2 or spec.gamma % 2 != 0:
+        raise ReproError(f"gamma must be even and >= 2, got {spec.gamma}")
+    return make_ingestion_workload(
+        target=spec.knob("target", "ryan"), n_source=spec.size,
+        n_target=int(spec.knob("n_target", max(spec.size // 2, 20))),
+        gamma=spec.gamma, seed=spec.seed)
+
+
+_INGESTION_BASE = ScenarioSpec(
+    name="ingestion", family="ingestion", seed=13, size=260, gamma=2,
+    config=(("inference", "src"),))
+register_scenario(_INGESTION_BASE)
+for _variant, _perturbations in DEFAULT_PERTURBATION_VARIANTS.items():
+    register_scenario(dataclasses.replace(
+        _INGESTION_BASE, name=f"ingestion-{_variant}",
+        perturbations=_perturbations))
+del _variant, _perturbations

@@ -217,9 +217,8 @@ class ScoreCandidatesStage(Stage):
              if m.name == "qgram"), None)
         if qgram_matcher is None:
             return None
-        sample = AttributeSample.from_column(
-            relation.name, relation.schema.attribute(attr_name),
-            relation.column(attr_name),
+        sample = AttributeSample.from_relation(
+            relation, relation.schema.attribute(attr_name),
             limit=state.prepared.standard_config.sample_limit)
         return qgram_matcher.profile(sample)
 

@@ -51,6 +51,18 @@ class AttributeSample:
             clean = systematic_thin(clean, limit)
         return cls(table, attribute, tuple(clean))
 
+    @classmethod
+    def from_relation(cls, relation: "Any", attribute: Attribute, *,
+                      limit: int | None = None) -> "AttributeSample":
+        """Sample one relation column — semantically identical to
+        ``from_column(relation.name, attribute, relation.column(...))`` but
+        the missing-value filter runs on the typed column store, so the
+        full column is never materialized as Python objects."""
+        clean = relation.non_missing(attribute.name)
+        if limit is not None:
+            clean = systematic_thin(clean, limit)
+        return cls(relation.name, attribute, tuple(clean))
+
     @property
     def name(self) -> str:
         return self.attribute.name

@@ -116,9 +116,8 @@ class TargetIndex:
         self.samples: list[AttributeSample] = []
         for relation in database:
             for attribute in relation.schema:
-                self.samples.append(AttributeSample.from_column(
-                    relation.name, attribute, relation.column(attribute.name),
-                    limit=sample_limit))
+                self.samples.append(AttributeSample.from_relation(
+                    relation, attribute, limit=sample_limit))
         if not self.samples:
             raise MatchingError("target schema has no attributes to match")
         self.profiles: dict[str, list[object]] = {

@@ -44,17 +44,25 @@ class PartitionIndex:
     def __init__(self, relation: Relation, attribute: str):
         self.relation = relation
         self.attribute = attribute
-        self.cells: dict[Any, tuple[int, ...]] = {
-            value: tuple(indices)
-            for value, indices in relation.partition_indices(attribute).items()
-        }
-        self._cell_arrays: dict[Any, np.ndarray] = {
-            value: np.array(indices, dtype=np.intp)
-            for value, indices in self.cells.items()
-        }
+        # The columnar groupby hands back native index arrays zero-copy;
+        # the tuple form (`cells`) is materialized lazily for callers and
+        # pickling only.
+        self._cell_arrays: dict[Any, np.ndarray] = dict(
+            relation.partition_arrays(attribute))
+        self._cells_memo: dict[Any, tuple[int, ...]] | None = None
         self._group_arrays: dict[frozenset, np.ndarray] = {}
         self._group_tuples: dict[frozenset, tuple[int, ...]] = {}
         self._present: dict[str, np.ndarray] = {}
+
+    @property
+    def cells(self) -> dict[Any, tuple[int, ...]]:
+        """Row-index tuples per categorical value (base-row order)."""
+        if self._cells_memo is None:
+            self._cells_memo = {
+                value: tuple(rows.tolist())
+                for value, rows in self._cell_arrays.items()
+            }
+        return self._cells_memo
 
     # ------------------------------------------------------------------
     # Serialization
@@ -70,10 +78,10 @@ class PartitionIndex:
     def __setstate__(self, state: dict) -> None:
         self.relation = state["relation"]
         self.attribute = state["attribute"]
-        self.cells = state["cells"]
+        self._cells_memo = state["cells"]
         self._cell_arrays = {
             value: np.array(indices, dtype=np.intp)
-            for value, indices in self.cells.items()
+            for value, indices in state["cells"].items()
         }
         self._group_arrays = {}
         self._group_tuples = {}
@@ -114,16 +122,15 @@ class PartitionIndex:
     def _presence(self, attr_name: str) -> np.ndarray:
         mask = self._present.get(attr_name)
         if mask is None:
-            mask = np.array(self.relation.presence_mask(attr_name),
-                            dtype=bool)
+            mask = self.relation.presence_array(attr_name)
             self._present[attr_name] = mask
         return mask
 
     def restricted_column(self, attr_name: str, group: Iterable[Any]) -> list[Any]:
         """The group view's column for *attr_name*, in base-row order —
         bit-identical to ``view.evaluate(base).column(attr_name)``."""
-        column = self.relation.column(attr_name)
-        return [column[i] for i in self.group_row_array(group).tolist()]
+        store = self.relation.column_store(attr_name)
+        return store.gather(self.group_row_array(group))
 
     def restricted_present_column(self, attr_name: str,
                                   group: Iterable[Any]) -> list[Any]:
@@ -132,8 +139,7 @@ class PartitionIndex:
         ``is_missing``, but masked in index space."""
         rows = self.group_row_array(group)
         present = rows[self._presence(attr_name)[rows]]
-        column = self.relation.column(attr_name)
-        return [column[i] for i in present.tolist()]
+        return self.relation.column_store(attr_name).gather(present)
 
     def sampled_present_column(self, attr_name: str, group: Iterable[Any],
                                limit: int | None) -> tuple[list[Any], bool]:
@@ -154,12 +160,12 @@ class PartitionIndex:
             # scalar helper does.
             step = n_clean / limit
             present = present[(np.arange(limit) * step).astype(np.intp)]
-        column = self.relation.column(attr_name)
-        return [column[i] for i in present.tolist()], thinned
+        store = self.relation.column_store(attr_name)
+        return store.gather(present), thinned
 
     @property
     def n_cells(self) -> int:
-        return len(self.cells)
+        return len(self._cell_arrays)
 
     def __repr__(self) -> str:
         return (f"<PartitionIndex {self.relation.name}.{self.attribute}: "

@@ -106,9 +106,7 @@ class ProfileStore:
             self.profile_hits += 1
             return profile
         self.profile_misses += 1
-        values = relation.column(attr_name)
-        mask = relation.presence_mask(attr_name)
-        clean = [v for v, present in zip(values, mask) if present]
+        clean = relation.non_missing(attr_name)
         profile = build_column_profile(
             relation.name, relation.schema.attribute(attr_name),
             clean, self.matchers, self.sample_limit, values_clean=True)

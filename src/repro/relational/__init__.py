@@ -6,6 +6,9 @@ library (matching, contextual inference, Clio-style mapping) is built on the
 types exported here.
 """
 
+from .columns import (BACKENDS, CodedColumn, ColumnStore, ListColumn,
+                      NumericColumn, ObjectColumn, build_column,
+                      default_backend, set_default_backend, use_backend)
 from .conditions import TRUE, And, Condition, Eq, In, Or, TrueCondition, condition_k
 from .constraints import ContextualForeignKey, ForeignKey, Key
 from .csvio import (dump_database, load_database, read_csv,
@@ -54,4 +57,14 @@ __all__ = [
     "database_from_dict",
     "relation_to_dict",
     "relation_from_dict",
+    "ColumnStore",
+    "ListColumn",
+    "NumericColumn",
+    "CodedColumn",
+    "ObjectColumn",
+    "build_column",
+    "BACKENDS",
+    "default_backend",
+    "set_default_backend",
+    "use_backend",
 ]

@@ -4,6 +4,12 @@ Experiment drivers persist generated workloads so runs are inspectable and
 re-playable; this module provides the plain-text format.  Types are inferred
 on read via :func:`~repro.relational.types.infer_column_type` and values are
 coerced into their Python representations.
+
+Reading is streamed: records go straight from the ``csv`` reader into
+per-column field lists (no materialized row list, no second raw copy), and
+each column is inferred, coerced and handed to its typed store one at a
+time — the transient per-column buffers are released as soon as the store
+owns the data, so a 10⁶-row file loads in one pass at bounded overhead.
 """
 
 from __future__ import annotations
@@ -11,9 +17,10 @@ from __future__ import annotations
 import csv
 import io
 import pathlib
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..errors import InstanceError
+from .columns import build_column
 from .instance import Database, Relation
 from .schema import Attribute, TableSchema
 from .types import coerce_value, infer_column_type, is_missing
@@ -52,47 +59,50 @@ def relation_to_csv_text(relation: Relation) -> str:
     return buffer.getvalue()
 
 
-def _parse_columns(name: str, header: list[str],
-                   records: list[list[str]]) -> Relation:
+def _parse_stream(name: str, reader: Iterator[list[str]],
+                  empty_message: str) -> Relation:
+    header = next(reader, None)
+    if header is None:
+        raise InstanceError(empty_message)
     if not header:
         raise InstanceError(f"CSV for {name!r} has no header row")
-    raw: dict[str, list[str]] = {a: [] for a in header}
-    for lineno, record in enumerate(records, start=2):
-        if len(record) != len(header):
+    n_fields = len(header)
+    raw: list[list[str] | None] = [[] for _ in header]
+    for lineno, record in enumerate(reader, start=2):
+        if len(record) != n_fields:
             raise InstanceError(
                 f"CSV for {name!r}: line {lineno} has {len(record)} fields, "
-                f"expected {len(header)}"
+                f"expected {n_fields}"
             )
-        for attr, field in zip(header, record):
-            raw[attr].append(field)
+        for column, field in zip(raw, record):
+            column.append(field)
     attrs = []
-    columns: dict[str, list[object]] = {}
-    for attr in header:
-        dtype = infer_column_type(raw[attr])
+    columns: dict[str, object] = {}
+    for position, attr in enumerate(header):
+        fields = raw[position]
+        raw[position] = None  # release the raw strings column by column
+        dtype = infer_column_type(fields)
         attrs.append(Attribute(attr, dtype))
-        columns[attr] = [
-            None if is_missing(v) else coerce_value(v, dtype) for v in raw[attr]
+        values = [
+            None if is_missing(v) else coerce_value(v, dtype) for v in fields
         ]
-    return Relation(TableSchema(name, attrs), columns)
+        del fields
+        columns[attr] = build_column(values, copy=False)
+    return Relation(TableSchema(name, attrs), columns, copy=False)
 
 
 def read_csv(path: str | pathlib.Path, *, name: str | None = None) -> Relation:
     """Read a relation from CSV, inferring the schema from the data."""
     path = pathlib.Path(path)
     with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        rows = list(reader)
-    if not rows:
-        raise InstanceError(f"CSV file {path} is empty")
-    return _parse_columns(name or path.stem, rows[0], rows[1:])
+        return _parse_stream(name or path.stem, csv.reader(handle),
+                             f"CSV file {path} is empty")
 
 
 def relation_from_csv_text(text: str, name: str) -> Relation:
     """Parse CSV text into a relation, inferring the schema."""
-    rows = list(csv.reader(io.StringIO(text)))
-    if not rows:
-        raise InstanceError(f"CSV text for {name!r} is empty")
-    return _parse_columns(name, rows[0], rows[1:])
+    return _parse_stream(name, csv.reader(io.StringIO(text)),
+                         f"CSV text for {name!r} is empty")
 
 
 def dump_database(database: Database, directory: str | pathlib.Path) -> None:

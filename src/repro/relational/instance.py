@@ -6,6 +6,13 @@ column values (``v(R.a)`` in the paper); the mapping executor consumes rows.
 Column orientation makes the former cheap while rows are materialized on
 demand for the latter.
 
+Columns are held in typed stores (:mod:`repro.relational.columns`): numpy
+arrays plus native presence masks under the default ``columnar`` backend,
+plain Python lists under the bit-identical ``legacy`` reference backend.
+Every transformation shares stores zero-copy where safe; ``column()`` always
+returns the exact Python value objects, so tokens, codecs and golden
+baselines are backend-independent.
+
 A :class:`Database` maps table names to relations and is what experiment
 drivers pass around as "schema with associated sample data" (Figure 5).
 """
@@ -17,6 +24,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from ..errors import InstanceError, UnknownTableError
+from .columns import ColumnStore, ListColumn, build_column, default_backend
 from .schema import Attribute, Schema, TableSchema
 from .types import infer_column_type, is_missing
 
@@ -26,15 +34,28 @@ __all__ = ["Relation", "Database", "Row"]
 Row = Mapping[str, Any]
 
 
+def _plain_values(values: Any) -> Sequence[Any]:
+    """Unwrap stores/arrays into plain Python values for type inference."""
+    if isinstance(values, ColumnStore):
+        return values.tolist()
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return values
+
+
 class Relation:
     """A table instance: schema + column-oriented data.
 
     Relations are immutable by convention; every transformation
     (:meth:`select`, :meth:`project`, :meth:`sample`) returns a new relation
-    sharing column lists where safe.
+    sharing column stores where safe.  Under the columnar backend the
+    underlying numpy arrays are marked read-only, which is what lets a
+    caller-supplied array be adopted without the defensive O(n) copy.
     """
 
-    def __init__(self, schema: TableSchema, columns: Mapping[str, Sequence[Any]]):
+    def __init__(self, schema: TableSchema,
+                 columns: Mapping[str, Sequence[Any] | ColumnStore],
+                 *, backend: str | None = None, copy: bool = True):
         self.schema = schema
         missing = [a for a in schema.attribute_names if a not in columns]
         if missing:
@@ -46,19 +67,40 @@ class Relation:
             raise InstanceError(
                 f"ragged columns for {schema.name!r}: lengths {sorted(lengths)}"
             )
-        self._columns: dict[str, list[Any]] = {
-            a: list(columns[a]) for a in schema.attribute_names
+        self._stores: dict[str, ColumnStore] = {
+            a: build_column(columns[a], backend=backend, copy=copy)
+            for a in schema.attribute_names
         }
         self._nrows = lengths.pop() if lengths else 0
         self._presence_masks: dict[str, list[bool]] = {}
+        self._column_lists: dict[str, list[Any]] = {}
 
     def __getstate__(self) -> dict:
-        """Pickle columns without the per-column presence-mask memo — a
-        lazy pure function of the data, rebuilt on demand after a load so
-        shipped relations carry rows, not caches."""
-        state = self.__dict__.copy()
-        state["_presence_masks"] = {}
-        return state
+        """Pickle columns as plain lists without the presence-mask memo — the
+        exact legacy wire format, so artifacts round-trip byte-identically
+        across backends and existing stores stay loadable."""
+        columns: dict[str, list[Any]] = {}
+        for a in self.schema.attribute_names:
+            store = self._stores[a]
+            columns[a] = store.values if isinstance(store, ListColumn) \
+                else store.tolist()
+        return {
+            "schema": self.schema,
+            "_columns": columns,
+            "_nrows": self._nrows,
+            "_presence_masks": {},
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.schema = state["schema"]
+        backend = default_backend()
+        self._stores = {
+            a: build_column(values, backend=backend, copy=False)
+            for a, values in state["_columns"].items()
+        }
+        self._nrows = state["_nrows"]
+        self._presence_masks = {}
+        self._column_lists = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -80,17 +122,18 @@ class Relation:
                     )
                 for a, value in zip(names, row):
                     columns[a].append(value)
-        return cls(schema, columns)
+        return cls(schema, columns, copy=False)
 
     @classmethod
     def empty(cls, schema: TableSchema) -> "Relation":
-        return cls(schema, {a: [] for a in schema.attribute_names})
+        return cls(schema, {a: [] for a in schema.attribute_names}, copy=False)
 
     @classmethod
     def infer_schema(cls, name: str, columns: Mapping[str, Sequence[Any]],
                      *, is_view: bool = False) -> "Relation":
         """Build a relation inferring attribute types from the data."""
-        attrs = [Attribute(a, infer_column_type(vals)) for a, vals in columns.items()]
+        attrs = [Attribute(a, infer_column_type(_plain_values(vals)))
+                 for a, vals in columns.items()]
         return cls(TableSchema(name, attrs, is_view=is_view), columns)
 
     # ------------------------------------------------------------------
@@ -100,18 +143,39 @@ class Relation:
     def name(self) -> str:
         return self.schema.name
 
+    @property
+    def storage_backend(self) -> str:
+        """``legacy`` when every column is a plain list, else ``columnar``."""
+        if all(isinstance(s, ListColumn) for s in self._stores.values()):
+            return "legacy"
+        return "columnar"
+
     def __len__(self) -> int:
         return self._nrows
+
+    def column_store(self, attribute: str) -> ColumnStore:
+        """The typed store behind one column (shared, immutable)."""
+        self.schema.attribute(attribute)  # validate reference
+        return self._stores[attribute]
 
     def column(self, attribute: str) -> list[Any]:
         """The bag of values ``v(R.a)`` for an attribute (shared list —
         callers must not mutate)."""
         self.schema.attribute(attribute)  # validate reference
-        return self._columns[attribute]
+        store = self._stores[attribute]
+        if isinstance(store, ListColumn):
+            return store.values
+        values = self._column_lists.get(attribute)
+        if values is None:
+            values = self._column_lists[attribute] = store.tolist()
+        return values
 
     def non_missing(self, attribute: str) -> list[Any]:
         """Column values with NULLs removed."""
-        return [v for v in self.column(attribute) if not is_missing(v)]
+        store = self.column_store(attribute)
+        if isinstance(store, ListColumn):
+            return [v for v in store.values if not is_missing(v)]
+        return store.present_values()
 
     def presence_mask(self, attribute: str) -> list[bool]:
         """Per-row ``not is_missing`` flags for one column, memoized.
@@ -123,18 +187,21 @@ class Relation:
         """
         mask = self._presence_masks.get(attribute)
         if mask is None:
-            values = self.column(attribute)
-            try:
-                missing = {v for v in set(values) if is_missing(v)}
-                mask = ([True] * len(values) if not missing
-                        else [v not in missing for v in values])
-            except TypeError:  # unhashable values — per-row fallback
-                mask = [not is_missing(v) for v in values]
+            store = self.column_store(attribute)
+            if isinstance(store, ListColumn):
+                mask = store.presence_list()
+            else:
+                mask = store.presence().tolist()
             self._presence_masks[attribute] = mask
         return mask
 
+    def presence_array(self, attribute: str) -> np.ndarray:
+        """Native bool array of :meth:`presence_mask` (read-only)."""
+        return self.column_store(attribute).presence()
+
     def row(self, index: int) -> dict[str, Any]:
-        return {a: self._columns[a][index] for a in self.schema.attribute_names}
+        return {a: self._stores[a].value_at(index)
+                for a in self.schema.attribute_names}
 
     def rows(self) -> Iterator[dict[str, Any]]:
         for i in range(self._nrows):
@@ -145,6 +212,9 @@ class Relation:
 
     def distinct(self, attribute: str) -> list[Any]:
         """Distinct non-missing values in first-seen order."""
+        counts = self.column_store(attribute).counts_in_order()
+        if counts is not None:
+            return [value for value, _ in counts]
         seen: dict[Any, None] = {}
         for v in self.column(attribute):
             if not is_missing(v) and v not in seen:
@@ -162,9 +232,15 @@ class Relation:
         unhashable values are skipped, since they cannot appear in a family
         group.
         """
+        arrays = self.column_store(attribute).partition_arrays()
+        if arrays is not None:
+            return {value: rows.tolist() for value, rows in arrays.items()}
+        return self._partition_indices_generic(attribute)
+
+    def _partition_indices_generic(self, attribute: str) -> dict[Any, list[int]]:
         self.schema.attribute(attribute)  # validate reference
         cells: dict[Any, list[int]] = {}
-        for i, value in enumerate(self._columns[attribute]):
+        for i, value in enumerate(self.column(attribute)):
             if is_missing(value):
                 continue
             try:
@@ -173,13 +249,27 @@ class Relation:
                 continue
         return cells
 
+    def partition_arrays(self, attribute: str) -> dict[Any, np.ndarray]:
+        """:meth:`partition_indices` with cells as native index arrays —
+        zero-copy from the column store's groupby where it has one."""
+        arrays = self.column_store(attribute).partition_arrays()
+        if arrays is not None:
+            return arrays
+        return {
+            value: np.array(rows, dtype=np.intp)
+            for value, rows in self._partition_indices_generic(attribute).items()
+        }
+
     def value_counts(self, attribute: str) -> dict[Any, int]:
-        counts: dict[Any, int] = {}
+        counts = self.column_store(attribute).counts_in_order()
+        if counts is not None:
+            return dict(counts)
+        out: dict[Any, int] = {}
         for v in self.column(attribute):
             if is_missing(v):
                 continue
-            counts[v] = counts.get(v, 0) + 1
-        return counts
+            out[v] = out.get(v, 0) + 1
+        return out
 
     # ------------------------------------------------------------------
     # Transformations
@@ -190,15 +280,17 @@ class Relation:
         keep = [i for i in range(self._nrows) if predicate(self.row(i))]
         return self.take(keep, name=name, is_view=is_view)
 
-    def take(self, indices: Sequence[int], *, name: str | None = None,
-             is_view: bool = False) -> "Relation":
-        """Rows at *indices*, in the order given."""
+    def take(self, indices: Sequence[int] | np.ndarray, *,
+             name: str | None = None, is_view: bool = False) -> "Relation":
+        """Rows at *indices*, in the order given (one C-level gather per
+        typed column; no value objects are copied)."""
         schema = self.schema
         if name is not None or is_view != schema.is_view:
             schema = TableSchema(name or schema.name, schema.attributes,
                                  is_view=is_view or schema.is_view)
+        rows = np.asarray(indices, dtype=np.intp)
         columns = {
-            a: [self._columns[a][i] for i in indices]
+            a: self._stores[a].take(rows)
             for a in self.schema.attribute_names
         }
         return Relation(schema, columns)
@@ -206,13 +298,14 @@ class Relation:
     def project(self, attributes: Sequence[str], *, name: str | None = None,
                 is_view: bool | None = None) -> "Relation":
         schema = self.schema.project(attributes, new_name=name, is_view=is_view)
-        return Relation(schema, {a: self._columns[a] for a in attributes})
+        return Relation(schema, {a: self._stores[a] for a in attributes})
 
     def rename(self, new_name: str) -> "Relation":
-        return Relation(self.schema.rename(new_name), self._columns)
+        return Relation(self.schema.rename(new_name), self._stores)
 
     def extend(self, attribute: Attribute, values: Sequence[Any]) -> "Relation":
-        """A new relation with one extra column appended."""
+        """A new relation with one extra column appended; existing columns
+        are shared, not copied."""
         if len(values) != self._nrows:
             raise InstanceError(
                 f"new column {attribute.name!r} has {len(values)} values, "
@@ -223,8 +316,8 @@ class Relation:
             list(self.schema.attributes) + [attribute],
             is_view=self.schema.is_view,
         )
-        columns = dict(self._columns)
-        columns[attribute.name] = list(values)
+        columns: dict[str, Any] = dict(self._stores)
+        columns[attribute.name] = values
         return Relation(schema, columns)
 
     def concat(self, other: "Relation") -> "Relation":
@@ -234,11 +327,13 @@ class Relation:
                 f"cannot concat {self.name!r} and {other.name!r}: "
                 "attribute lists differ"
             )
-        columns = {
-            a: self._columns[a] + other._columns[a]
-            for a in self.schema.attribute_names
-        }
-        return Relation(self.schema, columns)
+        columns: dict[str, Any] = {}
+        for a in self.schema.attribute_names:
+            joined = self._stores[a].concat(other._stores[a])
+            if joined is None:  # mixed store kinds — rebuild from values
+                joined = self._stores[a].tolist() + other._stores[a].tolist()
+            columns[a] = joined
+        return Relation(self.schema, columns, copy=False)
 
     # ------------------------------------------------------------------
     # Sampling (train/test partitioning for ClusteredViewGen)
@@ -247,11 +342,10 @@ class Relation:
         """Uniform sample without replacement of min(n, len) rows."""
         n = min(n, self._nrows)
         indices = rng.choice(self._nrows, size=n, replace=False)
-        return self.take([int(i) for i in indices])
+        return self.take(indices.astype(np.intp))
 
     def shuffle(self, rng: np.random.Generator) -> "Relation":
-        indices = rng.permutation(self._nrows)
-        return self.take([int(i) for i in indices])
+        return self.take(rng.permutation(self._nrows))
 
     def split(self, fraction: float, rng: np.random.Generator) -> tuple["Relation", "Relation"]:
         """Random split into (first, second) with ``fraction`` of rows in the
@@ -259,7 +353,7 @@ class Relation:
         Algorithm ClusteredViewGen (Figure 6)."""
         if not 0.0 < fraction < 1.0:
             raise InstanceError(f"split fraction must be in (0,1), got {fraction}")
-        indices = [int(i) for i in rng.permutation(self._nrows)]
+        indices = rng.permutation(self._nrows)
         cut = int(round(self._nrows * fraction))
         # Guarantee both sides non-empty whenever there are >= 2 rows.
         cut = max(1, min(self._nrows - 1, cut)) if self._nrows >= 2 else cut

@@ -113,9 +113,8 @@ def _grow_index(old: TargetIndex, new_db: Database,
                 # The grown column crosses (or the cached sample already
                 # sat at) the sampling cap: thinning is not additive, so
                 # re-profile this one column from the full grown bag.
-                sample = AttributeSample.from_column(
-                    relation.name, attribute,
-                    relation.column(attribute.name), limit=limit)
+                sample = AttributeSample.from_relation(
+                    relation, attribute, limit=limit)
                 samples.append(sample)
                 for matcher in old.matchers:
                     profiles[matcher.name].append(matcher.profile(sample))

@@ -1,0 +1,268 @@
+"""Unit tests for the typed column stores (repro.relational.columns).
+
+The columnar backend's contract is *bit-identity* with the legacy
+list-of-objects path: ``tolist`` must hand back the exact Python objects
+that went in (int stays int, None never becomes NaN, -0.0 keeps its
+sign), and every derived answer (presence, partitions, counts) must
+match the legacy reference element for element.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.relational import (BACKENDS, CodedColumn, Database, ListColumn,
+                              NumericColumn, ObjectColumn, Relation,
+                              build_column, default_backend,
+                              set_default_backend, use_backend)
+
+# Value bags exercising every classification edge the builder handles.
+EDGE_BAGS = {
+    "ints": [3, 1, 2, 1, None, 3],
+    "floats": [1.5, -2.25, None, 1.5, 0.0],
+    "negative_zero": [0.0, -0.0, 0.0, None],
+    "mixed_int_float": [1, 2.5, 3, None],
+    "nan": [1.0, float("nan"), 2.0, None],
+    "strings": ["b", "a", None, "b", "ünicøde ☃"],
+    "bools": [True, False, None, True],
+    "cross_type": [1, True, 1.0, 0, False, None],
+    "all_none": [None, None, None],
+    "empty": [],
+    "big_int": [2**80, 1, None],
+    "unhashable": [[1, 2], None, [3]],
+}
+
+
+def identical(actual: list, expected: list) -> bool:
+    """Element-wise bit-identity: equal type and equal repr."""
+    if len(actual) != len(expected):
+        return False
+    return all(type(a) is type(b) and repr(a) == repr(b)
+               for a, b in zip(actual, expected))
+
+
+class TestBuilderClassification:
+    def test_ints_numeric(self):
+        store = build_column(EDGE_BAGS["ints"])
+        assert isinstance(store, NumericColumn)
+        assert store.data.dtype == np.int64
+
+    def test_floats_numeric(self):
+        store = build_column(EDGE_BAGS["floats"])
+        assert isinstance(store, NumericColumn)
+        assert store.data.dtype == np.float64
+
+    def test_mixed_int_float_coded(self):
+        # int/float mixing would lose the int-ness of 1 vs 1.0; the
+        # builder refuses the numeric path.
+        assert isinstance(build_column(EDGE_BAGS["mixed_int_float"]),
+                          CodedColumn)
+
+    def test_nan_value_coded(self):
+        # A NaN *value* must stay distinct from None *missing*; float64
+        # storage cannot represent both, so the bag is interned instead.
+        assert isinstance(build_column(EDGE_BAGS["nan"]), CodedColumn)
+
+    def test_strings_coded(self):
+        assert isinstance(build_column(EDGE_BAGS["strings"]), CodedColumn)
+
+    def test_bools_coded(self):
+        assert isinstance(build_column(EDGE_BAGS["bools"]), CodedColumn)
+
+    def test_big_int_falls_back(self):
+        # 2**80 overflows int64; the builder degrades to interning.
+        assert isinstance(build_column(EDGE_BAGS["big_int"]), CodedColumn)
+
+    def test_unhashable_object_store(self):
+        assert isinstance(build_column(EDGE_BAGS["unhashable"]),
+                          ObjectColumn)
+
+    def test_legacy_backend_list_store(self):
+        assert isinstance(build_column([1, 2], backend="legacy"), ListColumn)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            build_column([1], backend="arrow")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bag", sorted(EDGE_BAGS))
+    def test_tolist_bit_identical(self, bag):
+        values = EDGE_BAGS[bag]
+        store = build_column(values)
+        assert identical(store.tolist(), values)
+
+    @pytest.mark.parametrize("bag", sorted(EDGE_BAGS))
+    def test_value_at_matches(self, bag):
+        values = EDGE_BAGS[bag]
+        store = build_column(values)
+        got = [store.value_at(i) for i in range(len(values))]
+        assert identical(got, values)
+
+    @pytest.mark.parametrize("bag", sorted(EDGE_BAGS))
+    def test_presence_matches_legacy(self, bag):
+        values = EDGE_BAGS[bag]
+        legacy = build_column(values, backend="legacy")
+        store = build_column(values)
+        assert store.presence().tolist() == legacy.presence().tolist()
+
+    def test_nan_round_trip_is_nan_not_none(self):
+        out = build_column(EDGE_BAGS["nan"]).tolist()
+        assert math.isnan(out[1]) and out[3] is None
+
+    def test_negative_zero_sign_preserved(self):
+        out = build_column(EDGE_BAGS["negative_zero"]).tolist()
+        assert math.copysign(1.0, out[0]) == 1.0
+        assert math.copysign(1.0, out[1]) == -1.0
+
+    def test_int_stays_int_not_numpy(self):
+        out = build_column(EDGE_BAGS["ints"]).tolist()
+        assert type(out[0]) is int
+
+
+class TestSlicesAndOrdering:
+    @pytest.mark.parametrize("bag", sorted(EDGE_BAGS))
+    def test_take_matches_legacy(self, bag):
+        values = EDGE_BAGS[bag]
+        if not values:
+            return
+        rows = np.array([len(values) - 1, 0, 0], dtype=np.intp)
+        taken = build_column(values).take(rows).tolist()
+        expected = [values[i] for i in rows]
+        assert identical(taken, expected)
+
+    def test_partition_first_seen_order_after_shuffle(self):
+        values = ["b", "a", "c", "a", "b", None, "c", "b"]
+        store = build_column(values)
+        rows = np.array([4, 2, 0, 1, 6, 3, 5], dtype=np.intp)
+        sliced = store.take(rows)
+        parts = sliced.partition_arrays()
+        shuffled = [values[i] for i in rows]
+        expected_keys = []
+        for v in shuffled:
+            if v is not None and v not in expected_keys:
+                expected_keys.append(v)
+        assert list(parts) == expected_keys
+        for key, chunk in parts.items():
+            assert [shuffled[i] for i in chunk] == [key] * len(chunk)
+
+    def test_counts_in_order_cross_type(self):
+        # 1 == True == 1.0 must merge under the first-seen key object,
+        # exactly as a dict built by the legacy loop would.
+        store = build_column(EDGE_BAGS["cross_type"])
+        counts = store.counts_in_order()
+        assert counts is not None
+        keys = [k for k, _ in counts]
+        assert identical(keys, [1, 0])
+        assert [n for _, n in counts] == [3, 2]
+
+    def test_int_partition_arrays_python_keys(self):
+        store = build_column([5, 7, 5, None, 7, 5])
+        parts = store.partition_arrays()
+        assert parts is not None
+        assert [type(k) for k in parts] == [int, int]
+        assert {k: v.tolist() for k, v in parts.items()} == {
+            5: [0, 2, 5], 7: [1, 4]}
+
+    def test_float_partition_defers_to_generic(self):
+        # 0.0 / -0.0 are one dict key with two reprs; the store refuses
+        # the fast path rather than guessing which object wins.
+        assert build_column([0.5, 0.5, None]).partition_arrays() is None
+
+
+class TestConcat:
+    def test_numeric_concat(self):
+        a = build_column([1, 2, None])
+        b = build_column([3, None])
+        merged = a.concat(b)
+        assert merged is not None
+        assert identical(merged.tolist(), [1, 2, None, 3, None])
+
+    def test_coded_concat_reinterns(self):
+        a = build_column(["x", "y", None])
+        b = build_column(["y", "z"])
+        merged = a.concat(b)
+        assert merged is not None
+        assert identical(merged.tolist(), ["x", "y", None, "y", "z"])
+
+    def test_mismatched_stores_decline(self):
+        assert build_column([1, 2]).concat(build_column(["a"])) is None
+
+
+class TestImmutability:
+    def test_numeric_arrays_read_only(self):
+        store = build_column([1, 2, 3])
+        with pytest.raises(ValueError):
+            store.data[0] = 9
+        with pytest.raises(ValueError):
+            store.mask[0] = False
+
+    def test_coded_codes_read_only(self):
+        store = build_column(["a", "b"])
+        with pytest.raises(ValueError):
+            store.codes[0] = 1
+
+    def test_wrapped_numpy_array_zero_copy_frozen(self):
+        array = np.arange(4, dtype=np.int64)
+        store = build_column(array)
+        assert isinstance(store, NumericColumn)
+        assert store.data is array or store.data.base is array
+        assert not array.flags.writeable
+
+    def test_store_passthrough_shares(self):
+        store = build_column([1, 2, 3])
+        assert build_column(store) is store
+
+
+class TestBackendSwitch:
+    def test_backends_tuple(self):
+        assert BACKENDS == ("columnar", "legacy")
+
+    def test_use_backend_restores(self):
+        before = default_backend()
+        with use_backend("legacy"):
+            assert default_backend() == "legacy"
+            relation = Relation.infer_schema("t", {"a": [1, 2]})
+            assert relation.storage_backend == "legacy"
+        assert default_backend() == before
+
+    def test_set_default_backend_rejects_unknown(self):
+        with pytest.raises(Exception):
+            set_default_backend("parquet")
+
+
+class TestPickle:
+    @pytest.mark.parametrize("bag", sorted(set(EDGE_BAGS) - {"unhashable"}))
+    def test_relation_pickle_bytes_match_legacy(self, bag):
+        values = EDGE_BAGS[bag]
+        columnar = Relation.infer_schema("t", {"a": values})
+        with use_backend("legacy"):
+            legacy = Relation.infer_schema("t", {"a": values})
+        assert pickle.dumps(columnar) == pickle.dumps(legacy)
+
+    def test_round_trip_restores_columns(self):
+        relation = Relation.infer_schema("t", {
+            "n": [1, None, 3], "s": ["a", "b", None]})
+        back = pickle.loads(pickle.dumps(relation))
+        assert identical(back.column("n"), [1, None, 3])
+        assert identical(back.column("s"), ["a", "b", None])
+        assert back.storage_backend == default_backend()
+
+    def test_database_token_stable_across_backends(self):
+        from repro.store.tokens import database_token
+
+        columns = {k: v for k, v in EDGE_BAGS.items()
+                   if k not in ("empty", "unhashable")}
+        n = max(len(v) for v in columns.values())
+        columns = {k: list(v) + [None] * (n - len(v))
+                   for k, v in columns.items()}
+        columnar = Database.from_relations(
+            "db", [Relation.infer_schema("t", columns)])
+        with use_backend("legacy"):
+            legacy = Database.from_relations(
+                "db", [Relation.infer_schema("t", columns)])
+        assert database_token(columnar) == database_token(legacy)

@@ -1,0 +1,59 @@
+"""Schema check of the committed columnar benchmark results.
+
+``benchmarks/results/BENCH_columnar.json`` is the committed record of
+the columnar-backend acceptance run (full-scale, ``BENCH_TINY`` unset):
+a 10⁶-row ingestion workload measured under both storage backends in
+isolated subprocesses, with the columnar profile/classify path at least
+2x the object-list reference and per-backend peak RSS recorded.  This
+tier-1 test pins the file's shape and those floors so a regressed
+re-record cannot land silently."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+RESULTS = (pathlib.Path(__file__).parent.parent
+           / "benchmarks" / "results" / "BENCH_columnar.json")
+
+
+def _payload():
+    assert RESULTS.exists(), (
+        "missing committed benchmark record benchmarks/results/"
+        "BENCH_columnar.json; run benchmarks/bench_columnar.py")
+    return json.loads(RESULTS.read_text(encoding="utf-8"))
+
+
+def test_schema():
+    data = _payload()
+    assert data["benchmark"] == "bench_columnar"
+    assert set(data["modes"]) == {"columnar", "legacy"}
+    for name, mode in data["modes"].items():
+        assert mode["backend"] == name
+        assert mode["n_rows"] == data["n_rows"], name
+        assert mode["build_seconds"] > 0, name
+        assert mode["profile_classify_seconds"] > 0, name
+        assert mode["prepare_match_seconds"] > 0, name
+        assert mode["peak_rss_mb"] > 0, name
+    assert data["config"]["scenario"]["family"] == "ingestion"
+
+
+def test_committed_record_is_full_scale():
+    data = _payload()
+    assert data["config"]["tiny"] is False, (
+        "BENCH_columnar.json was recorded under BENCH_TINY; commit a "
+        "full-scale run")
+    assert data["n_rows"] >= 1_000_000
+
+
+def test_backends_agree_on_matches():
+    data = _payload()
+    assert (data["modes"]["columnar"]["n_matches"]
+            == data["modes"]["legacy"]["n_matches"])
+
+
+def test_speedup_floor():
+    speedup = _payload()["speedup"]["profile_classify_columnar_vs_legacy"]
+    assert speedup >= 2.0, (
+        f"committed columnar profile/classify speedup {speedup:.2f}x "
+        f"below the 2x acceptance floor")

@@ -1,0 +1,146 @@
+"""Columnar-vs-legacy backend equivalence grid.
+
+The columnar backend is a *storage* change, not a semantics change: with
+``use_backend`` flipping the process default, every registered scenario
+must produce bit-identical match results (same matches, same condition
+SQL, same float reprs for scores), identical profiles and partition
+cells, and the same ``database_token`` — the contract that lets the
+object-list path remain the always-available equivalence reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.context.categorical import categorical_attributes
+from repro.datagen import build_scenario, get_scenario, scenario_names
+from repro.evaluation import run_scenario
+from repro.profiling import PartitionIndex
+from repro.relational import use_backend
+from repro.store.tokens import database_token
+
+BASE_SCENARIOS = sorted(
+    name for name in scenario_names()
+    if not get_scenario(name).perturbations)
+
+
+def canonical_matches(result) -> list[tuple]:
+    return [
+        (str(m.source), str(m.target), m.condition.to_sql(), m.condition_on,
+         repr(m.score), repr(m.confidence))
+        for m in result.matches
+    ]
+
+
+def canonical(scenario_result) -> dict:
+    metrics = scenario_result.metrics
+    return {
+        "metrics": (repr(metrics.accuracy), repr(metrics.precision),
+                    repr(metrics.fmeasure), metrics.n_found,
+                    metrics.n_correct_found, metrics.n_truth),
+        "n_matches": scenario_result.n_matches,
+        "n_contextual": scenario_result.n_contextual,
+        "counters": dict(scenario_result.counters),
+    }
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_bit_identical_across_backends(name):
+    with use_backend("columnar"):
+        columnar = canonical(run_scenario(name))
+    with use_backend("legacy"):
+        legacy = canonical(run_scenario(name))
+    assert columnar == legacy
+
+
+@pytest.mark.parametrize("name", BASE_SCENARIOS)
+def test_match_edges_bit_identical_across_backends(name):
+    from repro import ContextMatchConfig, MatchEngine
+
+    spec = get_scenario(name)
+    with use_backend("columnar"):
+        workload = build_scenario(spec)
+        result = MatchEngine(ContextMatchConfig()).match(
+            workload.source, workload.target)
+        edges_col = canonical_matches(result)
+    with use_backend("legacy"):
+        workload = build_scenario(spec)
+        result = MatchEngine(ContextMatchConfig()).match(
+            workload.source, workload.target)
+        edges_leg = canonical_matches(result)
+    assert edges_col == edges_leg
+
+
+@pytest.mark.parametrize("name", BASE_SCENARIOS)
+def test_workload_tokens_match_across_backends(name):
+    spec = get_scenario(name)
+    with use_backend("columnar"):
+        w_col = build_scenario(spec)
+    with use_backend("legacy"):
+        w_leg = build_scenario(spec)
+    assert database_token(w_col.source) == database_token(w_leg.source)
+    assert database_token(w_col.target) == database_token(w_leg.target)
+
+
+@pytest.mark.parametrize("name", BASE_SCENARIOS)
+def test_relation_primitives_match_across_backends(name):
+    spec = get_scenario(name)
+    with use_backend("columnar"):
+        w_col = build_scenario(spec)
+    with use_backend("legacy"):
+        w_leg = build_scenario(spec)
+    for db_col, db_leg in ((w_col.source, w_leg.source),
+                           (w_col.target, w_leg.target)):
+        for rel_col in db_col:
+            rel_leg = db_leg.relation(rel_col.name)
+            assert rel_col.storage_backend == "columnar"
+            assert rel_leg.storage_backend == "legacy"
+            for attr in rel_col.schema.attribute_names:
+                col = rel_col.column(attr)
+                assert col == rel_leg.column(attr)
+                assert [type(v) for v in col] == [
+                    type(v) for v in rel_leg.column(attr)]
+                assert (rel_col.presence_array(attr).tolist()
+                        == rel_leg.presence_array(attr).tolist())
+                assert rel_col.non_missing(attr) == rel_leg.non_missing(attr)
+            assert (categorical_attributes(rel_col)
+                    == categorical_attributes(rel_leg))
+            for attr in categorical_attributes(rel_col):
+                assert (rel_col.partition_indices(attr)
+                        == rel_leg.partition_indices(attr))
+                assert (PartitionIndex(rel_col, attr).cells
+                        == PartitionIndex(rel_leg, attr).cells)
+                assert (rel_col.value_counts(attr)
+                        == rel_leg.value_counts(attr))
+                assert rel_col.distinct(attr) == rel_leg.distinct(attr)
+
+
+@pytest.mark.parametrize("name", BASE_SCENARIOS)
+def test_transformations_match_across_backends(name):
+    spec = get_scenario(name)
+    with use_backend("columnar"):
+        w_col = build_scenario(spec)
+    with use_backend("legacy"):
+        w_leg = build_scenario(spec)
+    rel_col = next(iter(w_col.source))
+    rel_leg = w_leg.source.relation(rel_col.name)
+    attrs = rel_col.schema.attribute_names
+
+    def pairs():
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        yield rel_col.sample(max(len(rel_col) // 3, 1), rng_a), \
+            rel_leg.sample(max(len(rel_leg) // 3, 1), rng_b)
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        yield rel_col.shuffle(rng_a), rel_leg.shuffle(rng_b)
+        yield rel_col.project(attrs[:2]), rel_leg.project(attrs[:2])
+        yield rel_col.take([0, 0, len(rel_col) - 1]), \
+            rel_leg.take([0, 0, len(rel_leg) - 1])
+        yield rel_col.concat(rel_col), rel_leg.concat(rel_leg)
+
+    for got, want in pairs():
+        assert got.schema.attribute_names == want.schema.attribute_names
+        for attr in got.schema.attribute_names:
+            assert got.column(attr) == want.column(attr)
