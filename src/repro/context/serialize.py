@@ -171,6 +171,10 @@ def throughput_to_dict(report: ThroughputReport) -> dict[str, Any]:
         "wall_seconds": report.wall_seconds,
         "task_seconds": list(report.task_seconds),
         "prepare_transfer_bytes": report.prepare_transfer_bytes,
+        "transport": report.transport,
+        "chunks": report.chunks,
+        "shm_bytes": report.shm_bytes,
+        "artifact_evictions": report.artifact_evictions,
         "busy_seconds": report.busy_seconds,
         "tasks_per_second": report.tasks_per_second,
     }
@@ -178,13 +182,18 @@ def throughput_to_dict(report: ThroughputReport) -> dict[str, Any]:
 
 def throughput_from_dict(data: Mapping[str, Any]) -> ThroughputReport:
     """Inverse of :func:`throughput_to_dict` for the stored fields."""
+    transport = data.get("transport")
     return ThroughputReport(
         backend=str(data["backend"]),
         workers=int(data["workers"]),
         tasks=int(data["tasks"]),
         wall_seconds=float(data.get("wall_seconds", 0.0)),
         task_seconds=[float(v) for v in data.get("task_seconds", [])],
-        prepare_transfer_bytes=int(data.get("prepare_transfer_bytes", 0)))
+        prepare_transfer_bytes=int(data.get("prepare_transfer_bytes", 0)),
+        transport=str(transport) if transport is not None else None,
+        chunks=int(data.get("chunks", 0)),
+        shm_bytes=int(data.get("shm_bytes", 0)),
+        artifact_evictions=int(data.get("artifact_evictions", 0)))
 
 
 def result_to_dict(result: MatchResult) -> dict[str, Any]:

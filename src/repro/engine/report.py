@@ -106,10 +106,10 @@ class ThroughputReport:
     Attributes
     ----------
     backend:
-        ``"serial"`` or ``"process"`` — which
+        ``"serial"``, ``"thread"`` or ``"process"`` — which
         :class:`~repro.engine.executor.MatchExecutor` backend ran the batch.
     workers:
-        Worker processes the batch could use (1 for the serial backend).
+        Workers the batch could use (1 for the serial backend).
     tasks:
         Number of tasks submitted.
     wall_seconds:
@@ -121,9 +121,24 @@ class ThroughputReport:
         order.  Summing them gives the busy time the batch would have cost
         a single core.
     prepare_transfer_bytes:
-        Size of the pickled prepared artifact shipped to the worker pool
-        (0 for the serial backend, which shares the caller's objects, and
-        for batches without a shared artifact).
+        Bytes of pickle stream shipped to the worker pool for the shared
+        prepared artifact: the whole artifact under the ``"pickle"``
+        transport, only the non-array residue under ``"shm"`` (0 for the
+        in-process backends, which share the caller's objects, and for
+        batches without a shared artifact).
+    transport:
+        ``"shm"`` or ``"pickle"`` for process batches; None for the
+        in-process backends (nothing is shipped).
+    chunks:
+        Chunked-scheduling submissions this batch made (0 for serial,
+        which runs the batch as one in-process loop).
+    shm_bytes:
+        Bytes hoisted into the shared-memory segment attached by every
+        worker (0 without the shm transport).
+    artifact_evictions:
+        Artifacts evicted from the workers' bounded caches while running
+        this batch — a long-lived pool cycling many targets evicts; a
+        pool serving few targets must report 0.
     """
 
     backend: str
@@ -132,6 +147,10 @@ class ThroughputReport:
     wall_seconds: float
     task_seconds: list[float] = dataclasses.field(default_factory=list)
     prepare_transfer_bytes: int = 0
+    transport: str | None = None
+    chunks: int = 0
+    shm_bytes: int = 0
+    artifact_evictions: int = 0
 
     @property
     def busy_seconds(self) -> float:
@@ -146,8 +165,10 @@ class ThroughputReport:
         return self.tasks / self.wall_seconds
 
     def __str__(self) -> str:
-        return (f"{self.backend} x{self.workers}: {self.tasks} tasks in "
-                f"{self.wall_seconds:.3f}s "
+        via = f" via {self.transport}" if self.transport else ""
+        return (f"{self.backend} x{self.workers}{via}: {self.tasks} tasks "
+                f"in {self.wall_seconds:.3f}s "
                 f"({self.tasks_per_second:.2f} tasks/s, "
                 f"busy {self.busy_seconds:.3f}s, "
+                f"{self.chunks} chunks, "
                 f"{self.prepare_transfer_bytes} prepare bytes)")

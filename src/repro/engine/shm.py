@@ -1,0 +1,296 @@
+"""Shared-memory transport for process-backend prepared artifacts.
+
+The process backend's cost model used to be "pickle the whole
+:class:`~repro.engine.executor.EngineArtifact` and push it through a pipe
+to every worker".  For a prepared target that is mostly typed numpy
+columns (PR 9), that is the wrong wire: the arrays are page-aligned,
+immutable buffers that POSIX shared memory can hand to every worker at
+once, zero-copy, while only the *residue* — classifiers, schemas, interned
+uniques, plain-object columns — actually needs a pickle stream.
+
+:func:`export_payload` pickles an artifact with a harvesting
+:class:`pickle.Pickler` whose ``reducer_override``:
+
+* hoists every eligible bare ``numpy`` array (C-contiguous, non-object
+  dtype, at least :data:`MIN_SHARED_BYTES`) out of the stream, replacing
+  it with an index into the shared segment;
+* routes :class:`~repro.relational.columns.ColumnStore` subclasses through
+  their ``export_shm()`` protocol (``NumericColumn`` data + presence mask,
+  ``CodedColumn`` codes + pickled uniques blob; ``ListColumn`` /
+  ``ObjectColumn`` return ``None`` and take the plain pickle path);
+* reduces :class:`~repro.relational.instance.Relation` to its schema plus
+  its column *stores* — bypassing the legacy ``__getstate__`` wire format,
+  which boxes every cell into a Python list before an array is reachable;
+* reduces :class:`~repro.profiling.partition.PartitionIndex` to its
+  per-cell ``numpy`` row-index arrays instead of the legacy
+  tuple-of-Python-ints form.
+
+All harvested arrays land in **one** named ``multiprocessing.shared_memory``
+segment with an offset/shape/dtype manifest; :func:`attach_payload` maps
+the segment read-only in the worker and rebuilds the artifact around
+zero-copy views.  The segment's creator owns its lifetime: the executor
+unlinks it on pool close / memo eviction, a ``weakref.finalize`` hook
+covers abandoned executors, and the stdlib resource tracker unlinks
+anything a crashed parent leaves behind.  Workers attach *without*
+registering with their resource tracker (see :func:`_attach_untracked`) —
+an attacher's registration would either unlink the creator's live segment
+or corrupt the creator's crash-safety entry.  POSIX keeps existing
+mappings valid after the name is removed, so the creator unlinking never
+invalidates a worker's attached views.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import pickle
+from typing import Any
+
+import numpy as np
+
+from ..errors import EngineError
+from ..profiling.partition import PartitionIndex
+from ..relational.columns import ColumnStore
+from ..relational.instance import Relation
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _resource_tracker = None
+    _shared_memory = None
+
+__all__ = ["MIN_SHARED_BYTES", "ShmManifest", "shm_available",
+           "export_payload", "attach_payload"]
+
+#: Arrays below this size pickle inline: a manifest entry plus an aligned
+#: segment slot costs more than the bytes it would save.
+MIN_SHARED_BYTES = 128
+
+#: Segment slots are aligned so attached views keep numpy's preferred
+#: alignment regardless of what precedes them.
+_ALIGN = 64
+
+
+def shm_available() -> bool:
+    """True when this platform can create named shared-memory segments."""
+    return _shared_memory is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmManifest:
+    """Where each harvested array lives inside one named segment.
+
+    ``entries[i]`` is ``(offset, shape, dtype-str)`` for the array the
+    residue stream references as index ``i``.  The manifest itself is
+    tiny and travels by plain pickle alongside the residue blob.
+    """
+
+    name: str
+    size: int
+    entries: tuple
+
+
+# ---------------------------------------------------------------------------
+# Worker-side rebuild hooks (referenced by the residue pickle stream)
+# ---------------------------------------------------------------------------
+
+#: Attach context: the segment-backed arrays of the payload currently being
+#: deserialized.  Set by :func:`attach_payload` around ``pickle.loads`` —
+#: workers deserialize one payload at a time, so a module global suffices.
+_ATTACHED: list | None = None
+
+
+def _attached_array(index: int) -> np.ndarray:
+    if _ATTACHED is None:
+        raise EngineError(
+            "shared-memory array reference outside attach_payload(); the "
+            "residue blob must be deserialized through attach_payload, not "
+            "pickle.loads")
+    return _ATTACHED[index]
+
+
+def _attach_column(cls: type, meta: tuple, arrays: tuple) -> ColumnStore:
+    return cls.attach_shm(meta, arrays)
+
+
+def _rebuild_relation(schema: Any, stores: dict, nrows: int) -> Relation:
+    relation = Relation.__new__(Relation)
+    # Stores pass through build_column zero-copy, so __setstate__ rebuilds
+    # the relation around the attached arrays without boxing a single cell.
+    relation.__setstate__({"schema": schema, "_columns": stores,
+                           "_nrows": nrows, "_presence_masks": {}})
+    return relation
+
+
+def _rebuild_partition(relation: Relation, attribute: str,
+                       keys: tuple, arrays: tuple) -> PartitionIndex:
+    index = PartitionIndex.__new__(PartitionIndex)
+    index.relation = relation
+    index.attribute = attribute
+    index._cell_arrays = dict(zip(keys, arrays))
+    index._cells_memo = None
+    index._group_arrays = {}
+    index._group_tuples = {}
+    index._present = {}
+    return index
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+def _eligible(array: np.ndarray) -> bool:
+    return (array.dtype != object and array.flags.c_contiguous
+            and array.nbytes >= MIN_SHARED_BYTES)
+
+
+class _HarvestPickler(pickle.Pickler):
+    """Pickler that hoists large arrays out of the stream (see module
+    docstring for the four interception rules)."""
+
+    def __init__(self, file: io.BytesIO, arrays: list):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._arrays = arrays
+
+    def _harvest(self, array: np.ndarray) -> int:
+        self._arrays.append(array)
+        return len(self._arrays) - 1
+
+    def reducer_override(self, obj: Any):
+        cls = obj.__class__
+        if cls is np.ndarray:
+            if _eligible(obj):
+                return (_attached_array, (self._harvest(obj),))
+            return NotImplemented
+        if isinstance(obj, ColumnStore):
+            exported = obj.export_shm()
+            if exported is None:  # ListColumn / ObjectColumn: plain pickle
+                return NotImplemented
+            meta, arrays = exported
+            return (_attach_column, (cls, meta, arrays))
+        if cls is Relation:
+            return (_rebuild_relation,
+                    (obj.schema, dict(obj._stores), obj._nrows))
+        if cls is PartitionIndex:
+            cells = obj._cell_arrays
+            return (_rebuild_partition,
+                    (obj.relation, obj.attribute,
+                     tuple(cells.keys()), tuple(cells.values())))
+        return NotImplemented
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+def export_payload(artifact: Any) -> tuple:
+    """``(residue blob, manifest, segment)`` of *artifact*.
+
+    The blob is a pickle stream whose large arrays were replaced by
+    references into the returned shared-memory ``segment`` (which the
+    caller owns and must eventually ``close()`` + ``unlink()``).  When
+    nothing was harvested — or the platform has no shared memory — the
+    manifest and segment are ``None`` and the blob is a complete pickle.
+    """
+    buffer = io.BytesIO()
+    arrays: list = []
+    if shm_available():
+        _HarvestPickler(buffer, arrays).dump(artifact)
+    else:  # pragma: no cover - exotic builds without _posixshmem
+        pickle.dump(artifact, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    blob = buffer.getvalue()
+    if not arrays:
+        return blob, None, None
+    offsets = []
+    total = 0
+    for array in arrays:
+        total = _aligned(total)
+        offsets.append(total)
+        total += array.nbytes
+    segment = _shared_memory.SharedMemory(create=True, size=max(total, 1))
+    try:
+        for array, offset in zip(arrays, offsets):
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=segment.buf, offset=offset)
+            view[...] = array
+        del view  # release the buffer export so close() stays legal
+        manifest = ShmManifest(
+            name=segment.name, size=total,
+            entries=tuple((offset, array.shape, array.dtype.str)
+                          for array, offset in zip(arrays, offsets)))
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return blob, manifest, segment
+
+
+# ---------------------------------------------------------------------------
+# Attach
+# ---------------------------------------------------------------------------
+
+def _attach_untracked(name: str) -> Any:
+    """Attach the named segment without registering it with this process's
+    resource tracker.
+
+    Before 3.13 (``track=False``), attaching registers the name exactly
+    like creating it does (bpo-39959).  That is wrong both ways for an
+    attacher: a worker with its *own* tracker would unlink the creator's
+    live segment when the worker exits, and a worker sharing the fork
+    parent's tracker would corrupt the creator's crash-safety registration
+    (the tracker cache is a set, not a refcount).  Suppressing the
+    register call during attach leaves the creator's registration — and
+    only it — in charge of crashed-process cleanup.
+    """
+    if _resource_tracker is None:  # pragma: no cover - no tracker, no leak
+        return _shared_memory.SharedMemory(name=name)
+    original = _resource_tracker.register
+    _resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        _resource_tracker.register = original
+
+
+def attach_payload(blob: bytes, manifest: ShmManifest | None) -> tuple:
+    """``(artifact, keepalive)`` rebuilt from an :func:`export_payload`
+    pair.
+
+    With no manifest the blob is a complete pickle and the keepalive is
+    ``None``.  Otherwise the named segment is attached, its arrays are
+    exposed as read-only views, and the returned keepalive (the attached
+    ``SharedMemory``) must stay referenced as long as the artifact is —
+    the executor's worker cache stores them together.  Attach failures
+    (unlinked or truncated segments) raise :class:`EngineError`.
+    """
+    global _ATTACHED
+    if manifest is None:
+        return pickle.loads(blob), None
+    if not shm_available():  # pragma: no cover - exotic builds
+        raise EngineError(
+            "payload requires the shared-memory transport, which this "
+            "platform does not support")
+    try:
+        segment = _attach_untracked(manifest.name)
+    except (OSError, ValueError) as exc:
+        raise EngineError(
+            f"cannot attach shared-memory segment {manifest.name!r}: "
+            f"{exc}") from exc
+    if segment.size < manifest.size:
+        segment.close()
+        raise EngineError(
+            f"shared-memory segment {manifest.name!r} is truncated: "
+            f"{segment.size} bytes mapped, manifest needs {manifest.size}")
+    arrays = []
+    for offset, shape, dtype in manifest.entries:
+        view = np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        arrays.append(view)
+    _ATTACHED = arrays
+    try:
+        artifact = pickle.loads(blob)
+    finally:
+        _ATTACHED = None
+    return artifact, segment

@@ -1,6 +1,7 @@
-"""Tests for the parallel match executor: backend selection, submission
-ordering, throughput reporting, worker-side artifact caching, and
-serial/process bit-identity."""
+"""Tests for the parallel match executor: backend selection (flags and
+environment), submission ordering, chunked scheduling, throughput
+reporting, worker-side artifact caching, and serial/thread/process
+bit-identity."""
 
 import pytest
 
@@ -9,7 +10,7 @@ from repro.context.serialize import (result_to_dict, throughput_from_dict,
                                      throughput_to_dict)
 from repro.engine import (BatchResult, ExecutorConfig, MatchExecutor,
                           ThroughputReport)
-from repro.engine.executor import effective_parallelism
+from repro.engine.executor import BACKEND_ENV, effective_parallelism
 from repro.errors import EngineError
 
 
@@ -70,6 +71,63 @@ class TestExecutorConfig:
             ExecutorConfig.for_jobs(0)
         with pytest.raises(EngineError, match="jobs must be >= 1"):
             ExecutorConfig.for_jobs(-2)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(EngineError, match="unknown executor transport"):
+            ExecutorConfig(backend="process", transport="tcp")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(EngineError, match="chunk_size must be >= 1"):
+            ExecutorConfig(backend="thread", chunk_size=0)
+
+    def test_resolved_chunk_size_targets_four_rounds_per_worker(self):
+        config = ExecutorConfig(backend="process", max_workers=2)
+        assert config.resolved_chunk_size(80) == 10  # 8 chunks, 4/worker
+        assert config.resolved_chunk_size(3) == 1    # small batches spread
+        assert config.resolved_chunk_size(0) == 1
+        explicit = ExecutorConfig(backend="process", max_workers=2,
+                                  chunk_size=5)
+        assert explicit.resolved_chunk_size(80) == 5
+
+
+class TestBackendSelection:
+    """``for_jobs``: explicit ``--backend``, the REPRO_EXECUTOR_BACKEND
+    environment override, and their interaction with ``--jobs``."""
+
+    def test_explicit_backend(self):
+        config = ExecutorConfig.for_jobs(3, "thread")
+        assert config.backend == "thread"
+        assert config.resolved_workers() == 3
+        assert ExecutorConfig.for_jobs(None, "process").backend == "process"
+        assert ExecutorConfig.for_jobs(1, "serial").backend == "serial"
+
+    def test_serial_with_multiple_jobs_is_a_contradiction(self):
+        with pytest.raises(EngineError, match="runs in-process"):
+            ExecutorConfig.for_jobs(4, "serial")
+
+    def test_rejects_unknown_explicit_backend(self):
+        with pytest.raises(EngineError, match="unknown executor backend"):
+            ExecutorConfig.for_jobs(2, "fibers")
+
+    def test_env_override_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert ExecutorConfig.for_jobs(None).backend == "thread"
+        four = ExecutorConfig.for_jobs(4)
+        assert four.backend == "thread"
+        assert four.resolved_workers() == 4
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert ExecutorConfig.for_jobs(2, "process").backend == "process"
+
+    def test_empty_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "")
+        assert ExecutorConfig.for_jobs(None).backend == "serial"
+
+    def test_invalid_env_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cluster")
+        with pytest.raises(EngineError, match=BACKEND_ENV):
+            ExecutorConfig.for_jobs(2)
 
 
 class TestSerialBackend:
@@ -141,6 +199,167 @@ class TestSerialBackend:
         results = engine.match_many(sources[:2], target, executor=executor)
         assert isinstance(results, list) and len(results) == 2
         assert executor.last_throughput.tasks == 2
+
+
+class TestThreadBackend:
+    def test_match_many_bit_identical_to_serial(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        serial = MatchExecutor().match_many(engine, sources, prepared)
+        with MatchExecutor(ExecutorConfig(backend="thread",
+                                          max_workers=2)) as executor:
+            threaded = executor.match_many(engine, sources, prepared)
+        assert [_comparable(r) for r in serial] \
+            == [_comparable(r) for r in threaded]
+
+    def test_shares_artifact_with_zero_transfer(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        with MatchExecutor(ExecutorConfig(backend="thread",
+                                          max_workers=2)) as executor:
+            batch = executor.match_many(engine, sources, target)
+        report = batch.throughput
+        assert report.backend == "thread"
+        assert report.workers == 2
+        assert report.transport is None
+        assert report.prepare_transfer_bytes == 0
+        assert report.shm_bytes == 0
+        assert report.chunks >= 1
+        assert len(report.task_seconds) == len(sources)
+
+    def test_thread_backend_fires_observers(self, retail_batch):
+        """Thread batches run on the caller's engine, so observers fire
+        (interleaved across worker threads)."""
+        from repro.engine import EngineObserver
+
+        class Recorder(EngineObserver):
+            def __init__(self):
+                self.runs = 0
+
+            def on_run_start(self, source, prepared):
+                self.runs += 1
+
+        sources, target = retail_batch
+        recorder = Recorder()
+        engine = MatchEngine(CONFIG, observers=[recorder])
+        with MatchExecutor(ExecutorConfig(backend="thread",
+                                          max_workers=2)) as executor:
+            executor.match_many(engine, sources, target)
+        assert recorder.runs == len(sources)
+
+    def test_reversed_sweep_bit_identical(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        serial = MatchExecutor().match_reversed_many(engine, sources[0],
+                                                     [target])
+        with MatchExecutor(ExecutorConfig(backend="thread",
+                                          max_workers=2)) as executor:
+            threaded = executor.match_reversed_many(engine, sources[0],
+                                                    [target])
+        assert [_comparable(r) for r in serial] \
+            == [_comparable(r) for r in threaded]
+
+    def test_worker_errors_propagate(self):
+        with MatchExecutor(ExecutorConfig(backend="thread",
+                                          max_workers=1)) as executor:
+            with pytest.raises(ZeroDivisionError):
+                executor.run_tasks(_failing_task, [1])
+
+
+class TestChunkedScheduling:
+    """Bit-identity and submission-order stability across chunk sizes."""
+
+    CHUNK_SIZES = (1, 2, 3, 7)  # 1, mid, == batch, > batch (3 sources)
+
+    def test_match_many_chunk_grid(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        reference = [_comparable(r) for r in
+                     MatchExecutor().match_many(engine, sources, prepared)]
+        for chunk_size in self.CHUNK_SIZES:
+            config = ExecutorConfig(backend="thread", max_workers=2,
+                                    chunk_size=chunk_size)
+            with MatchExecutor(config) as executor:
+                batch = executor.match_many(engine, sources, prepared)
+            assert [_comparable(r) for r in batch] == reference, chunk_size
+            expected = -(-len(sources) // chunk_size)
+            assert batch.throughput.chunks == expected
+
+    def test_match_many_chunk_grid_process(self, retail_batch):
+        sources, target = retail_batch
+        engine = MatchEngine(CONFIG)
+        prepared = engine.prepare(target)
+        reference = [_comparable(r) for r in
+                     MatchExecutor().match_many(engine, sources, prepared)]
+        for chunk_size in (1, 7):
+            config = ExecutorConfig(backend="process", max_workers=2,
+                                    chunk_size=chunk_size)
+            with MatchExecutor(config) as executor:
+                batch = executor.match_many(engine, sources, prepared)
+            assert [_comparable(r) for r in batch] == reference, chunk_size
+
+    def test_route_many_chunk_grid(self):
+        from repro import TargetRepository
+        from repro.datagen import build_scenario, get_scenario
+        events = build_scenario(get_scenario("events").resized(50))
+        retail = build_scenario(get_scenario("retail").resized(50))
+        engine = MatchEngine()
+        repo = TargetRepository(engine)
+        repo.add(events.target)
+        repo.add(retail.target)
+        sources = [events.source, retail.source, events.source]
+        reference = [[(s.token, s.score, s.n_matches) for s in r.ranking]
+                     for r in repo.route_many(sources)]
+        for chunk_size in self.CHUNK_SIZES:
+            config = ExecutorConfig(backend="thread", max_workers=2,
+                                    chunk_size=chunk_size)
+            with MatchExecutor(config) as executor:
+                routed = repo.route_many(sources, executor=executor)
+            got = [[(s.token, s.score, s.n_matches) for s in r.ranking]
+                   for r in routed]
+            assert got == reference, chunk_size
+
+
+def _probe_worker_cache(_payload):
+    """Worker-side probe: size and lifetime evictions of the artifact
+    cache in the (sole) worker process."""
+    from repro.engine import executor as mod
+    return len(mod._ARTIFACTS), mod._EVICTIONS
+
+
+class TestWorkerCacheBounds:
+    def test_cycling_artifacts_keeps_worker_cache_bounded(self):
+        """Regression: N distinct targets through ONE pool must not grow
+        the worker cache without limit — the bounded LRU evicts, and the
+        evictions surface on the batch reports."""
+        from repro.datagen import make_retail_workload
+        from repro.engine import executor as mod
+        engine = MatchEngine(CONFIG)
+        workloads = [make_retail_workload(target="ryan", gamma=2,
+                                          n_source=60, seed=200 + i)
+                     for i in range(mod._ARTIFACT_SLOTS + 2)]
+        reported = 0
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=1)) as executor:
+            pool = None
+            for workload in workloads:
+                prepared = engine.prepare(workload.target)
+                batch = executor.match_many(engine, [workload.source],
+                                            prepared)
+                reported += batch.throughput.artifact_evictions
+                if pool is None:
+                    pool = executor._pool
+            assert executor._pool is pool  # one pool served every artifact
+            size, lifetime = executor.run_tasks(
+                _probe_worker_cache, [None]).results[0]
+            # The parent-side memos and segment bag stay bounded too.
+            assert len(executor._segments.segments) <= executor._MEMO_SLOTS
+        assert size <= mod._ARTIFACT_SLOTS
+        assert reported >= 2          # 6 artifacts through 4 slots
+        assert lifetime == reported   # every eviction was surfaced
+        assert executor.counters["artifact_evictions"] == reported
 
 
 class TestProcessBackend:
@@ -278,6 +497,32 @@ class TestThroughputCodec:
         assert payload["tasks_per_second"] == pytest.approx(2.0)
         restored = throughput_from_dict(payload)
         assert restored == report
+
+    def test_round_trip_with_transport_counters(self):
+        report = ThroughputReport(backend="process", workers=4, tasks=8,
+                                  wall_seconds=1.0,
+                                  task_seconds=[0.1] * 8,
+                                  prepare_transfer_bytes=512,
+                                  transport="shm", chunks=3,
+                                  shm_bytes=4096, artifact_evictions=2)
+        payload = throughput_to_dict(report)
+        assert payload["transport"] == "shm"
+        assert payload["chunks"] == 3
+        assert payload["shm_bytes"] == 4096
+        assert payload["artifact_evictions"] == 2
+        assert throughput_from_dict(payload) == report
+
+    def test_legacy_payload_parses_with_counter_defaults(self):
+        """Pre-transport payloads (no transport/chunk/shm fields) still
+        parse — the counters default to their in-process values."""
+        payload = {"backend": "process", "workers": 2, "tasks": 1,
+                   "wall_seconds": 0.5, "task_seconds": [0.5],
+                   "prepare_transfer_bytes": 10}
+        report = throughput_from_dict(payload)
+        assert report.transport is None
+        assert report.chunks == 0
+        assert report.shm_bytes == 0
+        assert report.artifact_evictions == 0
 
     def test_derived_fields_not_trusted_on_parse(self):
         payload = throughput_to_dict(ThroughputReport(

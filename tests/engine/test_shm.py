@@ -1,0 +1,289 @@
+"""Shared-memory transport: export/attach round-trips, the column
+``export_shm`` protocol, segment lifecycle (unlink on close, eviction,
+finalization and broken pools) and typed attach failures."""
+
+from __future__ import annotations
+
+import gc
+import os
+import pathlib
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import ContextMatchConfig, MatchEngine
+from repro.datagen import make_retail_workload
+from repro.engine import ExecutorConfig, MatchExecutor
+from repro.engine.shm import (MIN_SHARED_BYTES, ShmManifest, attach_payload,
+                              export_payload, shm_available)
+from repro.errors import EngineError
+from repro.profiling.partition import PartitionIndex
+from repro.relational.columns import CodedColumn, NumericColumn, build_column
+from repro.relational.jsonio import database_to_dict
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform has no named shared memory")
+
+SHM_DIR = pathlib.Path("/dev/shm")
+
+
+def _destroy(segment):
+    segment.close()
+    segment.unlink()
+
+
+def _segment_linked(name: str) -> bool:
+    """Whether the named segment still exists (checked by name, so a
+    leaked mapping in this process cannot mask a leak on disk)."""
+    if SHM_DIR.is_dir():
+        return (SHM_DIR / name).exists()
+    try:  # pragma: no cover - non-tmpfs platforms
+        from multiprocessing import shared_memory
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+class TestExportAttach:
+    def test_array_round_trip(self):
+        payload = {"big": np.arange(1000, dtype=np.float64),
+                   "ints": np.arange(500, dtype=np.int64),
+                   "small": np.arange(4, dtype=np.int8)}
+        blob, manifest, segment = export_payload(payload)
+        assert manifest is not None and segment is not None
+        try:
+            assert len(manifest.entries) == 2  # "small" pickles inline
+            restored, keepalive = attach_payload(blob, manifest)
+            assert keepalive is not None
+            for key, array in payload.items():
+                np.testing.assert_array_equal(restored[key], array)
+            # Hoisted arrays come back as read-only segment views;
+            # inline ones are private copies.
+            assert not restored["big"].flags.writeable
+            assert restored["small"].flags.writeable
+            del restored
+            keepalive.close()
+        finally:
+            _destroy(segment)
+
+    def test_residue_smaller_than_plain_pickle(self):
+        payload = {"x": np.arange(20_000, dtype=np.float64)}
+        blob, manifest, segment = export_payload(payload)
+        try:
+            plain = len(pickle.dumps(payload,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+            assert len(blob) < plain / 10
+            assert manifest.size >= payload["x"].nbytes
+        finally:
+            _destroy(segment)
+
+    def test_arrayless_artifact_ships_plain(self):
+        blob, manifest, segment = export_payload({"just": "residue"})
+        assert manifest is None and segment is None
+        artifact, keepalive = attach_payload(blob, manifest)
+        assert artifact == {"just": "residue"}
+        assert keepalive is None
+
+    def test_repeated_array_hoisted_once(self):
+        """Pickle memoization extends to harvested arrays: an artifact
+        referencing one array twice costs one segment slot."""
+        shared = np.arange(256, dtype=np.float64)
+        blob, manifest, segment = export_payload([shared, shared])
+        try:
+            assert len(manifest.entries) == 1
+            restored, keepalive = attach_payload(blob, manifest)
+            assert restored[0] is restored[1]
+            del restored
+            keepalive.close()
+        finally:
+            _destroy(segment)
+
+    def test_blob_requires_attach_context(self):
+        payload = {"x": np.arange(256, dtype=np.float64)}
+        blob, manifest, segment = export_payload(payload)
+        try:
+            with pytest.raises(EngineError, match="outside attach_payload"):
+                pickle.loads(blob)
+        finally:
+            _destroy(segment)
+
+    def test_attach_unlinked_segment_raises(self):
+        payload = {"x": np.arange(256, dtype=np.float64)}
+        blob, manifest, segment = export_payload(payload)
+        _destroy(segment)
+        with pytest.raises(EngineError, match="cannot attach"):
+            attach_payload(blob, manifest)
+
+    def test_attach_truncated_segment_raises(self):
+        payload = {"x": np.arange(256, dtype=np.float64)}
+        blob, manifest, segment = export_payload(payload)
+        try:
+            oversized = ShmManifest(name=manifest.name,
+                                    size=manifest.size + (1 << 20),
+                                    entries=manifest.entries)
+            with pytest.raises(EngineError, match="truncated"):
+                attach_payload(blob, oversized)
+        finally:
+            _destroy(segment)
+
+
+class TestColumnProtocol:
+    def test_numeric_column_round_trip(self):
+        column = build_column([1.5, None, 3.0, 4.25], backend="columnar")
+        assert isinstance(column, NumericColumn)
+        meta, arrays = column.export_shm()
+        restored = NumericColumn.attach_shm(meta, arrays)
+        assert restored.tolist() == column.tolist()
+
+    def test_coded_column_round_trip(self):
+        values = ["red", "green", None, "red", "blue"] * 3
+        column = build_column(values, backend="columnar")
+        assert isinstance(column, CodedColumn)
+        meta, arrays = column.export_shm()
+        # The uniques ride the segment as a pickle blob, not objects.
+        assert all(isinstance(a, np.ndarray) for a in arrays)
+        restored = CodedColumn.attach_shm(meta, arrays)
+        assert restored.tolist() == column.tolist()
+
+    def test_object_columns_take_the_pickle_path(self):
+        column = build_column([{"k": 1}, None, {"k": 2}], backend="columnar")
+        assert column.export_shm() is None
+
+
+@pytest.fixture(scope="module")
+def retail_target():
+    return make_retail_workload(target="ryan", gamma=2, n_source=60,
+                                seed=41).target
+
+
+class TestDomainObjects:
+    def test_database_round_trip(self, retail_target):
+        blob, manifest, segment = export_payload(retail_target)
+        assert manifest is not None  # columnar relations hoisted arrays
+        try:
+            restored, keepalive = attach_payload(blob, manifest)
+            assert database_to_dict(restored) \
+                == database_to_dict(retail_target)
+            del restored
+            keepalive.close()
+        finally:
+            _destroy(segment)
+
+    def test_partition_index_round_trip(self, retail_target):
+        relation = retail_target.relation(
+            retail_target.schema.table_names[0])
+        attribute = relation.schema.attribute_names[0]
+        index = PartitionIndex(relation, attribute)
+        blob, manifest, segment = export_payload(index)
+        try:
+            restored, keepalive = attach_payload(blob, manifest)
+            assert restored.cells == index.cells
+            del restored
+            if keepalive is not None:
+                keepalive.close()
+        finally:
+            _destroy(segment)
+
+
+def _lookup_task(artifact, payload):
+    return float(artifact["table"][payload])
+
+
+def _exit_task(artifact, payload):
+    os._exit(13)  # simulate a crashed worker (no exception, no cleanup)
+
+
+ARTIFACT = {"table": np.arange(4096, dtype=np.float64)}
+
+
+class TestExecutorLifecycle:
+    def test_segments_unlinked_after_close(self):
+        executor = MatchExecutor(ExecutorConfig(backend="process",
+                                                max_workers=1))
+        batch = executor.run_tasks(_lookup_task, [0, 7], artifact=ARTIFACT)
+        assert batch.results == [0.0, 7.0]
+        assert batch.throughput.transport == "shm"
+        assert batch.throughput.shm_bytes >= ARTIFACT["table"].nbytes
+        names = [segment.name
+                 for segment in executor._segments.segments.values()]
+        assert names and all(_segment_linked(name) for name in names)
+        executor.close()
+        assert not executor._segments.segments
+        assert not any(_segment_linked(name) for name in names)
+
+    def test_closed_executor_reexports_on_next_batch(self):
+        with MatchExecutor(ExecutorConfig(backend="process",
+                                          max_workers=1)) as executor:
+            first = executor.run_tasks(_lookup_task, [1], artifact=ARTIFACT)
+            executor.close()  # unlinks, but the executor stays usable
+            second = executor.run_tasks(_lookup_task, [1], artifact=ARTIFACT)
+            assert first.results == second.results == [1.0]
+
+    def test_broken_pool_cleans_segments(self):
+        executor = MatchExecutor(ExecutorConfig(backend="process",
+                                                max_workers=1))
+        try:
+            executor.run_tasks(_lookup_task, [3], artifact=ARTIFACT)
+            names = [segment.name
+                     for segment in executor._segments.segments.values()]
+            assert names
+            with pytest.raises(Exception):  # BrokenProcessPool
+                executor.run_tasks(_exit_task, [0], artifact=ARTIFACT)
+            assert executor._pool is None
+            assert not executor._segments.segments
+            assert not any(_segment_linked(name) for name in names)
+        finally:
+            executor.close()
+
+    def test_finalizer_unlinks_abandoned_executor(self):
+        executor = MatchExecutor(ExecutorConfig(backend="process",
+                                                max_workers=1))
+        executor.run_tasks(_lookup_task, [2], artifact=ARTIFACT)
+        names = [segment.name
+                 for segment in executor._segments.segments.values()]
+        assert names
+        executor._pool.shutdown()  # drop workers without touching segments
+        executor._pool = None
+        del executor
+        gc.collect()
+        assert not any(_segment_linked(name) for name in names)
+
+    def test_pickle_transport_ships_whole_artifact(self):
+        config = ExecutorConfig(backend="process", max_workers=1,
+                                transport="pickle")
+        with MatchExecutor(config) as executor:
+            batch = executor.run_tasks(_lookup_task, [5], artifact=ARTIFACT)
+        assert batch.results == [5.0]
+        assert batch.throughput.transport == "pickle"
+        assert batch.throughput.shm_bytes == 0
+        assert batch.throughput.prepare_transfer_bytes \
+            > ARTIFACT["table"].nbytes
+        assert not executor._segments.segments
+
+
+class TestMatchingOverShm:
+    def test_match_many_bit_identical(self, retail_target):
+        workload = make_retail_workload(target="ryan", gamma=2, n_source=60,
+                                        seed=42)
+        engine = MatchEngine(ContextMatchConfig(inference="src", seed=5))
+        prepared = engine.prepare(workload.target)
+        serial = engine.match(workload.source, prepared)
+        shm_cfg = ExecutorConfig(backend="process", max_workers=1)
+        pickle_cfg = ExecutorConfig(backend="process", max_workers=1,
+                                    transport="pickle")
+        with MatchExecutor(shm_cfg) as executor:
+            over_shm = executor.match_many(engine, [workload.source],
+                                           prepared)
+            assert over_shm.throughput.transport == "shm"
+            assert over_shm.throughput.shm_bytes > 0
+        with MatchExecutor(pickle_cfg) as executor:
+            over_pickle = executor.match_many(engine, [workload.source],
+                                              prepared)
+        assert serial.matches == over_shm[0].matches
+        assert serial.matches == over_pickle[0].matches
+        # The shm residue is strictly smaller than the full pickle.
+        assert (over_shm.throughput.prepare_transfer_bytes
+                < over_pickle.throughput.prepare_transfer_bytes)

@@ -1,0 +1,86 @@
+"""Artifact-shipping backend grid (``pytest -m golden``).
+
+``tests/test_golden_parallel.py`` pins the scenario fan-out, whose tasks
+ship no prepared artifact.  This grid pins the other half of the parallel
+executor: ``match_many`` over every registered scenario's *prepared
+target*, fanned through the thread backend (zero-copy sharing) and the
+process backend's shared-memory transport, reproduces the serial engine's
+matches bit-for-bit — every match, score, posterior and deterministic
+stage count.
+
+One executor serves all scenarios per backend, so the process run cycles
+every distinct prepared artifact through one warm pool and the workers'
+bounded caches (evicting past the cache cap), exactly as a long-lived
+routing service would.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MatchEngine
+from repro.context.serialize import result_to_dict
+from repro.datagen import build_scenario, get_scenario, scenario_names
+from repro.engine import ExecutorConfig, MatchExecutor
+from repro.evaluation.scenarios import scenario_config
+
+pytestmark = pytest.mark.golden
+
+BACKENDS = [
+    pytest.param(ExecutorConfig(backend="thread", max_workers=2),
+                 id="thread"),
+    pytest.param(ExecutorConfig(backend="process", max_workers=2,
+                                transport="shm"),
+                 id="process-shm"),
+]
+
+
+def _comparable(result):
+    """Everything pinned across backends: matches, prototype scores and
+    deterministic stage counts (timings and the process-global token-cache
+    telemetry legitimately vary run to run)."""
+    payload = result_to_dict(result)
+    payload.pop("elapsed_seconds")
+    report = payload["report"]
+    report.pop("elapsed_seconds")
+    for stage in report["stages"]:
+        stage.pop("elapsed_seconds")
+        for key in ("token_cache_hits", "token_cache_misses"):
+            stage["counts"].pop(key, None)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Per scenario: engine, workload, prepared target and the serial
+    result every backend must reproduce."""
+    reference = {}
+    for name in scenario_names():
+        spec = get_scenario(name)
+        workload = build_scenario(spec)
+        engine = MatchEngine(scenario_config(spec))
+        prepared = engine.prepare(workload.target)
+        serial = engine.match(workload.source, prepared)
+        reference[name] = (engine, workload, prepared, _comparable(serial))
+    return reference
+
+
+@pytest.mark.parametrize("config", BACKENDS)
+def test_match_many_bit_identical_across_backends(config, serial_reference):
+    evictions = 0
+    with MatchExecutor(config) as executor:
+        for name, (engine, workload, prepared,
+                   expected) in serial_reference.items():
+            batch = executor.match_many(engine, [workload.source], prepared)
+            assert batch.throughput.backend == config.backend
+            if config.backend == "process":
+                assert batch.throughput.transport == "shm"
+                assert batch.throughput.shm_bytes > 0
+            evictions += batch.throughput.artifact_evictions
+            assert _comparable(batch[0]) == expected, name
+        # Cycling more artifacts than the worker cache holds must evict
+        # (and stay bit-identical while doing so).
+        if config.backend == "process":
+            assert evictions > 0
+        assert not executor._segments.segments or config.backend == "process"
+    assert not executor._segments.segments  # close() released every segment
